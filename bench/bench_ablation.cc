@@ -1,0 +1,170 @@
+// E17 — ablations of the design choices DESIGN.md calls out:
+//   1. the §3.2.2 guarantee-downset optimization (on/off),
+//   2. the caching oracle in front of the universal-body root search,
+//   3. question width: binary-search (Find) vs serial probing for qhorn-1
+//      universal bodies (§3.1.2 discusses the naive O(n²) alternative).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_domain.h"
+#include "src/core/normalize.h"
+#include "src/core/random_query.h"
+#include "src/learn/interaction.h"
+#include "src/learn/qhorn1_learner.h"
+#include "src/learn/rp_learner.h"
+#include "src/oracle/oracle.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+using namespace qhorn;
+
+namespace {
+
+// The naive §3.1.2 alternative: test each candidate variable serially with
+// one universal dependence question each, for every universal head.
+int64_t SerialBodyProbeCount(const Qhorn1Structure& target) {
+  // One question per (head, existential variable) pair plus the n head
+  // tests — what the paper calls the O(n²) strategy.
+  int64_t heads = 0;
+  for (const Qhorn1Part& p : target.parts()) {
+    heads += Popcount(p.universal_heads);
+  }
+  int64_t n = target.n();
+  return n + heads * n;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("E17 | ablations",
+              "guarantee-downset pruning, question caching, binary search "
+              "vs serial probing");
+
+  const int kSeeds = 12;
+
+  std::printf("\n-- ablation 1: guarantee-downset optimization (§3.2.2) --\n");
+  TextTable opt({"n", "questions (on)", "questions (off)", "saved"});
+  for (int n : {8, 12, 16, 20}) {
+    Accumulator on_q, off_q;
+    for (uint64_t seed = 0; seed < kSeeds; ++seed) {
+      Rng rng(seed * 3 + static_cast<uint64_t>(n));
+      RpOptions gen;
+      gen.num_heads = 2;
+      gen.theta = 1;
+      gen.body_size = 3;
+      gen.num_conjunctions = 2;
+      Query target = RandomRolePreserving(n, rng, gen);
+
+      for (bool skip : {true, false}) {
+        QueryOracle oracle(target);
+        CountingOracle counting(&oracle);
+        RpLearnerOptions opts;
+        opts.existential.skip_guarantee_downsets = skip;
+        RpLearnerResult r = LearnRolePreserving(n, &counting, opts);
+        if (!Equivalent(r.query, target)) return 1;
+        (skip ? on_q : off_q)
+            .Add(static_cast<double>(counting.stats().questions));
+      }
+    }
+    opt.Row()
+        .Cell(n)
+        .Cell(on_q.mean(), 1)
+        .Cell(off_q.mean(), 1)
+        .Cell(off_q.mean() - on_q.mean(), 1);
+  }
+  opt.Print(std::cout);
+
+  std::printf("\n-- ablation 2: caching the universal-body root search --\n");
+  TextTable cache_table({"n", "θ", "user-q (no cache)", "user-q (cache)",
+                         "cache hits"});
+  for (int theta : {2, 3}) {
+    int n = 14;
+    Accumulator raw_q, cached_q, hits;
+    for (uint64_t seed = 0; seed < kSeeds; ++seed) {
+      Rng rng(seed * 7 + static_cast<uint64_t>(theta));
+      RpOptions gen;
+      gen.num_heads = 1;
+      gen.theta = theta;
+      gen.body_size = 3;
+      gen.num_conjunctions = 0;
+      Query target = RandomRolePreserving(n, rng, gen);
+
+      QueryOracle o1(target);
+      CountingOracle c1(&o1);
+      LearnUniversalHorns(n, &c1);
+      raw_q.Add(static_cast<double>(c1.stats().questions));
+
+      QueryOracle o2(target);
+      CountingOracle c2(&o2);
+      CachingOracle cache(&c2);
+      LearnUniversalHorns(n, &cache);
+      cached_q.Add(static_cast<double>(c2.stats().questions));
+      hits.Add(static_cast<double>(cache.hits()));
+    }
+    cache_table.Row()
+        .Cell(n)
+        .Cell(theta)
+        .Cell(raw_q.mean(), 1)
+        .Cell(cached_q.mean(), 1)
+        .Cell(hits.mean(), 1);
+  }
+  cache_table.Print(std::cout);
+
+  std::printf("\n-- ablation 3: binary search vs serial probing (§3.1.2) --\n");
+  TextTable serial({"n", "binary-search q", "serial q (naive)", "speedup"});
+  for (int n : {8, 16, 32, 64}) {
+    Accumulator bin_q, ser_q;
+    for (uint64_t seed = 0; seed < kSeeds; ++seed) {
+      Rng rng(seed * 11 + static_cast<uint64_t>(n));
+      Qhorn1Structure target = RandomQhorn1(n, rng);
+      QueryOracle oracle(target.ToQuery());
+      CountingOracle counting(&oracle);
+      Qhorn1Learner learner(n, &counting);
+      learner.Learn();
+      bin_q.Add(static_cast<double>(counting.stats().questions));
+      ser_q.Add(static_cast<double>(SerialBodyProbeCount(target)));
+    }
+    serial.Row()
+        .Cell(n)
+        .Cell(bin_q.mean(), 1)
+        .Cell(ser_q.mean(), 1)
+        .Cell(ser_q.mean() / bin_q.mean(), 2);
+  }
+  serial.Print(std::cout);
+
+  std::printf("\n-- ablation 4: membership vs interaction questions (§6) --\n");
+  TextTable inter({"n", "membership q (1 bit each)", "interaction q",
+                   "  roles/shares/causes"});
+  for (int n : {8, 16, 32}) {
+    Accumulator mem_q, int_q;
+    std::string split;
+    for (uint64_t seed = 0; seed < kSeeds; ++seed) {
+      Rng rng(seed * 13 + static_cast<uint64_t>(n));
+      Qhorn1Structure target = RandomQhorn1(n, rng);
+
+      QueryOracle oracle(target.ToQuery());
+      CountingOracle counting(&oracle);
+      Qhorn1Learner learner(n, &counting);
+      learner.Learn();
+      mem_q.Add(static_cast<double>(counting.stats().questions));
+
+      InteractionOracle interaction(target);
+      InteractionTrace trace;
+      LearnQhorn1ByInteraction(n, &interaction, &trace);
+      int_q.Add(static_cast<double>(trace.total()));
+      split = std::to_string(trace.role_questions) + "/" +
+              std::to_string(trace.share_questions) + "/" +
+              std::to_string(trace.cause_questions);
+    }
+    inter.Row().Cell(n).Cell(mem_q.mean(), 1).Cell(int_q.mean(), 1).Cell(split);
+  }
+  inter.Print(std::cout);
+  std::printf("expected shape: optimization saves a few questions per "
+              "guarantee clause; caching removes the re-asked roots; the "
+              "binary-search advantage grows with n (n lg n vs n²); "
+              "interaction questions trade O(n lg n) object labellings for "
+              "O(n²) yes/no structure questions — the paper's usability "
+              "trade-off, quantified.\n");
+  return 0;
+}

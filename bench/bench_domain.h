@@ -1,0 +1,20 @@
+// Shared helpers for the experiment binaries.
+
+#ifndef QHORN_BENCH_BENCH_DOMAIN_H_
+#define QHORN_BENCH_BENCH_DOMAIN_H_
+
+#include <cstdio>
+#include <string>
+
+namespace qhorn {
+
+inline void PrintHeader(const std::string& id, const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", id.c_str());
+  std::printf("paper claim: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace qhorn
+
+#endif  // QHORN_BENCH_BENCH_DOMAIN_H_

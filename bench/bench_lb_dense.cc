@@ -1,0 +1,52 @@
+// E7 — Theorem 3.6: for a head of causal density θ, isolating the last
+// body takes Ω((n/θ)^{θ−1}) questions.
+//
+// The family fixes θ−1 disjoint bodies of width n/(θ−1) and hides one more
+// body assembled from all-but-one variable of each; the adversary keeps
+// the product alive as long as possible. We run our own §3.2.1 learner
+// against it and report the forced question counts.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_domain.h"
+#include "src/lower_bounds/dense_bodies.h"
+#include "src/util/table.h"
+
+using namespace qhorn;
+
+int main() {
+  PrintHeader("E7 | Theorem 3.6 (causal-density lower bound)",
+              "the adversary forces ≈ (n/(θ−1))^{θ−1} questions for the "
+              "hidden θ-th body");
+
+  TextTable table({"n(bodies)", "θ", "width n/(θ−1)", "candidates",
+                   "questions", "width^{θ−1}", "ratio"});
+  struct Config {
+    int width;
+    int theta;
+  };
+  for (Config cfg : {Config{4, 2}, Config{8, 2}, Config{16, 2}, Config{3, 3},
+                     Config{5, 3}, Config{7, 3}, Config{3, 4}, Config{4, 4}}) {
+    int n = cfg.width * (cfg.theta - 1);
+    DenseBodyFamily family = MakeDenseBodyFamily(n, cfg.theta);
+    std::vector<Query> cls = DenseBodyClass(family);
+    AdversaryOracle adversary(cls);
+    int64_t questions = RunDenseBodyLearner(family, &adversary);
+    double product = std::pow(cfg.width, cfg.theta - 1);
+    table.Row()
+        .Cell(n)
+        .Cell(cfg.theta)
+        .Cell(cfg.width)
+        .Cell(static_cast<uint64_t>(cls.size()))
+        .Cell(questions)
+        .Cell(product, 0)
+        .Cell(static_cast<double>(questions) / product, 2);
+  }
+  table.Print(std::cout);
+  std::printf("expected shape: questions ≥ width^{θ−1} with a small "
+              "constant — matching the Theorem 3.5 upper bound's n^θ "
+              "search-root product and showing it is not slack.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// E15 — micro-benchmarks (google-benchmark): the paper's interactive-
+// performance requirements. Question generation must be polynomial (and in
+// practice microseconds), evaluation linear in the object, and the full
+// learning loops fast enough for a UI.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/enumerate.h"
+#include "src/core/normalize.h"
+#include "src/core/random_query.h"
+#include "src/learn/pac.h"
+#include "src/learn/qhorn1_learner.h"
+#include "src/learn/rp_learner.h"
+#include "src/oracle/oracle.h"
+#include "src/relation/chocolate.h"
+#include "src/verify/verification_set.h"
+
+namespace qhorn {
+namespace {
+
+void BM_EvaluateQuery(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  RpOptions opts;
+  opts.num_heads = 2;
+  opts.theta = 2;
+  opts.num_conjunctions = 4;
+  Query q = RandomRolePreserving(n, rng, opts);
+  TupleSet object = RandomObject(n, rng, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.Evaluate(object));
+  }
+}
+BENCHMARK(BM_EvaluateQuery)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_HornClosure(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  RpOptions opts;
+  opts.num_heads = n / 4;
+  opts.theta = 2;
+  Query q = RandomRolePreserving(n, rng, opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.HornClosure(AllTrue(n / 2)));
+  }
+}
+BENCHMARK(BM_HornClosure)->Arg(16)->Arg(64);
+
+void BM_Canonicalize(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  RpOptions opts;
+  opts.num_heads = 3;
+  opts.theta = 2;
+  opts.num_conjunctions = 6;
+  Query q = RandomRolePreserving(n, rng, opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Canonicalize(q));
+  }
+}
+BENCHMARK(BM_Canonicalize)->Arg(16)->Arg(64);
+
+void BM_Qhorn1LearnEndToEnd(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(4);
+  Qhorn1Structure target = RandomQhorn1(n, rng);
+  Query target_query = target.ToQuery();
+  for (auto _ : state) {
+    QueryOracle oracle(target_query);
+    Qhorn1Learner learner(n, &oracle);
+    benchmark::DoNotOptimize(learner.Learn());
+  }
+  state.SetLabel("full learning loop incl. simulated user");
+}
+BENCHMARK(BM_Qhorn1LearnEndToEnd)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_RpLearnEndToEnd(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  RpOptions opts;
+  opts.num_heads = 2;
+  opts.theta = 2;
+  opts.num_conjunctions = 3;
+  Query target = RandomRolePreserving(n, rng, opts);
+  for (auto _ : state) {
+    QueryOracle oracle(target);
+    benchmark::DoNotOptimize(LearnRolePreserving(n, &oracle));
+  }
+}
+BENCHMARK(BM_RpLearnEndToEnd)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_BuildVerificationSet(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(6);
+  RpOptions opts;
+  opts.num_heads = 2;
+  opts.theta = 2;
+  opts.num_conjunctions = 4;
+  Query q = RandomRolePreserving(n, rng, opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildVerificationSet(q));
+  }
+}
+BENCHMARK(BM_BuildVerificationSet)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_SynthesizeQuestion(benchmark::State& state) {
+  BooleanBinding binding(ChocolateSchema(), ChocolatePropositions());
+  TupleSynthesizer synthesizer(&binding);
+  TupleSet question = TupleSet::Parse({"111", "011", "100", "010"});
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        synthesizer.SynthesizeObject(question, "box-" + std::to_string(++i)));
+  }
+  state.SetLabel("Boolean question → concrete chocolate box");
+}
+BENCHMARK(BM_SynthesizeQuestion);
+
+void BM_BruteForceEquivalence(benchmark::State& state) {
+  Query a = Query::Parse("∀x1→x2 ∃x3x4", 4);
+  Query b = Query::Parse("∀x1→x2 ∃x3x4 ∃x1x2", 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BruteForceEquivalent(a, b));
+  }
+  state.SetLabel("2^(2^4) objects enumerated");
+}
+BENCHMARK(BM_BruteForceEquivalence);
+
+}  // namespace
+}  // namespace qhorn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// E4 — Theorem 3.1 / Lemmas 3.2–3.3: the qhorn-1 learner asks O(n lg n)
+// membership questions.
+//
+// Sweeps n over random qhorn-1 targets (several seeds and part-size
+// profiles), reporting mean/max questions, the per-phase breakdown (head
+// classification, universal bodies, existential expressions), and the
+// ratio to n·lg n — which must stay bounded while questions/n² vanishes.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_domain.h"
+#include "src/core/normalize.h"
+#include "src/core/random_query.h"
+#include "src/learn/qhorn1_learner.h"
+#include "src/oracle/oracle.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+using namespace qhorn;
+
+int main() {
+  PrintHeader("E4 | Theorem 3.1 (qhorn-1 learning)",
+              "O(n lg n) questions; phases: heads O(n), universal bodies "
+              "O(n lg n) [Lemma 3.2], existential O(n lg n) [Lemma 3.3]");
+
+  const int kSeeds = 20;
+  TextTable table({"n", "questions(mean)", "max", "heads", "uni-bodies",
+                   "existential", "q / n lg n", "q / n^2"});
+  for (int n : {4, 8, 12, 16, 24, 32, 48, 64}) {
+    Accumulator total, heads, bodies, exist;
+    for (uint64_t seed = 0; seed < kSeeds; ++seed) {
+      Rng rng(seed * 7919 + static_cast<uint64_t>(n));
+      Qhorn1Options opts;
+      opts.max_part_size = 1 + static_cast<int>(seed % 5);
+      Qhorn1Structure target = RandomQhorn1(n, rng, opts);
+
+      QueryOracle oracle(target.ToQuery());
+      CountingOracle counting(&oracle);
+      Qhorn1Learner learner(n, &counting);
+      Qhorn1Structure learned = learner.Learn();
+      if (!Equivalent(learned.ToQuery(), target.ToQuery())) {
+        std::printf("LEARNING FAILED for seed %llu\n",
+                    static_cast<unsigned long long>(seed));
+        return 1;
+      }
+      total.Add(static_cast<double>(counting.stats().questions));
+      heads.Add(static_cast<double>(learner.trace().head_questions));
+      bodies.Add(static_cast<double>(learner.trace().universal_body_questions));
+      exist.Add(static_cast<double>(learner.trace().existential_questions));
+    }
+    table.Row()
+        .Cell(n)
+        .Cell(total.mean(), 1)
+        .Cell(static_cast<int64_t>(total.max()))
+        .Cell(heads.mean(), 1)
+        .Cell(bodies.mean(), 1)
+        .Cell(exist.mean(), 1)
+        .Cell(total.mean() / (n * Lg(n)), 3)
+        .Cell(total.mean() / (static_cast<double>(n) * n), 4);
+  }
+  table.Print(std::cout);
+  std::printf("expected shape: q/(n lg n) flat (the Theorem 3.1 bound is "
+              "tight), q/n² → 0 (the learner beats the naive O(n²) serial "
+              "dependence probing of §3.1.2).\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// E8/E9 — Theorems 3.8 and 3.9: the lattice learner finds the k dominant
+// existential conjunctions with O(k·n·lg n) questions, against the
+// information-theoretic floor of ≈ nk/2 − k·lg k.
+//
+// Sweeps n at fixed k and k at fixed n; reports the measured questions,
+// the normalized ratio q/(k·n·lg n) (bounded ⇒ Theorem 3.8's shape), and
+// the floor (measured must exceed it).
+
+#include <cstdio>
+#include <iostream>
+#include <set>
+
+#include "bench/bench_domain.h"
+#include "src/core/classify.h"
+#include "src/core/normalize.h"
+#include "src/core/random_query.h"
+#include "src/learn/rp_learner.h"
+#include "src/oracle/oracle.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+using namespace qhorn;
+
+namespace {
+
+// Generates a target with exactly k incomparable conjunctions of width
+// n/2 (the densest lattice level, as in Theorem 3.9's argument).
+Query MidLevelTarget(int n, int k, Rng& rng) {
+  Query q(n);
+  std::set<VarSet> used;
+  int attempts = 0;
+  while (static_cast<int>(used.size()) < k && attempts < 10000) {
+    ++attempts;
+    std::vector<int> vars = rng.Sample(n, n / 2);
+    used.insert(MaskOf(vars));
+  }
+  for (VarSet c : used) q.AddExistential(c);
+  return q;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("E8/E9 | Theorems 3.8 & 3.9 (existential conjunctions)",
+              "O(k·n·lg n) questions, info floor lg C(C(n,n/2), k) ≈ "
+              "nk/2 − k·lg k");
+
+  const int kSeeds = 10;
+
+  std::printf("\n-- sweep n at k = 4 (mid-level conjunctions) --\n");
+  TextTable by_n({"n", "k", "questions(mean)", "q/(k n lg n)", "floor nk/2-klgk"});
+  for (int n : {8, 12, 16, 20, 24}) {
+    Accumulator total;
+    int k = 4;
+    for (uint64_t seed = 0; seed < kSeeds; ++seed) {
+      Rng rng(seed * 13 + static_cast<uint64_t>(n));
+      Query target = MidLevelTarget(n, k, rng);
+      QueryOracle oracle(target);
+      CountingOracle counting(&oracle);
+      RpLearnerResult result = LearnRolePreserving(n, &counting);
+      if (!Equivalent(result.query, target)) return 1;
+      total.Add(static_cast<double>(counting.stats().questions));
+    }
+    double floor = n * k / 2.0 - k * Lg(k);
+    by_n.Row()
+        .Cell(n)
+        .Cell(k)
+        .Cell(total.mean(), 1)
+        .Cell(total.mean() / (k * n * Lg(n)), 3)
+        .Cell(floor, 1);
+  }
+  by_n.Print(std::cout);
+
+  std::printf("\n-- sweep k at n = 16 --\n");
+  TextTable by_k({"n", "k", "questions(mean)", "q/(k n lg n)", "floor"});
+  for (int k : {1, 2, 4, 8, 12}) {
+    Accumulator total;
+    int n = 16;
+    for (uint64_t seed = 0; seed < kSeeds; ++seed) {
+      Rng rng(seed * 17 + static_cast<uint64_t>(k));
+      Query target = MidLevelTarget(n, k, rng);
+      QueryOracle oracle(target);
+      CountingOracle counting(&oracle);
+      RpLearnerResult result = LearnRolePreserving(n, &counting);
+      if (!Equivalent(result.query, target)) return 1;
+      total.Add(static_cast<double>(counting.stats().questions));
+    }
+    double floor = n * k / 2.0 - k * Lg(k);
+    by_k.Row()
+        .Cell(n)
+        .Cell(k)
+        .Cell(total.mean(), 1)
+        .Cell(total.mean() / (k * n * Lg(n)), 3)
+        .Cell(floor, 1);
+  }
+  by_k.Print(std::cout);
+  std::printf("expected shape: the ratio stays bounded (Theorem 3.8) and "
+              "measured questions sit above the Theorem 3.9 floor — the "
+              "algorithm is within a lg-n factor of optimal.\n");
+  return 0;
+}

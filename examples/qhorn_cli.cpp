@@ -1,0 +1,63 @@
+// qhorn_cli — drive a full session against a hidden query from the
+// command line.
+//
+// Usage:
+//   qhorn_cli                      # uses the paper's §3.2.2 query
+//   qhorn_cli "∀x1x2→x3 ∃x4"       # any role-preserving query (shorthand)
+//   qhorn_cli "A x1 x2 -> x3; E x4"
+//
+// The hidden query plays the user; the session learns it, verifies the
+// result, answers an equivalence question, and prints the transcript
+// summary — everything a front-end would wire up, in one binary.
+
+#include <cstdio>
+
+#include "src/core/classify.h"
+#include "src/core/normalize.h"
+#include "src/core/witness.h"
+#include "src/session/session.h"
+
+using namespace qhorn;
+
+int main(int argc, char** argv) {
+  std::string text = argc > 1
+                         ? argv[1]
+                         : "∀x1x4→x5 ∀x3x4→x5 ∀x1x2→x6 "
+                           "∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6";
+  Query intended = Query::Parse(text);
+  if (!IsRolePreserving(intended)) {
+    std::fprintf(stderr,
+                 "the learner supports role-preserving qhorn queries; "
+                 "'%s' repeats a head variable as a body variable\n",
+                 intended.ToString().c_str());
+    return 2;
+  }
+  std::printf("hidden query (n=%d, k=%d, θ=%d): %s\n", intended.n(),
+              intended.size_k(), CausalDensity(intended),
+              intended.ToString().c_str());
+
+  QueryOracle user(intended);
+  QuerySession session(intended.n(), &user);
+
+  const Query& learned = session.Learn();
+  std::printf("learned:    %s\n", learned.ToString().c_str());
+  std::printf("normalized: %s\n", Normalize(learned).ToString().c_str());
+  std::printf("questions asked: %lld (after caching; %zu shown in history)\n",
+              static_cast<long long>(session.questions_asked()),
+              session.history().size());
+
+  bool ok = Equivalent(learned, intended);
+  std::printf("exact: %s\n", ok ? "yes" : "NO");
+
+  VerificationReport report = session.Verify(learned);
+  std::printf("verification of the learned query: %s (%lld questions)\n",
+              report.accepted ? "accepted" : "rejected",
+              static_cast<long long>(report.questions_asked));
+
+  EquivalenceOracle equivalence(intended);
+  auto counterexample = equivalence.Counterexample(learned);
+  std::printf("equivalence question: %s\n",
+              counterexample.has_value() ? "counterexample returned!"
+                                         : "no counterexample — exact");
+  return ok && report.accepted && !counterexample.has_value() ? 0 : 1;
+}

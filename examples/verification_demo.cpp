@@ -1,0 +1,80 @@
+// Reproduces the §4.2 worked example: the verification set of
+//
+//   ∀x1x4→x5 ∀x1x2→x6 ∀x3x4→x5 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6
+//
+// question family by question family, then demonstrates how an intended
+// query that differs (the A3 scenario: an extra body x2x4 for x5) is
+// caught.
+
+#include <cstdio>
+
+#include "src/oracle/oracle.h"
+#include "src/verify/verifier.h"
+
+using namespace qhorn;
+
+int main() {
+  Query given = Query::Parse(
+      "∀x1x4→x5 ∀x1x2→x6 ∀x3x4→x5 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6");
+  std::printf("=== verification set for the paper's §4.2 query ===\n");
+  std::printf("qg = %s\n\n", given.ToString().c_str());
+
+  VerificationSet set = BuildVerificationSet(given);
+  std::printf("%s\n", set.ToString().c_str());
+  std::printf("questions: %zu   total tuples: %lld\n\n", set.questions.size(),
+              static_cast<long long>(set.total_tuples()));
+
+  // Case 1: the user's intention matches — every classification agrees.
+  {
+    QueryOracle user(given);
+    VerificationReport report = RunVerification(set, &user);
+    std::printf("user intends qg itself      → %s\n",
+                report.accepted ? "accepted" : "rejected");
+  }
+
+  // Case 2: the user additionally requires ∀x2x4→x5 — incomparable with
+  // both of x5's bodies and invisible to A1/N1/A2/N2/A4. Only A3 notices.
+  {
+    Query intended = Query::Parse(
+        "∀x1x4→x5 ∀x1x2→x6 ∀x3x4→x5 ∀x2x4→x5 "
+        "∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6");
+    QueryOracle user(intended);
+    VerificationReport report = RunVerification(set, &user);
+    std::printf("user also wants ∀x2x4→x5    → %s",
+                report.accepted ? "accepted" : "rejected");
+    for (const Discrepancy& d : report.discrepancies) {
+      std::printf("  [caught by %s: %s]", FamilyName(d.family),
+                  d.description.c_str());
+    }
+    std::printf("\n");
+  }
+
+  // Case 3: the user wants a weaker body (∀x4→x5 dominates ∀x1x4→x5).
+  {
+    Query intended = Query::Parse(
+        "∀x4→x5 ∀x1x2→x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6");
+    QueryOracle user(intended);
+    VerificationReport report = RunVerification(set, &user);
+    std::printf("user wants ∀x4→x5 instead   → %s",
+                report.accepted ? "accepted" : "rejected");
+    for (const Discrepancy& d : report.discrepancies) {
+      std::printf("  [caught by %s]", FamilyName(d.family));
+    }
+    std::printf("\n");
+  }
+
+  // Case 4: the user drops a conjunction.
+  {
+    Query intended = Query::Parse(
+        "∀x1x4→x5 ∀x1x2→x6 ∀x3x4→x5 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5", 6);
+    QueryOracle user(intended);
+    VerificationReport report = RunVerification(set, &user);
+    std::printf("user drops ∃x2x3x5x6        → %s",
+                report.accepted ? "accepted" : "rejected");
+    for (const Discrepancy& d : report.discrepancies) {
+      std::printf("  [caught by %s]", FamilyName(d.family));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "src/bool/lattice.h"
+
+#include "src/util/check.h"
+
+namespace qhorn {
+
+std::vector<Tuple> LatticeChildren(Tuple t, VarSet universe) {
+  std::vector<Tuple> children;
+  VarSet true_vars = t & universe;
+  children.reserve(static_cast<size_t>(Popcount(true_vars)));
+  while (true_vars != 0) {
+    VarSet low = true_vars & (~true_vars + 1);  // lowest set bit
+    children.push_back(t & ~low);
+    true_vars &= true_vars - 1;
+  }
+  return children;
+}
+
+std::vector<Tuple> LatticeParents(Tuple t, VarSet universe) {
+  std::vector<Tuple> parents;
+  VarSet false_vars = ~t & universe;
+  parents.reserve(static_cast<size_t>(Popcount(false_vars)));
+  while (false_vars != 0) {
+    VarSet low = false_vars & (~false_vars + 1);
+    parents.push_back(t | low);
+    false_vars &= false_vars - 1;
+  }
+  return parents;
+}
+
+std::vector<Tuple> LatticeChildrenFiltered(
+    Tuple t, VarSet universe, const std::function<bool(Tuple)>& keep) {
+  std::vector<Tuple> children = LatticeChildren(t, universe);
+  std::vector<Tuple> kept;
+  kept.reserve(children.size());
+  for (Tuple c : children) {
+    if (keep(c)) kept.push_back(c);
+  }
+  return kept;
+}
+
+namespace {
+
+// Emits every way of clearing `remaining` of the variables in `candidates`
+// from `base`, in ascending-variable order.
+void EnumerateClears(Tuple base, const std::vector<int>& candidates,
+                     size_t next, int remaining, std::vector<Tuple>* out) {
+  if (remaining == 0) {
+    out->push_back(base);
+    return;
+  }
+  if (candidates.size() - next < static_cast<size_t>(remaining)) return;
+  for (size_t i = next; i < candidates.size(); ++i) {
+    EnumerateClears(base & ~VarBit(candidates[i]), candidates, i + 1,
+                    remaining - 1, out);
+  }
+}
+
+}  // namespace
+
+std::vector<Tuple> LatticeLevel(VarSet universe, int level, Tuple fixed) {
+  int width = Popcount(universe);
+  QHORN_CHECK_MSG(level >= 0 && level <= width,
+                  "level " << level << " outside lattice of width " << width);
+  Tuple top = (fixed & ~universe) | universe;
+  std::vector<int> vars = VarsOf(universe);
+  std::vector<Tuple> out;
+  EnumerateClears(top, vars, 0, level, &out);
+  return out;
+}
+
+}  // namespace qhorn

@@ -1,0 +1,55 @@
+// The Boolean lattice on n variables (paper §3.2, Fig. 4).
+//
+// Each lattice point is a tuple; level l holds the tuples with exactly l
+// false variables. A tuple's children set exactly one true variable to
+// false; its parents set one false variable to true. The role-preserving
+// learners restrict moves to a sub-universe (e.g. the non-head variables in
+// Fig. 5) and filter out tuples that violate universal Horn expressions —
+// both are supported here via the `universe` mask and a caller-supplied
+// predicate.
+
+#ifndef QHORN_BOOL_LATTICE_H_
+#define QHORN_BOOL_LATTICE_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/bool/tuple.h"
+
+namespace qhorn {
+
+/// Children of `t` within `universe`: for each variable of `universe` that
+/// is true in `t`, the tuple with that variable flipped to false. Bits of
+/// `t` outside `universe` are preserved (they encode pinned variables such
+/// as the neutralized head variables of Fig. 5).
+std::vector<Tuple> LatticeChildren(Tuple t, VarSet universe);
+
+/// Parents of `t` within `universe` (one false variable flipped to true).
+std::vector<Tuple> LatticeParents(Tuple t, VarSet universe);
+
+/// Children that additionally satisfy `keep` (used to drop tuples that
+/// violate universal Horn expressions, §3.2.2).
+std::vector<Tuple> LatticeChildrenFiltered(
+    Tuple t, VarSet universe, const std::function<bool(Tuple)>& keep);
+
+/// All tuples at level `level` of the lattice over `universe` (level 0 is
+/// the top: all universe variables true). Bits outside the universe are
+/// taken from `fixed`. Order is deterministic (combinations in ascending
+/// variable order).
+std::vector<Tuple> LatticeLevel(VarSet universe, int level, Tuple fixed = 0);
+
+/// True iff `a` lies in the upset of `b`: every variable true in `b` is true
+/// in `a` (a ⊇ b as true-sets). A tuple is in its own upset.
+inline bool InUpset(Tuple a, Tuple b) { return IsSubset(b, a); }
+
+/// True iff `a` lies in the downset of `b` (a ⊆ b as true-sets).
+inline bool InDownset(Tuple a, Tuple b) { return IsSubset(a, b); }
+
+/// The lattice distance between two tuples: size of the symmetric
+/// difference of their true-sets (the number of single-variable flips on a
+/// shortest path). Used by the §6 revision extension.
+inline int LatticeDistance(Tuple a, Tuple b) { return Popcount(a ^ b); }
+
+}  // namespace qhorn
+
+#endif  // QHORN_BOOL_LATTICE_H_

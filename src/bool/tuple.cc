@@ -1,0 +1,59 @@
+#include "src/bool/tuple.h"
+
+#include "src/util/check.h"
+
+namespace qhorn {
+
+std::vector<int> VarsOf(VarSet mask) {
+  std::vector<int> vars;
+  vars.reserve(static_cast<size_t>(Popcount(mask)));
+  while (mask != 0) {
+    int v = std::countr_zero(mask);
+    vars.push_back(v);
+    mask &= mask - 1;
+  }
+  return vars;
+}
+
+VarSet MaskOf(const std::vector<int>& vars) {
+  VarSet mask = 0;
+  for (int v : vars) {
+    QHORN_CHECK_MSG(v >= 0 && v < kMaxVars, "variable index " << v);
+    mask |= VarBit(v);
+  }
+  return mask;
+}
+
+std::string FormatTuple(Tuple t, int n) {
+  QHORN_CHECK(n >= 0 && n <= kMaxVars);
+  std::string out(static_cast<size_t>(n), '0');
+  for (int i = 0; i < n; ++i) {
+    if (HasVar(t, i)) out[static_cast<size_t>(i)] = '1';
+  }
+  return out;
+}
+
+Tuple ParseTuple(const std::string& text) {
+  QHORN_CHECK_MSG(!text.empty() && text.size() <= kMaxVars,
+                  "tuple literal '" << text << "'");
+  Tuple t = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    QHORN_CHECK_MSG(c == '0' || c == '1',
+                    "tuple literal '" << text << "' has bad char");
+    if (c == '1') t |= VarBit(static_cast<int>(i));
+  }
+  return t;
+}
+
+std::string FormatVarSet(VarSet mask) {
+  if (mask == 0) return "{}";
+  std::string out;
+  for (int v : VarsOf(mask)) {
+    out += "x";
+    out += std::to_string(v + 1);
+  }
+  return out;
+}
+
+}  // namespace qhorn

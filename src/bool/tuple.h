@@ -1,0 +1,81 @@
+// Boolean tuples and variable sets.
+//
+// The paper works over n Boolean variables x1..xn (one per user proposition,
+// Fig. 1). We cap n at 64 and represent both a Boolean tuple (a truth
+// assignment) and a set of variables as a 64-bit mask: bit i corresponds to
+// the paper's variable x_{i+1}. A tuple's mask has bit i set iff x_{i+1} is
+// true in that tuple; a variable set's mask has bit i set iff x_{i+1} is a
+// member.
+//
+// Display follows the paper: tuple "1011" on four variables means x1=1,
+// x2=0, x3=1, x4=1 (leftmost character is x1); variable sets print as
+// "x1x3x4".
+
+#ifndef QHORN_BOOL_TUPLE_H_
+#define QHORN_BOOL_TUPLE_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qhorn {
+
+/// A truth assignment to n Boolean variables, packed into bits 0..n-1.
+using Tuple = uint64_t;
+
+/// A set of variables, packed the same way as Tuple.
+using VarSet = uint64_t;
+
+/// Maximum supported number of variables.
+inline constexpr int kMaxVars = 64;
+
+/// Mask with only variable `v` (0-based) set.
+constexpr VarSet VarBit(int v) { return uint64_t{1} << v; }
+
+/// Mask with all of x1..xn set — the paper's all-true tuple 1^n.
+constexpr Tuple AllTrue(int n) {
+  return n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
+}
+
+/// Number of true variables / set members.
+inline int Popcount(uint64_t mask) { return std::popcount(mask); }
+
+/// True iff `sub` ⊆ `super` as variable sets (or: every variable true in
+/// `sub` is true in `super`, i.e. `super` lies in the upset of `sub` when
+/// both are tuples over the same universe).
+constexpr bool IsSubset(uint64_t sub, uint64_t super) {
+  return (sub & ~super) == 0;
+}
+
+/// True iff the sets are ⊆-incomparable (neither contains the other).
+constexpr bool Incomparable(uint64_t a, uint64_t b) {
+  return !IsSubset(a, b) && !IsSubset(b, a);
+}
+
+/// True iff variable `v` is a member / true.
+constexpr bool HasVar(uint64_t mask, int v) { return (mask >> v) & 1; }
+
+/// 0-based indices of the members of `mask`, ascending.
+std::vector<int> VarsOf(VarSet mask);
+
+/// Builds a mask from 0-based variable indices.
+VarSet MaskOf(const std::vector<int>& vars);
+
+/// Paper-style tuple string, e.g. "1011" (leftmost char is x1).
+std::string FormatTuple(Tuple t, int n);
+
+/// Parses a paper-style tuple string; characters must be '0'/'1' and the
+/// length gives n. Aborts on malformed input.
+Tuple ParseTuple(const std::string& text);
+
+/// Paper-style variable set, e.g. "x1x3x4"; "{}" for the empty set.
+std::string FormatVarSet(VarSet mask);
+
+/// Lattice level of tuple `t` on n variables: the number of FALSE variables
+/// (the paper's Fig. 4 counts levels from the all-true top tuple at level 0).
+inline int Level(Tuple t, int n) { return n - Popcount(t & AllTrue(n)); }
+
+}  // namespace qhorn
+
+#endif  // QHORN_BOOL_TUPLE_H_

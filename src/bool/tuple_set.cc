@@ -1,0 +1,83 @@
+#include "src/bool/tuple_set.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace qhorn {
+
+TupleSet::TupleSet(std::vector<Tuple> tuples) : tuples_(std::move(tuples)) {
+  Canonicalize();
+}
+
+TupleSet::TupleSet(std::initializer_list<Tuple> tuples) : tuples_(tuples) {
+  Canonicalize();
+}
+
+TupleSet TupleSet::Parse(const std::vector<std::string>& literals) {
+  std::vector<Tuple> tuples;
+  tuples.reserve(literals.size());
+  for (const std::string& lit : literals) tuples.push_back(ParseTuple(lit));
+  return TupleSet(std::move(tuples));
+}
+
+void TupleSet::Canonicalize() {
+  std::sort(tuples_.begin(), tuples_.end());
+  tuples_.erase(std::unique(tuples_.begin(), tuples_.end()), tuples_.end());
+}
+
+void TupleSet::Add(Tuple t) {
+  auto it = std::lower_bound(tuples_.begin(), tuples_.end(), t);
+  if (it == tuples_.end() || *it != t) tuples_.insert(it, t);
+}
+
+void TupleSet::Remove(Tuple t) {
+  auto it = std::lower_bound(tuples_.begin(), tuples_.end(), t);
+  if (it != tuples_.end() && *it == t) tuples_.erase(it);
+}
+
+bool TupleSet::Contains(Tuple t) const {
+  return std::binary_search(tuples_.begin(), tuples_.end(), t);
+}
+
+TupleSet TupleSet::Union(const TupleSet& other) const {
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size() + other.tuples_.size());
+  std::merge(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
+             other.tuples_.end(), std::back_inserter(merged));
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  TupleSet result;
+  result.tuples_ = std::move(merged);
+  return result;
+}
+
+bool TupleSet::SatisfiesConjunction(VarSet vars) const {
+  for (Tuple t : tuples_) {
+    if (IsSubset(vars, t)) return true;
+  }
+  return false;
+}
+
+size_t TupleSet::Hash() const {
+  // FNV-1a over the canonical tuple list.
+  uint64_t h = 1469598103934665603ULL;
+  for (Tuple t : tuples_) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (t >> (8 * byte)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  }
+  return static_cast<size_t>(h);
+}
+
+std::string TupleSet::ToString(int n) const {
+  std::string out = "{";
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += FormatTuple(tuples_[i], n);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace qhorn

@@ -1,0 +1,75 @@
+// Objects of the nested data model, in the Boolean domain.
+//
+// A membership question (§2.1.2) is an object: a *set* of Boolean tuples.
+// TupleSet keeps its tuples sorted and deduplicated so that equal objects
+// compare equal and hash equally — the caching oracle and the adversarial
+// oracles rely on this canonical form.
+
+#ifndef QHORN_BOOL_TUPLE_SET_H_
+#define QHORN_BOOL_TUPLE_SET_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/bool/tuple.h"
+
+namespace qhorn {
+
+/// A set of Boolean tuples (an object of the nested relation).
+class TupleSet {
+ public:
+  TupleSet() = default;
+
+  /// From raw masks; duplicates are removed.
+  explicit TupleSet(std::vector<Tuple> tuples);
+  TupleSet(std::initializer_list<Tuple> tuples);
+
+  /// From paper-style strings: TupleSet::Parse({"111", "011"}).
+  static TupleSet Parse(const std::vector<std::string>& literals);
+
+  /// Inserts a tuple (no-op if already present).
+  void Add(Tuple t);
+
+  /// Removes a tuple if present.
+  void Remove(Tuple t);
+
+  bool Contains(Tuple t) const;
+
+  bool empty() const { return tuples_.empty(); }
+  size_t size() const { return tuples_.size(); }
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  std::vector<Tuple>::const_iterator begin() const { return tuples_.begin(); }
+  std::vector<Tuple>::const_iterator end() const { return tuples_.end(); }
+
+  /// Set union.
+  TupleSet Union(const TupleSet& other) const;
+
+  /// True iff some tuple makes every variable of `vars` true — i.e. the
+  /// object satisfies the existential conjunction ∃(vars).
+  bool SatisfiesConjunction(VarSet vars) const;
+
+  bool operator==(const TupleSet& other) const = default;
+
+  /// Stable hash of the canonical tuple list.
+  size_t Hash() const;
+
+  /// "{111, 011}" with n-variable-wide tuples.
+  std::string ToString(int n) const;
+
+ private:
+  void Canonicalize();
+
+  std::vector<Tuple> tuples_;  // sorted ascending, unique
+};
+
+/// Hash functor for unordered containers keyed by objects.
+struct TupleSetHash {
+  size_t operator()(const TupleSet& s) const { return s.Hash(); }
+};
+
+}  // namespace qhorn
+
+#endif  // QHORN_BOOL_TUPLE_SET_H_

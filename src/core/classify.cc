@@ -1,0 +1,56 @@
+#include "src/core/classify.h"
+
+#include <algorithm>
+
+#include "src/core/normalize.h"
+
+namespace qhorn {
+
+bool IsRolePreserving(const Query& q) {
+  VarSet heads = 0;
+  VarSet bodies = 0;
+  for (const UniversalHorn& u : q.universal()) {
+    heads |= VarBit(u.head);
+    bodies |= u.body;
+  }
+  return (heads & bodies) == 0;
+}
+
+int CausalDensity(const Query& q) {
+  CanonicalForm form = Canonicalize(q);
+  int theta = 0;
+  for (const auto& [head, list] : form.universal) {
+    theta = std::max(theta, static_cast<int>(list.size()));
+  }
+  return theta;
+}
+
+int DominantSize(const Query& q) {
+  CanonicalForm form = Canonicalize(q);
+  int k = static_cast<int>(form.existential.size());
+  for (const auto& [head, list] : form.universal) {
+    k += static_cast<int>(list.size());
+  }
+  return k;
+}
+
+bool IsQhorn1(const std::vector<Qhorn1Part>& parts) {
+  VarSet seen = 0;
+  for (const Qhorn1Part& p : parts) {
+    if (p.heads() == 0) return false;
+    if ((p.universal_heads & p.existential_heads) != 0) return false;
+    if ((p.body & p.heads()) != 0) return false;
+    if (p.body == 0 && Popcount(p.heads()) != 1) return false;
+    if ((seen & p.vars()) != 0) return false;
+    seen |= p.vars();
+  }
+  return true;
+}
+
+bool IsQhorn1(const Qhorn1Structure& s) {
+  // Qhorn1Structure::AddPart already enforces these restrictions; this is
+  // a defensive re-validation.
+  return IsQhorn1(s.parts());
+}
+
+}  // namespace qhorn

@@ -1,0 +1,35 @@
+// Structural classification of qhorn queries: membership in the
+// role-preserving subclass (§2.1.4), causal density θ (Def. 2.6), and
+// qhorn-1 syntactic restrictions (§2.1.3).
+
+#ifndef QHORN_CORE_CLASSIFY_H_
+#define QHORN_CORE_CLASSIFY_H_
+
+#include "src/core/query.h"
+
+namespace qhorn {
+
+/// True iff across universal Horn expressions no variable appears both as a
+/// head and as a body variable (§2.1.4). Existential conjunctions are
+/// role-free and never disqualify a query.
+bool IsRolePreserving(const Query& q);
+
+/// Causal density θ (Def. 2.6): the maximum, over head variables, of the
+/// number of non-dominated universal Horn expressions with that head.
+int CausalDensity(const Query& q);
+
+/// Number of dominant expressions after normalization (the `k` the
+/// verification bound O(k) is stated in).
+int DominantSize(const Query& q);
+
+/// True iff the parts satisfy qhorn-1's restrictions (§2.1.3):
+///  1. distinct bodies are equal or disjoint,
+///  2. every head appears in exactly one expression,
+///  3. heads and bodies are disjoint variable sets, and
+///  4. no variable repeats (each variable is in at most one part).
+bool IsQhorn1(const std::vector<Qhorn1Part>& parts);
+bool IsQhorn1(const Qhorn1Structure& s);
+
+}  // namespace qhorn
+
+#endif  // QHORN_CORE_CLASSIFY_H_

@@ -1,0 +1,115 @@
+#include "src/core/counting.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/stats.h"
+
+namespace qhorn {
+
+namespace {
+
+// Big decimal number as digit vector (least-significant first); supports
+// doubling, which is all 2^m needs.
+std::string PowerOfTwoString(uint64_t exponent) {
+  std::vector<uint8_t> digits = {1};
+  for (uint64_t i = 0; i < exponent; ++i) {
+    int carry = 0;
+    for (uint8_t& d : digits) {
+      int v = d * 2 + carry;
+      d = static_cast<uint8_t>(v % 10);
+      carry = v / 10;
+    }
+    while (carry > 0) {
+      digits.push_back(static_cast<uint8_t>(carry % 10));
+      carry /= 10;
+    }
+  }
+  std::string out;
+  out.reserve(digits.size());
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    out += static_cast<char>('0' + *it);
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t BellNumber(int n) {
+  QHORN_CHECK_MSG(n >= 0 && n <= 25, "exact Bell numbers supported to n=25");
+  // Bell triangle.
+  std::vector<std::vector<uint64_t>> tri(static_cast<size_t>(n) + 1);
+  tri[0] = {1};
+  for (int i = 1; i <= n; ++i) {
+    auto& row = tri[static_cast<size_t>(i)];
+    const auto& prev = tri[static_cast<size_t>(i) - 1];
+    row.resize(static_cast<size_t>(i) + 1);
+    row[0] = prev.back();
+    for (int j = 1; j <= i; ++j) {
+      row[static_cast<size_t>(j)] =
+          row[static_cast<size_t>(j) - 1] + prev[static_cast<size_t>(j) - 1];
+    }
+  }
+  return tri[static_cast<size_t>(n)][0];
+}
+
+double LgBellNumber(int n) {
+  QHORN_CHECK(n >= 0 && n <= 200);
+  // Bell triangle in log space is awkward; use scaled doubles instead.
+  // Track a row of doubles plus a shared power-of-two scale.
+  std::vector<double> prev = {1.0};
+  double scale_lg = 0.0;
+  for (int i = 1; i <= n; ++i) {
+    std::vector<double> row(static_cast<size_t>(i) + 1);
+    row[0] = prev.back();
+    for (int j = 1; j <= i; ++j) {
+      row[static_cast<size_t>(j)] =
+          row[static_cast<size_t>(j) - 1] + prev[static_cast<size_t>(j) - 1];
+    }
+    // Rescale to avoid overflow.
+    double biggest = row.back();
+    if (biggest > 1e200) {
+      for (double& v : row) v /= 1e200;
+      scale_lg += std::log2(1e200);
+    }
+    prev = std::move(row);
+  }
+  return scale_lg + std::log2(prev[0]);
+}
+
+double LgQhorn1UpperBound(int n) {
+  // 2^n · 2^n · 2^(n lg n)  →  lg = n + n + n·lg n.
+  return 2.0 * n + n * Lg(n);
+}
+
+uint64_t NumBooleanTuples(int n) {
+  QHORN_CHECK(n >= 0 && n < 64);
+  return uint64_t{1} << n;
+}
+
+std::string NumObjectsString(int n) {
+  QHORN_CHECK_MSG(n >= 0 && n <= 5, "2^(2^n) printable only for small n");
+  return PowerOfTwoString(NumBooleanTuples(n));
+}
+
+std::string LgNumQueriesString(int n) {
+  // #queries = 2^(2^(2^n)); lg(#queries) = 2^(2^n).
+  QHORN_CHECK(n >= 0 && n <= 5);
+  return PowerOfTwoString(NumBooleanTuples(n));
+}
+
+uint64_t Binomial(int n, int k) {
+  QHORN_CHECK(n >= 0 && k >= 0);
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  uint64_t result = 1;
+  for (int i = 1; i <= k; ++i) {
+    uint64_t numer = static_cast<uint64_t>(n - k + i);
+    // result * numer / i is exact at every step; check for overflow.
+    QHORN_CHECK_MSG(result <= UINT64_MAX / numer, "binomial overflow");
+    result = result * numer / static_cast<uint64_t>(i);
+  }
+  return result;
+}
+
+}  // namespace qhorn

@@ -1,0 +1,42 @@
+// Counting results quoted in §2 and §2.1.3: the doubly-exponential number of
+// Boolean queries, Bell numbers, and the 2^Θ(n lg n) size of qhorn-1.
+
+#ifndef QHORN_CORE_COUNTING_H_
+#define QHORN_CORE_COUNTING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qhorn {
+
+/// Bell number B_n (number of set partitions of n elements). Exact for
+/// n ≤ 25 (B_25 < 2^63); aborts beyond that.
+uint64_t BellNumber(int n);
+
+/// lg(B_n) computed in floating point via the Bell triangle — usable far
+/// beyond the exact range (n ≤ 200).
+double LgBellNumber(int n);
+
+/// lg of the §2.1.3 upper bound 2^n · 2^n · 2^(n lg n) on |qhorn-1|.
+double LgQhorn1UpperBound(int n);
+
+/// Number of distinguishable Boolean tuples on n propositions: 2^n.
+uint64_t NumBooleanTuples(int n);
+
+/// Number of distinct objects (sets of tuples): 2^(2^n), as a decimal
+/// string (exact via big-number doubling) — for n ≤ 5 this is printable.
+std::string NumObjectsString(int n);
+
+/// lg lg of the number of distinguishable Boolean queries 2^(2^(2^n)):
+/// returns 2^n·... — we report lg(#queries) = 2^(2^n) as a string, which is
+/// also the §2 lower bound on membership questions for learning arbitrary
+/// queries.
+std::string LgNumQueriesString(int n);
+
+/// Binomial coefficient (exact, aborts on overflow of uint64).
+uint64_t Binomial(int n, int k);
+
+}  // namespace qhorn
+
+#endif  // QHORN_CORE_COUNTING_H_

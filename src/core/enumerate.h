@@ -1,0 +1,41 @@
+// Exhaustive enumeration of small query classes, used by:
+//   * the Fig. 7 / Fig. 8 reproduction (all role-preserving queries on two
+//     variables — the paper finds exactly 7),
+//   * exhaustive learner/verifier correctness tests (n ≤ 3), and
+//   * the §2.1.3 class-size counting experiment (qhorn-1 vs Bell numbers).
+
+#ifndef QHORN_CORE_ENUMERATE_H_
+#define QHORN_CORE_ENUMERATE_H_
+
+#include <vector>
+
+#include "src/core/query.h"
+
+namespace qhorn {
+
+/// All antichains (families of pairwise ⊆-incomparable subsets) of the
+/// power set of `universe`, including the empty family. The empty set ∅ is
+/// a valid member but can only appear alone ({∅}), since ∅ ⊆ everything.
+std::vector<std::vector<VarSet>> AntichainsOf(VarSet universe);
+
+/// All set partitions of the variables {0..n-1}; each partition is a list
+/// of disjoint non-empty masks covering AllTrue(n).
+std::vector<std::vector<VarSet>> SetPartitions(int n);
+
+/// One representative (normalized) Query per semantic-equivalence class of
+/// role-preserving qhorn queries on n variables in which every variable is
+/// mentioned. Exponential — intended for n ≤ 3 (n = 4 is minutes).
+std::vector<Query> EnumerateRolePreserving(int n);
+
+/// One Qhorn1Structure per syntactic qhorn-1 query on n variables (every
+/// variable placed). Distinct structures may be semantically equivalent;
+/// use Canonicalize on ToQuery() to group them.
+std::vector<Qhorn1Structure> EnumerateQhorn1(int n);
+
+/// Number of semantically distinct qhorn-1 queries on n variables
+/// (canonical classes of EnumerateQhorn1).
+uint64_t CountDistinctQhorn1(int n);
+
+}  // namespace qhorn
+
+#endif  // QHORN_CORE_ENUMERATE_H_

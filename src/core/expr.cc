@@ -1,0 +1,21 @@
+#include "src/core/expr.h"
+
+namespace qhorn {
+
+std::string UniversalHorn::ToString() const {
+  std::string out = "∀";
+  if (body == 0) {
+    out += FormatVarSet(VarBit(head));
+  } else {
+    out += FormatVarSet(body);
+    out += "→";
+    out += FormatVarSet(VarBit(head));
+  }
+  return out;
+}
+
+std::string ExistentialConj::ToString() const {
+  return "∃" + FormatVarSet(vars);
+}
+
+}  // namespace qhorn

@@ -1,0 +1,75 @@
+// Expression types of the qhorn query class (§2.1).
+//
+// A qhorn query is a conjunction of quantified Horn expressions in
+// normalized form. We model two expression kinds directly:
+//
+//   * UniversalHorn — ∀t∈S (body → head). The degenerate bodyless form
+//     (empty body mask) is the paper's ∀h. Every universal Horn expression
+//     carries an implicit *guarantee clause* ∃t∈S (body ∧ head), enforced at
+//     evaluation time (EvalOptions::require_guarantees).
+//   * ExistentialConj — ∃t∈S (vars). Existential Horn expressions ∃B→h are
+//     semantically identical to the conjunction ∃(B ∧ h) once their
+//     guarantee clause is present (§2.1 property 2), so the Query model
+//     stores them as conjunctions; the qhorn-1 learner additionally reports
+//     head/body roles through Qhorn1Structure.
+
+#ifndef QHORN_CORE_EXPR_H_
+#define QHORN_CORE_EXPR_H_
+
+#include <compare>
+#include <string>
+#include <vector>
+
+#include "src/bool/tuple.h"
+
+namespace qhorn {
+
+/// ∀t∈S (body → head), body possibly empty (the paper's ∀h).
+struct UniversalHorn {
+  VarSet body = 0;
+  int head = 0;
+
+  /// Variable set of the implicit guarantee clause ∃(body ∧ head).
+  VarSet GuaranteeVars() const { return body | VarBit(head); }
+
+  /// True iff tuple `t` violates this expression: the whole body is true
+  /// but the head is false.
+  bool ViolatedBy(Tuple t) const {
+    return IsSubset(body, t) && !HasVar(t, head);
+  }
+
+  /// Paper shorthand, e.g. "∀x1x2→x5" or "∀x4" when bodyless.
+  std::string ToString() const;
+
+  friend auto operator<=>(const UniversalHorn&,
+                          const UniversalHorn&) = default;
+};
+
+/// ∃t∈S (vars), vars non-empty.
+struct ExistentialConj {
+  VarSet vars = 0;
+
+  /// Paper shorthand, e.g. "∃x1x2x5".
+  std::string ToString() const;
+
+  friend auto operator<=>(const ExistentialConj&,
+                          const ExistentialConj&) = default;
+};
+
+/// One "part" of a qhorn-1 query (§2.1.3, Fig. 2): a set of body variables
+/// shared by one or more head variables, each quantified ∀ or ∃. Singleton
+/// expressions (∀v, ∃v) are parts with an empty body and a single head.
+struct Qhorn1Part {
+  VarSet body = 0;
+  VarSet universal_heads = 0;
+  VarSet existential_heads = 0;
+
+  VarSet heads() const { return universal_heads | existential_heads; }
+  VarSet vars() const { return body | heads(); }
+
+  friend auto operator<=>(const Qhorn1Part&, const Qhorn1Part&) = default;
+};
+
+}  // namespace qhorn
+
+#endif  // QHORN_CORE_EXPR_H_

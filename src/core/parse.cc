@@ -1,0 +1,163 @@
+// Parser for the paper's shorthand query notation (§2.1).
+//
+// Accepted grammar (whitespace, ';', ',' and '∧' separate expressions):
+//   query := expr*
+//   expr  := quant vars [arrow var]
+//   quant := '∀' | 'A' | 'forall' | '∃' | 'E' | 'exists'
+//   arrow := '→' | '->'
+//   vars  := ('x' digits)+         (variables may be juxtaposed: x1x2x3)
+//
+// "∀x1x2→x4" is a universal Horn expression; "∀x1x2" expands to the
+// bodyless expressions ∀x1 ∀x2 (the paper always writes bodyless universals
+// one variable at a time); "∃x1x2" is an existential conjunction and
+// "∃x1x2→x5" an existential Horn expression, stored as ∃x1x2x5.
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "src/core/query.h"
+#include "src/util/check.h"
+
+namespace qhorn {
+namespace {
+
+enum class TokenKind { kForall, kExists, kArrow, kVar };
+
+struct Token {
+  TokenKind kind;
+  int var = 0;  // 0-based, for kVar
+};
+
+bool ConsumePrefix(const std::string& text, size_t* pos,
+                   const std::string& prefix) {
+  if (text.compare(*pos, prefix.size(), prefix) == 0) {
+    *pos += prefix.size();
+    return true;
+  }
+  return false;
+}
+
+std::vector<Token> Tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    char c = text[pos];
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ';' || c == ',' ||
+        c == '(' || c == ')') {
+      ++pos;
+      continue;
+    }
+    if (ConsumePrefix(text, &pos, "∀") || ConsumePrefix(text, &pos, "forall")) {
+      tokens.push_back({TokenKind::kForall});
+      continue;
+    }
+    if (ConsumePrefix(text, &pos, "∃") || ConsumePrefix(text, &pos, "exists")) {
+      tokens.push_back({TokenKind::kExists});
+      continue;
+    }
+    if (ConsumePrefix(text, &pos, "∧") || ConsumePrefix(text, &pos, "⊤")) {
+      continue;  // conjunction / top symbols are decorative
+    }
+    if (ConsumePrefix(text, &pos, "→") || ConsumePrefix(text, &pos, "->")) {
+      tokens.push_back({TokenKind::kArrow});
+      continue;
+    }
+    if (c == 'A' &&
+        (pos + 1 >= text.size() ||
+         !std::isalnum(static_cast<unsigned char>(text[pos + 1])))) {
+      tokens.push_back({TokenKind::kForall});
+      ++pos;
+      continue;
+    }
+    if (c == 'E' &&
+        (pos + 1 >= text.size() ||
+         !std::isalnum(static_cast<unsigned char>(text[pos + 1])))) {
+      tokens.push_back({TokenKind::kExists});
+      ++pos;
+      continue;
+    }
+    if (c == 'x' || c == 'X') {
+      size_t start = ++pos;
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+      QHORN_CHECK_MSG(pos > start, "bad variable at '" << text.substr(start - 1)
+                                                       << "'");
+      int index = std::stoi(text.substr(start, pos - start));
+      QHORN_CHECK_MSG(index >= 1 && index <= kMaxVars,
+                      "variable x" << index << " out of range");
+      tokens.push_back({TokenKind::kVar, index - 1});
+      continue;
+    }
+    QHORN_CHECK_MSG(false, "unexpected character '" << c << "' in query '"
+                                                    << text << "'");
+  }
+  return tokens;
+}
+
+}  // namespace
+
+Query Query::Parse(const std::string& text, int n) {
+  std::vector<Token> tokens = Tokenize(text);
+
+  struct RawExpr {
+    bool universal = false;
+    VarSet vars = 0;     // variables before the arrow (or the whole list)
+    bool has_head = false;
+    int head = 0;
+  };
+  std::vector<RawExpr> exprs;
+  size_t i = 0;
+  while (i < tokens.size()) {
+    QHORN_CHECK_MSG(tokens[i].kind == TokenKind::kForall ||
+                        tokens[i].kind == TokenKind::kExists,
+                    "expected a quantifier in '" << text << "'");
+    RawExpr e;
+    e.universal = tokens[i].kind == TokenKind::kForall;
+    ++i;
+    while (i < tokens.size() && tokens[i].kind == TokenKind::kVar) {
+      e.vars |= VarBit(tokens[i].var);
+      ++i;
+    }
+    QHORN_CHECK_MSG(e.vars != 0, "quantifier without variables in '" << text
+                                                                     << "'");
+    if (i < tokens.size() && tokens[i].kind == TokenKind::kArrow) {
+      ++i;
+      QHORN_CHECK_MSG(i < tokens.size() && tokens[i].kind == TokenKind::kVar,
+                      "arrow must be followed by one head variable");
+      e.has_head = true;
+      e.head = tokens[i].var;
+      ++i;
+      QHORN_CHECK_MSG(i >= tokens.size() || tokens[i].kind != TokenKind::kVar,
+                      "a Horn expression has a single head variable");
+    }
+    exprs.push_back(e);
+  }
+
+  int max_var = -1;
+  for (const RawExpr& e : exprs) {
+    VarSet all = e.vars | (e.has_head ? VarBit(e.head) : 0);
+    for (int v : VarsOf(all)) max_var = std::max(max_var, v);
+  }
+  if (n == 0) n = max_var + 1;
+  QHORN_CHECK_MSG(n > max_var, "n=" << n << " smaller than mentioned x"
+                                    << max_var + 1);
+
+  Query q(n);
+  for (const RawExpr& e : exprs) {
+    if (e.universal) {
+      if (e.has_head) {
+        q.AddUniversal(e.vars, e.head);
+      } else {
+        for (int v : VarsOf(e.vars)) q.AddUniversal(0, v);
+      }
+    } else {
+      q.AddExistential(e.vars | (e.has_head ? VarBit(e.head) : 0));
+    }
+  }
+  return q;
+}
+
+}  // namespace qhorn

@@ -1,0 +1,142 @@
+#include "src/core/query.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace qhorn {
+
+void Query::AddUniversal(VarSet body, int head) {
+  QHORN_CHECK_MSG(head >= 0 && head < n_, "head x" << head + 1
+                                                   << " outside n=" << n_);
+  QHORN_CHECK_MSG(IsSubset(body, AllTrue(n_)), "body outside n=" << n_);
+  QHORN_CHECK_MSG(!HasVar(body, head),
+                  "head x" << head + 1 << " may not appear in its own body");
+  universal_.push_back(UniversalHorn{body, head});
+}
+
+void Query::AddExistential(VarSet vars) {
+  QHORN_CHECK(vars != 0);
+  QHORN_CHECK_MSG(IsSubset(vars, AllTrue(n_)), "conjunction outside n=" << n_);
+  existential_.push_back(ExistentialConj{vars});
+}
+
+bool Query::Evaluate(const TupleSet& object, const EvalOptions& opts) const {
+  for (const UniversalHorn& u : universal_) {
+    for (Tuple t : object) {
+      if (u.ViolatedBy(t)) return false;
+    }
+    if (opts.require_guarantees &&
+        !object.SatisfiesConjunction(u.GuaranteeVars())) {
+      return false;
+    }
+  }
+  for (const ExistentialConj& e : existential_) {
+    if (!object.SatisfiesConjunction(e.vars)) return false;
+  }
+  return true;
+}
+
+bool Query::ViolatesUniversal(Tuple t) const {
+  for (const UniversalHorn& u : universal_) {
+    if (u.ViolatedBy(t)) return true;
+  }
+  return false;
+}
+
+VarSet Query::HornClosure(VarSet vars) const {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const UniversalHorn& u : universal_) {
+      if (IsSubset(u.body, vars) && !HasVar(vars, u.head)) {
+        vars |= VarBit(u.head);
+        changed = true;
+      }
+    }
+  }
+  return vars;
+}
+
+VarSet Query::UniversalHeadVars() const {
+  VarSet heads = 0;
+  for (const UniversalHorn& u : universal_) heads |= VarBit(u.head);
+  return heads;
+}
+
+VarSet Query::MentionedVars() const {
+  VarSet vars = 0;
+  for (const UniversalHorn& u : universal_) vars |= u.GuaranteeVars();
+  for (const ExistentialConj& e : existential_) vars |= e.vars;
+  return vars;
+}
+
+std::string Query::ToString() const {
+  if (universal_.empty() && existential_.empty()) return "⊤";
+  std::string out;
+  for (const UniversalHorn& u : universal_) {
+    if (!out.empty()) out += " ";
+    out += u.ToString();
+  }
+  for (const ExistentialConj& e : existential_) {
+    if (!out.empty()) out += " ";
+    out += e.ToString();
+  }
+  return out;
+}
+
+void Qhorn1Structure::AddPart(Qhorn1Part part) {
+  QHORN_CHECK_MSG(part.heads() != 0, "a qhorn-1 part needs at least one head");
+  QHORN_CHECK_MSG((part.universal_heads & part.existential_heads) == 0,
+                  "a head cannot be both universal and existential");
+  QHORN_CHECK_MSG((part.body & part.heads()) == 0,
+                  "head variables may not appear in the body (restriction 3)");
+  QHORN_CHECK_MSG(part.body != 0 || Popcount(part.heads()) == 1,
+                  "a bodyless part is a singleton expression");
+  VarSet placed = 0;
+  for (const Qhorn1Part& p : parts_) placed |= p.vars();
+  QHORN_CHECK_MSG((placed & part.vars()) == 0,
+                  "variable reuse across parts violates qhorn-1");
+  QHORN_CHECK(IsSubset(part.vars(), AllTrue(n_)));
+  parts_.push_back(part);
+}
+
+bool Qhorn1Structure::CoversAllVars() const {
+  VarSet placed = 0;
+  for (const Qhorn1Part& p : parts_) placed |= p.vars();
+  return placed == AllTrue(n_);
+}
+
+Query Qhorn1Structure::ToQuery() const {
+  Query q(n_);
+  for (const Qhorn1Part& p : parts_) {
+    for (int h : VarsOf(p.universal_heads)) q.AddUniversal(p.body, h);
+    for (int h : VarsOf(p.existential_heads)) {
+      q.AddExistential(p.body | VarBit(h));
+    }
+  }
+  return q;
+}
+
+std::string Qhorn1Structure::ToString() const {
+  std::string out;
+  auto append = [&out](const std::string& s) {
+    if (!out.empty()) out += " ";
+    out += s;
+  };
+  for (const Qhorn1Part& p : parts_) {
+    for (int h : VarsOf(p.universal_heads)) {
+      append(UniversalHorn{p.body, h}.ToString());
+    }
+    for (int h : VarsOf(p.existential_heads)) {
+      if (p.body == 0) {
+        append("∃" + FormatVarSet(VarBit(h)));
+      } else {
+        append("∃" + FormatVarSet(p.body) + "→" + FormatVarSet(VarBit(h)));
+      }
+    }
+  }
+  return out.empty() ? "⊤" : out;
+}
+
+}  // namespace qhorn

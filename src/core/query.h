@@ -1,0 +1,124 @@
+// The qhorn Boolean query (§2.1): a conjunction of universal Horn
+// expressions (each with an implicit guarantee clause) and existential
+// conjunctions, over n Boolean variables.
+
+#ifndef QHORN_CORE_QUERY_H_
+#define QHORN_CORE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/bool/tuple.h"
+#include "src/bool/tuple_set.h"
+#include "src/core/expr.h"
+
+namespace qhorn {
+
+/// Evaluation knobs.
+struct EvalOptions {
+  /// Enforce the guarantee clause ∃(B ∧ h) of every universal Horn
+  /// expression (§2.1 property 2). Footnote 1 of the paper relaxes this
+  /// when algorithms may ask about empty sets; set to false to reproduce
+  /// that mode.
+  bool require_guarantees = true;
+};
+
+/// A qhorn query over variables x1..xn (0-based indices 0..n-1).
+class Query {
+ public:
+  Query() = default;
+  explicit Query(int n) : n_(n) {}
+
+  /// Parses the paper's shorthand, accepting both unicode and ASCII forms:
+  ///   "∀x1x2→x4 ∃x3→x6 ∀x5"  or  "A x1x2 -> x4 ; E x3 -> x6 ; A x5".
+  /// Existential Horn expressions are stored as conjunctions over
+  /// body ∪ {head}. `n` may exceed the largest mentioned variable (extra
+  /// variables are unmentioned); if 0 it defaults to the largest mentioned
+  /// variable index. Aborts on malformed input.
+  static Query Parse(const std::string& text, int n = 0);
+
+  int n() const { return n_; }
+  void set_n(int n) { n_ = n; }
+
+  const std::vector<UniversalHorn>& universal() const { return universal_; }
+  const std::vector<ExistentialConj>& existential() const {
+    return existential_;
+  }
+
+  /// Appends ∀body→head (body may be empty).
+  void AddUniversal(VarSet body, int head);
+
+  /// Appends ∃vars (vars must be non-empty).
+  void AddExistential(VarSet vars);
+
+  /// The membership map (Def. 2.4): true iff `object` is an answer.
+  bool Evaluate(const TupleSet& object,
+                const EvalOptions& opts = EvalOptions()) const;
+
+  /// True iff `t` violates some universal Horn expression (body true, head
+  /// false). Used to filter lattice tuples in §3.2.
+  bool ViolatesUniversal(Tuple t) const;
+
+  /// R3 / Horn closure of a variable set: repeatedly adds the head of any
+  /// universal Horn expression whose body is contained in the set.
+  VarSet HornClosure(VarSet vars) const;
+
+  /// Query size k (Def. 2.5): the number of expressions (guarantee clauses
+  /// not counted, matching the paper's shorthand convention).
+  int size_k() const {
+    return static_cast<int>(universal_.size() + existential_.size());
+  }
+
+  /// Heads of universal Horn expressions.
+  VarSet UniversalHeadVars() const;
+
+  /// Variables appearing in any expression (bodies, heads, conjunctions).
+  VarSet MentionedVars() const;
+
+  /// Paper shorthand, e.g. "∀x1x2→x4 ∃x3x6 ∀x5".
+  std::string ToString() const;
+
+  friend bool operator==(const Query&, const Query&) = default;
+
+ private:
+  int n_ = 0;
+  std::vector<UniversalHorn> universal_;
+  std::vector<ExistentialConj> existential_;
+};
+
+/// A structured qhorn-1 query (§2.1.3): disjoint parts, each a body with its
+/// universally / existentially quantified heads. This is what the qhorn-1
+/// learner reconstructs; ToQuery() lowers it to the Query model.
+class Qhorn1Structure {
+ public:
+  Qhorn1Structure() = default;
+  explicit Qhorn1Structure(int n) : n_(n) {}
+
+  int n() const { return n_; }
+  const std::vector<Qhorn1Part>& parts() const { return parts_; }
+
+  /// Adds a part. Aborts if the part reuses a variable already placed, has
+  /// no head, or has an empty body with more than one head.
+  void AddPart(Qhorn1Part part);
+
+  /// True iff every variable of x1..xn is placed in exactly one part.
+  bool CoversAllVars() const;
+
+  /// Lowers to the Query model: ∀B→h per universal head, ∃(B ∧ h) per
+  /// existential head.
+  Query ToQuery() const;
+
+  /// Paper shorthand with explicit roles, e.g. "∀x1x2→x4 ∃x1x2→x5 ∃x3".
+  std::string ToString() const;
+
+  friend bool operator==(const Qhorn1Structure&,
+                         const Qhorn1Structure&) = default;
+
+ private:
+  int n_ = 0;
+  std::vector<Qhorn1Part> parts_;
+};
+
+}  // namespace qhorn
+
+#endif  // QHORN_CORE_QUERY_H_

@@ -1,0 +1,109 @@
+#include "src/core/random_query.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/util/check.h"
+
+namespace qhorn {
+
+Qhorn1Structure RandomQhorn1(int n, Rng& rng, const Qhorn1Options& opts) {
+  QHORN_CHECK(n >= 1 && n <= kMaxVars);
+  QHORN_CHECK(opts.max_part_size >= 1);
+
+  std::vector<int> vars(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) vars[static_cast<size_t>(i)] = i;
+  rng.Shuffle(&vars);
+
+  Qhorn1Structure s(n);
+  size_t next = 0;
+  while (next < vars.size()) {
+    int remaining = static_cast<int>(vars.size() - next);
+    int size = static_cast<int>(
+        rng.Range(1, std::min(opts.max_part_size, remaining)));
+    std::vector<int> part(vars.begin() + static_cast<long>(next),
+                          vars.begin() + static_cast<long>(next) + size);
+    next += static_cast<size_t>(size);
+
+    Qhorn1Part p;
+    if (size == 1) {
+      VarSet v = VarBit(part[0]);
+      if (rng.Chance(opts.universal_head_prob)) {
+        p.universal_heads = v;
+      } else {
+        p.existential_heads = v;
+      }
+    } else {
+      // 1..size-1 body variables, the rest are heads.
+      int body_size = static_cast<int>(rng.Range(1, size - 1));
+      for (int i = 0; i < size; ++i) {
+        VarSet v = VarBit(part[static_cast<size_t>(i)]);
+        if (i < body_size) {
+          p.body |= v;
+        } else if (rng.Chance(opts.universal_head_prob)) {
+          p.universal_heads |= v;
+        } else {
+          p.existential_heads |= v;
+        }
+      }
+    }
+    s.AddPart(p);
+  }
+  QHORN_CHECK(s.CoversAllVars());
+  return s;
+}
+
+Query RandomRolePreserving(int n, Rng& rng, const RpOptions& opts) {
+  QHORN_CHECK(n >= 1 && n <= kMaxVars);
+  QHORN_CHECK(opts.num_heads >= 0 && opts.num_heads <= n);
+  QHORN_CHECK(opts.theta >= 1);
+
+  Query q(n);
+  std::vector<int> head_list = rng.Sample(n, opts.num_heads);
+  VarSet heads = MaskOf(head_list);
+  std::vector<int> pool = VarsOf(AllTrue(n) & ~heads);
+
+  for (int h : head_list) {
+    if (pool.empty() || rng.Chance(opts.bodyless_prob)) {
+      q.AddUniversal(0, h);
+      continue;
+    }
+    int body_size =
+        std::min(opts.body_size, static_cast<int>(pool.size()));
+    // Distinct same-size bodies form an antichain, which pins the head's
+    // causal density to the number of bodies generated.
+    uint64_t max_distinct = 1;
+    for (int i = 0; i < body_size; ++i) {
+      max_distinct = max_distinct * (pool.size() - static_cast<size_t>(i)) /
+                     static_cast<uint64_t>(i + 1);
+      if (max_distinct > 64) break;  // plenty
+    }
+    int want = static_cast<int>(
+        std::min<uint64_t>(static_cast<uint64_t>(opts.theta), max_distinct));
+    std::set<VarSet> bodies;
+    int attempts = 0;
+    while (static_cast<int>(bodies.size()) < want && attempts < 1000) {
+      std::vector<int> chosen = pool;
+      rng.Shuffle(&chosen);
+      chosen.resize(static_cast<size_t>(body_size));
+      bodies.insert(MaskOf(chosen));
+      ++attempts;
+    }
+    for (VarSet b : bodies) q.AddUniversal(b, h);
+  }
+
+  for (int c = 0; c < opts.num_conjunctions; ++c) {
+    int size = static_cast<int>(
+        rng.Range(1, std::max(1, std::min(opts.conj_size_max, n))));
+    std::vector<int> chosen = rng.Sample(n, size);
+    q.AddExistential(MaskOf(chosen));
+  }
+
+  if (opts.cover_all_vars) {
+    VarSet missing = AllTrue(n) & ~q.MentionedVars();
+    for (int v : VarsOf(missing)) q.AddExistential(VarBit(v));
+  }
+  return q;
+}
+
+}  // namespace qhorn

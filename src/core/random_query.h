@@ -1,0 +1,57 @@
+// Random query generators for tests and benchmark workloads.
+//
+// The paper's learnability results are parameterized by the number of
+// propositions n, query size k (Def. 2.5) and causal density θ (Def. 2.6);
+// the generators below give direct control over each so benchmarks can
+// sweep exactly the paper's parameters.
+
+#ifndef QHORN_CORE_RANDOM_QUERY_H_
+#define QHORN_CORE_RANDOM_QUERY_H_
+
+#include "src/core/query.h"
+#include "src/util/rng.h"
+
+namespace qhorn {
+
+/// Shape of random qhorn-1 queries.
+struct Qhorn1Options {
+  /// Largest part size (body + heads). Parts are sized uniformly in
+  /// [1, max_part_size].
+  int max_part_size = 4;
+  /// Probability that a head variable is universally quantified.
+  double universal_head_prob = 0.5;
+};
+
+/// Uniformly partitions the n variables into parts and assigns roles —
+/// every variable appears exactly once, as qhorn-1 requires.
+Qhorn1Structure RandomQhorn1(int n, Rng& rng,
+                             const Qhorn1Options& opts = Qhorn1Options());
+
+/// Shape of random role-preserving queries.
+struct RpOptions {
+  /// Number of distinct universal head variables.
+  int num_heads = 2;
+  /// Bodies per head (the causal density θ of each head). Bodies of one
+  /// head are sampled with equal cardinality so they automatically form an
+  /// antichain.
+  int theta = 1;
+  /// Cardinality of each body (clamped to the available non-head pool).
+  int body_size = 2;
+  /// Probability that a head is bodyless (∀h) instead of carrying bodies.
+  double bodyless_prob = 0.0;
+  /// Number of existential conjunctions.
+  int num_conjunctions = 2;
+  /// Conjunction sizes are uniform in [1, conj_size_max].
+  int conj_size_max = 3;
+  /// Add ∃v for every otherwise-unmentioned variable so the whole
+  /// proposition set is used.
+  bool cover_all_vars = true;
+};
+
+/// Random role-preserving qhorn query (§2.1.4): universal heads never
+/// reappear as body variables.
+Query RandomRolePreserving(int n, Rng& rng, const RpOptions& opts = RpOptions());
+
+}  // namespace qhorn
+
+#endif  // QHORN_CORE_RANDOM_QUERY_H_

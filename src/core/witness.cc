@@ -1,0 +1,45 @@
+#include "src/core/witness.h"
+
+#include "src/core/normalize.h"
+#include "src/util/check.h"
+#include "src/verify/verification_set.h"
+
+namespace qhorn {
+
+std::optional<TupleSet> DistinguishingWitness(const Query& a, const Query& b) {
+  QHORN_CHECK(a.n() == b.n());
+  if (Equivalent(a, b)) return std::nullopt;
+
+  // Theorem 4.2: the verification set of `a` exposes any semantic
+  // difference — evaluate each question under both queries. The empty
+  // query has no verification set; its partner's serves (they are
+  // inequivalent, so the partner is non-empty).
+  const Query& base = a.size_k() > 0 ? a : b;
+  const Query& other = a.size_k() > 0 ? b : a;
+  VerificationSet set = BuildVerificationSet(base);
+  for (const VerificationQuestion& vq : set.questions) {
+    if (other.Evaluate(vq.question) != vq.expected_answer) {
+      return vq.question;
+    }
+  }
+  // By the verification completeness theorem this is unreachable for
+  // role-preserving queries; fall back to brute force for tiny n so the
+  // function stays total even off the supported class.
+  if (a.n() <= 4) {
+    TupleSet witness;
+    if (FindDistinguishingObject(a, b, EvalOptions(), &witness)) {
+      return witness;
+    }
+  }
+  QHORN_CHECK_MSG(false, "inequivalent queries without a witness: "
+                             << a.ToString() << " vs " << b.ToString());
+  return std::nullopt;
+}
+
+std::optional<TupleSet> EquivalenceOracle::Counterexample(
+    const Query& hypothesis) {
+  ++asked_;
+  return DistinguishingWitness(hypothesis, target_);
+}
+
+}  // namespace qhorn

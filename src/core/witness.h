@@ -1,0 +1,48 @@
+// Counterexample construction: given two inequivalent role-preserving
+// queries, produce an object they classify differently.
+//
+// This is the "equivalence question" of classical query learning (Angluin;
+// see §5 Related Work) answered constructively: the §4 verification set of
+// one query is complete for semantic differences (Theorem 4.2), so some
+// question in it must separate the two. Small-n brute force is used as a
+// fallback and for cross-checking in tests.
+
+#ifndef QHORN_CORE_WITNESS_H_
+#define QHORN_CORE_WITNESS_H_
+
+#include <optional>
+
+#include "src/core/query.h"
+
+namespace qhorn {
+
+/// An object on which `a` and `b` disagree, or nullopt when the queries
+/// are semantically equivalent. Both queries must be role-preserving and
+/// share n. Runs in poly(n, k) time (no 2^(2^n) enumeration).
+std::optional<TupleSet> DistinguishingWitness(const Query& a, const Query& b);
+
+/// Simulated equivalence-question oracle over a hidden target: given a
+/// hypothesis, returns a counterexample object or nullopt if the
+/// hypothesis is exactly right. The classical Angluin model, instantiated
+/// with DistinguishingWitness.
+class EquivalenceOracle {
+ public:
+  explicit EquivalenceOracle(Query target, EvalOptions opts = EvalOptions())
+      : target_(std::move(target)), opts_(opts) {}
+
+  /// nullopt = "your query is correct"; otherwise a labelled
+  /// counterexample (the returned object's correct label is
+  /// target.Evaluate(object)).
+  std::optional<TupleSet> Counterexample(const Query& hypothesis);
+
+  int64_t asked() const { return asked_; }
+
+ private:
+  Query target_;
+  EvalOptions opts_;
+  int64_t asked_ = 0;
+};
+
+}  // namespace qhorn
+
+#endif  // QHORN_CORE_WITNESS_H_

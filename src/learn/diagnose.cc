@@ -1,0 +1,40 @@
+#include "src/learn/diagnose.h"
+
+#include "src/verify/verifier.h"
+
+namespace qhorn {
+
+DiagnosisReport DiagnoseRolePreserving(int n, MembershipOracle* user,
+                                       uint64_t pac_seed,
+                                       const PacOptions& pac) {
+  DiagnosisReport report;
+  CountingOracle counting(user);
+
+  RpLearnerResult learned = LearnRolePreserving(n, &counting);
+  report.learned = learned.query;
+
+  if (report.learned.size_k() > 0) {
+    VerificationSet set = BuildVerificationSet(report.learned);
+    for (const VerificationQuestion& vq : set.questions) {
+      if (counting.IsAnswer(vq.question) != vq.expected_answer) {
+        report.diagnosis = ClassDiagnosis::kOutsideClassOrInconsistent;
+        report.counterexample = vq.question;
+        report.counterexample_valid = true;
+        report.questions = counting.stats().questions;
+        return report;
+      }
+    }
+  }
+
+  Rng rng(pac_seed);
+  PacReport sample = PacVerify(report.learned, &counting, rng, pac);
+  report.questions = counting.stats().questions;
+  if (!sample.consistent) {
+    report.diagnosis = ClassDiagnosis::kOutsideClassOrInconsistent;
+    report.counterexample = sample.counterexample;
+    report.counterexample_valid = true;
+  }
+  return report;
+}
+
+}  // namespace qhorn

@@ -1,0 +1,46 @@
+// Class-membership diagnosis (§6 future work): "we plan to design
+// algorithms to verify that the user's query is indeed in qhorn-1 or
+// role-preserving qhorn".
+//
+// The learners are exact *on their class*; outside it they terminate with
+// some query, but that query then disagrees with the user somewhere. The
+// diagnosis exploits exactly that: learn, then check the learned query
+// back against the same user with the O(k) verification set and a PAC
+// sample. Agreement everywhere certifies the session (with PAC confidence)
+// as consistent with a role-preserving intention; any disagreement proves
+// the intention lies outside the class (or the user erred — the §5
+// history workflow distinguishes the two).
+
+#ifndef QHORN_LEARN_DIAGNOSE_H_
+#define QHORN_LEARN_DIAGNOSE_H_
+
+#include "src/learn/pac.h"
+#include "src/learn/rp_learner.h"
+
+namespace qhorn {
+
+enum class ClassDiagnosis {
+  /// The learned query matched the user on the verification set and the
+  /// PAC sample: consistent with a role-preserving intention.
+  kConsistentRolePreserving,
+  /// The user contradicted the learned query: the intention is outside
+  /// role-preserving qhorn (or answers were unreliable).
+  kOutsideClassOrInconsistent,
+};
+
+struct DiagnosisReport {
+  ClassDiagnosis diagnosis = ClassDiagnosis::kConsistentRolePreserving;
+  Query learned;                 ///< the hypothesis that was tested
+  int64_t questions = 0;         ///< total membership questions spent
+  TupleSet counterexample;       ///< a disagreement witness, when outside
+  bool counterexample_valid = false;
+};
+
+/// Runs learn → verify → PAC-sample against `user`.
+DiagnosisReport DiagnoseRolePreserving(int n, MembershipOracle* user,
+                                       uint64_t pac_seed = 1,
+                                       const PacOptions& pac = PacOptions());
+
+}  // namespace qhorn
+
+#endif  // QHORN_LEARN_DIAGNOSE_H_

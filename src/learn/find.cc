@@ -1,0 +1,104 @@
+#include "src/learn/find.h"
+
+#include "src/util/check.h"
+
+namespace qhorn {
+
+namespace {
+
+/// Splits `mask` into a low half and a high half by variable order; the low
+/// half gets ⌈|mask|/2⌉ variables.
+void SplitHalves(VarSet mask, VarSet* low, VarSet* high) {
+  int total = Popcount(mask);
+  int take = (total + 1) / 2;
+  VarSet lo = 0;
+  VarSet rest = mask;
+  for (int i = 0; i < take; ++i) {
+    VarSet bit = rest & (~rest + 1);
+    lo |= bit;
+    rest &= rest - 1;
+  }
+  *low = lo;
+  *high = rest;
+}
+
+}  // namespace
+
+VarSet FindOne(MembershipOracle& oracle, const SetQuestion& question,
+               bool eliminate, VarSet domain) {
+  if (domain == 0) return 0;
+  if (oracle.IsAnswer(question(domain)) == eliminate) return 0;
+  // Invariant: `domain` contains a sought variable.
+  while (Popcount(domain) > 1) {
+    VarSet low, high;
+    SplitHalves(domain, &low, &high);
+    domain = (oracle.IsAnswer(question(low)) == eliminate) ? high : low;
+  }
+  return domain;
+}
+
+namespace {
+
+void FindAllRec(MembershipOracle& oracle, const SetQuestion& question,
+                bool eliminate, VarSet domain, VarSet* found) {
+  if (domain == 0) return;
+  if (oracle.IsAnswer(question(domain)) == eliminate) return;
+  if (Popcount(domain) == 1) {
+    *found |= domain;
+    return;
+  }
+  VarSet low, high;
+  SplitHalves(domain, &low, &high);
+  FindAllRec(oracle, question, eliminate, low, found);
+  FindAllRec(oracle, question, eliminate, high, found);
+}
+
+}  // namespace
+
+VarSet FindAllVars(MembershipOracle& oracle, const SetQuestion& question,
+                   bool eliminate, VarSet domain) {
+  VarSet found = 0;
+  FindAllRec(oracle, question, eliminate, domain, &found);
+  return found;
+}
+
+std::vector<Tuple> MinimalSubset(const std::vector<Tuple>& items,
+                                 const TupleSubsetPred& pred) {
+  std::vector<Tuple> kept;
+  std::vector<Tuple> work = items;
+
+  auto with_prefix = [&](size_t m) {
+    std::vector<Tuple> candidate = kept;
+    candidate.insert(candidate.end(), work.begin(),
+                     work.begin() + static_cast<long>(m));
+    return candidate;
+  };
+
+  while (!pred(kept)) {
+    if (work.empty()) {
+      // The predicate contradicted itself (it held on a superset earlier).
+      // With a truthful oracle this cannot happen; a mislabelling user
+      // (§5) can cause it. Keep everything rather than abort — the caller
+      // recovers through verification or history correction.
+      return items;
+    }
+    // Smallest prefix of `work` that, together with `kept`, satisfies pred.
+    size_t lo = 1;
+    size_t hi = work.size();
+    while (lo < hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      if (pred(with_prefix(mid))) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    // work[lo-1] is necessary; everything after it is redundant given the
+    // prefix, so it is dropped.
+    kept.push_back(work[lo - 1]);
+    work.resize(lo - 1);
+  }
+  return kept;
+}
+
+}  // namespace qhorn

@@ -1,0 +1,50 @@
+// Binary-search primitives shared by the learners.
+//
+// Find / FindAll are Algorithms 2 and 3 of the paper: given a question
+// template Q(·) over a set of variables and a response `eliminate` on which
+// a candidate set can be discarded, they locate one (resp. all) variables v
+// whose singleton question Q({v}) draws the opposite response. Both rely on
+// the questions' set semantics: Q(D) draws the non-eliminating response iff
+// some v ∈ D does.
+//
+// MinimalSubset is the workhorse of Prune (Algorithm 8): it extracts a
+// subset-minimal K ⊆ items with pred(K) true, for a monotone predicate,
+// using O((|K|+1)·lg|items|) predicate evaluations via prefix binary search.
+
+#ifndef QHORN_LEARN_FIND_H_
+#define QHORN_LEARN_FIND_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/bool/tuple.h"
+#include "src/oracle/oracle.h"
+
+namespace qhorn {
+
+/// Builds the membership question for a candidate variable set.
+using SetQuestion = std::function<TupleSet(VarSet)>;
+
+/// Algorithm 2. Returns one variable (as a single-bit mask) v ∈ domain with
+/// Ask(Q({v})) != eliminate, or 0 if Ask(Q(domain)) == eliminate (no such
+/// variable). Asks O(lg |domain|) questions.
+VarSet FindOne(MembershipOracle& oracle, const SetQuestion& question,
+               bool eliminate, VarSet domain);
+
+/// Algorithm 3. Returns the mask of all variables v ∈ domain with
+/// Ask(Q({v})) != eliminate. Asks O((|result|+1)·lg |domain|) questions.
+VarSet FindAllVars(MembershipOracle& oracle, const SetQuestion& question,
+                   bool eliminate, VarSet domain);
+
+/// Monotone predicate over a candidate subset of tuples.
+using TupleSubsetPred = std::function<bool(const std::vector<Tuple>&)>;
+
+/// Minimal K ⊆ items with pred(K) true. Requires pred(items) == true and
+/// pred monotone (adding tuples never turns true into false). Every element
+/// of the result is necessary: pred(K \ {e}) is false for each e ∈ K.
+std::vector<Tuple> MinimalSubset(const std::vector<Tuple>& items,
+                                 const TupleSubsetPred& pred);
+
+}  // namespace qhorn
+
+#endif  // QHORN_LEARN_FIND_H_

@@ -1,0 +1,147 @@
+#include "src/learn/interaction.h"
+
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace qhorn {
+
+InteractionOracle::InteractionOracle(Qhorn1Structure target)
+    : target_(std::move(target)) {}
+
+const Qhorn1Part* InteractionOracle::PartOf(int v) const {
+  for (const Qhorn1Part& p : target_.parts()) {
+    if (HasVar(p.vars(), v)) return &p;
+  }
+  return nullptr;
+}
+
+bool InteractionOracle::MustAlwaysHold(int v) {
+  ++asked_;
+  const Qhorn1Part* p = PartOf(v);
+  return p != nullptr && HasVar(p->universal_heads, v);
+}
+
+bool InteractionOracle::ShareExpression(int a, int b) {
+  ++asked_;
+  const Qhorn1Part* p = PartOf(a);
+  if (p == nullptr || p != PartOf(b)) return false;
+  // Expressions of a part are body ∪ {head}, one per head: two variables
+  // co-occur iff at least one of them is a body variable.
+  return HasVar(p->body, a) || HasVar(p->body, b);
+}
+
+bool InteractionOracle::Causes(int body_var, int head_var) {
+  ++asked_;
+  const Qhorn1Part* p = PartOf(head_var);
+  return p != nullptr && HasVar(p->heads(), head_var) &&
+         HasVar(p->body, body_var);
+}
+
+Qhorn1Structure LearnQhorn1ByInteraction(int n, InteractionOracle* oracle,
+                                         InteractionTrace* trace) {
+  QHORN_CHECK(n >= 1 && n <= kMaxVars);
+  QHORN_CHECK(oracle != nullptr);
+  InteractionTrace local;
+  if (trace == nullptr) trace = &local;
+
+  // Phase 1: "when does p_v have to be satisfied?" — universal heads.
+  VarSet universal = 0;
+  for (int v = 0; v < n; ++v) {
+    ++trace->role_questions;
+    if (oracle->MustAlwaysHold(v)) universal |= VarBit(v);
+  }
+
+  // Phase 2: co-occurrence graph over all pairs.
+  std::vector<VarSet> adjacent(static_cast<size_t>(n), 0);
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      ++trace->share_questions;
+      if (oracle->ShareExpression(a, b)) {
+        adjacent[static_cast<size_t>(a)] |= VarBit(b);
+        adjacent[static_cast<size_t>(b)] |= VarBit(a);
+      }
+    }
+  }
+
+  // Connected components are exactly the qhorn-1 parts.
+  Qhorn1Structure structure(n);
+  VarSet assigned = 0;
+  for (int v = 0; v < n; ++v) {
+    if (HasVar(assigned, v)) continue;
+    // BFS.
+    VarSet comp = VarBit(v);
+    VarSet frontier = VarBit(v);
+    while (frontier != 0) {
+      VarSet next = 0;
+      for (int u : VarsOf(frontier)) {
+        next |= adjacent[static_cast<size_t>(u)] & ~comp;
+      }
+      comp |= next;
+      frontier = next;
+    }
+    assigned |= comp;
+
+    if (Popcount(comp) == 1) {
+      Qhorn1Part part;
+      if (HasVar(universal, v)) {
+        part.universal_heads = comp;
+      } else {
+        part.existential_heads = comp;
+      }
+      structure.AddPart(part);
+      continue;
+    }
+
+    // Body variables co-occur with every other member; heads only with the
+    // body. In a single-head part the graph is complete and the head is
+    // pinned by a role answer or a causal question.
+    VarSet fully = 0;
+    for (int u : VarsOf(comp)) {
+      if ((comp & ~VarBit(u) & ~adjacent[static_cast<size_t>(u)]) == 0) {
+        fully |= VarBit(u);
+      }
+    }
+    VarSet uheads = comp & universal;
+    Qhorn1Part part;
+    if (fully == comp) {
+      // Complete graph: one head.
+      int head;
+      if (uheads != 0) {
+        QHORN_CHECK_MSG(Popcount(uheads) == 1,
+                        "complete part with several universal heads");
+        head = VarsOf(uheads)[0];
+      } else {
+        // "does satisfying the others force p_h?" per candidate.
+        head = -1;
+        std::vector<int> members = VarsOf(comp);
+        for (int candidate : members) {
+          int other = candidate == members[0] ? members[1] : members[0];
+          ++trace->cause_questions;
+          if (oracle->Causes(other, candidate)) {
+            head = candidate;
+            break;
+          }
+        }
+        QHORN_CHECK_MSG(head >= 0, "no head found in a complete part");
+      }
+      part.body = comp & ~VarBit(head);
+      if (HasVar(universal, head)) {
+        part.universal_heads = VarBit(head);
+      } else {
+        part.existential_heads = VarBit(head);
+      }
+    } else {
+      part.body = fully;
+      part.universal_heads = uheads;
+      part.existential_heads = comp & ~fully & ~uheads;
+      QHORN_CHECK_MSG((uheads & fully) == 0,
+                      "universal head inside the body of a multi-head part");
+    }
+    structure.AddPart(part);
+  }
+  QHORN_CHECK(structure.CoversAllVars());
+  return structure;
+}
+
+}  // namespace qhorn

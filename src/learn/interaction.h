@@ -1,0 +1,75 @@
+// Interaction questions (§6 future work).
+//
+// The paper observes that membership questions carry one bit each and
+// proposes richer questions "to directly determine how propositions
+// interact", quoting two forms:
+//   * "do you think p1 and p2 both have to be satisfied by at least one
+//     tuple?"  → ShareExpression(i, j)
+//   * "when does p1 have to be satisfied?" → MustAlwaysHold(i) (is p_i the
+//     head of a universal expression?)
+// plus the natural causal form "does p_i (with its co-conditions) force
+// p_j?" → Causes(i, j).
+//
+// InteractionOracle simulates a user answering these for a hidden qhorn-1
+// query; LearnQhorn1ByInteraction reconstructs the query from O(n²) such
+// answers without any membership question — a usability trade: more,
+// individually easier questions versus fewer, object-shaped ones. The E17
+// ablation benchmark compares the two.
+
+#ifndef QHORN_LEARN_INTERACTION_H_
+#define QHORN_LEARN_INTERACTION_H_
+
+#include <cstdint>
+
+#include "src/core/query.h"
+
+namespace qhorn {
+
+/// Simulated user answering interaction questions about a hidden qhorn-1
+/// query.
+class InteractionOracle {
+ public:
+  explicit InteractionOracle(Qhorn1Structure target);
+
+  /// "Must p_v hold in every chocolate (whenever its causes do)?" — true
+  /// iff x_v is a universally quantified head variable.
+  bool MustAlwaysHold(int v);
+
+  /// "Do p_a and p_b ever have to be satisfied by the same tuple?" — true
+  /// iff some expression of the query (body ∪ head) contains both.
+  bool ShareExpression(int a, int b);
+
+  /// "Does satisfying p_body (with its fellow conditions) force p_head?" —
+  /// true iff x_body is a body variable of an expression headed x_head.
+  bool Causes(int body_var, int head_var);
+
+  int64_t asked() const { return asked_; }
+
+ private:
+  const Qhorn1Part* PartOf(int v) const;
+
+  Qhorn1Structure target_;
+  int64_t asked_ = 0;
+};
+
+/// Question counts of the interaction learner.
+struct InteractionTrace {
+  int64_t role_questions = 0;
+  int64_t share_questions = 0;
+  int64_t cause_questions = 0;
+
+  int64_t total() const {
+    return role_questions + share_questions + cause_questions;
+  }
+};
+
+/// Reconstructs a qhorn-1 query from interaction questions alone:
+/// O(n) role questions, O(n²) share questions to recover the parts, O(n)
+/// cause questions to fix the head/body split where it is ambiguous. The
+/// result is semantically equivalent to the hidden target.
+Qhorn1Structure LearnQhorn1ByInteraction(int n, InteractionOracle* oracle,
+                                         InteractionTrace* trace = nullptr);
+
+}  // namespace qhorn
+
+#endif  // QHORN_LEARN_INTERACTION_H_

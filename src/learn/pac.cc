@@ -1,0 +1,57 @@
+#include "src/learn/pac.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace qhorn {
+
+TupleSet RandomObject(int n, Rng& rng, int max_tuples) {
+  QHORN_CHECK(n >= 1 && n <= kMaxVars);
+  QHORN_CHECK(max_tuples >= 1);
+  int count = static_cast<int>(rng.Range(1, max_tuples));
+  std::vector<Tuple> tuples;
+  tuples.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    if (n == 64) {
+      tuples.push_back(rng.Next());
+    } else {
+      tuples.push_back(rng.Below(uint64_t{1} << n));
+    }
+  }
+  return TupleSet(std::move(tuples));
+}
+
+PacReport PacVerify(const Query& hypothesis, MembershipOracle* user, Rng& rng,
+                    const PacOptions& opts) {
+  QHORN_CHECK(opts.epsilon > 0.0 && opts.epsilon < 1.0);
+  QHORN_CHECK(opts.delta > 0.0 && opts.delta < 1.0);
+  int64_t m = static_cast<int64_t>(
+      std::ceil(std::log(1.0 / opts.delta) / opts.epsilon));
+  PacReport report;
+  for (int64_t i = 0; i < m; ++i) {
+    TupleSet object =
+        RandomObject(hypothesis.n(), rng, opts.max_tuples_per_object);
+    ++report.samples;
+    if (hypothesis.Evaluate(object) != user->IsAnswer(object)) {
+      report.consistent = false;
+      report.counterexample = object;
+      return report;
+    }
+  }
+  return report;
+}
+
+double EstimateDisagreement(const Query& a, const Query& b, int samples,
+                            Rng& rng, int max_tuples) {
+  QHORN_CHECK(a.n() == b.n());
+  QHORN_CHECK(samples > 0);
+  int64_t disagreements = 0;
+  for (int i = 0; i < samples; ++i) {
+    TupleSet object = RandomObject(a.n(), rng, max_tuples);
+    if (a.Evaluate(object) != b.Evaluate(object)) ++disagreements;
+  }
+  return static_cast<double>(disagreements) / static_cast<double>(samples);
+}
+
+}  // namespace qhorn

@@ -1,0 +1,46 @@
+// Probably-Approximately-Correct verification (§6 future work).
+//
+// The paper proposes randomly generated membership questions to learn or
+// check a query with a bounded error probability. We implement the
+// verification side: sample m = ⌈(1/ε)·ln(1/δ)⌉ random objects; if the
+// hypothesis classifies all of them as the user does, then with probability
+// ≥ 1−δ the hypothesis disagrees with the intended query on at most an ε
+// fraction of the sampling distribution (the standard PAC argument).
+
+#ifndef QHORN_LEARN_PAC_H_
+#define QHORN_LEARN_PAC_H_
+
+#include "src/core/query.h"
+#include "src/oracle/oracle.h"
+#include "src/util/rng.h"
+
+namespace qhorn {
+
+/// Distribution over objects: tuple count uniform in [1, max_tuples], each
+/// tuple uniform over the 2^n assignments (duplicates collapse).
+TupleSet RandomObject(int n, Rng& rng, int max_tuples);
+
+struct PacOptions {
+  double epsilon = 0.1;
+  double delta = 0.05;
+  int max_tuples_per_object = 8;
+};
+
+struct PacReport {
+  bool consistent = true;      ///< hypothesis matched the user on all samples
+  int64_t samples = 0;         ///< number of random questions asked
+  TupleSet counterexample;     ///< first disagreement, when !consistent
+};
+
+/// Runs the sampling check of `hypothesis` against the user's oracle.
+PacReport PacVerify(const Query& hypothesis, MembershipOracle* user, Rng& rng,
+                    const PacOptions& opts = PacOptions());
+
+/// Monte-Carlo estimate of Pr[ a(O) != b(O) ] under the RandomObject
+/// distribution.
+double EstimateDisagreement(const Query& a, const Query& b, int samples,
+                            Rng& rng, int max_tuples = 8);
+
+}  // namespace qhorn
+
+#endif  // QHORN_LEARN_PAC_H_

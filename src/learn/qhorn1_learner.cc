@@ -1,0 +1,240 @@
+#include "src/learn/qhorn1_learner.h"
+
+#include "src/learn/find.h"
+#include "src/util/check.h"
+
+namespace qhorn {
+
+Qhorn1Learner::Qhorn1Learner(int n, MembershipOracle* oracle)
+    : n_(n), oracle_(oracle) {
+  QHORN_CHECK(n >= 1 && n <= kMaxVars);
+  QHORN_CHECK(oracle != nullptr);
+}
+
+bool Qhorn1Learner::Ask(const TupleSet& question, int64_t* counter) {
+  ++*counter;
+  return oracle_->IsAnswer(question);
+}
+
+VarSet Qhorn1Learner::LearnUniversalHeads() {
+  VarSet heads = 0;
+  Tuple all = AllTrue(n_);
+  for (int v = 0; v < n_; ++v) {
+    TupleSet question{all, all & ~VarBit(v)};
+    if (!Ask(question, &trace_.head_questions)) heads |= VarBit(v);
+  }
+  return heads;
+}
+
+TupleSet Qhorn1Learner::UniversalDependenceQuestion(int head, VarSet v) const {
+  Tuple all = AllTrue(n_);
+  return TupleSet{all, all & ~(v | VarBit(head))};
+}
+
+TupleSet Qhorn1Learner::IndependenceQuestion(VarSet x, VarSet y) const {
+  Tuple all = AllTrue(n_);
+  return TupleSet{all & ~x, all & ~y};
+}
+
+TupleSet Qhorn1Learner::MatrixQuestion(VarSet s) const {
+  Tuple all = AllTrue(n_);
+  std::vector<Tuple> tuples;
+  for (int d : VarsOf(s)) tuples.push_back(all & ~VarBit(d));
+  return TupleSet(std::move(tuples));
+}
+
+int Qhorn1Learner::PartWithBodyVar(int var) const {
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    if (HasVar(parts_[i].body, var)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+VarSet Qhorn1Learner::UnionOfBodies() const {
+  VarSet mask = 0;
+  for (const Part& p : parts_) mask |= p.body;
+  return mask;
+}
+
+void Qhorn1Learner::LearnUniversalBody(int head) {
+  auto question = [this, head](VarSet v) {
+    return UniversalDependenceQuestion(head, v);
+  };
+  auto ask = [this](const TupleSet& q) {
+    return Ask(q, &trace_.universal_body_questions);
+  };
+  struct OracleShim : MembershipOracle {
+    std::function<bool(const TupleSet&)> fn;
+    bool IsAnswer(const TupleSet& q) override { return fn(q); }
+  } shim;
+  shim.fn = ask;
+
+  // Algorithm 1: first look for a body variable among the bodies learned so
+  // far; the head then shares that body (restriction 1: bodies are equal or
+  // disjoint). A non-answer on a universal dependence question eliminates
+  // the probed set.
+  VarSet known = UnionOfBodies();
+  if (known != 0) {
+    VarSet b = FindOne(shim, question, /*eliminate=*/false, known);
+    if (b != 0) {
+      int part = PartWithBodyVar(VarsOf(b)[0]);
+      QHORN_CHECK(part >= 0);
+      parts_[static_cast<size_t>(part)].universal_heads |= VarBit(head);
+      assigned_ |= VarBit(head);
+      return;
+    }
+  }
+
+  // The head's body (if any) is disjoint from every known body: binary
+  // search the unassigned existential variables.
+  VarSet domain = existential_vars_ & ~known & ~assigned_;
+  VarSet body = FindAllVars(shim, question, /*eliminate=*/false, domain);
+  Part part;
+  part.body = body;
+  part.universal_heads = VarBit(head);
+  parts_.push_back(part);
+  assigned_ |= body | VarBit(head);
+}
+
+VarSet Qhorn1Learner::GetHead(VarSet d) {
+  auto ask = [this](VarSet s) {
+    return Ask(MatrixQuestion(s), &trace_.existential_questions);
+  };
+  auto split = [](VarSet mask, VarSet* low, VarSet* high) {
+    int take = (Popcount(mask) + 1) / 2;
+    VarSet lo = 0;
+    VarSet rest = mask;
+    for (int i = 0; i < take; ++i) {
+      VarSet bit = rest & (~rest + 1);
+      lo |= bit;
+      rest &= rest - 1;
+    }
+    *low = lo;
+    *high = rest;
+  };
+
+  if (Popcount(d) < 2) return 0;
+  if (!ask(d)) return 0;  // at most one head among the dependents
+
+  // Invariant: s contains at least two head variables.
+  VarSet s = d;
+  while (Popcount(s) > 2) {
+    VarSet a, b;
+    split(s, &a, &b);
+    if (Popcount(a) >= 2 && ask(a)) {
+      s = a;
+      continue;
+    }
+    if (Popcount(b) >= 2 && ask(b)) {
+      s = b;
+      continue;
+    }
+    // Each half holds exactly one head. Pad with b to turn the "two heads"
+    // detector into a "does this part of a hold the head" detector.
+    VarSet lo = a;
+    while (Popcount(lo) > 1) {
+      VarSet l, r;
+      split(lo, &l, &r);
+      lo = ask(l | b) ? l : r;
+    }
+    return lo;
+  }
+  // Both remaining variables are heads; report the lower-indexed one.
+  return s & (~s + 1);
+}
+
+void Qhorn1Learner::LearnExistentialFor(int e) {
+  auto question = [this, e](VarSet v) {
+    return IndependenceQuestion(VarBit(e), v);
+  };
+  auto ask_raw = [this](const TupleSet& q) {
+    return Ask(q, &trace_.existential_questions);
+  };
+  struct OracleShim : MembershipOracle {
+    std::function<bool(const TupleSet&)> fn;
+    bool IsAnswer(const TupleSet& q) override { return fn(q); }
+  } shim;
+  shim.fn = ask_raw;
+
+  // Algorithm 4 step 1: does e depend on a variable of a known body? An
+  // answer means independence, so `eliminate` is the answer response.
+  VarSet known = UnionOfBodies();
+  if (known != 0) {
+    VarSet b = FindOne(shim, question, /*eliminate=*/true, known);
+    if (b != 0) {
+      int part = PartWithBodyVar(VarsOf(b)[0]);
+      QHORN_CHECK(part >= 0);
+      parts_[static_cast<size_t>(part)].existential_heads |= VarBit(e);
+      assigned_ |= VarBit(e);
+      return;
+    }
+  }
+
+  // Step 2: find every unassigned existential variable e depends on.
+  VarSet domain = existential_vars_ & ~assigned_ & ~VarBit(e);
+  VarSet d = FindAllVars(shim, question, /*eliminate=*/true, domain);
+  if (d == 0) {
+    // e participates in no Horn expression beyond itself: ∃e.
+    Part part;
+    part.existential_heads = VarBit(e);
+    parts_.push_back(part);
+    assigned_ |= VarBit(e);
+    return;
+  }
+
+  VarSet head = GetHead(d);
+  Part part;
+  if (head == 0) {
+    // At most one head inside d, so we may treat e as the head and d as the
+    // body (§3.1.3: the roles within a single conjunction are
+    // interchangeable).
+    part.body = d;
+    part.existential_heads = VarBit(e);
+  } else {
+    // e is a body variable; sweep the rest of d to separate its co-heads
+    // (independent of `head`) from fellow body variables.
+    VarSet heads = head;
+    for (int v : VarsOf(d & ~head)) {
+      if (Ask(IndependenceQuestion(head, VarBit(v)),
+              &trace_.existential_questions)) {
+        heads |= VarBit(v);
+      }
+    }
+    part.body = (d & ~heads) | VarBit(e);
+    part.existential_heads = heads;
+  }
+  parts_.push_back(part);
+  assigned_ |= d | VarBit(e);
+}
+
+Qhorn1Structure Qhorn1Learner::Learn() {
+  trace_ = Qhorn1LearnerTrace();
+  parts_.clear();
+  assigned_ = 0;
+
+  universal_heads_ = LearnUniversalHeads();
+  existential_vars_ = AllTrue(n_) & ~universal_heads_;
+
+  for (int h : VarsOf(universal_heads_)) LearnUniversalBody(h);
+  for (int e = 0; e < n_; ++e) {
+    if (HasVar(existential_vars_, e) && !HasVar(assigned_, e)) {
+      LearnExistentialFor(e);
+    }
+  }
+
+  Qhorn1Structure structure(n_);
+  for (const Part& p : parts_) {
+    // A part discovered with both roles empty cannot occur; bodies always
+    // come with at least one head by construction.
+    Qhorn1Part out;
+    out.body = p.body;
+    out.universal_heads = p.universal_heads;
+    out.existential_heads = p.existential_heads;
+    structure.AddPart(out);
+  }
+  QHORN_CHECK_MSG(structure.CoversAllVars(),
+                  "learned structure does not place every variable");
+  return structure;
+}
+
+}  // namespace qhorn

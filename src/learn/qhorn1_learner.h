@@ -1,0 +1,107 @@
+// The O(n lg n)-question exact learner for qhorn-1 (§3.1, Theorem 3.1).
+//
+// The learner decomposes into the paper's three tasks:
+//   1. classify every variable as a universal head or an existential
+//      variable (§3.1.1, one question per variable),
+//   2. learn each universal head's body with universal dependence questions
+//      and binary search (§3.1.2, Algorithms 1–3, Lemma 3.2),
+//   3. learn existential Horn expressions with existential independence
+//      questions and independence-matrix questions (§3.1.3, Algorithms 4–5,
+//      Lemma 3.3).
+//
+// The model assumes the target is a qhorn-1 query in which every variable
+// appears exactly once (as a universal head, an existential head, a body
+// variable, or a singleton expression) — the paper's "no variable
+// repetition" restriction. Given that, the learner exactly identifies the
+// target up to semantic equivalence: universal expressions are recovered
+// verbatim; an existential part with a single head is recovered up to the
+// interchangeable head/body roles within one conjunction (∃B→h ≡ ∃(B∧h)).
+
+#ifndef QHORN_LEARN_QHORN1_LEARNER_H_
+#define QHORN_LEARN_QHORN1_LEARNER_H_
+
+#include <vector>
+
+#include "src/core/query.h"
+#include "src/oracle/oracle.h"
+
+namespace qhorn {
+
+/// Per-phase question counts, for the E4 benchmark's breakdown.
+struct Qhorn1LearnerTrace {
+  int64_t head_questions = 0;
+  int64_t universal_body_questions = 0;
+  int64_t existential_questions = 0;
+
+  int64_t total() const {
+    return head_questions + universal_body_questions + existential_questions;
+  }
+};
+
+/// Learns a qhorn-1 query with membership questions.
+class Qhorn1Learner {
+ public:
+  /// `oracle` answers membership questions for the hidden target, which
+  /// must be a qhorn-1 query over n variables covering all of them.
+  Qhorn1Learner(int n, MembershipOracle* oracle);
+
+  /// Runs the full learning procedure and returns the learned structure.
+  Qhorn1Structure Learn();
+
+  /// Per-phase question counts of the last Learn() call.
+  const Qhorn1LearnerTrace& trace() const { return trace_; }
+
+ private:
+  struct Part {
+    VarSet body = 0;
+    VarSet universal_heads = 0;
+    VarSet existential_heads = 0;
+  };
+
+  /// §3.1.1: {1^n, all-true-except-v} is a non-answer iff v is a universal
+  /// head.
+  VarSet LearnUniversalHeads();
+
+  /// §3.1.2: universal dependence question on h and V — {1^n, tuple with h
+  /// and V false, all else true}.
+  TupleSet UniversalDependenceQuestion(int head, VarSet v) const;
+
+  /// §3.1.3: existential independence question between var sets X and Y.
+  TupleSet IndependenceQuestion(VarSet x, VarSet y) const;
+
+  /// Def. 3.3: one tuple per d ∈ s with only d false.
+  TupleSet MatrixQuestion(VarSet s) const;
+
+  /// Learns the body of universal head h (Algorithm 1); updates parts_.
+  void LearnUniversalBody(int head);
+
+  /// Processes existential variable e (Algorithm 4); updates parts_.
+  void LearnExistentialFor(int e);
+
+  /// Algorithm 5: returns one existential head variable within the
+  /// dependent set `d` (single-bit mask), or 0 when `d` contains at most
+  /// one head (in which case the caller treats e as the head). Requires
+  /// the matrix-question semantics: a matrix question on S ⊆ d is an
+  /// answer iff S contains at least two heads.
+  VarSet GetHead(VarSet d);
+
+  /// Index of the part whose body contains `var`, or -1.
+  int PartWithBodyVar(int var) const;
+
+  VarSet UnionOfBodies() const;
+
+  bool Ask(const TupleSet& question, int64_t* counter);
+
+  int n_;
+  MembershipOracle* oracle_;
+  Qhorn1LearnerTrace trace_;
+
+  VarSet universal_heads_ = 0;
+  VarSet existential_vars_ = 0;
+  VarSet assigned_ = 0;  // variables already placed in a part
+  std::vector<Part> parts_;
+};
+
+}  // namespace qhorn
+
+#endif  // QHORN_LEARN_QHORN1_LEARNER_H_

@@ -1,0 +1,112 @@
+#include "src/learn/revision.h"
+
+#include <algorithm>
+
+#include "src/bool/lattice.h"
+#include "src/core/normalize.h"
+#include "src/verify/distinguishing.h"
+#include "src/verify/verifier.h"
+#include "src/util/check.h"
+
+namespace qhorn {
+
+RevisionResult ReviseQuery(const Query& given, MembershipOracle* oracle,
+                           const RpLearnerOptions& opts) {
+  RevisionResult result;
+  int n = given.n();
+
+  // Step 1: cheap acceptance test (O(k) questions).
+  VerificationReport report = VerifyQuery(given, oracle);
+  result.verification_questions = report.questions_asked;
+  if (report.accepted) {
+    result.query = Normalize(given);
+    result.verified_unchanged = true;
+    return result;
+  }
+
+  // Step 2: re-learn the universal side.
+  CountingOracle counting(oracle);
+  RpUniversalResult uni = LearnUniversalHorns(n, &counting, opts.universal);
+
+  // Step 3: seed the lattice search with qg's dominant existential tuples,
+  // re-closed under the *re-learned* Horn expressions (they may differ from
+  // qg's), plus the new guarantee closures.
+  Query horn_closer(n);
+  for (const UniversalHorn& u : uni.horns) {
+    horn_closer.AddUniversal(u.body, u.head);
+  }
+  std::vector<VarSet> seed_sets;
+  for (const ExistentialTupleInfo& info : DominantExistentialTuples(given)) {
+    seed_sets.push_back(horn_closer.HornClosure(info.tuple));
+  }
+  for (const UniversalHorn& u : uni.horns) {
+    seed_sets.push_back(horn_closer.HornClosure(u.GuaranteeVars()));
+  }
+  std::vector<Tuple> seed;
+  for (VarSet s : MaximalAntichain(std::move(seed_sets))) seed.push_back(s);
+
+  // One question decides whether the seed still dominates every intended
+  // conjunction (i.e. the seeded frontier is a sound starting point).
+  bool seed_dominates = counting.IsAnswer(TupleSet(seed));
+  const std::vector<Tuple>* frontier = seed_dominates ? &seed : nullptr;
+  result.used_seed = seed_dominates;
+
+  RpExistentialResult ex = LearnExistentialConjunctions(
+      n, &counting, uni.horns, opts.existential, frontier);
+  result.learning_questions = counting.stats().questions;
+
+  Query q(n);
+  for (const UniversalHorn& u : uni.horns) q.AddUniversal(u.body, u.head);
+  for (VarSet conj : ex.conjunctions) q.AddExistential(conj);
+  result.query = std::move(q);
+  return result;
+}
+
+int QueryDistance(const Query& a, const Query& b) {
+  QHORN_CHECK(a.n() == b.n());
+  auto tuples_of = [](const Query& q) {
+    std::vector<Tuple> out;
+    for (const ExistentialTupleInfo& info : DominantExistentialTuples(q)) {
+      out.push_back(info.tuple);
+    }
+    VarSet heads = 0;
+    std::vector<UniversalHorn> horns = DominantUniversalHorns(q);
+    for (const UniversalHorn& u : horns) heads |= VarBit(u.head);
+    for (const UniversalHorn& u : horns) {
+      out.push_back(UniversalDistinguishingTuple(u, heads));
+    }
+    return out;
+  };
+  std::vector<Tuple> ta = tuples_of(a);
+  std::vector<Tuple> tb = tuples_of(b);
+
+  // Greedy nearest-neighbour matching; unmatched tuples pay their distance
+  // to the closest tuple of the other query (or their level if the other
+  // side is empty). A heuristic, adequate for reporting cost-vs-distance.
+  int total = 0;
+  std::vector<bool> used(tb.size(), false);
+  for (Tuple x : ta) {
+    int best = -1;
+    int best_dist = 0;
+    for (size_t j = 0; j < tb.size(); ++j) {
+      if (used[j]) continue;
+      int d = LatticeDistance(x, tb[j]);
+      if (best < 0 || d < best_dist) {
+        best = static_cast<int>(j);
+        best_dist = d;
+      }
+    }
+    if (best >= 0) {
+      used[static_cast<size_t>(best)] = true;
+      total += best_dist;
+    } else {
+      total += Popcount(x);
+    }
+  }
+  for (size_t j = 0; j < tb.size(); ++j) {
+    if (!used[j]) total += Popcount(tb[j]);
+  }
+  return total;
+}
+
+}  // namespace qhorn

@@ -1,0 +1,51 @@
+// Query revision (§6 future work).
+//
+// Given a query qg believed to be close to the user's intended query qi,
+// revise qg into qi with a question cost that shrinks with the distance
+// between the queries (measured, as the paper suggests, by the Boolean-
+// lattice distance between their distinguishing tuples):
+//
+//   1. Verify qg with its O(k) verification set; if the user accepts, qg is
+//      already correct (Theorem 4.2) and revision stops.
+//   2. Re-learn the universal Horn expressions (cheap: O(n) head tests plus
+//      body extraction).
+//   3. Seed the existential lattice search with qg's dominant existential
+//      distinguishing tuples (Horn-closed under the re-learned
+//      expressions). One membership question checks the seed still
+//      dominates every intended conjunction; if so the search descends from
+//      the seed instead of from the all-true tuple, paying only for the
+//      lattice distance. Otherwise it falls back to a full search.
+
+#ifndef QHORN_LEARN_REVISION_H_
+#define QHORN_LEARN_REVISION_H_
+
+#include "src/learn/rp_learner.h"
+
+namespace qhorn {
+
+struct RevisionResult {
+  Query query;                 ///< the revised (intended) query
+  bool verified_unchanged = false;  ///< user accepted qg as-is
+  bool used_seed = false;           ///< seeded descent applied
+  int64_t verification_questions = 0;
+  int64_t learning_questions = 0;
+
+  int64_t total_questions() const {
+    return verification_questions + learning_questions;
+  }
+};
+
+/// Revises `given` against the user's oracle. `given` must be
+/// role-preserving over n variables.
+RevisionResult ReviseQuery(const Query& given, MembershipOracle* oracle,
+                           const RpLearnerOptions& opts = RpLearnerOptions());
+
+/// The paper's proposed distance between two queries: the total lattice
+/// distance of an optimal matching between their dominant distinguishing
+/// tuples (unmatched tuples pay their distance from the all-true tuple...
+/// computed greedily; used to report revision cost against distance).
+int QueryDistance(const Query& a, const Query& b);
+
+}  // namespace qhorn
+
+#endif  // QHORN_LEARN_REVISION_H_

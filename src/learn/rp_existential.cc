@@ -1,0 +1,134 @@
+#include "src/learn/rp_existential.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/bool/lattice.h"
+#include "src/learn/find.h"
+#include "src/util/check.h"
+
+namespace qhorn {
+
+namespace {
+
+class LatticeSearch {
+ public:
+  LatticeSearch(int n, MembershipOracle* oracle,
+                const std::vector<UniversalHorn>& universal,
+                const RpExistentialOptions& opts)
+      : n_(n), oracle_(oracle), universal_(universal), opts_(opts) {
+    // Horn closures of the guarantee clauses, for the downset optimization.
+    Query closer(n);
+    for (const UniversalHorn& u : universal_) {
+      closer.AddUniversal(u.body, u.head);
+    }
+    for (const UniversalHorn& u : universal_) {
+      guarantee_closures_.insert(closer.HornClosure(u.GuaranteeVars()));
+    }
+  }
+
+  RpExistentialResult Run(std::vector<Tuple> frontier) {
+    RpExistentialResult result;
+    std::vector<Tuple> discovered;
+
+    while (!frontier.empty()) {
+      ++result.trace.levels;
+      std::vector<Tuple> next;
+      for (size_t i = 0; i < frontier.size(); ++i) {
+        Tuple t = frontier[i];
+        // Everything that must stay in the question while t is replaced:
+        // discovered tuples, not-yet-processed frontier tuples, and the
+        // tuples already kept for the next level.
+        std::vector<Tuple> base = discovered;
+        base.insert(base.end(), frontier.begin() + static_cast<long>(i) + 1,
+                    frontier.end());
+        base.insert(base.end(), next.begin(), next.end());
+
+        std::vector<Tuple> children = ViolationFreeChildren(t);
+        if (!Ask(Join(base, children), &result.trace)) {
+          // No substitute covers t's conjunction: t is a distinguishing
+          // tuple of a dominant existential conjunction.
+          discovered.push_back(t);
+          continue;
+        }
+        // Prune the children to a minimal necessary set (Algorithm 8).
+        std::vector<Tuple> kept =
+            MinimalSubset(children, [&](const std::vector<Tuple>& sub) {
+              return Ask(Join(base, sub), &result.trace);
+            });
+        result.trace.pruned_tuples +=
+            static_cast<int64_t>(children.size() - kept.size());
+        for (Tuple c : kept) {
+          if (opts_.skip_guarantee_downsets &&
+              guarantee_closures_.count(c) != 0) {
+            discovered.push_back(c);
+          } else {
+            next.push_back(c);
+          }
+        }
+      }
+      // Children reached from several parents appear once.
+      std::sort(next.begin(), next.end());
+      next.erase(std::unique(next.begin(), next.end()), next.end());
+      frontier = std::move(next);
+    }
+
+    std::sort(discovered.begin(), discovered.end());
+    discovered.erase(std::unique(discovered.begin(), discovered.end()),
+                     discovered.end());
+    for (Tuple t : discovered) result.conjunctions.push_back(t);
+    return result;
+  }
+
+ private:
+  bool Ask(const TupleSet& question, RpExistentialTrace* trace) {
+    ++trace->questions;
+    return oracle_->IsAnswer(question);
+  }
+
+  static TupleSet Join(const std::vector<Tuple>& base,
+                       const std::vector<Tuple>& extra) {
+    std::vector<Tuple> all = base;
+    all.insert(all.end(), extra.begin(), extra.end());
+    return TupleSet(std::move(all));
+  }
+
+  bool Violates(Tuple t) const {
+    for (const UniversalHorn& u : universal_) {
+      if (u.ViolatedBy(t)) return true;
+    }
+    return false;
+  }
+
+  std::vector<Tuple> ViolationFreeChildren(Tuple t) const {
+    std::vector<Tuple> kept;
+    for (Tuple c : LatticeChildren(t, AllTrue(n_))) {
+      if (!Violates(c)) kept.push_back(c);
+    }
+    return kept;
+  }
+
+  int n_;
+  MembershipOracle* oracle_;
+  std::vector<UniversalHorn> universal_;
+  RpExistentialOptions opts_;
+  std::set<Tuple> guarantee_closures_;
+};
+
+}  // namespace
+
+RpExistentialResult LearnExistentialConjunctions(
+    int n, MembershipOracle* oracle,
+    const std::vector<UniversalHorn>& universal,
+    const RpExistentialOptions& opts,
+    const std::vector<Tuple>* initial_frontier) {
+  QHORN_CHECK(n >= 1 && n <= kMaxVars);
+  QHORN_CHECK(oracle != nullptr);
+  LatticeSearch search(n, oracle, universal, opts);
+  std::vector<Tuple> frontier =
+      initial_frontier != nullptr ? *initial_frontier
+                                  : std::vector<Tuple>{AllTrue(n)};
+  return search.Run(std::move(frontier));
+}
+
+}  // namespace qhorn

@@ -1,0 +1,62 @@
+// Learning the existential conjunctions of a role-preserving qhorn query
+// (§3.2.2, Algorithms 7 and 8, Theorems 3.7 / 3.8).
+//
+// The learner descends the full n-variable Boolean lattice from the all-true
+// tuple, maintaining a frontier of tuples that jointly dominate every
+// distinguishing tuple of the (normalized) target:
+//   * replacing a frontier tuple with its violation-free children keeps the
+//     question an answer → prune the children to a minimal necessary set
+//     (Algorithm 8) and keep descending;
+//   * if the question becomes a non-answer, the tuple distinguishes a
+//     dominant existential conjunction — record it.
+// Tuples violating a universal Horn expression (body true, head false) are
+// excluded, which is why the universal expressions are learned first.
+//
+// The paper's optimization of not descending below the distinguishing tuple
+// of a known guarantee clause is on by default (skip_guarantee_downsets).
+
+#ifndef QHORN_LEARN_RP_EXISTENTIAL_H_
+#define QHORN_LEARN_RP_EXISTENTIAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/query.h"
+#include "src/oracle/oracle.h"
+
+namespace qhorn {
+
+struct RpExistentialOptions {
+  /// When a kept tuple is exactly the (closed) guarantee clause of a learned
+  /// universal Horn expression, record it without exploring its downset —
+  /// everything below is dominated (§3.2.2 footnote and worked example).
+  bool skip_guarantee_downsets = true;
+};
+
+struct RpExistentialTrace {
+  int64_t questions = 0;
+  int64_t levels = 0;            ///< deepest lattice level reached
+  int64_t pruned_tuples = 0;     ///< children discarded by Algorithm 8
+};
+
+struct RpExistentialResult {
+  /// Variable sets of the dominant existential conjunctions (each is the
+  /// true-set of a distinguishing tuple of the normalized target).
+  std::vector<VarSet> conjunctions;
+  RpExistentialTrace trace;
+};
+
+/// Runs the lattice search. `universal` must be the target's dominant
+/// universal Horn expressions (from LearnUniversalHorns). An optional
+/// `initial_frontier` seeds the descent for the §6 revision extension; it
+/// must dominate every distinguishing tuple of the target (the caller
+/// checks this with a membership question), otherwise results are wrong.
+RpExistentialResult LearnExistentialConjunctions(
+    int n, MembershipOracle* oracle,
+    const std::vector<UniversalHorn>& universal,
+    const RpExistentialOptions& opts = RpExistentialOptions(),
+    const std::vector<Tuple>* initial_frontier = nullptr);
+
+}  // namespace qhorn
+
+#endif  // QHORN_LEARN_RP_EXISTENTIAL_H_

@@ -1,0 +1,23 @@
+#include "src/learn/rp_learner.h"
+
+namespace qhorn {
+
+RpLearnerResult LearnRolePreserving(int n, MembershipOracle* oracle,
+                                    const RpLearnerOptions& opts) {
+  RpLearnerResult result;
+
+  RpUniversalResult uni = LearnUniversalHorns(n, oracle, opts.universal);
+  result.universal_trace = uni.trace;
+
+  RpExistentialResult ex =
+      LearnExistentialConjunctions(n, oracle, uni.horns, opts.existential);
+  result.existential_trace = ex.trace;
+
+  Query q(n);
+  for (const UniversalHorn& u : uni.horns) q.AddUniversal(u.body, u.head);
+  for (VarSet conj : ex.conjunctions) q.AddExistential(conj);
+  result.query = std::move(q);
+  return result;
+}
+
+}  // namespace qhorn

@@ -1,0 +1,38 @@
+// End-to-end learner for role-preserving qhorn queries (§3.2):
+// universal Horn expressions first (they shape the lattice), then the
+// existential conjunctions. Total question cost O(n^{θ+1} + k·n·lg n).
+
+#ifndef QHORN_LEARN_RP_LEARNER_H_
+#define QHORN_LEARN_RP_LEARNER_H_
+
+#include "src/learn/rp_existential.h"
+#include "src/learn/rp_universal.h"
+
+namespace qhorn {
+
+struct RpLearnerOptions {
+  RpUniversalOptions universal;
+  RpExistentialOptions existential;
+};
+
+struct RpLearnerResult {
+  /// The learned query: dominant universal Horn expressions plus one
+  /// existential conjunction per discovered distinguishing tuple. It is
+  /// semantically equivalent to the target (tests check Equivalent()).
+  Query query;
+  RpUniversalTrace universal_trace;
+  RpExistentialTrace existential_trace;
+
+  int64_t total_questions() const {
+    return universal_trace.total() + existential_trace.questions;
+  }
+};
+
+/// Learns a hidden role-preserving qhorn query over n variables.
+RpLearnerResult LearnRolePreserving(
+    int n, MembershipOracle* oracle,
+    const RpLearnerOptions& opts = RpLearnerOptions());
+
+}  // namespace qhorn
+
+#endif  // QHORN_LEARN_RP_LEARNER_H_

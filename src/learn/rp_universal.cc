@@ -1,0 +1,160 @@
+#include "src/learn/rp_universal.h"
+
+#include <set>
+
+#include "src/util/check.h"
+
+namespace qhorn {
+
+namespace {
+
+/// Per-head body learner over the Fig. 5 lattice.
+class HeadBodyLearner {
+ public:
+  HeadBodyLearner(int n, int head, VarSet all_heads, MembershipOracle* oracle,
+                  const RpUniversalOptions& opts, RpUniversalTrace* trace)
+      : n_(n),
+        head_(head),
+        non_heads_(AllTrue(n) & ~all_heads),
+        oracle_(oracle),
+        opts_(opts),
+        trace_(trace) {}
+
+  /// Returns the minimal (dominant) bodies of `head`, or {∅} when bodyless.
+  std::vector<VarSet> Learn() {
+    if (IsBodyless()) return {0};
+
+    std::vector<VarSet> bodies;
+    VarSet first = ExtractBody(/*excluded=*/0);
+    if (first == 0) {
+      // The bodyless test said a body exists but extraction found none: the
+      // oracle contradicted itself (a mislabelling user, §5). Degrade to
+      // the bodyless reading rather than abort; the verification set or a
+      // history review will surface the inconsistency.
+      return {0};
+    }
+    bodies.push_back(first);
+
+    // Search roots: every way of excluding one variable from each known
+    // body. A body incomparable with all known ones survives under some
+    // root (it misses at least one variable of each known body).
+    std::set<VarSet> tested;
+    bool found_new = true;
+    while (found_new) {
+      found_new = false;
+      std::vector<VarSet> roots = SearchRoots(bodies);
+      for (VarSet excluded : roots) {
+        if (tested.count(excluded) != 0) continue;
+        tested.insert(excluded);
+        if (HasBodyAvoiding(excluded)) {
+          VarSet body = ExtractBody(excluded);
+          if (body == 0) continue;  // inconsistent oracle; skip this root
+          for (VarSet known : bodies) {
+            QHORN_CHECK_MSG(Incomparable(body, known),
+                            "extracted body comparable with a known body");
+          }
+          bodies.push_back(body);
+          QHORN_CHECK_MSG(
+              static_cast<int>(bodies.size()) <= opts_.max_bodies_per_head,
+              "causal density exceeds max_bodies_per_head="
+                  << opts_.max_bodies_per_head);
+          found_new = true;
+          break;  // regenerate roots with the new body in the product
+        }
+      }
+    }
+    return bodies;
+  }
+
+ private:
+  bool Ask(const TupleSet& question) {
+    ++trace_->body_questions;
+    return oracle_->IsAnswer(question);
+  }
+
+  /// {1^n, tuple with h and every non-head false}: a non-answer means some
+  /// body is fully true in that tuple, and only the empty body can be.
+  bool IsBodyless() {
+    Tuple t = AllTrue(n_) & ~non_heads_ & ~VarBit(head_);
+    return !Ask(TupleSet{AllTrue(n_), t});
+  }
+
+  /// True iff the target has a body for `head_` avoiding `excluded`:
+  /// {1^n, tuple with excluded ∪ {h} false} is a non-answer exactly when a
+  /// complete body remains true in the probe tuple.
+  bool HasBodyAvoiding(VarSet excluded) {
+    Tuple t = AllTrue(n_) & ~excluded & ~VarBit(head_);
+    return !Ask(TupleSet{AllTrue(n_), t});
+  }
+
+  /// Algorithm 6 seeded with `excluded`: returns a minimal body within
+  /// non_heads \ excluded. Caller guarantees one exists there.
+  VarSet ExtractBody(VarSet excluded) {
+    VarSet x = excluded;  // variables known to be outside the body
+    for (int v : VarsOf(non_heads_ & ~excluded)) {
+      Tuple t = AllTrue(n_) & ~x & ~VarBit(v) & ~VarBit(head_);
+      if (!Ask(TupleSet{AllTrue(n_), t})) {
+        x |= VarBit(v);  // a body survives without v; exclude it
+      }
+    }
+    // Empty means the oracle was inconsistent (said a body exists and then
+    // denied every candidate); callers handle 0 gracefully.
+    return non_heads_ & ~x;
+  }
+
+  /// Cartesian product of one-variable choices across the known bodies,
+  /// deduplicated (bodies may overlap).
+  std::vector<VarSet> SearchRoots(const std::vector<VarSet>& bodies) {
+    std::set<VarSet> roots;
+    std::vector<VarSet> current = {0};
+    for (VarSet body : bodies) {
+      std::vector<VarSet> next;
+      for (VarSet prefix : current) {
+        for (int v : VarsOf(body)) {
+          next.push_back(prefix | VarBit(v));
+        }
+      }
+      current = std::move(next);
+      QHORN_CHECK_MSG(current.size() <= opts_.max_roots,
+                      "search-root product exceeds max_roots");
+    }
+    roots.insert(current.begin(), current.end());
+    return std::vector<VarSet>(roots.begin(), roots.end());
+  }
+
+  int n_;
+  int head_;
+  VarSet non_heads_;
+  MembershipOracle* oracle_;
+  RpUniversalOptions opts_;
+  RpUniversalTrace* trace_;
+};
+
+}  // namespace
+
+RpUniversalResult LearnUniversalHorns(int n, MembershipOracle* oracle,
+                                      const RpUniversalOptions& opts) {
+  QHORN_CHECK(n >= 1 && n <= kMaxVars);
+  QHORN_CHECK(oracle != nullptr);
+  RpUniversalResult result;
+
+  // §3.1.1 head test, unchanged in the role-preserving setting.
+  Tuple all = AllTrue(n);
+  for (int v = 0; v < n; ++v) {
+    ++result.trace.head_questions;
+    if (!oracle->IsAnswer(TupleSet{all, all & ~VarBit(v)})) {
+      result.head_vars |= VarBit(v);
+    }
+  }
+
+  for (int h : VarsOf(result.head_vars)) {
+    HeadBodyLearner learner(n, h, result.head_vars, oracle, opts,
+                            &result.trace);
+    for (VarSet body : learner.Learn()) {
+      result.horns.push_back(UniversalHorn{body, h});
+    }
+  }
+  return result;
+}
+
+}  // namespace qhorn

@@ -1,0 +1,55 @@
+// Learning the universal Horn expressions of a role-preserving qhorn query
+// (§3.2.1, Theorem 3.5).
+//
+// Per head variable h the learner works in the Fig. 5 lattice: other head
+// variables are pinned true (neutralized), h is pinned false, and the
+// lattice spans the non-head variables. One body is extracted with the
+// linear sweep of Algorithm 6; further incomparable bodies are found by
+// searching the sub-lattices rooted at tuples that set one variable from
+// each known body to false (the paper's "search roots"), giving O(n^θ)
+// questions per head where θ is h's causal density.
+
+#ifndef QHORN_LEARN_RP_UNIVERSAL_H_
+#define QHORN_LEARN_RP_UNIVERSAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/query.h"
+#include "src/oracle/oracle.h"
+
+namespace qhorn {
+
+/// Limits for the universal phase (θ is unbounded in general qhorn; the
+/// learner aborts rather than loop forever on adversarial inputs).
+struct RpUniversalOptions {
+  /// Maximum number of incomparable bodies accepted per head.
+  int max_bodies_per_head = 32;
+  /// Maximum number of search roots examined per head.
+  uint64_t max_roots = 1u << 20;
+};
+
+/// Question counts of the universal phase.
+struct RpUniversalTrace {
+  int64_t head_questions = 0;
+  int64_t body_questions = 0;
+
+  int64_t total() const { return head_questions + body_questions; }
+};
+
+/// Result: every dominant universal Horn expression of the target.
+struct RpUniversalResult {
+  std::vector<UniversalHorn> horns;
+  VarSet head_vars = 0;
+  RpUniversalTrace trace;
+};
+
+/// Runs the §3.2.1 procedure against `oracle` (the hidden target must be a
+/// role-preserving qhorn query on n variables).
+RpUniversalResult LearnUniversalHorns(
+    int n, MembershipOracle* oracle,
+    const RpUniversalOptions& opts = RpUniversalOptions());
+
+}  // namespace qhorn
+
+#endif  // QHORN_LEARN_RP_UNIVERSAL_H_

@@ -1,0 +1,51 @@
+#include "src/lower_bounds/alias_class.h"
+
+#include "src/util/check.h"
+
+namespace qhorn {
+
+Query AliasInstance(int n, VarSet universal_vars) {
+  QHORN_CHECK(n >= 2 && n <= kMaxVars);
+  QHORN_CHECK(IsSubset(universal_vars, AllTrue(n)));
+  VarSet alias = AllTrue(n) & ~universal_vars;
+  QHORN_CHECK_MSG(Popcount(alias) != 1,
+                  "a single-variable alias cycle is not expressible");
+  Query q(n);
+  for (int x : VarsOf(universal_vars)) q.AddUniversal(0, x);
+  std::vector<int> ys = VarsOf(alias);
+  for (size_t i = 0; i < ys.size(); ++i) {
+    int from = ys[i];
+    int to = ys[(i + 1) % ys.size()];
+    q.AddUniversal(VarBit(from), to);
+  }
+  return q;
+}
+
+std::vector<Query> AliasClass(int n) {
+  QHORN_CHECK(n >= 2 && n <= 20);  // 2^20 candidates is already a lot
+  std::vector<Query> out;
+  for (VarSet x = 0; x <= AllTrue(n); ++x) {
+    if (Popcount(AllTrue(n) & ~x) == 1) continue;
+    out.push_back(AliasInstance(n, x));
+    if (x == AllTrue(n)) break;
+  }
+  return out;
+}
+
+TupleSet AliasPositiveQuestion(int n, VarSet universal_vars) {
+  return TupleSet{AllTrue(n), universal_vars};
+}
+
+int64_t RunAliasEliminationLearner(int n, AdversaryOracle* adversary) {
+  int64_t questions = 0;
+  for (VarSet x = 0; x <= AllTrue(n); ++x) {
+    if (Popcount(AllTrue(n) & ~x) == 1) continue;
+    if (adversary->Pinned()) break;
+    ++questions;
+    adversary->IsAnswer(AliasPositiveQuestion(n, x));
+    if (x == AllTrue(n)) break;
+  }
+  return questions;
+}
+
+}  // namespace qhorn

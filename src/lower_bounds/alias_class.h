@@ -1,0 +1,44 @@
+// The Theorem 2.1 query family: φ = Uni(X) ∧ Alias(Y).
+//
+// X variables are universally quantified and bodyless; Y variables form an
+// alias cycle ∀y1→y2 ∀y2→y3 ... ∀y|Y|→y1 (all true or all false together).
+// Variables repeat (each alias variable is a head once and a body variable
+// once), so the family sits inside full qhorn but outside role-preserving
+// qhorn — exactly the separation the theorem exploits: an adversary that
+// always answers "non-answer" forces any learner to spend one question per
+// candidate, i.e. Ω(2^n) questions.
+
+#ifndef QHORN_LOWER_BOUNDS_ALIAS_CLASS_H_
+#define QHORN_LOWER_BOUNDS_ALIAS_CLASS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/query.h"
+#include "src/oracle/adversary.h"
+
+namespace qhorn {
+
+/// The instance Uni(X) ∧ Alias(Y) with X = `universal_vars`,
+/// Y = its complement in n. |Y| must not be 1 (a one-variable alias cycle
+/// would put a head in its own body).
+Query AliasInstance(int n, VarSet universal_vars);
+
+/// All valid instances over n variables (2^n minus the n single-alias
+/// splits).
+std::vector<Query> AliasClass(int n);
+
+/// The unique question (besides {1^n}) the instance classifies as an
+/// answer: {1^n, tuple with only X true}.
+TupleSet AliasPositiveQuestion(int n, VarSet universal_vars);
+
+/// A candidate-elimination learner playing against the adversary: it poses
+/// the two-tuple questions {1^n, m} that are each instance's only
+/// non-trivial positive object, eliminating one candidate per question.
+/// Returns the number of questions until the adversary is pinned to one
+/// candidate.
+int64_t RunAliasEliminationLearner(int n, AdversaryOracle* adversary);
+
+}  // namespace qhorn
+
+#endif  // QHORN_LOWER_BOUNDS_ALIAS_CLASS_H_

@@ -1,0 +1,69 @@
+#include "src/lower_bounds/dense_bodies.h"
+
+#include "src/learn/rp_universal.h"
+#include "src/util/check.h"
+
+namespace qhorn {
+
+DenseBodyFamily MakeDenseBodyFamily(int n, int theta) {
+  QHORN_CHECK(theta >= 2);
+  QHORN_CHECK_MSG(n % (theta - 1) == 0, "n must be divisible by θ−1");
+  QHORN_CHECK(n + 1 <= kMaxVars);
+  DenseBodyFamily family;
+  family.n = n;
+  family.theta = theta;
+  family.head = n;
+  int width = n / (theta - 1);
+  for (int b = 0; b < theta - 1; ++b) {
+    VarSet body = 0;
+    for (int v = b * width; v < (b + 1) * width; ++v) body |= VarBit(v);
+    family.fixed_bodies.push_back(body);
+  }
+  return family;
+}
+
+Query DenseBodyInstance(const DenseBodyFamily& family, VarSet excluded) {
+  VarSet all_fixed = 0;
+  for (VarSet b : family.fixed_bodies) {
+    QHORN_CHECK_MSG(Popcount(b & excluded) == 1,
+                    "exactly one exclusion per fixed body required");
+    all_fixed |= b;
+  }
+  Query q(family.n + 1);
+  for (VarSet b : family.fixed_bodies) q.AddUniversal(b, family.head);
+  q.AddUniversal(all_fixed & ~excluded, family.head);
+  return q;
+}
+
+namespace {
+
+void EnumerateChoices(const DenseBodyFamily& family, size_t body_index,
+                      VarSet chosen, std::vector<Query>* out) {
+  if (body_index == family.fixed_bodies.size()) {
+    out->push_back(DenseBodyInstance(family, chosen));
+    return;
+  }
+  for (int v : VarsOf(family.fixed_bodies[body_index])) {
+    EnumerateChoices(family, body_index + 1, chosen | VarBit(v), out);
+  }
+}
+
+}  // namespace
+
+std::vector<Query> DenseBodyClass(const DenseBodyFamily& family) {
+  std::vector<Query> out;
+  EnumerateChoices(family, 0, 0, &out);
+  return out;
+}
+
+int64_t RunDenseBodyLearner(const DenseBodyFamily& family,
+                            AdversaryOracle* adversary) {
+  CountingOracle counting(adversary);
+  RpUniversalOptions opts;
+  opts.max_bodies_per_head = family.theta + 1;
+  opts.max_roots = uint64_t{1} << 30;
+  LearnUniversalHorns(family.n + 1, &counting, opts);
+  return counting.stats().questions;
+}
+
+}  // namespace qhorn

@@ -1,0 +1,51 @@
+// The Theorem 3.6 family: a head variable with causal density θ whose last
+// body must be isolated among (n/(θ−1))^(θ−1) candidates.
+//
+// Over n body variables split into θ−1 disjoint bodies B_1..B_{θ−1} of size
+// n/(θ−1), each candidate query adds one more body
+//   B_θ(choice) = ∪B_i − {one chosen variable per B_i},
+// so |B_θ ∩ B_i| = |B_i| − 1. Questions that falsify two or more variables
+// of any B_i are uninformative (always answers), and setting a full B_i
+// true with the head false is always a non-answer — so a learner can only
+// probe one excluded variable per body, paying for the whole product in the
+// worst case.
+
+#ifndef QHORN_LOWER_BOUNDS_DENSE_BODIES_H_
+#define QHORN_LOWER_BOUNDS_DENSE_BODIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/query.h"
+#include "src/oracle/adversary.h"
+
+namespace qhorn {
+
+/// Parameters of the family. Variables 0..n-1 are body variables; variable
+/// n is the head (so queries have n+1 variables). n must be divisible by
+/// θ−1 and θ ≥ 2.
+struct DenseBodyFamily {
+  int n = 0;
+  int theta = 0;
+  std::vector<VarSet> fixed_bodies;  ///< B_1..B_{θ−1}
+  int head = 0;                      ///< variable index n
+};
+
+DenseBodyFamily MakeDenseBodyFamily(int n, int theta);
+
+/// The candidate query for one choice of excluded variables (one per fixed
+/// body; `excluded` must pick exactly one variable from each B_i).
+Query DenseBodyInstance(const DenseBodyFamily& family, VarSet excluded);
+
+/// All (n/(θ−1))^(θ−1) candidates.
+std::vector<Query> DenseBodyClass(const DenseBodyFamily& family);
+
+/// Runs our §3.2.1 body learner for the family's head against an adversary
+/// over the candidate class; returns the questions asked until the learner
+/// finishes (the adversary forces the product in the worst case).
+int64_t RunDenseBodyLearner(const DenseBodyFamily& family,
+                            AdversaryOracle* adversary);
+
+}  // namespace qhorn
+
+#endif  // QHORN_LOWER_BOUNDS_DENSE_BODIES_H_

@@ -1,0 +1,88 @@
+#include "src/lower_bounds/pairhead_class.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace qhorn {
+
+Query PairHeadInstance(int n, int i, int j) {
+  QHORN_CHECK(n >= 3 && n <= kMaxVars);
+  QHORN_CHECK(i >= 0 && j >= 0 && i < n && j < n && i != j);
+  VarSet c_ij = AllTrue(n) & ~VarBit(i) & ~VarBit(j);
+  Query q(n);
+  q.AddExistential(c_ij | VarBit(i));
+  q.AddExistential(c_ij | VarBit(j));
+  return q;
+}
+
+std::vector<Query> PairHeadClass(int n) {
+  std::vector<Query> out;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      out.push_back(PairHeadInstance(n, i, j));
+    }
+  }
+  return out;
+}
+
+PairHeadResult LearnPairHeads(int n, int c, MembershipOracle* oracle) {
+  QHORN_CHECK(c >= 2);
+  QHORN_CHECK(n >= 3);
+  PairHeadResult result;
+  Tuple all = AllTrue(n);
+  auto t_of = [all](int v) { return all & ~VarBit(v); };
+
+  // Pair-covering design: split the variables into groups of ⌊c/2⌋; every
+  // pair of variables lies inside the union of two groups, which fits in a
+  // question of at most c class-2 tuples. This costs ≈ (n/(c/2))²/2 =
+  // Θ(n²/c²) questions in the worst case — the Lemma 3.4 shape.
+  int half = std::max(1, c / 2);
+  int num_groups = (n + half - 1) / half;
+  auto group = [&](int g) {
+    std::vector<int> vars;
+    for (int v = g * half; v < std::min(n, (g + 1) * half); ++v) {
+      vars.push_back(v);
+    }
+    return vars;
+  };
+
+  std::vector<int> batch_with_heads;
+  for (int ga = 0; ga < num_groups && batch_with_heads.empty(); ++ga) {
+    for (int gb = ga; gb < num_groups; ++gb) {
+      std::vector<int> batch = group(ga);
+      if (gb != ga) {
+        std::vector<int> second = group(gb);
+        batch.insert(batch.end(), second.begin(), second.end());
+      }
+      if (batch.size() < 2) continue;
+      std::vector<Tuple> tuples;
+      for (int v : batch) tuples.push_back(t_of(v));
+      ++result.questions;
+      if (oracle->IsAnswer(TupleSet(std::move(tuples)))) {
+        batch_with_heads = std::move(batch);
+        break;
+      }
+    }
+  }
+  QHORN_CHECK_MSG(!batch_with_heads.empty(),
+                  "no batch contained the head pair — oracle inconsistent");
+
+  // Pinpoint the pair inside the positive batch: at most (c choose 2)
+  // pairwise questions, a constant for constant c.
+  for (size_t a = 0; a < batch_with_heads.size(); ++a) {
+    for (size_t b = a + 1; b < batch_with_heads.size(); ++b) {
+      ++result.questions;
+      TupleSet q{t_of(batch_with_heads[a]), t_of(batch_with_heads[b])};
+      if (oracle->IsAnswer(q)) {
+        result.head_i = batch_with_heads[a];
+        result.head_j = batch_with_heads[b];
+        return result;
+      }
+    }
+  }
+  QHORN_CHECK_MSG(false, "head pair not found inside the positive batch");
+  return result;
+}
+
+}  // namespace qhorn

@@ -1,0 +1,40 @@
+// The Lemma 3.4 family: queries with a hidden pair of head variables,
+//   ∃C_ij→x_i ∧ ∃C_ij→x_j,   C_ij = X − {x_i, x_j},
+// i.e. the existential conjunctions {C_ij ∪ x_i, C_ij ∪ x_j}. Learning the
+// pair with questions of at most c tuples each needs ≈ (n choose 2)/(c
+// choose 2) = Ω(n²/c²) questions: the only informative bounded questions
+// are batches of "class-2" tuples T_v (only v false), and a non-answer
+// eliminates just the pairs inside the batch.
+
+#ifndef QHORN_LOWER_BOUNDS_PAIRHEAD_CLASS_H_
+#define QHORN_LOWER_BOUNDS_PAIRHEAD_CLASS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/query.h"
+#include "src/oracle/oracle.h"
+
+namespace qhorn {
+
+/// The instance with head pair (i, j), 0-based, i ≠ j.
+Query PairHeadInstance(int n, int i, int j);
+
+/// All (n choose 2) instances.
+std::vector<Query> PairHeadClass(int n);
+
+struct PairHeadResult {
+  int head_i = -1;
+  int head_j = -1;
+  int64_t questions = 0;
+};
+
+/// The width-limited learner of the lemma: asks batches of at most c
+/// class-2 tuples; an answer narrows the heads to the batch, a non-answer
+/// eliminates the batch's pairs. Exactly identifies the pair against any
+/// truthful oracle for a PairHeadInstance.
+PairHeadResult LearnPairHeads(int n, int c, MembershipOracle* oracle);
+
+}  // namespace qhorn
+
+#endif  // QHORN_LOWER_BOUNDS_PAIRHEAD_CLASS_H_

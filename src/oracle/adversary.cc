@@ -1,0 +1,38 @@
+#include "src/oracle/adversary.h"
+
+#include "src/util/check.h"
+
+namespace qhorn {
+
+AdversaryOracle::AdversaryOracle(std::vector<Query> candidates,
+                                 EvalOptions opts)
+    : candidates_(std::move(candidates)), opts_(opts) {
+  QHORN_CHECK(!candidates_.empty());
+}
+
+bool AdversaryOracle::IsAnswer(const TupleSet& question) {
+  std::vector<Query> yes;
+  std::vector<Query> no;
+  for (Query& q : candidates_) {
+    if (q.Evaluate(question, opts_)) {
+      yes.push_back(std::move(q));
+    } else {
+      no.push_back(std::move(q));
+    }
+  }
+  // Never contradict every remaining candidate; otherwise keep the larger
+  // side, preferring "non-answer" on ties (the paper's adversaries answer
+  // non-answer whenever they can).
+  bool answer;
+  if (no.empty()) {
+    answer = true;
+  } else if (yes.empty()) {
+    answer = false;
+  } else {
+    answer = yes.size() > no.size();
+  }
+  candidates_ = answer ? std::move(yes) : std::move(no);
+  return answer;
+}
+
+}  // namespace qhorn

@@ -1,0 +1,45 @@
+// Version-space adversary for the lower-bound experiments (§2, §3).
+//
+// The adversary maintains the set of candidate queries still consistent
+// with its past responses. For each question it answers so as to keep as
+// many candidates alive as possible (the paper's adversaries in Theorem 2.1,
+// Lemma 3.4 and Theorem 3.6 all answer this way). Any learner therefore
+// needs at least lg(#candidates) questions — and against classes engineered
+// so each question eliminates O(1) candidates, linearly many in the class
+// size.
+
+#ifndef QHORN_ORACLE_ADVERSARY_H_
+#define QHORN_ORACLE_ADVERSARY_H_
+
+#include <vector>
+
+#include "src/oracle/oracle.h"
+
+namespace qhorn {
+
+/// Adversarial oracle over an explicit candidate class.
+class AdversaryOracle : public MembershipOracle {
+ public:
+  /// `candidates` must be non-empty; all must share the same n.
+  explicit AdversaryOracle(std::vector<Query> candidates,
+                           EvalOptions opts = EvalOptions());
+
+  /// Answers with whichever response keeps more candidates consistent
+  /// (ties favour non-answer, matching the paper's adversaries), then
+  /// discards the eliminated candidates.
+  bool IsAnswer(const TupleSet& question) override;
+
+  /// Remaining consistent candidates.
+  const std::vector<Query>& candidates() const { return candidates_; }
+
+  /// True when exactly one candidate remains — the learner may stop.
+  bool Pinned() const { return candidates_.size() == 1; }
+
+ private:
+  std::vector<Query> candidates_;
+  EvalOptions opts_;
+};
+
+}  // namespace qhorn
+
+#endif  // QHORN_ORACLE_ADVERSARY_H_

@@ -1,0 +1,38 @@
+#include "src/oracle/oracle.h"
+
+#include <algorithm>
+
+namespace qhorn {
+
+bool CountingOracle::IsAnswer(const TupleSet& question) {
+  ++stats_.questions;
+  stats_.tuples += static_cast<int64_t>(question.size());
+  stats_.max_tuples =
+      std::max(stats_.max_tuples, static_cast<int64_t>(question.size()));
+  bool answer = inner_->IsAnswer(question);
+  if (answer) ++stats_.answers;
+  return answer;
+}
+
+bool CachingOracle::IsAnswer(const TupleSet& question) {
+  auto it = cache_.find(question);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  bool answer = inner_->IsAnswer(question);
+  cache_.emplace(question, answer);
+  return answer;
+}
+
+bool NoisyOracle::IsAnswer(const TupleSet& question) {
+  bool answer = inner_->IsAnswer(question);
+  if (rng_.Chance(flip_prob_)) {
+    ++flips_;
+    return !answer;
+  }
+  return answer;
+}
+
+}  // namespace qhorn

@@ -1,0 +1,111 @@
+// Membership-question oracles (§2.1.2).
+//
+// A membership question is an object (a TupleSet); the oracle plays the
+// user, classifying it as an answer or a non-answer to the intended query.
+// Learners and verifiers depend only on the MembershipOracle interface;
+// decorators add counting, caching, noise and history.
+
+#ifndef QHORN_ORACLE_ORACLE_H_
+#define QHORN_ORACLE_ORACLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/bool/tuple_set.h"
+#include "src/core/query.h"
+#include "src/util/rng.h"
+
+namespace qhorn {
+
+/// The user being questioned: classifies objects as answers/non-answers.
+class MembershipOracle {
+ public:
+  virtual ~MembershipOracle() = default;
+
+  /// True iff `question` is an answer to the intended query.
+  virtual bool IsAnswer(const TupleSet& question) = 0;
+};
+
+/// A perfectly reliable simulated user holding a hidden intended query.
+class QueryOracle : public MembershipOracle {
+ public:
+  explicit QueryOracle(Query intended, EvalOptions opts = EvalOptions())
+      : intended_(std::move(intended)), opts_(opts) {}
+
+  bool IsAnswer(const TupleSet& question) override {
+    return intended_.Evaluate(question, opts_);
+  }
+
+  const Query& intended() const { return intended_; }
+
+ private:
+  Query intended_;
+  EvalOptions opts_;
+};
+
+/// Question-count statistics (the unit all of the paper's bounds are in).
+struct OracleStats {
+  int64_t questions = 0;        ///< membership questions asked
+  int64_t tuples = 0;           ///< total tuples across all questions
+  int64_t max_tuples = 0;       ///< largest single question
+  int64_t answers = 0;          ///< questions classified as answers
+
+  void Reset() { *this = OracleStats(); }
+};
+
+/// Decorator that counts questions and question sizes.
+class CountingOracle : public MembershipOracle {
+ public:
+  explicit CountingOracle(MembershipOracle* inner) : inner_(inner) {}
+
+  bool IsAnswer(const TupleSet& question) override;
+
+  const OracleStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ private:
+  MembershipOracle* inner_;
+  OracleStats stats_;
+};
+
+/// Decorator that memoizes responses, so repeated identical questions cost
+/// nothing. The role-preserving universal-body search re-examines lattice
+/// roots as new bodies are found; the paper's counting convention charges a
+/// question once, which this decorator implements.
+class CachingOracle : public MembershipOracle {
+ public:
+  explicit CachingOracle(MembershipOracle* inner) : inner_(inner) {}
+
+  bool IsAnswer(const TupleSet& question) override;
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+ private:
+  MembershipOracle* inner_;
+  std::unordered_map<TupleSet, bool, TupleSetHash> cache_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+/// Decorator modelling an unreliable user (§5 "Noisy Users"): each response
+/// is flipped independently with probability `flip_prob`.
+class NoisyOracle : public MembershipOracle {
+ public:
+  NoisyOracle(MembershipOracle* inner, double flip_prob, uint64_t seed)
+      : inner_(inner), flip_prob_(flip_prob), rng_(seed) {}
+
+  bool IsAnswer(const TupleSet& question) override;
+
+  int64_t flips() const { return flips_; }
+
+ private:
+  MembershipOracle* inner_;
+  double flip_prob_;
+  Rng rng_;
+  int64_t flips_ = 0;
+};
+
+}  // namespace qhorn
+
+#endif  // QHORN_ORACLE_ORACLE_H_

@@ -1,0 +1,44 @@
+#include "src/oracle/transcript.h"
+
+#include "src/util/check.h"
+
+namespace qhorn {
+
+bool TranscriptOracle::IsAnswer(const TupleSet& question) {
+  bool response = inner_->IsAnswer(question);
+  entries_.push_back(TranscriptEntry{question, response});
+  return response;
+}
+
+void TranscriptOracle::Correct(size_t index) {
+  QHORN_CHECK_MSG(index < entries_.size(), "no transcript entry " << index);
+  entries_[index].response = !entries_[index].response;
+  entries_.resize(index + 1);
+}
+
+std::string TranscriptOracle::ToString(int n) const {
+  std::string out;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    out += "Q" + std::to_string(i + 1) + ": " + entries_[i].question.ToString(n);
+    out += entries_[i].response ? "  → answer\n" : "  → non-answer\n";
+  }
+  return out;
+}
+
+bool ReplayOracle::IsAnswer(const TupleSet& question) {
+  if (!diverged_ && next_ < transcript_.size()) {
+    const TranscriptEntry& entry = transcript_[next_];
+    if (entry.question == question) {
+      ++next_;
+      ++replayed_;
+      return entry.response;
+    }
+    // The learner's question sequence changed (it depends on earlier
+    // responses); everything from here on must be asked fresh.
+    diverged_ = true;
+  }
+  ++asked_;
+  return fallback_->IsAnswer(question);
+}
+
+}  // namespace qhorn

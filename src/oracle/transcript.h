@@ -1,0 +1,76 @@
+// Response history and correction-replay (§5, "Noisy Users").
+//
+// The paper suggests that a good interface keeps a history of the user's
+// responses so an incorrect response can be fixed, "triggering the query
+// learning algorithm to restart query learning from the point of error".
+// TranscriptOracle records every (question, response); Correct() flips a
+// recorded response; ReplayOracle then serves the corrected prefix verbatim
+// and falls through to the ground-truth oracle afterwards — exactly the
+// restart-from-the-point-of-error workflow.
+
+#ifndef QHORN_ORACLE_TRANSCRIPT_H_
+#define QHORN_ORACLE_TRANSCRIPT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/oracle/oracle.h"
+
+namespace qhorn {
+
+/// One question/answer exchange.
+struct TranscriptEntry {
+  TupleSet question;
+  bool response = false;
+};
+
+/// Decorator that records the full exchange history.
+class TranscriptOracle : public MembershipOracle {
+ public:
+  explicit TranscriptOracle(MembershipOracle* inner) : inner_(inner) {}
+
+  bool IsAnswer(const TupleSet& question) override;
+
+  const std::vector<TranscriptEntry>& entries() const { return entries_; }
+
+  /// Flips the recorded response at `index` (0-based). Later entries are
+  /// discarded: they were computed from the bad answer and must be re-asked.
+  void Correct(size_t index);
+
+  /// Renders the history, e.g. for the examples' console output.
+  std::string ToString(int n) const;
+
+ private:
+  MembershipOracle* inner_;
+  std::vector<TranscriptEntry> entries_;
+};
+
+/// Serves recorded responses for questions that match the transcript
+/// prefix in order; once the prefix is exhausted (or a question deviates),
+/// defers to the fallback oracle. Used to re-run a learner after a
+/// correction without re-asking the user everything.
+class ReplayOracle : public MembershipOracle {
+ public:
+  ReplayOracle(std::vector<TranscriptEntry> transcript,
+               MembershipOracle* fallback)
+      : transcript_(std::move(transcript)), fallback_(fallback) {}
+
+  bool IsAnswer(const TupleSet& question) override;
+
+  /// Questions served from the recorded transcript.
+  int64_t replayed() const { return replayed_; }
+  /// Questions that had to go to the fallback oracle (i.e. to the user).
+  int64_t asked() const { return asked_; }
+
+ private:
+  std::vector<TranscriptEntry> transcript_;
+  MembershipOracle* fallback_;
+  size_t next_ = 0;
+  bool diverged_ = false;
+  int64_t replayed_ = 0;
+  int64_t asked_ = 0;
+};
+
+}  // namespace qhorn
+
+#endif  // QHORN_ORACLE_TRANSCRIPT_H_

@@ -1,0 +1,42 @@
+#include "src/relation/binding.h"
+
+#include "src/util/check.h"
+
+namespace qhorn {
+
+BooleanBinding::BooleanBinding(Schema embedded_schema,
+                               std::vector<Proposition> props)
+    : schema_(std::move(embedded_schema)), props_(std::move(props)) {
+  QHORN_CHECK_MSG(!props_.empty() &&
+                      props_.size() <= static_cast<size_t>(kMaxVars),
+                  "need 1.." << kMaxVars << " propositions");
+  for (const Proposition& p : props_) {
+    schema_.RequireIndex(p.attribute());  // aborts if missing
+  }
+  auto interference = FindInterference(props_);
+  QHORN_CHECK_MSG(interference.empty(),
+                  "propositions interfere: p"
+                      << interference[0].first + 1 << " ('"
+                      << props_[interference[0].first].label() << "') and p"
+                      << interference[0].second + 1 << " ('"
+                      << props_[interference[0].second].label() << "')");
+}
+
+Tuple BooleanBinding::ToBoolean(const DataTuple& tuple) const {
+  Tuple t = 0;
+  for (size_t i = 0; i < props_.size(); ++i) {
+    if (props_[i].EvaluateOn(schema_, tuple)) t |= VarBit(static_cast<int>(i));
+  }
+  return t;
+}
+
+TupleSet BooleanBinding::ObjectToBoolean(const NestedObject& object) const {
+  std::vector<Tuple> tuples;
+  tuples.reserve(object.tuples.size());
+  for (const DataTuple& row : object.tuples.rows()) {
+    tuples.push_back(ToBoolean(row));
+  }
+  return TupleSet(std::move(tuples));
+}
+
+}  // namespace qhorn

@@ -1,0 +1,43 @@
+// The data ↔ Boolean domain transformation (Fig. 1).
+//
+// Given the user's propositions p1..pn over the embedded flat relation, a
+// BooleanBinding maps each data tuple to the Boolean tuple of its
+// proposition truth values, and whole objects to tuple sets. The binding
+// refuses interfering propositions, matching the paper's assumption that
+// truth assignments are independent.
+
+#ifndef QHORN_RELATION_BINDING_H_
+#define QHORN_RELATION_BINDING_H_
+
+#include <vector>
+
+#include "src/bool/tuple_set.h"
+#include "src/relation/proposition.h"
+
+namespace qhorn {
+
+class BooleanBinding {
+ public:
+  /// Aborts if any proposition references a missing attribute, a mismatched
+  /// type, or interferes with another proposition.
+  BooleanBinding(Schema embedded_schema, std::vector<Proposition> props);
+
+  int n() const { return static_cast<int>(props_.size()); }
+  const Schema& schema() const { return schema_; }
+  const std::vector<Proposition>& propositions() const { return props_; }
+
+  /// Boolean image of one data tuple: bit i = props[i](tuple).
+  Tuple ToBoolean(const DataTuple& tuple) const;
+
+  /// Boolean image of an object (the set of its tuples' images; distinct
+  /// data tuples in the same Boolean class collapse, as in the paper).
+  TupleSet ObjectToBoolean(const NestedObject& object) const;
+
+ private:
+  Schema schema_;
+  std::vector<Proposition> props_;
+};
+
+}  // namespace qhorn
+
+#endif  // QHORN_RELATION_BINDING_H_

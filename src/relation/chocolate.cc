@@ -1,0 +1,79 @@
+#include "src/relation/chocolate.h"
+
+namespace qhorn {
+
+Schema ChocolateSchema() {
+  return Schema({
+      {"isDark", ValueType::kBool},
+      {"hasFilling", ValueType::kBool},
+      {"isSugarFree", ValueType::kBool},
+      {"hasNuts", ValueType::kBool},
+      {"origin", ValueType::kString},
+  });
+}
+
+DataTuple MakeChocolate(bool is_dark, bool has_filling, bool is_sugar_free,
+                        bool has_nuts, const std::string& origin) {
+  return DataTuple{Value::Bool(is_dark), Value::Bool(has_filling),
+                   Value::Bool(is_sugar_free), Value::Bool(has_nuts),
+                   Value::Str(origin)};
+}
+
+std::vector<Proposition> ChocolatePropositions() {
+  return {
+      Proposition::BoolAttr("isDark"),
+      Proposition::BoolAttr("hasFilling"),
+      Proposition::Equals("origin", Value::Str("Madagascar")),
+  };
+}
+
+NestedRelation Fig1Boxes() {
+  NestedRelation boxes("Box", ChocolateSchema());
+
+  // Fig. 1 rows (columns there: origin, isSugarFree, isDark, hasFilling,
+  // hasNuts). Under p1..p3 these map to S1 = {111, 000, 110} and
+  // S2 = {100, 110}.
+  NestedObject global_ground;
+  global_ground.name = "Global Ground";
+  global_ground.tuples = FlatRelation(ChocolateSchema());
+  global_ground.tuples.AddRow(
+      MakeChocolate(/*dark=*/true, /*filling=*/true, /*sugar_free=*/true,
+                    /*nuts=*/false, "Madagascar"));
+  global_ground.tuples.AddRow(
+      MakeChocolate(false, false, true, true, "Belgium"));
+  global_ground.tuples.AddRow(
+      MakeChocolate(true, true, true, true, "Germany"));
+  boxes.AddObject(std::move(global_ground));
+
+  NestedObject europes_finest;
+  europes_finest.name = "Europe's Finest";
+  europes_finest.tuples = FlatRelation(ChocolateSchema());
+  europes_finest.tuples.AddRow(
+      MakeChocolate(true, false, true, false, "Belgium"));
+  europes_finest.tuples.AddRow(
+      MakeChocolate(true, false, false, true, "Belgium"));
+  europes_finest.tuples.AddRow(
+      MakeChocolate(true, true, false, true, "Sweden"));
+  boxes.AddObject(std::move(europes_finest));
+
+  return boxes;
+}
+
+Query IntroChocolateQuery() {
+  // ∀x1 ∃x2x3 over p1: isDark, p2: hasFilling, p3: origin = Madagascar.
+  return Query::Parse("∀x1 ∃x2x3", 3);
+}
+
+FlatRelation RandomChocolateDatabase(int size, Rng& rng) {
+  static const char* kOrigins[] = {"Madagascar", "Belgium", "Germany",
+                                   "Sweden",     "Ecuador", "Ghana"};
+  FlatRelation pool(ChocolateSchema());
+  for (int i = 0; i < size; ++i) {
+    pool.AddRow(MakeChocolate(
+        rng.Chance(0.5), rng.Chance(0.5), rng.Chance(0.5), rng.Chance(0.5),
+        kOrigins[rng.Below(sizeof(kOrigins) / sizeof(kOrigins[0]))]));
+  }
+  return pool;
+}
+
+}  // namespace qhorn

@@ -1,0 +1,43 @@
+// The paper's running example: boxes of chocolates.
+//
+//   Chocolate(isDark, hasFilling, isSugarFree, hasNuts, origin)
+//   Box(name, Chocolate(...))
+//
+// Provides the Fig. 1 data (the "Global Ground" and "Europe's Finest"
+// boxes), the three propositions of §2, and a random chocolate database for
+// the §5 instance-selection workflow.
+
+#ifndef QHORN_RELATION_CHOCOLATE_H_
+#define QHORN_RELATION_CHOCOLATE_H_
+
+#include "src/relation/binding.h"
+#include "src/relation/synthesize.h"
+#include "src/util/rng.h"
+
+namespace qhorn {
+
+/// Chocolate(isDark, hasFilling, isSugarFree, hasNuts, origin).
+Schema ChocolateSchema();
+
+/// One chocolate tuple.
+DataTuple MakeChocolate(bool is_dark, bool has_filling, bool is_sugar_free,
+                        bool has_nuts, const std::string& origin);
+
+/// The paper's propositions: p1: isDark, p2: hasFilling,
+/// p3: origin = Madagascar.
+std::vector<Proposition> ChocolatePropositions();
+
+/// The Box nested relation of Fig. 1 (Global Ground, Europe's Finest).
+NestedRelation Fig1Boxes();
+
+/// The paper's intro query over p1..p3:
+/// ∀c (p1) ∧ ∃c (p2 ∧ p3)  —  "all dark; some with filling from
+/// Madagascar" (equation (1) of §2).
+Query IntroChocolateQuery();
+
+/// A pool of `size` random chocolates for DatabaseSelector.
+FlatRelation RandomChocolateDatabase(int size, Rng& rng);
+
+}  // namespace qhorn
+
+#endif  // QHORN_RELATION_CHOCOLATE_H_

@@ -1,0 +1,32 @@
+#include "src/relation/execute.h"
+
+#include "src/util/check.h"
+
+namespace qhorn {
+
+std::vector<size_t> ExecuteQuery(const Query& query,
+                                 const BooleanBinding& binding,
+                                 const NestedRelation& relation,
+                                 const EvalOptions& opts) {
+  QHORN_CHECK_MSG(query.n() == binding.n(),
+                  "query arity does not match the proposition count");
+  std::vector<size_t> answers;
+  for (size_t i = 0; i < relation.objects().size(); ++i) {
+    TupleSet image = binding.ObjectToBoolean(relation.objects()[i]);
+    if (query.Evaluate(image, opts)) answers.push_back(i);
+  }
+  return answers;
+}
+
+std::vector<const NestedObject*> SelectAnswers(const Query& query,
+                                               const BooleanBinding& binding,
+                                               const NestedRelation& relation,
+                                               const EvalOptions& opts) {
+  std::vector<const NestedObject*> out;
+  for (size_t i : ExecuteQuery(query, binding, relation, opts)) {
+    out.push_back(&relation.objects()[i]);
+  }
+  return out;
+}
+
+}  // namespace qhorn

@@ -1,0 +1,30 @@
+// Running a (learned) qhorn query over actual data — the end of the
+// pipeline: once the query is learned or verified, the interface evaluates
+// it against the nested relation and returns the answer objects.
+
+#ifndef QHORN_RELATION_EXECUTE_H_
+#define QHORN_RELATION_EXECUTE_H_
+
+#include <vector>
+
+#include "src/core/query.h"
+#include "src/relation/binding.h"
+
+namespace qhorn {
+
+/// Indices of the objects of `relation` that `query` classifies as
+/// answers, via the binding's Boolean transformation.
+std::vector<size_t> ExecuteQuery(const Query& query,
+                                 const BooleanBinding& binding,
+                                 const NestedRelation& relation,
+                                 const EvalOptions& opts = EvalOptions());
+
+/// Convenience: the answer objects themselves (pointers into `relation`,
+/// valid while it lives).
+std::vector<const NestedObject*> SelectAnswers(
+    const Query& query, const BooleanBinding& binding,
+    const NestedRelation& relation, const EvalOptions& opts = EvalOptions());
+
+}  // namespace qhorn
+
+#endif  // QHORN_RELATION_EXECUTE_H_

@@ -1,0 +1,150 @@
+#include "src/relation/proposition.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/util/check.h"
+
+namespace qhorn {
+
+Proposition Proposition::BoolAttr(std::string attribute) {
+  return Proposition(Kind::kBoolAttr, std::move(attribute), Value(), 0);
+}
+
+Proposition Proposition::Equals(std::string attribute, Value value) {
+  return Proposition(Kind::kEquals, std::move(attribute), std::move(value), 0);
+}
+
+Proposition Proposition::Less(std::string attribute, int64_t bound) {
+  return Proposition(Kind::kLess, std::move(attribute), Value(), bound);
+}
+
+Proposition Proposition::Greater(std::string attribute, int64_t bound) {
+  return Proposition(Kind::kGreater, std::move(attribute), Value(), bound);
+}
+
+bool Proposition::EvaluateOn(const Schema& schema,
+                             const DataTuple& tuple) const {
+  size_t i = schema.RequireIndex(attribute_);
+  QHORN_CHECK(i < tuple.size());
+  const Value& v = tuple[i];
+  switch (kind_) {
+    case Kind::kBoolAttr:
+      return v.bool_value();
+    case Kind::kEquals:
+      return v == value_;
+    case Kind::kLess:
+      return v.int_value() < bound_;
+    case Kind::kGreater:
+      return v.int_value() > bound_;
+  }
+  return false;
+}
+
+std::string Proposition::label() const {
+  switch (kind_) {
+    case Kind::kBoolAttr: return attribute_;
+    case Kind::kEquals: return attribute_ + " = " + value_.ToString();
+    case Kind::kLess: return attribute_ + " < " + std::to_string(bound_);
+    case Kind::kGreater: return attribute_ + " > " + std::to_string(bound_);
+  }
+  return "?";
+}
+
+namespace {
+
+ValueType RequiredType(const Proposition& p) {
+  switch (p.kind()) {
+    case Proposition::Kind::kBoolAttr: return ValueType::kBool;
+    case Proposition::Kind::kEquals: return p.value().type();
+    case Proposition::Kind::kLess:
+    case Proposition::Kind::kGreater: return ValueType::kInt;
+  }
+  return ValueType::kBool;
+}
+
+bool EvaluateOnValue(const Proposition& p, const Value& v) {
+  switch (p.kind()) {
+    case Proposition::Kind::kBoolAttr: return v.bool_value();
+    case Proposition::Kind::kEquals: return v == p.value();
+    case Proposition::Kind::kLess: return v.int_value() < p.bound();
+    case Proposition::Kind::kGreater: return v.int_value() > p.bound();
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Value> CandidateValues(const std::vector<Proposition>& props,
+                                   ValueType type) {
+  std::vector<Value> candidates;
+  switch (type) {
+    case ValueType::kBool:
+      candidates.push_back(Value::Bool(false));
+      candidates.push_back(Value::Bool(true));
+      break;
+    case ValueType::kInt: {
+      std::set<int64_t> points = {0};
+      for (const Proposition& p : props) {
+        if (p.kind() == Proposition::Kind::kEquals &&
+            p.value().type() == ValueType::kInt) {
+          points.insert(p.value().int_value());
+          points.insert(p.value().int_value() + 1);
+          points.insert(p.value().int_value() - 1);
+        }
+        if (p.kind() == Proposition::Kind::kLess ||
+            p.kind() == Proposition::Kind::kGreater) {
+          points.insert(p.bound());
+          points.insert(p.bound() + 1);
+          points.insert(p.bound() - 1);
+        }
+      }
+      for (int64_t v : points) candidates.push_back(Value::Int(v));
+      break;
+    }
+    case ValueType::kString: {
+      std::set<std::string> strings;
+      for (const Proposition& p : props) {
+        if (p.kind() == Proposition::Kind::kEquals &&
+            p.value().type() == ValueType::kString) {
+          strings.insert(p.value().string_value());
+        }
+      }
+      strings.insert("⊥other");  // a value matching no Equals proposition
+      for (const std::string& s : strings) candidates.push_back(Value::Str(s));
+      break;
+    }
+  }
+  return candidates;
+}
+
+bool Interferes(const Proposition& a, const Proposition& b) {
+  if (a.attribute() != b.attribute()) return false;
+  ValueType ta = RequiredType(a);
+  ValueType tb = RequiredType(b);
+  // Mixed-type propositions on one attribute are a schema error surfaced
+  // elsewhere; treat them as interfering so bindings reject them.
+  if (ta != tb) return true;
+
+  // All four truth combinations must be achievable by some value.
+  std::vector<Proposition> both = {a, b};
+  std::vector<Value> candidates = CandidateValues(both, ta);
+  bool seen[2][2] = {{false, false}, {false, false}};
+  for (const Value& v : candidates) {
+    seen[EvaluateOnValue(a, v) ? 1 : 0][EvaluateOnValue(b, v) ? 1 : 0] = true;
+  }
+  return !(seen[0][0] && seen[0][1] && seen[1][0] && seen[1][1]);
+}
+
+std::vector<std::pair<size_t, size_t>> FindInterference(
+    const std::vector<Proposition>& props) {
+  std::vector<std::pair<size_t, size_t>> pairs;
+  for (size_t i = 0; i < props.size(); ++i) {
+    for (size_t j = i + 1; j < props.size(); ++j) {
+      if (Interferes(props[i], props[j])) pairs.emplace_back(i, j);
+    }
+  }
+  return pairs;
+}
+
+}  // namespace qhorn

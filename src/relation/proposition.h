@@ -1,0 +1,77 @@
+// User propositions over the embedded flat relation (§2).
+//
+// Propositions are the atoms of a qhorn query — e.g. p1: c.isDark,
+// p3: c.origin = Madagascar. The Boolean-domain transformation assumes the
+// truth assignment of one proposition does not interfere with another's;
+// the paper's example of interference is origin = Madagascar vs
+// origin = Belgium (pm → ¬pb). FindInterference detects such pairs so a
+// binding can reject them up front.
+
+#ifndef QHORN_RELATION_PROPOSITION_H_
+#define QHORN_RELATION_PROPOSITION_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/relation/relation.h"
+
+namespace qhorn {
+
+/// A predicate over one attribute of the embedded relation.
+class Proposition {
+ public:
+  enum class Kind {
+    kBoolAttr,   ///< attribute (bool) is true
+    kEquals,     ///< attribute == value
+    kLess,       ///< attribute (int) <  bound
+    kGreater,    ///< attribute (int) >  bound
+  };
+
+  static Proposition BoolAttr(std::string attribute);
+  static Proposition Equals(std::string attribute, Value value);
+  static Proposition Less(std::string attribute, int64_t bound);
+  static Proposition Greater(std::string attribute, int64_t bound);
+
+  Kind kind() const { return kind_; }
+  const std::string& attribute() const { return attribute_; }
+  const Value& value() const { return value_; }
+  int64_t bound() const { return bound_; }
+
+  /// Evaluates against a data tuple; aborts on schema/type mismatch.
+  bool EvaluateOn(const Schema& schema, const DataTuple& tuple) const;
+
+  /// Display label, e.g. "origin = Madagascar" or "isDark".
+  std::string label() const;
+
+ private:
+  Proposition(Kind kind, std::string attribute, Value value, int64_t bound)
+      : kind_(kind),
+        attribute_(std::move(attribute)),
+        value_(std::move(value)),
+        bound_(bound) {}
+
+  Kind kind_;
+  std::string attribute_;
+  Value value_;   // for kEquals
+  int64_t bound_; // for kLess / kGreater
+};
+
+/// True iff some joint truth assignment to (a, b) is unsatisfiable — i.e.
+/// the propositions interfere and cannot be treated as independent Boolean
+/// variables. Propositions on different attributes never interfere.
+bool Interferes(const Proposition& a, const Proposition& b);
+
+/// All interfering index pairs within `props`.
+std::vector<std::pair<size_t, size_t>> FindInterference(
+    const std::vector<Proposition>& props);
+
+/// Candidate values exercising every truth combination of the propositions
+/// on one attribute — shared by the interference check and the tuple
+/// synthesizer.
+std::vector<Value> CandidateValues(const std::vector<Proposition>& props,
+                                   ValueType type);
+
+}  // namespace qhorn
+
+#endif  // QHORN_RELATION_PROPOSITION_H_

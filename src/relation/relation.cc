@@ -1,0 +1,55 @@
+#include "src/relation/relation.h"
+
+#include "src/util/check.h"
+
+namespace qhorn {
+
+void FlatRelation::AddRow(DataTuple row) {
+  QHORN_CHECK_MSG(row.size() == schema_.size(),
+                  "row arity " << row.size() << " != schema arity "
+                               << schema_.size());
+  for (size_t i = 0; i < row.size(); ++i) {
+    QHORN_CHECK_MSG(row[i].type() == schema_.attribute(i).type,
+                    "type mismatch on attribute '" << schema_.attribute(i).name
+                                                   << "'");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string FlatRelation::ToString() const {
+  std::string out = schema_.ToString() + "\n";
+  for (const DataTuple& row : rows_) {
+    out += "  [";
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += row[i].ToString();
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+void NestedRelation::AddObject(NestedObject object) {
+  QHORN_CHECK_MSG(object.tuples.schema() == embedded_schema_,
+                  "object '" << object.name
+                             << "' does not match the embedded schema");
+  objects_.push_back(std::move(object));
+}
+
+std::string NestedRelation::ToString() const {
+  std::string out = name_ + embedded_schema_.ToString() + "\n";
+  for (const NestedObject& obj : objects_) {
+    out += obj.name + ":\n";
+    for (const DataTuple& row : obj.tuples.rows()) {
+      out += "    [";
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += row[i].ToString();
+      }
+      out += "]\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace qhorn

@@ -1,0 +1,72 @@
+// Flat and nested relations (Definitions 2.1–2.3).
+//
+// A nested relation has at least one domain that is a powerset of an
+// embedded relation; the paper analyzes single-level nesting (the embedded
+// relation is flat). The running example:
+//   Box(name, Chocolate(isDark, hasFilling, isSugarFree, hasNuts, origin))
+
+#ifndef QHORN_RELATION_RELATION_H_
+#define QHORN_RELATION_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/relation/schema.h"
+
+namespace qhorn {
+
+/// A tuple of the embedded flat relation.
+using DataTuple = std::vector<Value>;
+
+/// A flat relation: a schema plus typed rows.
+class FlatRelation {
+ public:
+  FlatRelation() = default;
+  explicit FlatRelation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<DataTuple>& rows() const { return rows_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Appends a row; aborts on arity or type mismatch.
+  void AddRow(DataTuple row);
+
+  std::string ToString() const;
+
+ private:
+  Schema schema_;
+  std::vector<DataTuple> rows_;
+};
+
+/// An object of the nested relation: its own attributes (here just a name)
+/// plus the embedded set of flat tuples.
+struct NestedObject {
+  std::string name;
+  FlatRelation tuples;
+};
+
+/// A single-level nested relation.
+class NestedRelation {
+ public:
+  NestedRelation(std::string name, Schema embedded_schema)
+      : name_(std::move(name)), embedded_schema_(std::move(embedded_schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& embedded_schema() const { return embedded_schema_; }
+  const std::vector<NestedObject>& objects() const { return objects_; }
+
+  /// Appends an object; its embedded schema must match.
+  void AddObject(NestedObject object);
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  Schema embedded_schema_;
+  std::vector<NestedObject> objects_;
+};
+
+}  // namespace qhorn
+
+#endif  // QHORN_RELATION_RELATION_H_

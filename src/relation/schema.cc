@@ -1,0 +1,49 @@
+#include "src/relation/schema.h"
+
+#include <set>
+
+#include "src/util/check.h"
+
+namespace qhorn {
+
+Schema::Schema(std::vector<Attribute> attributes)
+    : attributes_(std::move(attributes)) {
+  std::set<std::string> names;
+  for (const Attribute& a : attributes_) {
+    QHORN_CHECK_MSG(!a.name.empty(), "attribute name may not be empty");
+    QHORN_CHECK_MSG(names.insert(a.name).second,
+                    "duplicate attribute '" << a.name << "'");
+  }
+}
+
+const Attribute& Schema::attribute(size_t i) const {
+  QHORN_CHECK(i < attributes_.size());
+  return attributes_[i];
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+size_t Schema::RequireIndex(const std::string& name) const {
+  int i = IndexOf(name);
+  QHORN_CHECK_MSG(i >= 0, "no attribute '" << name << "'");
+  return static_cast<size_t>(i);
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += ":";
+    out += ValueTypeName(attributes_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace qhorn

@@ -1,0 +1,45 @@
+// Relation schemas for the data domain.
+
+#ifndef QHORN_RELATION_SCHEMA_H_
+#define QHORN_RELATION_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/relation/value.h"
+
+namespace qhorn {
+
+struct Attribute {
+  std::string name;
+  ValueType type;
+
+  friend bool operator==(const Attribute&, const Attribute&) = default;
+};
+
+/// An ordered list of named, typed attributes.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes);
+
+  size_t size() const { return attributes_.size(); }
+  const Attribute& attribute(size_t i) const;
+
+  /// Index of the attribute named `name`, or -1.
+  int IndexOf(const std::string& name) const;
+
+  /// Aborts unless an attribute with this name exists; returns its index.
+  size_t RequireIndex(const std::string& name) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Schema&, const Schema&) = default;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace qhorn
+
+#endif  // QHORN_RELATION_SCHEMA_H_

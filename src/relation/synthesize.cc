@@ -1,0 +1,132 @@
+#include "src/relation/synthesize.h"
+
+#include "src/util/check.h"
+
+namespace qhorn {
+
+TupleSynthesizer::TupleSynthesizer(const BooleanBinding* binding)
+    : binding_(binding) {
+  QHORN_CHECK(binding != nullptr);
+}
+
+DataTuple TupleSynthesizer::Synthesize(Tuple assignment) const {
+  const Schema& schema = binding_->schema();
+  const std::vector<Proposition>& props = binding_->propositions();
+
+  DataTuple tuple(schema.size());
+  for (size_t attr = 0; attr < schema.size(); ++attr) {
+    const Attribute& a = schema.attribute(attr);
+    // Constraints on this attribute: (proposition, desired truth).
+    std::vector<Proposition> attr_props;
+    std::vector<bool> desired;
+    for (size_t i = 0; i < props.size(); ++i) {
+      if (props[i].attribute() == a.name) {
+        attr_props.push_back(props[i]);
+        desired.push_back(HasVar(assignment, static_cast<int>(i)));
+      }
+    }
+    // No proposition touches the attribute: any default of the right type.
+    if (attr_props.empty()) {
+      switch (a.type) {
+        case ValueType::kBool: tuple[attr] = Value::Bool(false); break;
+        case ValueType::kInt: tuple[attr] = Value::Int(0); break;
+        case ValueType::kString: tuple[attr] = Value::Str("-"); break;
+      }
+      continue;
+    }
+    // Try candidate values until one realizes every desired truth value.
+    // Interference-freedom guarantees one exists.
+    bool found = false;
+    for (const Value& v : CandidateValues(attr_props, a.type)) {
+      DataTuple probe(schema.size());
+      probe[attr] = v;
+      bool ok = true;
+      for (size_t i = 0; i < attr_props.size(); ++i) {
+        // Evaluate on a minimal single-attribute schema to avoid touching
+        // unset attributes.
+        Schema single({a});
+        DataTuple one = {v};
+        if (attr_props[i].EvaluateOn(single, one) != desired[i]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        tuple[attr] = v;
+        found = true;
+        break;
+      }
+    }
+    QHORN_CHECK_MSG(found, "cannot realize assignment on attribute '"
+                               << a.name << "' (interference missed?)");
+  }
+  return tuple;
+}
+
+NestedObject TupleSynthesizer::SynthesizeObject(const TupleSet& question,
+                                                const std::string& name) const {
+  NestedObject object;
+  object.name = name;
+  object.tuples = FlatRelation(binding_->schema());
+  for (Tuple t : question) {
+    object.tuples.AddRow(Synthesize(t));
+  }
+  return object;
+}
+
+DatabaseSelector::DatabaseSelector(const FlatRelation* pool,
+                                   const BooleanBinding* binding)
+    : pool_(pool), binding_(binding), synthesizer_(binding) {
+  QHORN_CHECK(pool != nullptr);
+  QHORN_CHECK(pool->schema() == binding->schema());
+}
+
+DataTuple DatabaseSelector::PickOrSynthesize(Tuple assignment, Rng& rng) {
+  std::vector<const DataTuple*> matches;
+  for (const DataTuple& row : pool_->rows()) {
+    if (binding_->ToBoolean(row) == assignment) matches.push_back(&row);
+  }
+  if (!matches.empty()) {
+    ++from_pool_;
+    return *matches[static_cast<size_t>(rng.Below(matches.size()))];
+  }
+  ++synthesized_;
+  return synthesizer_.Synthesize(assignment);
+}
+
+NestedObject DatabaseSelector::MaterializeObject(const TupleSet& question,
+                                                 const std::string& name,
+                                                 Rng& rng) {
+  NestedObject object;
+  object.name = name;
+  object.tuples = FlatRelation(binding_->schema());
+  for (Tuple t : question) {
+    object.tuples.AddRow(PickOrSynthesize(t, rng));
+  }
+  return object;
+}
+
+DataDomainOracle::DataDomainOracle(Query intended,
+                                   const BooleanBinding* binding,
+                                   EvalOptions opts)
+    : intended_(std::move(intended)),
+      binding_(binding),
+      synthesizer_(binding),
+      opts_(opts) {
+  QHORN_CHECK(binding != nullptr);
+  QHORN_CHECK_MSG(intended_.n() == binding->n(),
+                  "query arity does not match the proposition count");
+}
+
+bool DataDomainOracle::IsAnswer(const TupleSet& question) {
+  // Materialize the Boolean question as a concrete object...
+  NestedObject object = synthesizer_.SynthesizeObject(
+      question, "box-" + std::to_string(shown_objects_.size() + 1));
+  // ...then answer the way a user looking at the object would: re-derive
+  // the Boolean classes of its tuples and evaluate the intended query.
+  TupleSet round_trip = binding_->ObjectToBoolean(object);
+  shown_objects_.push_back(std::move(object));
+  return intended_.Evaluate(round_trip, opts_);
+}
+
+}  // namespace qhorn

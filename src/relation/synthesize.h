@@ -1,0 +1,92 @@
+// Synthesizing data-domain membership questions (§2.1.2, §5).
+//
+// Learners build questions in the Boolean domain; before presentation the
+// question must become an actual object with data tuples. TupleSynthesizer
+// constructs a data tuple realizing any Boolean assignment (possible
+// because the binding rejected interfering propositions). DatabaseSelector
+// implements the paper's §5 remedy for artificial-looking examples: when a
+// database is available, pick a real tuple matching the Boolean class and
+// synthesize only as a fallback.
+//
+// DataDomainOracle closes the loop for simulation: it receives Boolean
+// questions, materializes them as data objects, maps them back through the
+// binding, and evaluates the intended query — exercising the full
+// data-domain round trip the paper's interface performs with a human.
+
+#ifndef QHORN_RELATION_SYNTHESIZE_H_
+#define QHORN_RELATION_SYNTHESIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/query.h"
+#include "src/oracle/oracle.h"
+#include "src/relation/binding.h"
+#include "src/util/rng.h"
+
+namespace qhorn {
+
+/// Builds data tuples realizing Boolean assignments.
+class TupleSynthesizer {
+ public:
+  explicit TupleSynthesizer(const BooleanBinding* binding);
+
+  /// A data tuple whose proposition truth values equal `assignment`.
+  DataTuple Synthesize(Tuple assignment) const;
+
+  /// An object realizing a Boolean question.
+  NestedObject SynthesizeObject(const TupleSet& question,
+                                const std::string& name) const;
+
+ private:
+  const BooleanBinding* binding_;
+};
+
+/// Prefers real database tuples over synthesized ones (§5).
+class DatabaseSelector {
+ public:
+  /// `pool` rows must match the binding's schema.
+  DatabaseSelector(const FlatRelation* pool, const BooleanBinding* binding);
+
+  /// A tuple from the pool whose Boolean image is `assignment`, or a
+  /// synthesized one when the pool has none.
+  DataTuple PickOrSynthesize(Tuple assignment, Rng& rng);
+
+  NestedObject MaterializeObject(const TupleSet& question,
+                                 const std::string& name, Rng& rng);
+
+  int64_t from_pool() const { return from_pool_; }
+  int64_t synthesized() const { return synthesized_; }
+
+ private:
+  const FlatRelation* pool_;
+  const BooleanBinding* binding_;
+  TupleSynthesizer synthesizer_;
+  int64_t from_pool_ = 0;
+  int64_t synthesized_ = 0;
+};
+
+/// Simulated user answering through the data domain (see file comment).
+class DataDomainOracle : public MembershipOracle {
+ public:
+  DataDomainOracle(Query intended, const BooleanBinding* binding,
+                   EvalOptions opts = EvalOptions());
+
+  bool IsAnswer(const TupleSet& question) override;
+
+  /// Objects materialized so far (the "boxes" shown to the user).
+  const std::vector<NestedObject>& shown_objects() const {
+    return shown_objects_;
+  }
+
+ private:
+  Query intended_;
+  const BooleanBinding* binding_;
+  TupleSynthesizer synthesizer_;
+  EvalOptions opts_;
+  std::vector<NestedObject> shown_objects_;
+};
+
+}  // namespace qhorn
+
+#endif  // QHORN_RELATION_SYNTHESIZE_H_

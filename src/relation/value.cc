@@ -1,0 +1,46 @@
+#include "src/relation/value.h"
+
+#include "src/util/check.h"
+
+namespace qhorn {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kBool: return "bool";
+    case ValueType::kInt: return "int";
+    case ValueType::kString: return "string";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  if (std::holds_alternative<bool>(data_)) return ValueType::kBool;
+  if (std::holds_alternative<int64_t>(data_)) return ValueType::kInt;
+  return ValueType::kString;
+}
+
+bool Value::bool_value() const {
+  QHORN_CHECK_MSG(type() == ValueType::kBool, "value is not a bool");
+  return std::get<bool>(data_);
+}
+
+int64_t Value::int_value() const {
+  QHORN_CHECK_MSG(type() == ValueType::kInt, "value is not an int");
+  return std::get<int64_t>(data_);
+}
+
+const std::string& Value::string_value() const {
+  QHORN_CHECK_MSG(type() == ValueType::kString, "value is not a string");
+  return std::get<std::string>(data_);
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kBool: return bool_value() ? "true" : "false";
+    case ValueType::kInt: return std::to_string(int_value());
+    case ValueType::kString: return string_value();
+  }
+  return "?";
+}
+
+}  // namespace qhorn

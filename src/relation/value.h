@@ -1,0 +1,45 @@
+// Typed attribute values of the data domain (Definitions 2.1–2.3).
+
+#ifndef QHORN_RELATION_VALUE_H_
+#define QHORN_RELATION_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace qhorn {
+
+enum class ValueType { kBool, kInt, kString };
+
+const char* ValueTypeName(ValueType type);
+
+/// A single attribute value: bool, 64-bit integer, or string.
+class Value {
+ public:
+  Value() : data_(false) {}
+
+  static Value Bool(bool v) { return Value(v); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Str(std::string v) { return Value(std::move(v)); }
+
+  ValueType type() const;
+
+  bool bool_value() const;      ///< aborts if not a bool
+  int64_t int_value() const;    ///< aborts if not an int
+  const std::string& string_value() const;  ///< aborts if not a string
+
+  std::string ToString() const;
+
+  friend bool operator==(const Value&, const Value&) = default;
+
+ private:
+  explicit Value(bool v) : data_(v) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+
+  std::variant<bool, int64_t, std::string> data_;
+};
+
+}  // namespace qhorn
+
+#endif  // QHORN_RELATION_VALUE_H_

@@ -1,0 +1,68 @@
+#include "src/session/session.h"
+
+#include "src/util/check.h"
+
+namespace qhorn {
+
+QuerySession::QuerySession(int n, MembershipOracle* user)
+    : QuerySession(n, user, Options()) {}
+
+QuerySession::QuerySession(int n, MembershipOracle* user, Options options)
+    : n_(n), user_(user), options_(options) {
+  QHORN_CHECK(user != nullptr);
+  QHORN_CHECK(n >= 1 && n <= kMaxVars);
+  counting_ = std::make_unique<CountingOracle>(user_);
+  MembershipOracle* below = counting_.get();
+  if (options_.cache_questions) {
+    cache_ = std::make_unique<CachingOracle>(below);
+    below = cache_.get();
+  }
+  transcript_ = std::make_unique<TranscriptOracle>(below);
+  top_ = transcript_.get();
+}
+
+const Query& QuerySession::Learn() {
+  RpLearnerResult result = LearnRolePreserving(n_, top_, options_.learner);
+  current_ = std::move(result.query);
+  return *current_;
+}
+
+VerificationReport QuerySession::Verify(const Query& candidate) {
+  QHORN_CHECK_MSG(candidate.n() == n_, "candidate arity mismatch");
+  VerificationReport report = VerifyQuery(candidate, top_);
+  if (report.accepted) current_ = candidate;
+  return report;
+}
+
+RevisionResult QuerySession::Revise(const Query& candidate) {
+  QHORN_CHECK_MSG(candidate.n() == n_, "candidate arity mismatch");
+  RevisionResult result = ReviseQuery(candidate, top_, options_.learner);
+  current_ = result.query;
+  return result;
+}
+
+const Query& QuerySession::CorrectAndRelearn(size_t index) {
+  transcript_->Correct(index);
+  // Replay the corrected prefix; fresh questions flow to the user through
+  // a fresh cache (the old cache holds the wrong answer).
+  std::vector<TranscriptEntry> prefix = transcript_->entries();
+  counting_ = std::make_unique<CountingOracle>(user_);
+  MembershipOracle* below = counting_.get();
+  if (options_.cache_questions) {
+    cache_ = std::make_unique<CachingOracle>(below);
+    below = cache_.get();
+  }
+  auto replay = std::make_unique<ReplayOracle>(std::move(prefix), below);
+  // The transcript re-records the whole corrected run.
+  auto transcript = std::make_unique<TranscriptOracle>(replay.get());
+  RpLearnerResult result =
+      LearnRolePreserving(n_, transcript.get(), options_.learner);
+  current_ = std::move(result.query);
+  // Keep the replay oracle alive alongside the new transcript.
+  replay_keepalive_ = std::move(replay);
+  transcript_ = std::move(transcript);
+  top_ = transcript_.get();
+  return *current_;
+}
+
+}  // namespace qhorn

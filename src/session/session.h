@@ -1,0 +1,80 @@
+// QuerySession — the high-level entry point a query interface embeds.
+//
+// It wires the pieces the paper's DataPlay front-end needs around a single
+// user-facing oracle: question caching (never ask the same object twice),
+// question counting, a full response history with correction-and-replay
+// (§5), learning (§3), verification (§4) and revision (§6). The embedding
+// UI implements MembershipOracle (pose the object to the user, return
+// their label); everything else is this class.
+
+#ifndef QHORN_SESSION_SESSION_H_
+#define QHORN_SESSION_SESSION_H_
+
+#include <memory>
+#include <optional>
+
+#include "src/learn/revision.h"
+#include "src/learn/rp_learner.h"
+#include "src/oracle/transcript.h"
+#include "src/verify/verifier.h"
+
+namespace qhorn {
+
+/// One user's query-specification session over n propositions.
+class QuerySession {
+ public:
+  struct Options {
+    RpLearnerOptions learner;
+    /// Deduplicate identical questions before they reach the user.
+    bool cache_questions = true;
+  };
+
+  /// `user` must outlive the session.
+  QuerySession(int n, MembershipOracle* user);
+  QuerySession(int n, MembershipOracle* user, Options options);
+
+  int n() const { return n_; }
+
+  /// Learns the user's query from membership questions (§3.2). The result
+  /// is also retained as the session's current query.
+  const Query& Learn();
+
+  /// Verifies a user-authored query with the O(k) verification set (§4).
+  /// On acceptance it becomes the session's current query.
+  VerificationReport Verify(const Query& candidate);
+
+  /// Revises a close-but-wrong query (§6); the result becomes current.
+  RevisionResult Revise(const Query& candidate);
+
+  /// The session's current query, if any phase has produced one.
+  const std::optional<Query>& current_query() const { return current_; }
+
+  /// Full question/answer history (in the order the user saw them).
+  const std::vector<TranscriptEntry>& history() const {
+    return transcript_->entries();
+  }
+
+  /// The §5 workflow: the user flips their answer to history entry
+  /// `index`; learning restarts from that point, replaying the unchanged
+  /// prefix so the user only answers genuinely new questions.
+  const Query& CorrectAndRelearn(size_t index);
+
+  /// Questions that actually reached the user (cache misses).
+  int64_t questions_asked() const { return counting_->stats().questions; }
+
+ private:
+  int n_;
+  MembershipOracle* user_;
+  Options options_;
+  // Oracle stack, outermost first: transcript → cache → counting → user.
+  std::unique_ptr<CountingOracle> counting_;
+  std::unique_ptr<CachingOracle> cache_;
+  std::unique_ptr<ReplayOracle> replay_keepalive_;
+  std::unique_ptr<TranscriptOracle> transcript_;
+  MembershipOracle* top_ = nullptr;
+  std::optional<Query> current_;
+};
+
+}  // namespace qhorn
+
+#endif  // QHORN_SESSION_SESSION_H_

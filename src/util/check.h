@@ -1,0 +1,54 @@
+// Checked assertions used across the qhorn library.
+//
+// The library avoids exceptions on hot paths (evaluation, question
+// generation). Precondition violations are programming errors and abort with
+// a diagnostic instead. QHORN_CHECK is always on (benchmark code depends on
+// invariants holding in Release builds too); QHORN_DCHECK compiles out in
+// NDEBUG builds and is used inside inner loops.
+
+#ifndef QHORN_UTIL_CHECK_H_
+#define QHORN_UTIL_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace qhorn {
+namespace internal {
+
+/// Prints the failure message and aborts. Marked noreturn so CHECK macros
+/// can be used in value-returning control flow.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+}  // namespace internal
+}  // namespace qhorn
+
+/// Aborts with a diagnostic when `cond` is false. Always enabled.
+#define QHORN_CHECK(cond)                                                \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::qhorn::internal::CheckFailed(__FILE__, __LINE__, #cond, "");     \
+    }                                                                    \
+  } while (0)
+
+/// QHORN_CHECK with an extra streamed message:
+///   QHORN_CHECK_MSG(n <= 64, "n=" << n << " exceeds the 64-variable limit");
+#define QHORN_CHECK_MSG(cond, msg)                                       \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::ostringstream qhorn_check_stream_;                            \
+      qhorn_check_stream_ << msg;                                        \
+      ::qhorn::internal::CheckFailed(__FILE__, __LINE__, #cond,          \
+                                     qhorn_check_stream_.str());         \
+    }                                                                    \
+  } while (0)
+
+#ifdef NDEBUG
+#define QHORN_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define QHORN_DCHECK(cond) QHORN_CHECK(cond)
+#endif
+
+#endif  // QHORN_UTIL_CHECK_H_

@@ -1,0 +1,54 @@
+#include "src/util/rng.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace qhorn {
+
+uint64_t Rng::Next() {
+  state_ += kGolden;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::Below(uint64_t bound) {
+  QHORN_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias; bias is tiny for small bounds,
+  // but determinism across platforms matters more than speed here.
+  uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::Range(int64_t lo, int64_t hi) {
+  QHORN_CHECK(lo <= hi);
+  return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+bool Rng::Chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Uniform() < p;
+}
+
+double Rng::Uniform() {
+  // 53 random bits into the mantissa.
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+std::vector<int> Rng::Sample(int universe, int count) {
+  QHORN_CHECK(count >= 0 && count <= universe);
+  std::vector<int> all(static_cast<size_t>(universe));
+  for (int i = 0; i < universe; ++i) all[static_cast<size_t>(i)] = i;
+  Shuffle(&all);
+  all.resize(static_cast<size_t>(count));
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+}  // namespace qhorn

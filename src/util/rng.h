@@ -1,0 +1,64 @@
+// Deterministic pseudo-random number generation for tests, random query
+// generation and benchmark workloads.
+//
+// Everything in the library that consumes randomness takes an explicit Rng&
+// so runs are reproducible from a single seed (benchmarks print their seeds).
+
+#ifndef QHORN_UTIL_RNG_H_
+#define QHORN_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace qhorn {
+
+/// SplitMix64-based deterministic generator. Small, fast, and statistically
+/// adequate for workload synthesis (we are not doing cryptography).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + kGolden) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t Below(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi);
+
+  /// Bernoulli draw with probability `p` of true.
+  bool Chance(double p);
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Below(i + 1));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Picks a uniformly random element (container must be non-empty).
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[static_cast<size_t>(Below(items.size()))];
+  }
+
+  /// Chooses `count` distinct values from [0, universe) in sorted order.
+  std::vector<int> Sample(int universe, int count);
+
+ private:
+  static constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+  uint64_t state_;
+};
+
+}  // namespace qhorn
+
+#endif  // QHORN_UTIL_RNG_H_

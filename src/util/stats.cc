@@ -1,0 +1,34 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qhorn {
+
+void Accumulator::Add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  sum_sq_ += value * value;
+}
+
+double Accumulator::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Accumulator::stddev() const {
+  if (count_ < 2) return 0.0;
+  double m = mean();
+  double var = sum_sq_ / static_cast<double>(count_) - m * m;
+  return var <= 0.0 ? 0.0 : std::sqrt(var);
+}
+
+double Lg(double x) { return x < 2.0 ? 1.0 : std::log2(x); }
+
+}  // namespace qhorn

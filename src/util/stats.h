@@ -1,0 +1,37 @@
+// Small statistics accumulators used by benchmarks to aggregate question
+// counts across seeds.
+
+#ifndef QHORN_UTIL_STATS_H_
+#define QHORN_UTIL_STATS_H_
+
+#include <cstdint>
+
+namespace qhorn {
+
+/// Streaming min / max / mean / population-stddev accumulator.
+class Accumulator {
+ public:
+  void Add(double value);
+
+  int64_t count() const { return count_; }
+  double mean() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Population standard deviation (0 when fewer than two samples).
+  double stddev() const;
+
+ private:
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Base-2 logarithm that treats lg(x) for x < 2 as 1, matching the paper's
+/// convention that a binary search over one candidate still costs a question.
+double Lg(double x);
+
+}  // namespace qhorn
+
+#endif  // QHORN_UTIL_STATS_H_

@@ -1,0 +1,82 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace qhorn {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  QHORN_CHECK(!header_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  QHORN_CHECK_MSG(cells.size() == header_.size(),
+                  "row arity " << cells.size() << " != header arity "
+                               << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+TextTable::RowBuilder& TextTable::RowBuilder::Cell(const std::string& value) {
+  cells_.push_back(value);
+  return *this;
+}
+
+TextTable::RowBuilder& TextTable::RowBuilder::Cell(int64_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+TextTable::RowBuilder& TextTable::RowBuilder::Cell(uint64_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+TextTable::RowBuilder& TextTable::RowBuilder::Cell(double value,
+                                                   int precision) {
+  cells_.push_back(FormatDouble(value, precision));
+  return *this;
+}
+
+TextTable::RowBuilder::~RowBuilder() { table_->AddRow(std::move(cells_)); }
+
+void TextTable::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << std::setw(static_cast<int>(widths[c])) << row[c] << " |";
+    }
+    os << '\n';
+  };
+  auto print_rule = [&]() {
+    os << "+";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      os << std::string(widths[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  print_rule();
+  print_row(header_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+std::string FormatDouble(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+}  // namespace qhorn

@@ -1,0 +1,60 @@
+// Plain-text table rendering for benchmark and example output.
+//
+// Every experiment binary prints paper-style rows through this class so the
+// output in bench_output.txt lines up and is easy to diff against
+// EXPERIMENTS.md.
+
+#ifndef QHORN_UTIL_TABLE_H_
+#define QHORN_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qhorn {
+
+/// Column-aligned text table. Usage:
+///   TextTable t({"n", "questions", "n lg n", "ratio"});
+///   t.AddRow({"8", "31", "24.0", "1.29"});
+///   t.Print(std::cout);
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience for mixed numeric rows.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(TextTable* table) : table_(table) {}
+    RowBuilder& Cell(const std::string& value);
+    RowBuilder& Cell(int64_t value);
+    RowBuilder& Cell(uint64_t value);
+    RowBuilder& Cell(int value) { return Cell(static_cast<int64_t>(value)); }
+    RowBuilder& Cell(double value, int precision = 2);
+    ~RowBuilder();
+
+   private:
+    TextTable* table_;
+    std::vector<std::string> cells_;
+  };
+
+  RowBuilder Row() { return RowBuilder(this); }
+
+  void Print(std::ostream& os) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared by benches).
+std::string FormatDouble(double value, int precision = 2);
+
+}  // namespace qhorn
+
+#endif  // QHORN_UTIL_TABLE_H_

@@ -1,0 +1,63 @@
+#include "src/verify/distinguishing.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/core/normalize.h"
+
+namespace qhorn {
+
+std::vector<ExistentialTupleInfo> DominantExistentialTuples(const Query& q) {
+  std::set<VarSet> user_closures;
+  std::vector<VarSet> pool;
+  for (const ExistentialConj& e : q.existential()) {
+    VarSet closed = q.HornClosure(e.vars);
+    user_closures.insert(closed);
+    pool.push_back(closed);
+  }
+  for (const UniversalHorn& u : q.universal()) {
+    pool.push_back(q.HornClosure(u.GuaranteeVars()));
+  }
+  std::vector<ExistentialTupleInfo> out;
+  for (VarSet vars : MaximalAntichain(std::move(pool))) {
+    out.push_back(ExistentialTupleInfo{
+        vars, /*guarantee_only=*/user_closures.count(vars) == 0});
+  }
+  return out;
+}
+
+std::vector<UniversalHorn> DominantUniversalHorns(const Query& q) {
+  CanonicalForm form = Canonicalize(q);
+  std::vector<UniversalHorn> out;
+  for (const auto& [head, bodies] : form.universal) {
+    for (VarSet body : bodies) out.push_back(UniversalHorn{body, head});
+  }
+  return out;
+}
+
+Tuple UniversalDistinguishingTuple(const UniversalHorn& horn,
+                                   VarSet all_heads) {
+  return horn.body | (all_heads & ~VarBit(horn.head));
+}
+
+std::vector<Tuple> ViolationFreeChildren(
+    Tuple t, int n, const std::vector<UniversalHorn>& horns) {
+  std::vector<Tuple> kept;
+  VarSet true_vars = t & AllTrue(n);
+  while (true_vars != 0) {
+    VarSet low = true_vars & (~true_vars + 1);
+    Tuple child = t & ~low;
+    bool violates = false;
+    for (const UniversalHorn& u : horns) {
+      if (u.ViolatedBy(child)) {
+        violates = true;
+        break;
+      }
+    }
+    if (!violates) kept.push_back(child);
+    true_vars &= true_vars - 1;
+  }
+  return kept;
+}
+
+}  // namespace qhorn

@@ -1,0 +1,50 @@
+// Distinguishing tuples (§3.2 Definitions 3.4 / 3.5, used throughout §4).
+//
+// An existential conjunction is distinguished by the tuple whose true
+// variables are exactly the conjunction's (R3-closed) variables. A
+// universal Horn expression ∀B→h is distinguished by the tuple with B true,
+// h false, the remaining head variables true (neutralized) and the
+// remaining non-head variables false.
+
+#ifndef QHORN_VERIFY_DISTINGUISHING_H_
+#define QHORN_VERIFY_DISTINGUISHING_H_
+
+#include <vector>
+
+#include "src/core/query.h"
+
+namespace qhorn {
+
+/// A dominant existential distinguishing tuple of a query.
+struct ExistentialTupleInfo {
+  /// True-set = the R3-closed conjunction variables.
+  Tuple tuple = 0;
+  /// True when the tuple arises solely from guarantee clauses of universal
+  /// Horn expressions (no user-written conjunction closes to it). N1
+  /// questions are built only for tuples with this false (Fig. 6).
+  bool guarantee_only = false;
+};
+
+/// Dominant existential distinguishing tuples of q: the maximal antichain
+/// (R1) over the R3-closures of the query's existential conjunctions and of
+/// every universal guarantee clause (§4.1.1). Sorted by popcount/value.
+std::vector<ExistentialTupleInfo> DominantExistentialTuples(const Query& q);
+
+/// Dominant universal Horn expressions of q: per head, the minimal
+/// antichain of bodies (§4.1.2). Flattened, ordered by head then body.
+std::vector<UniversalHorn> DominantUniversalHorns(const Query& q);
+
+/// Def. 3.4 construction for ∀body→head given the query's universal head
+/// set (§4.1.2): body true, head false, other heads true, other non-heads
+/// false.
+Tuple UniversalDistinguishingTuple(const UniversalHorn& horn,
+                                   VarSet all_heads);
+
+/// Children of `t` in the full n-variable lattice that violate none of
+/// `horns` (§3.2.2 / Fig. 6 footnote).
+std::vector<Tuple> ViolationFreeChildren(
+    Tuple t, int n, const std::vector<UniversalHorn>& horns);
+
+}  // namespace qhorn
+
+#endif  // QHORN_VERIFY_DISTINGUISHING_H_

@@ -1,0 +1,177 @@
+#include "src/verify/verification_set.h"
+
+#include <set>
+
+#include "src/core/classify.h"
+#include "src/core/normalize.h"
+#include "src/verify/distinguishing.h"
+#include "src/util/check.h"
+
+namespace qhorn {
+
+const char* FamilyName(QuestionFamily family) {
+  switch (family) {
+    case QuestionFamily::kA1: return "A1";
+    case QuestionFamily::kN1: return "N1";
+    case QuestionFamily::kA2: return "A2";
+    case QuestionFamily::kN2: return "N2";
+    case QuestionFamily::kA3: return "A3";
+    case QuestionFamily::kA4: return "A4";
+  }
+  return "?";
+}
+
+int64_t VerificationSet::total_tuples() const {
+  int64_t total = 0;
+  for (const VerificationQuestion& q : questions) {
+    total += static_cast<int64_t>(q.question.size());
+  }
+  return total;
+}
+
+std::string VerificationSet::ToString() const {
+  std::string out = "verification set for: " + given.ToString() + "\n";
+  for (const VerificationQuestion& q : questions) {
+    out += "  [" + std::string(FamilyName(q.family)) + "] " +
+           q.question.ToString(given.n()) +
+           (q.expected_answer ? "  expect: answer" : "  expect: non-answer") +
+           "    (" + q.description + ")\n";
+  }
+  return out;
+}
+
+namespace {
+
+// Enumerates the A3 search roots: every way of choosing one variable from
+// each body, deduplicated.
+std::vector<VarSet> A3Exclusions(const std::vector<VarSet>& bodies,
+                                 uint64_t max_roots) {
+  std::set<VarSet> current = {0};
+  for (VarSet body : bodies) {
+    std::set<VarSet> next;
+    for (VarSet prefix : current) {
+      for (int v : VarsOf(body)) next.insert(prefix | VarBit(v));
+    }
+    current = std::move(next);
+    QHORN_CHECK_MSG(current.size() <= max_roots,
+                    "A3 root product exceeds max_a3_roots");
+  }
+  return std::vector<VarSet>(current.begin(), current.end());
+}
+
+}  // namespace
+
+VerificationSet BuildVerificationSet(const Query& given,
+                                     const VerificationSetOptions& opts) {
+  QHORN_CHECK_MSG(IsRolePreserving(given),
+                  "verification sets are defined for role-preserving qhorn");
+  QHORN_CHECK_MSG(given.size_k() > 0, "cannot verify the empty query");
+
+  VerificationSet set;
+  set.given = Normalize(given);
+  const Query& q = set.given;
+  int n = q.n();
+  Tuple all = AllTrue(n);
+
+  std::vector<UniversalHorn> horns = DominantUniversalHorns(q);
+  // Distinguishing tuples come from the *original* query: normalization
+  // rewrites guarantee clauses into explicit conjunctions, which would
+  // erase the user-written vs guarantee-only distinction N1 relies on.
+  std::vector<ExistentialTupleInfo> exist = DominantExistentialTuples(given);
+  VarSet heads = 0;
+  for (const UniversalHorn& u : horns) heads |= VarBit(u.head);
+
+  auto add = [&](QuestionFamily family, TupleSet question, bool expected,
+                 std::string description) {
+    set.questions.push_back(VerificationQuestion{
+        family, std::move(question), expected, std::move(description)});
+  };
+
+  // A1: one question holding every dominant existential distinguishing
+  // tuple.
+  {
+    std::vector<Tuple> tuples;
+    for (const ExistentialTupleInfo& info : exist) tuples.push_back(info.tuple);
+    add(QuestionFamily::kA1, TupleSet(std::move(tuples)), true,
+        "all dominant existential distinguishing tuples");
+  }
+
+  // N1: per non-guarantee distinguishing tuple, replace it by its
+  // violation-free children.
+  for (const ExistentialTupleInfo& info : exist) {
+    if (info.guarantee_only) continue;
+    std::vector<Tuple> tuples = ViolationFreeChildren(info.tuple, n, horns);
+    for (const ExistentialTupleInfo& other : exist) {
+      if (other.tuple != info.tuple) tuples.push_back(other.tuple);
+    }
+    add(QuestionFamily::kN1, TupleSet(std::move(tuples)), false,
+        "N1 " + ExistentialConj{info.tuple}.ToString());
+  }
+
+  // A2 / N2: per dominant universal Horn expression.
+  for (const UniversalHorn& u : horns) {
+    Tuple tg = UniversalDistinguishingTuple(u, heads);
+    std::vector<Tuple> children;
+    children.push_back(all);
+    for (int b : VarsOf(u.body)) children.push_back(tg & ~VarBit(b));
+    add(QuestionFamily::kA2, TupleSet(std::move(children)), true,
+        "A2 " + u.ToString());
+    add(QuestionFamily::kN2, TupleSet{all, tg}, false, "N2 " + u.ToString());
+  }
+
+  // A3: per dominant existential conjunction C and universal head h ∈ C.
+  // The search roots exclude one variable from each of h's dominant bodies
+  // lying inside C; when none does, the product is empty and the single
+  // root keeps all of C \ {h} true — the question Theorem 4.2 case 1(b)(ii)
+  // needs to expose an intended body hiding inside C that is incomparable
+  // with every body of qg.
+  for (const ExistentialTupleInfo& info : exist) {
+    VarSet c = info.tuple;
+    for (int h : VarsOf(c & heads)) {
+      std::vector<VarSet> inside;
+      bool bodyless = false;
+      for (const UniversalHorn& u : horns) {
+        if (u.head != h) continue;
+        if (u.body == 0) bodyless = true;
+        if (u.body != 0 && IsSubset(u.GuaranteeVars(), c)) {
+          inside.push_back(u.body);
+        }
+      }
+      // A bodyless head is always true; no incomparable body can exist.
+      if (bodyless) continue;
+      std::vector<Tuple> tuples;
+      tuples.push_back(all);
+      for (VarSet excluded : A3Exclusions(inside, opts.max_a3_roots)) {
+        Tuple root = (c & ~excluded & ~VarBit(h)) | (heads & ~VarBit(h));
+        tuples.push_back(root);
+      }
+      add(QuestionFamily::kA3, TupleSet(std::move(tuples)), true,
+          "A3 " + ExistentialConj{c}.ToString() + " / head x" +
+              std::to_string(h + 1));
+    }
+  }
+
+  // A4: the all-true tuple plus one tuple per non-head variable.
+  {
+    std::vector<Tuple> tuples;
+    tuples.push_back(all);
+    for (int v : VarsOf(AllTrue(n) & ~heads)) {
+      tuples.push_back(all & ~VarBit(v));
+    }
+    add(QuestionFamily::kA4, TupleSet(std::move(tuples)), true,
+        "A4 non-head variables stay non-heads");
+  }
+
+  if (opts.validate_expected) {
+    for (const VerificationQuestion& vq : set.questions) {
+      bool actual = q.Evaluate(vq.question);
+      QHORN_CHECK_MSG(actual == vq.expected_answer,
+                      "verification-set construction bug: "
+                          << vq.description << " expected "
+                          << vq.expected_answer << " but qg says " << actual);
+    }
+  }
+  return set;
+}
+
+}  // namespace qhorn

@@ -1,0 +1,78 @@
+// Verification-set construction (§4, Fig. 6).
+//
+// Given a role-preserving qhorn query qg, the verifier builds O(k)
+// membership questions whose classifications qg pins down. If the user's
+// intended query qi is semantically different from qg, at least one
+// question is classified differently by qi (Theorem 4.2):
+//
+//   A1 — all dominant existential distinguishing tuples (expected answer);
+//   N1 — per non-guarantee distinguishing tuple: its violation-free
+//        children plus the other A1 tuples (expected non-answer);
+//   A2 — per dominant universal Horn expression: the all-true tuple plus
+//        the children of its universal distinguishing tuple (expected
+//        answer);
+//   N2 — per dominant universal Horn expression: the all-true tuple plus
+//        its universal distinguishing tuple (expected non-answer);
+//   A3 — per dominant existential conjunction C that dominates guarantee
+//        clauses of universal Horn expressions ∀B_i→h (B_i∪{h} ⊆ C): the
+//        all-true tuple plus the search roots that falsify one variable of
+//        each B_i inside C (expected answer) — detects a missing
+//        incomparable body for h;
+//   A4 — the all-true tuple plus one tuple per non-head variable v with
+//        only v false (expected answer) — detects head variables qg missed.
+
+#ifndef QHORN_VERIFY_VERIFICATION_SET_H_
+#define QHORN_VERIFY_VERIFICATION_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/bool/tuple_set.h"
+#include "src/core/query.h"
+
+namespace qhorn {
+
+/// Question family of Fig. 6.
+enum class QuestionFamily { kA1, kN1, kA2, kN2, kA3, kA4 };
+
+/// Short name, e.g. "A1".
+const char* FamilyName(QuestionFamily family);
+
+/// One membership question of a verification set.
+struct VerificationQuestion {
+  QuestionFamily family;
+  TupleSet question;
+  /// qg's own classification; the user detects a discrepancy by disagreeing.
+  bool expected_answer;
+  /// What the question checks, e.g. "N2 ∀x1x4→x5".
+  std::string description;
+};
+
+struct VerificationSetOptions {
+  /// Upper bound on A3 search roots per question (the product can reach
+  /// n^θ; verification sets stay interactive by capping it).
+  uint64_t max_a3_roots = 4096;
+  /// Double-check each question's expected label by evaluating qg
+  /// (construction self-test; cheap, on by default).
+  bool validate_expected = true;
+};
+
+/// The verification set of a query.
+struct VerificationSet {
+  Query given;  ///< normalized qg
+  std::vector<VerificationQuestion> questions;
+
+  int64_t total_tuples() const;
+  std::string ToString() const;
+};
+
+/// Builds the Fig. 6 verification set for `given` (must be role-preserving
+/// and non-empty).
+VerificationSet BuildVerificationSet(
+    const Query& given,
+    const VerificationSetOptions& opts = VerificationSetOptions());
+
+}  // namespace qhorn
+
+#endif  // QHORN_VERIFY_VERIFICATION_SET_H_

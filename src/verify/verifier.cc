@@ -1,0 +1,27 @@
+#include "src/verify/verifier.h"
+
+namespace qhorn {
+
+VerificationReport RunVerification(const VerificationSet& set,
+                                   MembershipOracle* user) {
+  VerificationReport report;
+  for (size_t i = 0; i < set.questions.size(); ++i) {
+    const VerificationQuestion& vq = set.questions[i];
+    ++report.questions_asked;
+    bool user_says = user->IsAnswer(vq.question);
+    if (user_says != vq.expected_answer) {
+      report.accepted = false;
+      report.discrepancies.push_back(
+          Discrepancy{i, vq.family, vq.description});
+    }
+  }
+  return report;
+}
+
+VerificationReport VerifyQuery(const Query& given, MembershipOracle* user,
+                               const VerificationSetOptions& opts) {
+  VerificationSet set = BuildVerificationSet(given, opts);
+  return RunVerification(set, user);
+}
+
+}  // namespace qhorn

@@ -1,0 +1,44 @@
+// The query verifier (§4): poses a verification set to the user's oracle
+// and reports every question whose classification disagrees with the given
+// query's expectation. The query is correct only if no question disagrees.
+
+#ifndef QHORN_VERIFY_VERIFIER_H_
+#define QHORN_VERIFY_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/oracle/oracle.h"
+#include "src/verify/verification_set.h"
+
+namespace qhorn {
+
+/// One disagreement between qg's expectation and the user's classification.
+struct Discrepancy {
+  size_t question_index;
+  QuestionFamily family;
+  std::string description;
+};
+
+struct VerificationReport {
+  /// True iff the user agreed with every expected classification.
+  bool accepted = true;
+  std::vector<Discrepancy> discrepancies;
+  int64_t questions_asked = 0;
+};
+
+/// Asks every question of `set` (verification is a fixed set, not adaptive —
+/// all questions are posed even after a first disagreement, matching the
+/// paper's model of presenting the whole set).
+VerificationReport RunVerification(const VerificationSet& set,
+                                   MembershipOracle* user);
+
+/// Convenience: build the verification set for `given` and run it against
+/// `user`.
+VerificationReport VerifyQuery(const Query& given, MembershipOracle* user,
+                               const VerificationSetOptions& opts =
+                                   VerificationSetOptions());
+
+}  // namespace qhorn
+
+#endif  // QHORN_VERIFY_VERIFIER_H_

@@ -1,0 +1,65 @@
+// Version-space adversary: consistency and maximal-survival behaviour.
+
+#include "src/oracle/adversary.h"
+
+#include <gtest/gtest.h>
+
+namespace qhorn {
+namespace {
+
+TEST(AdversaryTest, NeverContradictsAllCandidates) {
+  std::vector<Query> candidates = {Query::Parse("∃x1", 2),
+                                   Query::Parse("∃x2", 2)};
+  AdversaryOracle adversary(candidates);
+  // {11} is an answer for both; the adversary must say answer.
+  EXPECT_TRUE(adversary.IsAnswer(TupleSet::Parse({"11"})));
+  EXPECT_EQ(adversary.candidates().size(), 2u);
+}
+
+TEST(AdversaryTest, KeepsTheLargerSide) {
+  std::vector<Query> candidates = {
+      Query::Parse("∃x1", 2),  // {10}: answer
+      Query::Parse("∃x2", 2),  // {10}: non-answer
+      Query::Parse("∃x1x2", 2),  // {10}: non-answer
+  };
+  AdversaryOracle adversary(candidates);
+  EXPECT_FALSE(adversary.IsAnswer(TupleSet::Parse({"10"})));
+  EXPECT_EQ(adversary.candidates().size(), 2u);
+}
+
+TEST(AdversaryTest, TieFavoursNonAnswer) {
+  std::vector<Query> candidates = {Query::Parse("∃x1", 2),
+                                   Query::Parse("∃x2", 2)};
+  AdversaryOracle adversary(candidates);
+  // {10}: one candidate says answer, one non-answer → non-answer wins.
+  EXPECT_FALSE(adversary.IsAnswer(TupleSet::Parse({"10"})));
+  EXPECT_EQ(adversary.candidates().size(), 1u);
+  EXPECT_TRUE(adversary.Pinned());
+}
+
+TEST(AdversaryTest, StaysConsistentAcrossQuestions) {
+  // Whatever it answered earlier must remain true of the survivors.
+  std::vector<Query> candidates;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      Query q(4);
+      q.AddExistential(VarBit(i) | VarBit(j));
+      candidates.push_back(q);
+    }
+  }
+  AdversaryOracle adversary(candidates);
+  TupleSet q1 = TupleSet::Parse({"1100"});
+  bool r1 = adversary.IsAnswer(q1);
+  TupleSet q2 = TupleSet::Parse({"0011"});
+  adversary.IsAnswer(q2);
+  for (const Query& survivor : adversary.candidates()) {
+    EXPECT_EQ(survivor.Evaluate(q1), r1);
+  }
+}
+
+TEST(AdversaryDeathTest, EmptyCandidateSetAborts) {
+  EXPECT_DEATH(AdversaryOracle(std::vector<Query>{}), "");
+}
+
+}  // namespace
+}  // namespace qhorn

@@ -1,0 +1,82 @@
+// Theorem 2.1: the Uni(X) ∧ Alias(Y) family and its Ω(2^n) adversary.
+
+#include "src/lower_bounds/alias_class.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/classify.h"
+
+namespace qhorn {
+namespace {
+
+TEST(AliasInstanceTest, PaperExampleSemantics) {
+  // Uni({x1,x3,x5}) ∧ Alias({x2,x4,x6}): only {1^6} and {1^6, 101010}
+  // are answers among the two-tuple questions considered in the proof.
+  VarSet x = VarBit(0) | VarBit(2) | VarBit(4);
+  Query q = AliasInstance(6, x);
+  EXPECT_TRUE(q.Evaluate(TupleSet{AllTrue(6)}));
+  EXPECT_TRUE(q.Evaluate(TupleSet{AllTrue(6), ParseTuple("101010")}));
+  // A tuple whose false variables are not exactly the alias set fails.
+  EXPECT_FALSE(q.Evaluate(TupleSet{AllTrue(6), ParseTuple("100010")}));
+  EXPECT_FALSE(q.Evaluate(TupleSet{AllTrue(6), ParseTuple("111010")}));
+  // Two or more non-top tuples: always a non-answer.
+  EXPECT_FALSE(q.Evaluate(
+      TupleSet{AllTrue(6), ParseTuple("101010"), ParseTuple("101011")}));
+}
+
+TEST(AliasInstanceTest, VariablesRepeatSoNotRolePreserving) {
+  // Alias variables are heads and bodies at once — the separation that
+  // makes general qhorn hard.
+  Query q = AliasInstance(5, VarBit(0));
+  EXPECT_FALSE(IsRolePreserving(q));
+}
+
+TEST(AliasInstanceTest, AllUniversalInstanceHasNoAlias) {
+  Query q = AliasInstance(4, AllTrue(4));
+  EXPECT_EQ(q.universal().size(), 4u);
+  EXPECT_TRUE(IsRolePreserving(q));  // no alias cycle, all bodyless
+}
+
+TEST(AliasClassTest, SizeIsTwoToTheNMinusSingletons) {
+  // Splits with |Y| = 1 are excluded.
+  EXPECT_EQ(AliasClass(4).size(), (1u << 4) - 4);
+  EXPECT_EQ(AliasClass(6).size(), (1u << 6) - 6);
+}
+
+TEST(AliasClassTest, PositiveQuestionsSeparateInstances) {
+  // The question for X is an answer only for the instance with that X.
+  int n = 5;
+  std::vector<Query> cls = AliasClass(n);
+  for (VarSet x = 0; x < (VarSet{1} << n); ++x) {
+    if (Popcount(AllTrue(n) & ~x) == 1) continue;
+    TupleSet question = AliasPositiveQuestion(n, x);
+    int yes = 0;
+    for (Query& q : cls) {
+      if (q.Evaluate(question)) ++yes;
+    }
+    // The all-true mask gives the uninformative {1^n} question (answer for
+    // every instance); every other question pins exactly one instance.
+    if (x == AllTrue(n)) {
+      EXPECT_EQ(yes, static_cast<int>(cls.size()));
+    } else {
+      EXPECT_EQ(yes, 1) << FormatVarSet(x);
+    }
+  }
+}
+
+class AliasLowerBoundTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AliasLowerBoundTest, AdversaryForcesClassSizeQuestions) {
+  int n = GetParam();
+  AdversaryOracle adversary(AliasClass(n));
+  int64_t questions = RunAliasEliminationLearner(n, &adversary);
+  EXPECT_TRUE(adversary.Pinned());
+  // Each question eliminates one candidate: #candidates − 1 questions.
+  EXPECT_EQ(questions, static_cast<int64_t>((1u << n) - n - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ns, AliasLowerBoundTest,
+                         ::testing::Values(3, 4, 5, 6, 8, 10));
+
+}  // namespace
+}  // namespace qhorn

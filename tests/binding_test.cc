@@ -1,0 +1,53 @@
+// The data ↔ Boolean transformation (Fig. 1).
+
+#include "src/relation/binding.h"
+
+#include <gtest/gtest.h>
+
+#include "src/relation/chocolate.h"
+
+namespace qhorn {
+namespace {
+
+TEST(BindingTest, Fig1Transformation) {
+  // Fig. 1: Global Ground → S1 = {111, 000, 110},
+  //         Europe's Finest → S2 = {100, 110} (two tuples collapse).
+  BooleanBinding binding(ChocolateSchema(), ChocolatePropositions());
+  NestedRelation boxes = Fig1Boxes();
+  EXPECT_EQ(binding.ObjectToBoolean(boxes.objects()[0]),
+            TupleSet::Parse({"111", "000", "110"}));
+  EXPECT_EQ(binding.ObjectToBoolean(boxes.objects()[1]),
+            TupleSet::Parse({"100", "110"}));
+}
+
+TEST(BindingTest, TupleImageBits) {
+  BooleanBinding binding(ChocolateSchema(), ChocolatePropositions());
+  // dark, no filling, from Belgium → only p1 true.
+  EXPECT_EQ(binding.ToBoolean(
+                MakeChocolate(true, false, true, true, "Belgium")),
+            ParseTuple("100"));
+  // white, filled, Madagascar → p2 p3.
+  EXPECT_EQ(binding.ToBoolean(
+                MakeChocolate(false, true, false, false, "Madagascar")),
+            ParseTuple("011"));
+}
+
+TEST(BindingDeathTest, InterferingPropositionsRejected) {
+  std::vector<Proposition> props = {
+      Proposition::Equals("origin", Value::Str("Madagascar")),
+      Proposition::Equals("origin", Value::Str("Belgium")),
+  };
+  EXPECT_DEATH(BooleanBinding(ChocolateSchema(), props), "interfere");
+}
+
+TEST(BindingDeathTest, UnknownAttributeRejected) {
+  std::vector<Proposition> props = {Proposition::BoolAttr("isVegan")};
+  EXPECT_DEATH(BooleanBinding(ChocolateSchema(), props), "no attribute");
+}
+
+TEST(BindingDeathTest, EmptyPropositionListRejected) {
+  EXPECT_DEATH(BooleanBinding(ChocolateSchema(), {}), "propositions");
+}
+
+}  // namespace
+}  // namespace qhorn

@@ -1,0 +1,52 @@
+// The paper's running chocolate example.
+
+#include "src/relation/chocolate.h"
+
+#include <gtest/gtest.h>
+
+namespace qhorn {
+namespace {
+
+TEST(ChocolateTest, SchemaMatchesThePaper) {
+  Schema s = ChocolateSchema();
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.IndexOf("isDark"), 0);
+  EXPECT_EQ(s.IndexOf("origin"), 4);
+}
+
+TEST(ChocolateTest, PropositionsMatchSection2) {
+  std::vector<Proposition> props = ChocolatePropositions();
+  ASSERT_EQ(props.size(), 3u);
+  EXPECT_EQ(props[0].label(), "isDark");
+  EXPECT_EQ(props[1].label(), "hasFilling");
+  EXPECT_EQ(props[2].label(), "origin = Madagascar");
+}
+
+TEST(ChocolateTest, IntroQuerySemantics) {
+  // The pedantic server's boxes disappoint: neither Fig. 1 box satisfies
+  // query (1) — Global Ground has a non-dark chocolate, Europe's Finest
+  // has no filled Madagascar chocolate.
+  Query q = IntroChocolateQuery();
+  BooleanBinding binding(ChocolateSchema(), ChocolatePropositions());
+  NestedRelation boxes = Fig1Boxes();
+  EXPECT_FALSE(q.Evaluate(binding.ObjectToBoolean(boxes.objects()[0])));
+  EXPECT_FALSE(q.Evaluate(binding.ObjectToBoolean(boxes.objects()[1])));
+
+  // A box that the user would accept: all dark, one filled Madagascar.
+  NestedObject good;
+  good.name = "good";
+  good.tuples = FlatRelation(ChocolateSchema());
+  good.tuples.AddRow(MakeChocolate(true, true, false, false, "Madagascar"));
+  good.tuples.AddRow(MakeChocolate(true, false, true, true, "Belgium"));
+  EXPECT_TRUE(q.Evaluate(binding.ObjectToBoolean(good)));
+}
+
+TEST(ChocolateTest, RandomDatabaseIsWellTyped) {
+  Rng rng(1);
+  FlatRelation pool = RandomChocolateDatabase(64, rng);
+  EXPECT_EQ(pool.size(), 64u);
+  EXPECT_EQ(pool.schema(), ChocolateSchema());
+}
+
+}  // namespace
+}  // namespace qhorn

@@ -1,0 +1,75 @@
+// Structural classification: role preservation (§2.1.4), causal density θ
+// (Def. 2.6), dominant query size.
+
+#include "src/core/classify.h"
+
+#include <gtest/gtest.h>
+
+namespace qhorn {
+namespace {
+
+TEST(ClassifyTest, RolePreservingExamplesFromThePaper) {
+  // §2.1.4's positive example.
+  EXPECT_TRUE(IsRolePreserving(
+      Query::Parse("∀x1x4→x5 ∀x3x4→x5 ∀x2x4→x6 ∃x1x2x3 ∃x1x2x5x6")));
+  // §2.1.4's negative example: x5 is head and body.
+  EXPECT_FALSE(IsRolePreserving(Query::Parse("∀x1x4→x5 ∀x2x3x5→x6")));
+}
+
+TEST(ClassifyTest, ExistentialConjunctionsAreRoleFree) {
+  // A head may appear inside existential conjunctions freely.
+  EXPECT_TRUE(IsRolePreserving(Query::Parse("∀x1→x2 ∃x2x3")));
+}
+
+TEST(ClassifyTest, AliasCycleIsNotRolePreserving) {
+  EXPECT_FALSE(IsRolePreserving(Query::Parse("∀x1→x2 ∀x2→x1")));
+}
+
+TEST(ClassifyTest, CausalDensityCountsNonDominatedExpressions) {
+  // Two incomparable bodies for x5, one for x6 → θ = 2.
+  EXPECT_EQ(CausalDensity(
+                Query::Parse("∀x1x4→x5 ∀x3x4→x5 ∀x1x2→x6 ∃x1x2x3")),
+            2);
+  // A dominated body does not count.
+  EXPECT_EQ(CausalDensity(Query::Parse("∀x1→x5 ∀x1x2→x5", 5)), 1);
+  // No universal expressions → θ = 0.
+  EXPECT_EQ(CausalDensity(Query::Parse("∃x1x2")), 0);
+  // Bodyless dominates everything.
+  EXPECT_EQ(CausalDensity(Query::Parse("∀x5 ∀x1→x5 ∀x2x3→x5", 5)), 1);
+}
+
+TEST(ClassifyTest, DominantSizeDropsRedundancy) {
+  // ∃x1 is dominated by ∃x1x2; ∀x1x2→x3 by ∀x1→x3. Dominant expressions:
+  // ∀x1→x3, ∃x1x2x3 (the closed conjunction, which also covers the
+  // guarantee).
+  Query q = Query::Parse("∃x1 ∃x1x2 ∀x1x2→x3 ∀x1→x3");
+  EXPECT_EQ(DominantSize(q), 2);
+}
+
+TEST(ClassifyTest, IsQhorn1AcceptsValidParts) {
+  Qhorn1Structure good(4);
+  good.AddPart(Qhorn1Part{VarBit(0), VarBit(1), VarBit(2)});
+  good.AddPart(Qhorn1Part{0, 0, VarBit(3)});
+  EXPECT_TRUE(IsQhorn1(good));
+}
+
+TEST(ClassifyTest, IsQhorn1RejectsInvalidParts) {
+  // A part with no head.
+  EXPECT_FALSE(IsQhorn1({Qhorn1Part{VarBit(0), 0, 0}}));
+  // A head quantified both ways.
+  EXPECT_FALSE(IsQhorn1({Qhorn1Part{VarBit(0), VarBit(1), VarBit(1)}}));
+  // A head inside its own body.
+  EXPECT_FALSE(
+      IsQhorn1({Qhorn1Part{VarBit(0) | VarBit(1), VarBit(1), 0}}));
+  // A bodyless part with two heads.
+  EXPECT_FALSE(IsQhorn1({Qhorn1Part{0, VarBit(0) | VarBit(1), 0}}));
+  // Variable reuse across parts (restriction 4).
+  EXPECT_FALSE(IsQhorn1({Qhorn1Part{VarBit(0), VarBit(1), 0},
+                         Qhorn1Part{VarBit(0), VarBit(2), 0}}));
+  // Overlapping-but-unequal bodies are variable reuse too.
+  EXPECT_FALSE(IsQhorn1({Qhorn1Part{VarBit(0) | VarBit(1), VarBit(2), 0},
+                         Qhorn1Part{VarBit(1) | VarBit(3), VarBit(4), 0}}));
+}
+
+}  // namespace
+}  // namespace qhorn

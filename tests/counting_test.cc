@@ -1,0 +1,79 @@
+// Counting results of §2 and §2.1.3: Bell numbers, 2^(2^n) objects,
+// doubly-exponential query counts, binomials.
+
+#include "src/core/counting.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/stats.h"
+
+namespace qhorn {
+namespace {
+
+TEST(CountingTest, BellNumbers) {
+  EXPECT_EQ(BellNumber(0), 1u);
+  EXPECT_EQ(BellNumber(1), 1u);
+  EXPECT_EQ(BellNumber(2), 2u);
+  EXPECT_EQ(BellNumber(3), 5u);
+  EXPECT_EQ(BellNumber(4), 15u);
+  EXPECT_EQ(BellNumber(5), 52u);
+  EXPECT_EQ(BellNumber(10), 115975u);
+  EXPECT_EQ(BellNumber(25), 4638590332229999353u);
+}
+
+TEST(CountingTest, LgBellMatchesExactValues) {
+  for (int n : {1, 5, 10, 20, 25}) {
+    double expected = std::log2(static_cast<double>(BellNumber(n)));
+    EXPECT_NEAR(LgBellNumber(n), expected, 1e-6) << "n=" << n;
+  }
+}
+
+TEST(CountingTest, LgBellIsThetaNLogN) {
+  // ln(B_n) = Θ(n ln n): the ratio lg(B_n)/(n lg n) stays bounded.
+  for (int n : {20, 50, 100, 200}) {
+    double ratio = LgBellNumber(n) / (n * Lg(n));
+    EXPECT_GT(ratio, 0.2) << "n=" << n;
+    EXPECT_LT(ratio, 1.2) << "n=" << n;
+  }
+}
+
+TEST(CountingTest, Qhorn1UpperBound) {
+  // lg(2^n·2^n·2^(n lg n)) = 2n + n lg n.
+  EXPECT_DOUBLE_EQ(LgQhorn1UpperBound(8), 16.0 + 8.0 * 3.0);
+}
+
+TEST(CountingTest, NumBooleanTuples) {
+  // §2: with 3 propositions, 8 chocolate classes.
+  EXPECT_EQ(NumBooleanTuples(3), 8u);
+  EXPECT_EQ(NumBooleanTuples(0), 1u);
+}
+
+TEST(CountingTest, NumObjectsString) {
+  // §2: 256 boxes of distinct mixes of the 8 chocolate classes.
+  EXPECT_EQ(NumObjectsString(3), "256");
+  EXPECT_EQ(NumObjectsString(0), "2");
+  EXPECT_EQ(NumObjectsString(2), "16");
+}
+
+TEST(CountingTest, LgNumQueriesString) {
+  // §2: lg(#queries) = 2^(2^n) membership questions needed; for n = 3
+  // that's 256 (and #queries ≈ 10^77).
+  EXPECT_EQ(LgNumQueriesString(3), "256");
+}
+
+TEST(CountingTest, Binomial) {
+  EXPECT_EQ(Binomial(4, 2), 6u);
+  EXPECT_EQ(Binomial(10, 0), 1u);
+  EXPECT_EQ(Binomial(10, 10), 1u);
+  EXPECT_EQ(Binomial(5, 7), 0u);
+  EXPECT_EQ(Binomial(52, 5), 2598960u);
+}
+
+TEST(CountingDeathTest, BellBeyondExactRangeAborts) {
+  EXPECT_DEATH(BellNumber(26), "Bell");
+}
+
+}  // namespace
+}  // namespace qhorn

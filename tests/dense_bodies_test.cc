@@ -1,0 +1,80 @@
+// Theorem 3.6: the dense-body family forcing (n/θ)^(θ−1) questions.
+
+#include "src/lower_bounds/dense_bodies.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/classify.h"
+#include "src/core/normalize.h"
+#include "src/learn/rp_universal.h"
+
+namespace qhorn {
+namespace {
+
+TEST(DenseBodyFamilyTest, PaperExampleShape) {
+  // n=12, θ=4: three fixed bodies of size 4 plus a 9-variable last body.
+  DenseBodyFamily family = MakeDenseBodyFamily(12, 4);
+  EXPECT_EQ(family.fixed_bodies.size(), 3u);
+  for (VarSet b : family.fixed_bodies) EXPECT_EQ(Popcount(b), 4);
+
+  VarSet excluded = 0;
+  for (VarSet b : family.fixed_bodies) excluded |= b & (~b + 1);
+  Query q = DenseBodyInstance(family, excluded);
+  EXPECT_EQ(q.universal().size(), 4u);
+  EXPECT_EQ(Popcount(q.universal().back().body), 12 - 3);
+  EXPECT_TRUE(IsRolePreserving(q));
+  EXPECT_EQ(CausalDensity(q), 4);
+}
+
+TEST(DenseBodyClassTest, SizeIsWidthToThetaMinus1) {
+  DenseBodyFamily family = MakeDenseBodyFamily(9, 4);  // width 3
+  EXPECT_EQ(DenseBodyClass(family).size(), 27u);       // 3^3
+  DenseBodyFamily f2 = MakeDenseBodyFamily(8, 3);      // width 4
+  EXPECT_EQ(DenseBodyClass(f2).size(), 16u);           // 4^2
+}
+
+TEST(DenseBodyClassTest, CandidatesArePairwiseInequivalent) {
+  DenseBodyFamily family = MakeDenseBodyFamily(6, 3);
+  std::vector<Query> cls = DenseBodyClass(family);
+  for (size_t i = 0; i < cls.size(); ++i) {
+    for (size_t j = i + 1; j < cls.size(); ++j) {
+      EXPECT_FALSE(Equivalent(cls[i], cls[j]));
+    }
+  }
+}
+
+TEST(DenseBodyLearnerTest, LearnsEachCandidateExactly) {
+  DenseBodyFamily family = MakeDenseBodyFamily(6, 3);
+  for (const Query& target : DenseBodyClass(family)) {
+    QueryOracle oracle(target);
+    RpUniversalResult r = LearnUniversalHorns(family.n + 1, &oracle);
+    Query learned(family.n + 1);
+    for (const UniversalHorn& u : r.horns) learned.AddUniversal(u.body, u.head);
+    // Compare just the universal canonical part.
+    CanonicalForm lf = Canonicalize(learned);
+    CanonicalForm tf = Canonicalize(target);
+    EXPECT_EQ(lf.universal, tf.universal) << target.ToString();
+  }
+}
+
+TEST(DenseBodyLearnerTest, AdversaryForcesTheProduct) {
+  for (int theta : {2, 3}) {
+    int width = 4;
+    int n = width * (theta - 1);
+    DenseBodyFamily family = MakeDenseBodyFamily(n, theta);
+    AdversaryOracle adversary(DenseBodyClass(family));
+    int64_t questions = RunDenseBodyLearner(family, &adversary);
+    double product = std::pow(width, theta - 1);
+    EXPECT_GE(static_cast<double>(questions), product)
+        << "θ=" << theta;
+  }
+}
+
+TEST(DenseBodyFamilyDeathTest, RequiresDivisibility) {
+  EXPECT_DEATH(MakeDenseBodyFamily(10, 4), "divisible");
+}
+
+}  // namespace
+}  // namespace qhorn

@@ -1,0 +1,101 @@
+// Class-membership diagnosis (§6 future work): consistent role-preserving
+// users are certified; alias-class (non-role-preserving) intentions and
+// lying users are flagged with a concrete counterexample.
+
+#include "src/learn/diagnose.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/normalize.h"
+#include "src/core/random_query.h"
+#include "src/lower_bounds/alias_class.h"
+
+namespace qhorn {
+namespace {
+
+TEST(DiagnoseTest, CertifiesRolePreservingIntentions) {
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    Rng rng(seed);
+    RpOptions opts;
+    opts.num_heads = static_cast<int>(rng.Range(0, 2));
+    opts.num_conjunctions = static_cast<int>(rng.Range(1, 3));
+    Query intended = RandomRolePreserving(6, rng, opts);
+    QueryOracle user(intended);
+    DiagnosisReport report = DiagnoseRolePreserving(6, &user, seed);
+    EXPECT_EQ(report.diagnosis, ClassDiagnosis::kConsistentRolePreserving)
+        << intended.ToString();
+    EXPECT_TRUE(Equivalent(report.learned, intended));
+  }
+}
+
+// Alias intentions disagree with the best role-preserving hypothesis only
+// on objects built from very specific tuples, so the PAC sample must be
+// strict enough (small ε) to hit the gap with near-certainty.
+PacOptions StrictPac() {
+  PacOptions pac;
+  pac.epsilon = 0.0005;
+  pac.delta = 0.01;
+  pac.max_tuples_per_object = 2;
+  return pac;
+}
+
+TEST(DiagnoseTest, FlagsAliasClassIntentions) {
+  // ∀x1 ∧ Alias({x2,x3,x4}) repeats variables across universal Horn
+  // expressions — outside role-preserving qhorn. The learner mislearns
+  // and the check-back catches it.
+  Query intended = AliasInstance(4, VarBit(0));
+  QueryOracle user(intended);
+  DiagnosisReport report = DiagnoseRolePreserving(4, &user, 7, StrictPac());
+  EXPECT_EQ(report.diagnosis, ClassDiagnosis::kOutsideClassOrInconsistent);
+  ASSERT_TRUE(report.counterexample_valid);
+  // The counterexample genuinely separates the learned query from the
+  // intention.
+  EXPECT_NE(report.learned.Evaluate(report.counterexample),
+            intended.Evaluate(report.counterexample));
+}
+
+TEST(DiagnoseTest, DefaultPacCertifiesWithinEpsilon) {
+  // With the default ε = 0.1 the same intention is certified: the learned
+  // role-preserving query agrees with the alias intention on all but an
+  // ≈0.4% slice of the object distribution — "probably approximately"
+  // in-class, which is exactly the §6 PAC semantics.
+  Query intended = AliasInstance(4, VarBit(0));
+  QueryOracle user(intended);
+  DiagnosisReport report = DiagnoseRolePreserving(4, &user, 7);
+  EXPECT_EQ(report.diagnosis, ClassDiagnosis::kConsistentRolePreserving);
+  Rng rng(123);
+  EXPECT_LT(EstimateDisagreement(report.learned, intended, 20000, rng, 2),
+            0.02);
+}
+
+TEST(DiagnoseTest, FlagsSeveralAliasSplits) {
+  for (VarSet x : {VarSet{0b0001}, VarSet{0b0011}, VarSet{0b1001}}) {
+    Query intended = AliasInstance(4, x);
+    QueryOracle user(intended);
+    DiagnosisReport report =
+        DiagnoseRolePreserving(4, &user, 11, StrictPac());
+    EXPECT_EQ(report.diagnosis, ClassDiagnosis::kOutsideClassOrInconsistent)
+        << intended.ToString();
+  }
+}
+
+TEST(DiagnoseTest, FlagsPersistentlyLyingUsers) {
+  // A user who answers at random cannot be consistent with any learned
+  // query for long.
+  struct RandomUser : MembershipOracle {
+    Rng rng{99};
+    bool IsAnswer(const TupleSet&) override { return rng.Chance(0.5); }
+  } user;
+  DiagnosisReport report = DiagnoseRolePreserving(5, &user, 3);
+  EXPECT_EQ(report.diagnosis, ClassDiagnosis::kOutsideClassOrInconsistent);
+}
+
+TEST(DiagnoseTest, ReportsQuestionBudget) {
+  QueryOracle user(Query::Parse("∃x1x2 ∃x3", 3));
+  DiagnosisReport report = DiagnoseRolePreserving(3, &user, 5);
+  EXPECT_GT(report.questions, 0);
+  EXPECT_EQ(report.diagnosis, ClassDiagnosis::kConsistentRolePreserving);
+}
+
+}  // namespace
+}  // namespace qhorn

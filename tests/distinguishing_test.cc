@@ -1,0 +1,85 @@
+// Distinguishing tuples (Defs. 3.4, 3.5; §4.1): dominant existential
+// tuples with guarantee provenance, universal distinguishing tuples,
+// violation-free children.
+
+#include "src/verify/distinguishing.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace qhorn {
+namespace {
+
+TEST(DistinguishingTest, Section41ExampleTuples) {
+  Query q = Query::Parse(
+      "∀x1x4→x5 ∀x1x2→x6 ∀x3x4→x5 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6");
+  std::vector<ExistentialTupleInfo> tuples = DominantExistentialTuples(q);
+  std::set<Tuple> got;
+  std::set<Tuple> guarantee_only;
+  for (const ExistentialTupleInfo& info : tuples) {
+    got.insert(info.tuple);
+    if (info.guarantee_only) guarantee_only.insert(info.tuple);
+  }
+  // §4.2 A1: the non-dominant guarantees 110001 and 001110 are dropped.
+  std::set<Tuple> expected = {ParseTuple("111001"), ParseTuple("011110"),
+                              ParseTuple("110011"), ParseTuple("011011"),
+                              ParseTuple("100110")};
+  EXPECT_EQ(got, expected);
+  // Only ∃x1x4x5 = 100110 is a pure guarantee clause.
+  EXPECT_EQ(guarantee_only, std::set<Tuple>{ParseTuple("100110")});
+}
+
+TEST(DistinguishingTest, UniversalTuplesFromSection41) {
+  Query q = Query::Parse(
+      "∀x1x4→x5 ∀x1x2→x6 ∀x3x4→x5 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6");
+  VarSet heads = q.UniversalHeadVars();
+  EXPECT_EQ(UniversalDistinguishingTuple(
+                UniversalHorn{VarBit(0) | VarBit(3), 4}, heads),
+            ParseTuple("100101"));
+  EXPECT_EQ(UniversalDistinguishingTuple(
+                UniversalHorn{VarBit(2) | VarBit(3), 4}, heads),
+            ParseTuple("001101"));
+  EXPECT_EQ(UniversalDistinguishingTuple(
+                UniversalHorn{VarBit(0) | VarBit(1), 5}, heads),
+            ParseTuple("110010"));
+}
+
+TEST(DistinguishingTest, DominantUniversalHornsDropDominated) {
+  Query q = Query::Parse("∀x1x2x3→x4 ∀x1x2→x4 ∀x1→x4");
+  std::vector<UniversalHorn> horns = DominantUniversalHorns(q);
+  ASSERT_EQ(horns.size(), 1u);
+  EXPECT_EQ(horns[0].body, VarBit(0));
+  EXPECT_EQ(horns[0].head, 3);
+}
+
+TEST(DistinguishingTest, ViolationFreeChildrenMatchWalkthrough) {
+  // Children of 111011 under ∀x1x2→x6: 111010 violates and is dropped.
+  Query q = Query::Parse("∀x1x2→x6 ∀x3x4→x5 ∀x1x4→x5");
+  std::vector<Tuple> children =
+      ViolationFreeChildren(ParseTuple("111011"), 6, q.universal());
+  std::set<Tuple> got(children.begin(), children.end());
+  std::set<Tuple> expected = {ParseTuple("011011"), ParseTuple("101011"),
+                              ParseTuple("110011"), ParseTuple("111001")};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(DistinguishingTest, GuaranteeDominatedByUserConjunctionIsNotFlagged) {
+  // The user conjunction ∃x1x2x3 closes over ∀x1→x3 ... user closure equals
+  // the guarantee closure, so the tuple is not guarantee-only.
+  Query q = Query::Parse("∀x1→x2 ∃x1x2", 2);
+  std::vector<ExistentialTupleInfo> tuples = DominantExistentialTuples(q);
+  ASSERT_EQ(tuples.size(), 1u);
+  EXPECT_EQ(tuples[0].tuple, AllTrue(2));
+  EXPECT_FALSE(tuples[0].guarantee_only);
+}
+
+TEST(DistinguishingTest, PureHornQueryHasGuaranteeOnlyTuples) {
+  Query q = Query::Parse("∀x1→x2", 2);
+  std::vector<ExistentialTupleInfo> tuples = DominantExistentialTuples(q);
+  ASSERT_EQ(tuples.size(), 1u);
+  EXPECT_TRUE(tuples[0].guarantee_only);
+}
+
+}  // namespace
+}  // namespace qhorn

@@ -1,0 +1,123 @@
+// Exhaustive enumerators: antichains, set partitions, canonical
+// role-preserving queries (the paper's "7 queries on two variables"),
+// qhorn-1 counting against the Bell-number bound (§2.1.3).
+
+#include "src/core/enumerate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/core/classify.h"
+#include "src/core/counting.h"
+#include "src/core/normalize.h"
+
+namespace qhorn {
+namespace {
+
+TEST(AntichainsTest, CountsMatchDedekind) {
+  // Numbers of antichains of the Boolean lattice on m elements (Dedekind
+  // numbers): m=0 → 2, m=1 → 3, m=2 → 6, m=3 → 20.
+  EXPECT_EQ(AntichainsOf(0).size(), 2u);
+  EXPECT_EQ(AntichainsOf(VarBit(0)).size(), 3u);
+  EXPECT_EQ(AntichainsOf(VarBit(0) | VarBit(1)).size(), 6u);
+  EXPECT_EQ(AntichainsOf(VarBit(0) | VarBit(1) | VarBit(2)).size(), 20u);
+}
+
+TEST(AntichainsTest, MembersArePairwiseIncomparable) {
+  for (const auto& family : AntichainsOf(ParseTuple("111"))) {
+    for (size_t i = 0; i < family.size(); ++i) {
+      for (size_t j = i + 1; j < family.size(); ++j) {
+        EXPECT_TRUE(Incomparable(family[i], family[j]));
+      }
+    }
+  }
+}
+
+TEST(SetPartitionsTest, CountsAreBellNumbers) {
+  for (int n = 1; n <= 6; ++n) {
+    EXPECT_EQ(SetPartitions(n).size(), BellNumber(n)) << "n=" << n;
+  }
+}
+
+TEST(SetPartitionsTest, PartsAreDisjointAndCover) {
+  for (const auto& partition : SetPartitions(5)) {
+    VarSet seen = 0;
+    for (VarSet part : partition) {
+      EXPECT_NE(part, 0u);
+      EXPECT_EQ(seen & part, 0u);
+      seen |= part;
+    }
+    EXPECT_EQ(seen, AllTrue(5));
+  }
+}
+
+TEST(EnumerateRolePreservingTest, TwoVariablesGivesSeven) {
+  // Fig. 7 lists the verification sets of all role-preserving queries on
+  // two variables — exactly 7 of them.
+  std::vector<Query> queries = EnumerateRolePreserving(2);
+  EXPECT_EQ(queries.size(), 7u);
+  std::set<std::string> strings;
+  for (const Query& q : queries) strings.insert(q.ToString());
+  // The seven canonical classes.
+  EXPECT_TRUE(strings.count("∃x1 ∃x2"));
+  EXPECT_TRUE(strings.count("∃x1x2"));
+  EXPECT_TRUE(strings.count("∀x1 ∃x1x2"));   // ∀x1 ∃x2 normalized (R3)
+  EXPECT_TRUE(strings.count("∀x2 ∃x1x2"));
+  EXPECT_TRUE(strings.count("∀x1 ∀x2 ∃x1x2"));
+  EXPECT_TRUE(strings.count("∀x1→x2 ∃x1x2"));
+  EXPECT_TRUE(strings.count("∀x2→x1 ∃x1x2"));
+}
+
+TEST(EnumerateRolePreservingTest, OneVariableGivesTwo) {
+  // ∀x1 and ∃x1.
+  EXPECT_EQ(EnumerateRolePreserving(1).size(), 2u);
+}
+
+TEST(EnumerateRolePreservingTest, AllResultsAreCanonicalAndDistinct) {
+  std::vector<Query> queries = EnumerateRolePreserving(3);
+  std::set<std::string> keys;
+  for (const Query& q : queries) {
+    EXPECT_TRUE(IsRolePreserving(q));
+    EXPECT_EQ(q.MentionedVars(), AllTrue(3));
+    keys.insert(Canonicalize(q).ToString());
+  }
+  EXPECT_EQ(keys.size(), queries.size());
+}
+
+TEST(EnumerateRolePreservingTest, PairwiseInequivalentSemantically) {
+  std::vector<Query> queries = EnumerateRolePreserving(2);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    for (size_t j = i + 1; j < queries.size(); ++j) {
+      EXPECT_FALSE(BruteForceEquivalent(queries[i], queries[j]))
+          << queries[i].ToString() << " vs " << queries[j].ToString();
+    }
+  }
+}
+
+TEST(EnumerateQhorn1Test, StructureCounts) {
+  // n=1: ∀x1, ∃x1. n=2: 4 singleton combos + 4 arrow forms.
+  EXPECT_EQ(EnumerateQhorn1(1).size(), 2u);
+  EXPECT_EQ(EnumerateQhorn1(2).size(), 8u);
+}
+
+TEST(EnumerateQhorn1Test, AllStructuresValidAndCovering) {
+  for (const Qhorn1Structure& s : EnumerateQhorn1(4)) {
+    EXPECT_TRUE(IsQhorn1(s));
+    EXPECT_TRUE(s.CoversAllVars());
+  }
+}
+
+TEST(EnumerateQhorn1Test, DistinctCountSandwichedByBellBounds) {
+  // §2.1.3: Bell(n) ≤ #distinct qhorn-1 queries ≤ 2^n·2^n·2^(n lg n).
+  for (int n = 1; n <= 5; ++n) {
+    uint64_t count = CountDistinctQhorn1(n);
+    EXPECT_GE(count, BellNumber(n)) << "n=" << n;
+    double lg_upper = LgQhorn1UpperBound(n);
+    EXPECT_LE(std::log2(static_cast<double>(count)), lg_upper) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace qhorn

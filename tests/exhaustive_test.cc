@@ -1,0 +1,73 @@
+// Large exhaustive sweeps: every canonical role-preserving query on four
+// variables (1 305 of them) and every syntactic qhorn-1 query on five
+// variables (3 122) is learned exactly; verification completeness is
+// sampled across the n = 4 world.
+
+#include <gtest/gtest.h>
+
+#include "src/core/enumerate.h"
+#include "src/core/normalize.h"
+#include "src/learn/qhorn1_learner.h"
+#include "src/learn/rp_learner.h"
+#include "src/oracle/oracle.h"
+#include "src/util/rng.h"
+#include "src/verify/verifier.h"
+
+namespace qhorn {
+namespace {
+
+TEST(ExhaustiveTest, EveryRolePreservingQueryOnFourVariablesIsLearned) {
+  std::vector<Query> world = EnumerateRolePreserving(4);
+  // The canonical class count itself is a regression anchor.
+  EXPECT_EQ(world.size(), 1305u);
+  for (const Query& target : world) {
+    QueryOracle oracle(target);
+    RpLearnerResult result = LearnRolePreserving(4, &oracle);
+    ASSERT_TRUE(Equivalent(result.query, target))
+        << "target:  " << target.ToString()
+        << "\nlearned: " << result.query.ToString();
+  }
+}
+
+TEST(ExhaustiveTest, EveryQhorn1QueryOnFiveVariablesIsLearned) {
+  std::vector<Qhorn1Structure> world = EnumerateQhorn1(5);
+  EXPECT_EQ(world.size(), 3122u);
+  for (const Qhorn1Structure& target : world) {
+    Query target_query = target.ToQuery();
+    QueryOracle oracle(target_query);
+    Qhorn1Learner learner(5, &oracle);
+    ASSERT_TRUE(Equivalent(learner.Learn().ToQuery(), target_query))
+        << "target: " << target.ToString();
+  }
+}
+
+TEST(ExhaustiveTest, SampledVerificationCompletenessOnFourVariables) {
+  std::vector<Query> world = EnumerateRolePreserving(4);
+  Rng rng(424242);
+  for (const Query& given : world) {
+    VerificationSet set = BuildVerificationSet(given);
+    // The query itself always passes…
+    QueryOracle self(given);
+    ASSERT_TRUE(RunVerification(set, &self).accepted) << given.ToString();
+    // …and a random sample of other queries behaves like equivalence.
+    for (int trial = 0; trial < 8; ++trial) {
+      const Query& intended = world[rng.Below(world.size())];
+      QueryOracle user(intended);
+      bool accepted = RunVerification(set, &user).accepted;
+      ASSERT_EQ(accepted, Equivalent(given, intended))
+          << "given:    " << given.ToString()
+          << "\nintended: " << intended.ToString();
+    }
+  }
+}
+
+TEST(ExhaustiveTest, LearnedQueriesRoundTripThroughParser) {
+  // Printing and reparsing any canonical query is the identity.
+  for (const Query& q : EnumerateRolePreserving(3)) {
+    Query reparsed = Query::Parse(q.ToString(), q.n());
+    EXPECT_TRUE(Equivalent(reparsed, q)) << q.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace qhorn

@@ -1,0 +1,57 @@
+// Expression types: guarantee variables, violation predicate, formatting.
+
+#include "src/core/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace qhorn {
+namespace {
+
+TEST(UniversalHornTest, GuaranteeVars) {
+  UniversalHorn u{VarBit(0) | VarBit(1), 2};
+  EXPECT_EQ(u.GuaranteeVars(), VarBit(0) | VarBit(1) | VarBit(2));
+  UniversalHorn bodyless{0, 3};
+  EXPECT_EQ(bodyless.GuaranteeVars(), VarBit(3));
+}
+
+TEST(UniversalHornTest, ViolatedBy) {
+  UniversalHorn u{VarBit(0) | VarBit(1), 2};
+  EXPECT_TRUE(u.ViolatedBy(ParseTuple("110")));
+  EXPECT_FALSE(u.ViolatedBy(ParseTuple("111")));
+  EXPECT_FALSE(u.ViolatedBy(ParseTuple("100")));  // body incomplete
+  EXPECT_FALSE(u.ViolatedBy(ParseTuple("000")));
+}
+
+TEST(UniversalHornTest, BodylessViolatedByAnyFalseHead) {
+  UniversalHorn u{0, 1};
+  EXPECT_TRUE(u.ViolatedBy(ParseTuple("10")));
+  EXPECT_TRUE(u.ViolatedBy(ParseTuple("00")));
+  EXPECT_FALSE(u.ViolatedBy(ParseTuple("01")));
+}
+
+TEST(UniversalHornTest, ToString) {
+  EXPECT_EQ((UniversalHorn{VarBit(0) | VarBit(3), 4}.ToString()),
+            "∀x1x4→x5");
+  EXPECT_EQ((UniversalHorn{0, 3}.ToString()), "∀x4");
+}
+
+TEST(ExistentialConjTest, ToString) {
+  EXPECT_EQ((ExistentialConj{VarBit(1) | VarBit(2) | VarBit(4)}.ToString()),
+            "∃x2x3x5");
+}
+
+TEST(Qhorn1PartTest, Accessors) {
+  Qhorn1Part p{VarBit(0) | VarBit(1), VarBit(3), VarBit(4) | VarBit(5)};
+  EXPECT_EQ(p.heads(), VarBit(3) | VarBit(4) | VarBit(5));
+  EXPECT_EQ(p.vars(), p.body | p.heads());
+}
+
+TEST(ExprTest, Ordering) {
+  UniversalHorn a{VarBit(0), 1};
+  UniversalHorn b{VarBit(0), 2};
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, (UniversalHorn{VarBit(0), 1}));
+}
+
+}  // namespace
+}  // namespace qhorn

@@ -1,0 +1,162 @@
+// Binary-search primitives (Algorithms 2, 3, 8): FindOne, FindAllVars,
+// MinimalSubset — including question-count budgets.
+
+#include "src/learn/find.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/stats.h"
+
+namespace qhorn {
+namespace {
+
+// Oracle over a hidden "hit set": Q(D) is an answer iff D intersects it.
+// `eliminate` is therefore non-answer (false).
+class HitSetOracle : public MembershipOracle {
+ public:
+  explicit HitSetOracle(VarSet hits) : hits_(hits) {}
+
+  bool IsAnswer(const TupleSet& probe) override {
+    ++questions_;
+    // The probed set rides along as the single tuple of the question.
+    return (probe.tuples()[0] & hits_) != 0;
+  }
+
+  int64_t questions() const { return questions_; }
+
+ private:
+  VarSet hits_;
+  int64_t questions_ = 0;
+};
+
+SetQuestion Probe() {
+  return [](VarSet v) { return TupleSet{v}; };
+}
+
+TEST(FindOneTest, FindsAMemberOfTheHitSet) {
+  for (VarSet hits : {VarSet{0b1}, VarSet{0b10000}, VarSet{0b1010100}}) {
+    HitSetOracle oracle(hits);
+    VarSet found = FindOne(oracle, Probe(), /*eliminate=*/false, AllTrue(8));
+    EXPECT_EQ(Popcount(found), 1);
+    EXPECT_NE(found & hits, 0u);
+  }
+}
+
+TEST(FindOneTest, EmptyHitSetReturnsZeroAfterOneQuestion) {
+  HitSetOracle oracle(0);
+  EXPECT_EQ(FindOne(oracle, Probe(), false, AllTrue(8)), 0u);
+  EXPECT_EQ(oracle.questions(), 1);
+}
+
+TEST(FindOneTest, EmptyDomainAsksNothing) {
+  HitSetOracle oracle(0b1);
+  EXPECT_EQ(FindOne(oracle, Probe(), false, 0), 0u);
+  EXPECT_EQ(oracle.questions(), 0);
+}
+
+TEST(FindOneTest, LogarithmicQuestionCount) {
+  for (int n : {8, 16, 32, 64}) {
+    HitSetOracle oracle(VarBit(n - 1));
+    FindOne(oracle, Probe(), false, AllTrue(n));
+    EXPECT_LE(oracle.questions(), static_cast<int64_t>(Lg(n)) + 2) << n;
+  }
+}
+
+TEST(FindAllTest, RecoversTheExactHitSet) {
+  for (VarSet hits :
+       {VarSet{0}, VarSet{0b1}, VarSet{0b11000011}, AllTrue(8)}) {
+    HitSetOracle oracle(hits);
+    EXPECT_EQ(FindAllVars(oracle, Probe(), false, AllTrue(8)), hits);
+  }
+}
+
+TEST(FindAllTest, QuestionBudgetIsHitsTimesLog) {
+  int n = 64;
+  for (VarSet hits : {VarSet{0b1}, VarSet{0b101}, VarSet{0xF0F0}}) {
+    HitSetOracle oracle(hits);
+    FindAllVars(oracle, Probe(), false, AllTrue(n));
+    int h = Popcount(hits);
+    EXPECT_LE(oracle.questions(), 2 * (h + 1) * (static_cast<int64_t>(Lg(n)) + 1))
+        << "hits=" << h;
+  }
+}
+
+TEST(FindAllTest, InvertedEliminationResponse) {
+  // The existential-independence questions of §3.1.3 have the opposite
+  // polarity: a question on D is a NON-answer iff D contains a sought
+  // (dependent) variable, and sets drawing an answer are eliminated.
+  struct DependenceOracle : MembershipOracle {
+    VarSet dependents;
+    bool IsAnswer(const TupleSet& probe) override {
+      return (probe.tuples()[0] & dependents) == 0;
+    }
+  } oracle;
+  oracle.dependents = 0b0110;
+  VarSet found = FindAllVars(
+      oracle, [](VarSet v) { return TupleSet{v}; }, /*eliminate=*/true,
+      AllTrue(4));
+  EXPECT_EQ(found, 0b0110u);
+}
+
+TEST(MinimalSubsetTest, KeepsOnlyNecessaryItems) {
+  // pred: the kept set must cover {1, 2, 3} via designated tuples.
+  std::vector<Tuple> items = {10, 1, 20, 2, 3, 30};
+  auto covers = [](const std::vector<Tuple>& sub) {
+    bool a = false, b = false, c = false;
+    for (Tuple t : sub) {
+      a |= (t == 1 || t == 10);
+      b |= (t == 2 || t == 20);
+      c |= (t == 3 || t == 30);
+    }
+    return a && b && c;
+  };
+  std::vector<Tuple> kept = MinimalSubset(items, covers);
+  EXPECT_EQ(kept.size(), 3u);
+  EXPECT_TRUE(covers(kept));
+  // Minimality: removing any kept element breaks the predicate.
+  for (size_t i = 0; i < kept.size(); ++i) {
+    std::vector<Tuple> less = kept;
+    less.erase(less.begin() + static_cast<long>(i));
+    EXPECT_FALSE(covers(less));
+  }
+}
+
+TEST(MinimalSubsetTest, AlwaysTruePredicateKeepsNothing) {
+  auto always = [](const std::vector<Tuple>&) { return true; };
+  EXPECT_TRUE(MinimalSubset({1, 2, 3}, always).empty());
+}
+
+TEST(MinimalSubsetTest, AllItemsNecessary) {
+  std::vector<Tuple> items = {1, 2, 3, 4};
+  auto all = [](const std::vector<Tuple>& sub) { return sub.size() == 4; };
+  EXPECT_EQ(MinimalSubset(items, all).size(), 4u);
+}
+
+TEST(MinimalSubsetTest, LyingPredicateFallsBackToAllItems) {
+  // A predicate that is false even on the full set breaks the monotone
+  // contract (a mislabelling user); the fallback keeps every item instead
+  // of aborting.
+  auto never = [](const std::vector<Tuple>&) { return false; };
+  EXPECT_EQ(MinimalSubset({1, 2}, never), (std::vector<Tuple>{1, 2}));
+}
+
+TEST(MinimalSubsetTest, PredicateCallBudget) {
+  // O((|K|+1)·lg|C|) predicate calls.
+  std::vector<Tuple> items;
+  for (Tuple t = 0; t < 64; ++t) items.push_back(t);
+  int64_t calls = 0;
+  Tuple needle = 17;
+  auto pred = [&](const std::vector<Tuple>& sub) {
+    ++calls;
+    for (Tuple t : sub) {
+      if (t == needle) return true;
+    }
+    return false;
+  };
+  std::vector<Tuple> kept = MinimalSubset(items, pred);
+  ASSERT_EQ(kept, std::vector<Tuple>{needle});
+  EXPECT_LE(calls, 2 * 6 + 4);
+}
+
+}  // namespace
+}  // namespace qhorn

@@ -1,0 +1,98 @@
+// The Boolean lattice (§3.2, Fig. 4): children, parents, levels, upsets and
+// downsets, violation filtering.
+
+#include "src/bool/lattice.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/core/query.h"
+
+namespace qhorn {
+namespace {
+
+TEST(LatticeTest, ChildrenFlipOneTrueVariable) {
+  std::vector<Tuple> children = LatticeChildren(ParseTuple("1011"), AllTrue(4));
+  std::set<Tuple> got(children.begin(), children.end());
+  std::set<Tuple> expected = {ParseTuple("0011"), ParseTuple("1001"),
+                              ParseTuple("1010")};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(LatticeTest, ParentsFlipOneFalseVariable) {
+  std::vector<Tuple> parents = LatticeParents(ParseTuple("0011"), AllTrue(4));
+  std::set<Tuple> got(parents.begin(), parents.end());
+  std::set<Tuple> expected = {ParseTuple("1011"), ParseTuple("0111")};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(LatticeTest, DegreesMatchFigFour) {
+  // Fig. 4: tuples at level l have out-degree n-l and in-degree l.
+  int n = 4;
+  for (Tuple t = 0; t < (Tuple{1} << n); ++t) {
+    int l = Level(t, n);
+    EXPECT_EQ(static_cast<int>(LatticeChildren(t, AllTrue(n)).size()), n - l);
+    EXPECT_EQ(static_cast<int>(LatticeParents(t, AllTrue(n)).size()), l);
+  }
+}
+
+TEST(LatticeTest, RestrictedUniversePreservesPinnedBits) {
+  // Fig. 5: heads pinned, search within non-heads only.
+  VarSet universe = ParseTuple("111100");  // x1..x4 searchable
+  Tuple t = ParseTuple("101101");          // x6 pinned true, x5 pinned false
+  for (Tuple child : LatticeChildren(t, universe)) {
+    EXPECT_TRUE(HasVar(child, 5));
+    EXPECT_FALSE(HasVar(child, 4));
+  }
+  EXPECT_EQ(LatticeChildren(t, universe).size(), 3u);  // x1, x3, x4 flips
+}
+
+TEST(LatticeTest, FilteredChildrenDropHornViolations) {
+  // §3.2.2: children violating a universal Horn expression are removed.
+  Query q = Query::Parse("∀x1x2→x6", 6);
+  Tuple t = ParseTuple("111011");
+  auto keep = [&](Tuple c) { return !q.ViolatesUniversal(c); };
+  std::vector<Tuple> children = LatticeChildrenFiltered(t, AllTrue(6), keep);
+  std::set<Tuple> got(children.begin(), children.end());
+  // The paper's worked example: {011011, 101011, 110011, 111001}; 111010
+  // violates ∀x1x2→x6.
+  std::set<Tuple> expected = {ParseTuple("011011"), ParseTuple("101011"),
+                              ParseTuple("110011"), ParseTuple("111001")};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(LatticeTest, LevelEnumeratesCombinations) {
+  std::vector<Tuple> level2 = LatticeLevel(AllTrue(4), 2);
+  EXPECT_EQ(level2.size(), 6u);  // C(4,2)
+  for (Tuple t : level2) EXPECT_EQ(Level(t, 4), 2);
+  EXPECT_EQ(LatticeLevel(AllTrue(4), 0),
+            std::vector<Tuple>{AllTrue(4)});
+}
+
+TEST(LatticeTest, LevelWithFixedBits) {
+  // Level over x1..x3 with x4 pinned true.
+  std::vector<Tuple> tuples = LatticeLevel(ParseTuple("1110"), 1,
+                                           /*fixed=*/ParseTuple("0001"));
+  EXPECT_EQ(tuples.size(), 3u);
+  for (Tuple t : tuples) EXPECT_TRUE(HasVar(t, 3));
+}
+
+TEST(LatticeTest, UpsetDownset) {
+  Tuple t = ParseTuple("0011");
+  EXPECT_TRUE(InUpset(ParseTuple("1011"), t));
+  EXPECT_TRUE(InUpset(t, t));
+  EXPECT_FALSE(InUpset(ParseTuple("0001"), t));
+  EXPECT_TRUE(InDownset(ParseTuple("0001"), t));
+  EXPECT_FALSE(InDownset(ParseTuple("0111"), t));
+}
+
+TEST(LatticeTest, DistanceIsSymmetricDifference) {
+  EXPECT_EQ(LatticeDistance(ParseTuple("1100"), ParseTuple("1010")), 2);
+  EXPECT_EQ(LatticeDistance(ParseTuple("1100"), ParseTuple("1100")), 0);
+  EXPECT_EQ(LatticeDistance(ParseTuple("1111"), ParseTuple("0000")), 4);
+}
+
+}  // namespace
+}  // namespace qhorn

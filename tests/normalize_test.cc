@@ -1,0 +1,148 @@
+// Equivalence rules R1/R2/R3 (§2.1.1), canonical forms and Proposition 4.1
+// (canonical equality ⟺ semantic equivalence), validated against
+// brute-force enumeration of every object.
+
+#include "src/core/normalize.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/enumerate.h"
+#include "src/core/random_query.h"
+#include "src/util/rng.h"
+
+namespace qhorn {
+namespace {
+
+TEST(AntichainTest, MinimalKeepsSubsetFreeFamily) {
+  std::vector<VarSet> sets = {0b111, 0b011, 0b101, 0b001};
+  std::vector<VarSet> minimal = MinimalAntichain(sets);
+  // 001 ⊆ 011, 101, 111 → only 001 survives... plus any incomparable set.
+  ASSERT_EQ(minimal.size(), 1u);
+  EXPECT_EQ(minimal[0], 0b001u);
+}
+
+TEST(AntichainTest, MinimalKeepsIncomparables) {
+  std::vector<VarSet> sets = {0b011, 0b101, 0b111};
+  std::vector<VarSet> minimal = MinimalAntichain(sets);
+  EXPECT_EQ(minimal, (std::vector<VarSet>{0b011, 0b101}));
+}
+
+TEST(AntichainTest, MaximalKeepsSupersetFreeFamily) {
+  std::vector<VarSet> sets = {0b001, 0b011, 0b100};
+  std::vector<VarSet> maximal = MaximalAntichain(sets);
+  EXPECT_EQ(maximal, (std::vector<VarSet>{0b100, 0b011}));
+}
+
+TEST(AntichainTest, EmptyBodyDominatesEverything) {
+  std::vector<VarSet> minimal = MinimalAntichain({0b01, 0b10, 0});
+  ASSERT_EQ(minimal.size(), 1u);
+  EXPECT_EQ(minimal[0], 0u);
+}
+
+TEST(RuleR1Test, ConjunctionDominatesSubsets) {
+  // ∃x1x2x3 ∃x1x2 ∃x2x3 ≡ ∃x1x2x3 (the paper's R1 example).
+  Query lhs = Query::Parse("∃x1x2x3 ∃x1x2 ∃x2x3");
+  Query rhs = Query::Parse("∃x1x2x3");
+  EXPECT_TRUE(Equivalent(lhs, rhs));
+  EXPECT_TRUE(BruteForceEquivalent(lhs, rhs));
+}
+
+TEST(RuleR2Test, SmallerBodyDominatesButGuaranteesRemain) {
+  // ∀x1x2x3→x4 ∀x1x2→x4 ∀x1→x4 ≡ ∀x1→x4 ∃x1x2x3→x4 (paper's R2 example,
+  // with the dominated expressions surviving as their guarantee clause).
+  Query lhs = Query::Parse("∀x1x2x3→x4 ∀x1x2→x4 ∀x1→x4");
+  Query rhs = Query::Parse("∀x1→x4 ∃x1x2x3→x4");
+  EXPECT_TRUE(Equivalent(lhs, rhs));
+  EXPECT_TRUE(BruteForceEquivalent(lhs, rhs));
+  // And the dominated Horn expressions are *not* simply erasable.
+  Query wrong = Query::Parse("∀x1→x4", 4);
+  EXPECT_FALSE(Equivalent(lhs, wrong));
+  EXPECT_FALSE(BruteForceEquivalent(lhs, wrong));
+}
+
+TEST(RuleR3Test, ConjunctionsAbsorbImpliedHeads) {
+  // ∀x1→x3 ∃x1x2 ≡ ∀x1→x3 ∃x1x2x3 (R3 with a 3rd variable as head).
+  Query lhs = Query::Parse("∀x1→x3 ∃x1x2", 3);
+  Query rhs = Query::Parse("∀x1→x3 ∃x1x2x3", 3);
+  EXPECT_TRUE(Equivalent(lhs, rhs));
+  EXPECT_TRUE(BruteForceEquivalent(lhs, rhs));
+}
+
+TEST(CanonicalizeTest, PaperSectionThreeTwoExample) {
+  // §3.2.2: the target query (2) has these dominant conjunctions
+  // (guarantee clauses included): ∃x1x4x5 ∃x1x2x3x6 ∃x2x3x4x5 ∃x1x2x5x6
+  // ∃x2x3x5x6.
+  Query q = Query::Parse(
+      "∀x1x4→x5 ∀x3x4→x5 ∀x1x2→x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6");
+  CanonicalForm form = Canonicalize(q);
+  std::vector<VarSet> expected = {
+      ParseTuple("100110"),  // ∃x1x4x5 (guarantee of ∀x1x4→x5)
+      ParseTuple("111001"),  // ∃x1x2x3x6
+      ParseTuple("011110"),  // ∃x2x3x4x5
+      ParseTuple("110011"),  // ∃x1x2x5x6
+      ParseTuple("011011"),  // ∃x2x3x5x6
+  };
+  std::sort(expected.begin(), expected.end(), [](VarSet a, VarSet b) {
+    return Popcount(a) != Popcount(b) ? Popcount(a) < Popcount(b) : a < b;
+  });
+  EXPECT_EQ(form.existential, expected);
+  // Universal side: x5 keeps both incomparable bodies, x6 keeps one.
+  ASSERT_EQ(form.universal.size(), 2u);
+  EXPECT_EQ(form.universal.at(4).size(), 2u);
+  EXPECT_EQ(form.universal.at(5).size(), 1u);
+}
+
+TEST(CanonicalizeTest, NormalizeIsIdempotent) {
+  Query q = Query::Parse("∀x1x2x3→x4 ∀x1→x4 ∃x1 ∃x1x2");
+  Query once = Normalize(q);
+  Query twice = Normalize(once);
+  EXPECT_EQ(Canonicalize(once), Canonicalize(twice));
+  EXPECT_TRUE(Equivalent(q, once));
+}
+
+TEST(BruteForceTest, FindsWitnessForInequivalentQueries) {
+  Query a = Query::Parse("∀x1", 2);
+  Query b = Query::Parse("∃x1", 2);
+  TupleSet witness;
+  ASSERT_TRUE(FindDistinguishingObject(a, b, EvalOptions(), &witness));
+  EXPECT_NE(a.Evaluate(witness), b.Evaluate(witness));
+}
+
+// Proposition 4.1 — canonical equality must coincide with brute-force
+// semantic equivalence across every pair of enumerated role-preserving
+// queries on two variables.
+TEST(Proposition41Test, ExhaustivePairsTwoVariables) {
+  std::vector<Query> queries = EnumerateRolePreserving(2);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    for (size_t j = 0; j < queries.size(); ++j) {
+      bool canonical_eq = Equivalent(queries[i], queries[j]);
+      bool semantic_eq = BruteForceEquivalent(queries[i], queries[j]);
+      EXPECT_EQ(canonical_eq, semantic_eq)
+          << "qi=" << queries[i].ToString() << " qj=" << queries[j].ToString();
+    }
+  }
+}
+
+// Same on random role-preserving queries over three variables.
+class Proposition41RandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Proposition41RandomTest, CanonicalMatchesBruteForce) {
+  Rng rng(GetParam());
+  RpOptions opts;
+  opts.num_heads = static_cast<int>(rng.Range(0, 1));
+  opts.theta = 1;
+  opts.body_size = 2;
+  opts.num_conjunctions = static_cast<int>(rng.Range(1, 3));
+  Query a = RandomRolePreserving(3, rng, opts);
+  Query b = RandomRolePreserving(3, rng, opts);
+  EXPECT_EQ(Equivalent(a, b), BruteForceEquivalent(a, b))
+      << "a=" << a.ToString() << " b=" << b.ToString();
+  EXPECT_TRUE(Equivalent(a, Normalize(a)));
+  EXPECT_TRUE(BruteForceEquivalent(a, Normalize(a)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Proposition41RandomTest,
+                         ::testing::Range<uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace qhorn

@@ -1,0 +1,91 @@
+// Oracle decorators: counting, caching, noise.
+
+#include "src/oracle/oracle.h"
+
+#include <gtest/gtest.h>
+
+namespace qhorn {
+namespace {
+
+TEST(QueryOracleTest, AnswersForTheIntendedQuery) {
+  QueryOracle oracle(Query::Parse("∀x1 ∃x2", 2));
+  EXPECT_TRUE(oracle.IsAnswer(TupleSet::Parse({"11"})));
+  EXPECT_FALSE(oracle.IsAnswer(TupleSet::Parse({"01"})));
+}
+
+TEST(QueryOracleTest, RelaxedGuaranteesChangeClassification) {
+  EvalOptions relaxed;
+  relaxed.require_guarantees = false;
+  QueryOracle strict(Query::Parse("∀x1", 1));
+  QueryOracle loose(Query::Parse("∀x1", 1), relaxed);
+  TupleSet empty;
+  EXPECT_FALSE(strict.IsAnswer(empty));
+  EXPECT_TRUE(loose.IsAnswer(empty));
+}
+
+TEST(CountingOracleTest, TracksQuestionAndTupleCounts) {
+  QueryOracle inner(Query::Parse("∃x1", 2));
+  CountingOracle counting(&inner);
+  counting.IsAnswer(TupleSet::Parse({"10", "01"}));
+  counting.IsAnswer(TupleSet::Parse({"10"}));
+  counting.IsAnswer(TupleSet::Parse({"01"}));
+  EXPECT_EQ(counting.stats().questions, 3);
+  EXPECT_EQ(counting.stats().tuples, 4);
+  EXPECT_EQ(counting.stats().max_tuples, 2);
+  EXPECT_EQ(counting.stats().answers, 2);
+  counting.ResetStats();
+  EXPECT_EQ(counting.stats().questions, 0);
+}
+
+TEST(CachingOracleTest, RepeatedQuestionsHitTheCache) {
+  QueryOracle inner(Query::Parse("∃x1", 2));
+  CountingOracle counting(&inner);
+  CachingOracle caching(&counting);
+  TupleSet q1 = TupleSet::Parse({"10"});
+  TupleSet q2 = TupleSet::Parse({"01"});
+  EXPECT_TRUE(caching.IsAnswer(q1));
+  EXPECT_TRUE(caching.IsAnswer(q1));
+  EXPECT_FALSE(caching.IsAnswer(q2));
+  EXPECT_FALSE(caching.IsAnswer(q2));
+  EXPECT_EQ(caching.hits(), 2);
+  EXPECT_EQ(caching.misses(), 2);
+  EXPECT_EQ(counting.stats().questions, 2);  // inner asked only twice
+}
+
+TEST(CachingOracleTest, CanonicalFormMakesPermutationsHit) {
+  QueryOracle inner(Query::Parse("∃x1", 2));
+  CachingOracle caching(&inner);
+  caching.IsAnswer(TupleSet::Parse({"10", "01"}));
+  caching.IsAnswer(TupleSet::Parse({"01", "10"}));  // same object
+  EXPECT_EQ(caching.hits(), 1);
+}
+
+TEST(NoisyOracleTest, ZeroNoiseIsTransparent) {
+  QueryOracle inner(Query::Parse("∃x1", 1));
+  NoisyOracle noisy(&inner, 0.0, /*seed=*/7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(noisy.IsAnswer(TupleSet::Parse({"1"})));
+  }
+  EXPECT_EQ(noisy.flips(), 0);
+}
+
+TEST(NoisyOracleTest, FlipRateNearProbability) {
+  QueryOracle inner(Query::Parse("∃x1", 1));
+  NoisyOracle noisy(&inner, 0.3, /*seed=*/11);
+  int wrong = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (!noisy.IsAnswer(TupleSet::Parse({"1"}))) ++wrong;
+  }
+  EXPECT_EQ(wrong, noisy.flips());
+  EXPECT_NEAR(static_cast<double>(wrong) / 2000.0, 0.3, 0.05);
+}
+
+TEST(NoisyOracleTest, AlwaysFlipInverts) {
+  QueryOracle inner(Query::Parse("∃x1", 1));
+  NoisyOracle noisy(&inner, 1.0, /*seed=*/3);
+  EXPECT_FALSE(noisy.IsAnswer(TupleSet::Parse({"1"})));
+  EXPECT_TRUE(noisy.IsAnswer(TupleSet::Parse({"0"})));
+}
+
+}  // namespace
+}  // namespace qhorn

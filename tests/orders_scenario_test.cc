@@ -1,0 +1,160 @@
+// A second data-domain scenario: customer orders with line items, using
+// integer threshold propositions (Less / Greater) that the chocolate
+// example does not exercise — interference analysis, synthesis of integer
+// values, the full learn → verify → execute pipeline.
+
+#include <gtest/gtest.h>
+
+#include "src/core/normalize.h"
+#include "src/learn/rp_learner.h"
+#include "src/relation/execute.h"
+#include "src/relation/synthesize.h"
+#include "src/verify/verifier.h"
+
+namespace qhorn {
+namespace {
+
+Schema LineItemSchema() {
+  return Schema({
+      {"price", ValueType::kInt},
+      {"quantity", ValueType::kInt},
+      {"expedited", ValueType::kBool},
+      {"category", ValueType::kString},
+  });
+}
+
+DataTuple MakeItem(int64_t price, int64_t quantity, bool expedited,
+                   const std::string& category) {
+  return {Value::Int(price), Value::Int(quantity), Value::Bool(expedited),
+          Value::Str(category)};
+}
+
+// p1: price > 100 ("premium item"), p2: expedited,
+// p3: category = electronics, p4: quantity > 10 ("bulk line").
+std::vector<Proposition> OrderPropositions() {
+  return {
+      Proposition::Greater("price", 100),
+      Proposition::BoolAttr("expedited"),
+      Proposition::Equals("category", Value::Str("electronics")),
+      Proposition::Greater("quantity", 10),
+  };
+}
+
+class OrdersScenarioTest : public ::testing::Test {
+ protected:
+  OrdersScenarioTest()
+      : binding_(LineItemSchema(), OrderPropositions()),
+        orders_("Order", LineItemSchema()) {
+    // Order A: all premium, one expedited bulk electronics line.
+    NestedObject a;
+    a.name = "A";
+    a.tuples = FlatRelation(LineItemSchema());
+    a.tuples.AddRow(MakeItem(250, 20, true, "electronics"));
+    a.tuples.AddRow(MakeItem(120, 1, false, "furniture"));
+    orders_.AddObject(std::move(a));
+    // Order B: has a cheap line.
+    NestedObject b;
+    b.name = "B";
+    b.tuples = FlatRelation(LineItemSchema());
+    b.tuples.AddRow(MakeItem(20, 50, true, "electronics"));
+    b.tuples.AddRow(MakeItem(500, 2, true, "electronics"));
+    orders_.AddObject(std::move(b));
+    // Order C: all premium but nothing expedited.
+    NestedObject c;
+    c.name = "C";
+    c.tuples = FlatRelation(LineItemSchema());
+    c.tuples.AddRow(MakeItem(101, 11, false, "electronics"));
+    orders_.AddObject(std::move(c));
+  }
+
+  BooleanBinding binding_;
+  NestedRelation orders_;
+};
+
+TEST_F(OrdersScenarioTest, ThresholdPropositionsDoNotInterfere) {
+  // price > 100 and quantity > 10 live on different attributes; the whole
+  // set is interference-free.
+  EXPECT_TRUE(FindInterference(OrderPropositions()).empty());
+}
+
+TEST_F(OrdersScenarioTest, AddingAConflictingThresholdIsRejected) {
+  std::vector<Proposition> props = OrderPropositions();
+  props.push_back(Proposition::Less("price", 50));  // vs price > 100
+  EXPECT_FALSE(FindInterference(props).empty());
+  EXPECT_DEATH(BooleanBinding(LineItemSchema(), props), "interfere");
+}
+
+TEST_F(OrdersScenarioTest, IntegerSynthesisRealizesEveryClass) {
+  TupleSynthesizer synthesizer(&binding_);
+  for (Tuple t = 0; t < 16; ++t) {
+    DataTuple item = synthesizer.Synthesize(t);
+    EXPECT_EQ(binding_.ToBoolean(item), t) << FormatTuple(t, 4);
+  }
+}
+
+TEST_F(OrdersScenarioTest, BooleanImagesOfTheOrders) {
+  // A: {1011 (premium expedited bulk electronics), 1000}.
+  EXPECT_EQ(binding_.ObjectToBoolean(orders_.objects()[0]),
+            TupleSet::Parse({"1111", "1000"}));
+  // B: {0111, 1110}.
+  EXPECT_EQ(binding_.ObjectToBoolean(orders_.objects()[1]),
+            TupleSet::Parse({"0111", "1110"}));
+  // C: {1011}.
+  EXPECT_EQ(binding_.ObjectToBoolean(orders_.objects()[2]),
+            TupleSet::Parse({"1011"}));
+}
+
+TEST_F(OrdersScenarioTest, LearnVerifyExecutePipeline) {
+  // Intention: "every line is premium, and some line is an expedited
+  // electronics order" — ∀x1 ∃x2x3.
+  Query intended = Query::Parse("∀x1 ∃x2x3", 4);
+  DataDomainOracle user(intended, &binding_);
+
+  RpLearnerResult learned = LearnRolePreserving(4, &user);
+  ASSERT_TRUE(Equivalent(learned.query, intended))
+      << learned.query.ToString();
+  EXPECT_TRUE(VerifyQuery(learned.query, &user).accepted);
+
+  auto answers = SelectAnswers(learned.query, binding_, orders_);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0]->name, "A");
+}
+
+TEST_F(OrdersScenarioTest, BulkDiscountQuery) {
+  // "Some expedited bulk line" — ∃x2x4: orders A and B (C's bulk line is
+  // not expedited).
+  Query q = Query::Parse("∃x2x4", 4);
+  std::vector<size_t> answers = ExecuteQuery(q, binding_, orders_);
+  ASSERT_EQ(answers.size(), 2u);
+  EXPECT_EQ(orders_.objects()[answers[0]].name, "A");
+  EXPECT_EQ(orders_.objects()[answers[1]].name, "B");
+}
+
+TEST_F(OrdersScenarioTest, HornQueryOverThresholds) {
+  // "Expedited lines must be premium" — ∀x2→x1 (with guarantee).
+  Query q = Query::Parse("∀x2→x1", 4);
+  std::vector<size_t> answers = ExecuteQuery(q, binding_, orders_);
+  // A: expedited line is premium ✓ (and one exists). B: the cheap line is
+  // expedited → violation. C: nothing expedited → guarantee ∃x2x1 fails.
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(orders_.objects()[answers[0]].name, "A");
+}
+
+TEST_F(OrdersScenarioTest, DatabaseSelectionWithIntegers) {
+  FlatRelation pool(LineItemSchema());
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    pool.AddRow(MakeItem(rng.Range(1, 300), rng.Range(1, 30),
+                         rng.Chance(0.5),
+                         rng.Chance(0.5) ? "electronics" : "books"));
+  }
+  DatabaseSelector selector(&pool, &binding_);
+  for (Tuple t = 0; t < 16; ++t) {
+    DataTuple item = selector.PickOrSynthesize(t, rng);
+    EXPECT_EQ(binding_.ToBoolean(item), t);
+  }
+  EXPECT_GT(selector.from_pool(), 8);
+}
+
+}  // namespace
+}  // namespace qhorn

@@ -1,0 +1,82 @@
+// PAC-style sampling verification (§6 extension).
+
+#include "src/learn/pac.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qhorn {
+namespace {
+
+TEST(RandomObjectTest, RespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    TupleSet object = RandomObject(6, rng, 4);
+    EXPECT_GE(object.size(), 1u);
+    EXPECT_LE(object.size(), 4u);
+    for (Tuple t : object) EXPECT_TRUE(IsSubset(t, AllTrue(6)));
+  }
+}
+
+TEST(PacVerifyTest, ConsistentHypothesisPasses) {
+  Query q = Query::Parse("∀x1x2→x4 ∃x3", 4);
+  QueryOracle user(q);
+  Rng rng(1);
+  PacReport report = PacVerify(q, &user, rng);
+  EXPECT_TRUE(report.consistent);
+  // m = ⌈(1/ε)·ln(1/δ)⌉ = ⌈10·ln 20⌉ = 30 for the defaults.
+  EXPECT_EQ(report.samples, 30);
+}
+
+TEST(PacVerifyTest, SampleCountTracksEpsilonDelta) {
+  Query q = Query::Parse("∃x1", 2);
+  QueryOracle user(q);
+  Rng rng(2);
+  PacOptions opts;
+  opts.epsilon = 0.01;
+  opts.delta = 0.01;
+  PacReport report = PacVerify(q, &user, rng, opts);
+  EXPECT_EQ(report.samples,
+            static_cast<int64_t>(std::ceil(std::log(100.0) / 0.01)));
+}
+
+TEST(PacVerifyTest, GrossMismatchIsCaughtQuickly) {
+  Query hypothesis = Query::Parse("∃x1", 3);
+  Query intended = Query::Parse("∀x1", 3);
+  QueryOracle user(intended);
+  Rng rng(3);
+  PacReport report = PacVerify(hypothesis, &user, rng);
+  EXPECT_FALSE(report.consistent);
+  EXPECT_NE(hypothesis.Evaluate(report.counterexample),
+            intended.Evaluate(report.counterexample));
+}
+
+TEST(EstimateDisagreementTest, ZeroForIdenticalQueries) {
+  Query q = Query::Parse("∃x1x2 ∀x3", 3);
+  Rng rng(4);
+  EXPECT_DOUBLE_EQ(EstimateDisagreement(q, q, 500, rng), 0.0);
+}
+
+TEST(EstimateDisagreementTest, PositiveForDifferentQueries) {
+  Query a = Query::Parse("∃x1", 3);
+  Query b = Query::Parse("∀x1", 3);
+  Rng rng(6);
+  double rate = EstimateDisagreement(a, b, 2000, rng);
+  EXPECT_GT(rate, 0.2);
+  EXPECT_LT(rate, 0.9);
+}
+
+TEST(EstimateDisagreementTest, NearZeroForNearQueries) {
+  // Queries differing only on rare objects disagree rarely.
+  Query a = Query::Parse("∃x1", 6);
+  Query b = Query::Parse("∃x1 ∃x2x3x4x5x6", 6);
+  Rng rng(7);
+  double near = EstimateDisagreement(a, b, 2000, rng);
+  Query c = Query::Parse("∀x1", 6);
+  double far = EstimateDisagreement(a, c, 2000, rng);
+  EXPECT_LT(near, far);
+}
+
+}  // namespace
+}  // namespace qhorn

@@ -1,0 +1,83 @@
+// Lemma 3.4: pair-head queries and the Θ(n²/c²) width-limited learner.
+
+#include "src/lower_bounds/pairhead_class.h"
+
+#include <gtest/gtest.h>
+
+#include "src/oracle/adversary.h"
+
+namespace qhorn {
+namespace {
+
+TEST(PairHeadInstanceTest, Semantics) {
+  // n=4, heads x2,x4: conjunctions {x1,x3,x2} and {x1,x3,x4}.
+  Query q = PairHeadInstance(4, 1, 3);
+  // T2 and T4 together satisfy both conjunctions.
+  EXPECT_TRUE(q.Evaluate(TupleSet::Parse({"1011", "1110"})));
+  // A single class-2 tuple never does (the paper's Class-2 analysis).
+  EXPECT_FALSE(q.Evaluate(TupleSet::Parse({"1011"})));
+  // A wrong pair fails.
+  EXPECT_FALSE(q.Evaluate(TupleSet::Parse({"0111", "1110"})));
+  // The all-true tuple alone satisfies everything (Class 1).
+  EXPECT_TRUE(q.Evaluate(TupleSet::Parse({"1111"})));
+}
+
+TEST(PairHeadClassTest, HasNChoose2Members) {
+  EXPECT_EQ(PairHeadClass(6).size(), 15u);
+  EXPECT_EQ(PairHeadClass(10).size(), 45u);
+}
+
+class PairHeadLearnerTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PairHeadLearnerTest, IdentifiesEveryPair) {
+  auto [n, c] = GetParam();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      QueryOracle oracle(PairHeadInstance(n, i, j));
+      PairHeadResult r = LearnPairHeads(n, c, &oracle);
+      int lo = std::min(r.head_i, r.head_j);
+      int hi = std::max(r.head_i, r.head_j);
+      EXPECT_EQ(lo, i);
+      EXPECT_EQ(hi, j);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PairHeadLearnerTest,
+                         ::testing::Combine(::testing::Values(5, 8, 12),
+                                            ::testing::Values(2, 4, 6)));
+
+TEST(PairHeadLearnerTest, AdversaryForcesQuadraticOverC2) {
+  // Against the adversary, the learner pays ≈ n²/c² batch questions.
+  for (int n : {8, 12, 16}) {
+    for (int c : {2, 4}) {
+      AdversaryOracle adversary(PairHeadClass(n));
+      PairHeadResult r = LearnPairHeads(n, c, &adversary);
+      double floor = 0.2 * (static_cast<double>(n) * n) / (c * c);
+      EXPECT_GE(static_cast<double>(r.questions), floor)
+          << "n=" << n << " c=" << c;
+      EXPECT_GE(r.head_i, 0);
+    }
+  }
+}
+
+TEST(PairHeadLearnerTest, QuestionWidthRespectsC) {
+  int n = 10;
+  int c = 4;
+  struct WidthCheck : MembershipOracle {
+    MembershipOracle* inner;
+    int max_width = 0;
+    bool IsAnswer(const TupleSet& q) override {
+      max_width = std::max(max_width, static_cast<int>(q.size()));
+      return inner->IsAnswer(q);
+    }
+  } width;
+  QueryOracle oracle(PairHeadInstance(n, 2, 7));
+  width.inner = &oracle;
+  LearnPairHeads(n, c, &width);
+  EXPECT_LE(width.max_width, c);
+}
+
+}  // namespace
+}  // namespace qhorn

@@ -1,0 +1,88 @@
+// Shorthand parser: unicode and ASCII forms, round trips, error structure.
+
+#include <gtest/gtest.h>
+
+#include "src/core/query.h"
+
+namespace qhorn {
+namespace {
+
+TEST(ParseTest, UnicodeShorthand) {
+  Query q = Query::Parse("∀x1x2→x3 ∀x4 ∃x5");
+  EXPECT_EQ(q.n(), 5);
+  ASSERT_EQ(q.universal().size(), 2u);
+  EXPECT_EQ(q.universal()[0].body, VarBit(0) | VarBit(1));
+  EXPECT_EQ(q.universal()[0].head, 2);
+  EXPECT_EQ(q.universal()[1].body, 0u);
+  EXPECT_EQ(q.universal()[1].head, 3);
+  ASSERT_EQ(q.existential().size(), 1u);
+  EXPECT_EQ(q.existential()[0].vars, VarBit(4));
+}
+
+TEST(ParseTest, AsciiShorthand) {
+  Query q = Query::Parse("A x1 x2 -> x3 ; A x4 ; E x5");
+  EXPECT_EQ(q.ToString(), "∀x1x2→x3 ∀x4 ∃x5");
+}
+
+TEST(ParseTest, KeywordShorthand) {
+  Query q = Query::Parse("forall x1 -> x2 exists x3");
+  EXPECT_EQ(q.ToString(), "∀x1→x2 ∃x3");
+}
+
+TEST(ParseTest, ExistentialHornBecomesConjunction) {
+  Query q = Query::Parse("∃x1x2→x5", 5);
+  ASSERT_EQ(q.existential().size(), 1u);
+  EXPECT_EQ(q.existential()[0].vars, VarBit(0) | VarBit(1) | VarBit(4));
+  EXPECT_TRUE(q.universal().empty());
+}
+
+TEST(ParseTest, BodylessUniversalListExpands) {
+  // ∀x1x3x5 (no arrow) = ∀x1 ∀x3 ∀x5, as in Theorem 2.1's Uni(X).
+  Query q = Query::Parse("∀x1x3x5", 5);
+  EXPECT_EQ(q.universal().size(), 3u);
+  for (const UniversalHorn& u : q.universal()) EXPECT_EQ(u.body, 0u);
+}
+
+TEST(ParseTest, ExplicitNLargerThanMentioned) {
+  Query q = Query::Parse("∃x1", 4);
+  EXPECT_EQ(q.n(), 4);
+  EXPECT_EQ(q.MentionedVars(), VarBit(0));
+}
+
+TEST(ParseTest, RoundTripThroughToString) {
+  for (const char* text :
+       {"∀x1x2→x3 ∀x4 ∃x5", "∃x1x2x3", "∀x1 ∀x2", "∀x2→x1 ∃x3x4",
+        "∀x1x4→x5 ∀x3x4→x5 ∀x1x2→x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6"}) {
+    Query q = Query::Parse(text);
+    EXPECT_EQ(Query::Parse(q.ToString(), q.n()).ToString(), q.ToString());
+  }
+}
+
+TEST(ParseTest, ConjunctionSymbolsIgnored) {
+  Query a = Query::Parse("∀x1 ∧ ∃x2");
+  Query b = Query::Parse("∀x1 ∃x2");
+  EXPECT_EQ(a, b);
+}
+
+TEST(ParseDeathTest, RejectsMissingQuantifier) {
+  EXPECT_DEATH(Query::Parse("x1 → x2"), "expected a quantifier");
+}
+
+TEST(ParseDeathTest, RejectsTwoHeads) {
+  EXPECT_DEATH(Query::Parse("∀x1→x2x3"), "single head");
+}
+
+TEST(ParseDeathTest, RejectsDanglingArrow) {
+  EXPECT_DEATH(Query::Parse("∀x1→"), "followed by one head");
+}
+
+TEST(ParseDeathTest, RejectsHeadInOwnBody) {
+  EXPECT_DEATH(Query::Parse("∀x1x2→x1"), "own body");
+}
+
+TEST(ParseDeathTest, RejectsGarbage) {
+  EXPECT_DEATH(Query::Parse("∀x1 banana"), "unexpected character");
+}
+
+}  // namespace
+}  // namespace qhorn

@@ -1,0 +1,124 @@
+// Propositions and interference detection (§2's independence assumption).
+
+#include "src/relation/proposition.h"
+
+#include <gtest/gtest.h>
+
+#include "src/relation/chocolate.h"
+
+namespace qhorn {
+namespace {
+
+TEST(PropositionTest, EvaluateOnChocolate) {
+  Schema schema = ChocolateSchema();
+  DataTuple c = MakeChocolate(true, false, true, false, "Madagascar");
+  EXPECT_TRUE(Proposition::BoolAttr("isDark").EvaluateOn(schema, c));
+  EXPECT_FALSE(Proposition::BoolAttr("hasFilling").EvaluateOn(schema, c));
+  EXPECT_TRUE(Proposition::Equals("origin", Value::Str("Madagascar"))
+                  .EvaluateOn(schema, c));
+  EXPECT_FALSE(Proposition::Equals("origin", Value::Str("Belgium"))
+                   .EvaluateOn(schema, c));
+}
+
+TEST(PropositionTest, IntComparisons) {
+  Schema schema({{"cocoa", ValueType::kInt}});
+  DataTuple t = {Value::Int(70)};
+  EXPECT_TRUE(Proposition::Greater("cocoa", 60).EvaluateOn(schema, t));
+  EXPECT_FALSE(Proposition::Greater("cocoa", 70).EvaluateOn(schema, t));
+  EXPECT_TRUE(Proposition::Less("cocoa", 80).EvaluateOn(schema, t));
+  EXPECT_FALSE(Proposition::Less("cocoa", 70).EvaluateOn(schema, t));
+}
+
+TEST(PropositionTest, Labels) {
+  EXPECT_EQ(Proposition::BoolAttr("isDark").label(), "isDark");
+  EXPECT_EQ(Proposition::Equals("origin", Value::Str("Belgium")).label(),
+            "origin = Belgium");
+  EXPECT_EQ(Proposition::Less("cocoa", 80).label(), "cocoa < 80");
+  EXPECT_EQ(Proposition::Greater("cocoa", 60).label(), "cocoa > 60");
+}
+
+TEST(InterferenceTest, ThePapersExample) {
+  // pm: origin = Madagascar and pb: origin = Belgium interfere
+  // (pm → ¬pb and pb → ¬pm).
+  Proposition pm = Proposition::Equals("origin", Value::Str("Madagascar"));
+  Proposition pb = Proposition::Equals("origin", Value::Str("Belgium"));
+  EXPECT_TRUE(Interferes(pm, pb));
+}
+
+TEST(InterferenceTest, DifferentAttributesNeverInterfere) {
+  Proposition a = Proposition::BoolAttr("isDark");
+  Proposition b = Proposition::BoolAttr("hasFilling");
+  EXPECT_FALSE(Interferes(a, b));
+  Proposition c = Proposition::Equals("origin", Value::Str("Belgium"));
+  EXPECT_FALSE(Interferes(a, c));
+}
+
+TEST(InterferenceTest, SameBoolAttrTwiceInterferes) {
+  // Identical propositions can never take opposite truth values.
+  Proposition a = Proposition::BoolAttr("isDark");
+  EXPECT_TRUE(Interferes(a, a));
+}
+
+TEST(InterferenceTest, DisjointIntRangesInterfere) {
+  // cocoa < 30 and cocoa > 60 cannot both be true.
+  Proposition low = Proposition::Less("cocoa", 30);
+  Proposition high = Proposition::Greater("cocoa", 60);
+  EXPECT_TRUE(Interferes(low, high));
+}
+
+TEST(InterferenceTest, OverlappingIntRangesInterfereThroughFalseFalse) {
+  // cocoa < 60 and cocoa > 30: both *false* is impossible (≥60 ∧ ≤30), so
+  // they interfere — on a totally ordered attribute any two threshold
+  // propositions constrain each other.
+  Proposition low = Proposition::Less("cocoa", 60);
+  Proposition high = Proposition::Greater("cocoa", 30);
+  EXPECT_TRUE(Interferes(low, high));
+}
+
+TEST(InterferenceTest, ThresholdsOnDifferentAttributesAreIndependent) {
+  Proposition a = Proposition::Greater("cocoa", 30);
+  Proposition b = Proposition::Less("sugar", 10);
+  EXPECT_FALSE(Interferes(a, b));
+}
+
+TEST(InterferenceTest, AdjacentRangesInterfere) {
+  // cocoa < 50 and cocoa > 49: tt impossible... and ff impossible too
+  // (every integer satisfies one of them).
+  Proposition low = Proposition::Less("cocoa", 50);
+  Proposition high = Proposition::Greater("cocoa", 49);
+  EXPECT_TRUE(Interferes(low, high));
+}
+
+TEST(InterferenceTest, EqualsAndCoveringComparison) {
+  // cocoa = 70 and cocoa > 60: "true,false" impossible.
+  Proposition eq = Proposition::Equals("cocoa", Value::Int(70));
+  Proposition gt = Proposition::Greater("cocoa", 60);
+  EXPECT_TRUE(Interferes(eq, gt));
+  // cocoa = 70 and cocoa > 80 : tt impossible.
+  EXPECT_TRUE(Interferes(eq, Proposition::Greater("cocoa", 80)));
+}
+
+TEST(InterferenceTest, MixedTypePropositionsOnOneAttributeInterfere) {
+  Proposition s = Proposition::Equals("origin", Value::Str("Belgium"));
+  Proposition i = Proposition::Equals("origin", Value::Int(3));
+  EXPECT_TRUE(Interferes(s, i));
+}
+
+TEST(FindInterferenceTest, ReportsAllPairs) {
+  std::vector<Proposition> props = {
+      Proposition::BoolAttr("isDark"),
+      Proposition::Equals("origin", Value::Str("Madagascar")),
+      Proposition::Equals("origin", Value::Str("Belgium")),
+      Proposition::Equals("origin", Value::Str("Sweden")),
+  };
+  auto pairs = FindInterference(props);
+  // The three origin propositions pairwise interfere.
+  EXPECT_EQ(pairs.size(), 3u);
+}
+
+TEST(FindInterferenceTest, CleanSetIsEmpty) {
+  EXPECT_TRUE(FindInterference(ChocolatePropositions()).empty());
+}
+
+}  // namespace
+}  // namespace qhorn

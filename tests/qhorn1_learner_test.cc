@@ -1,0 +1,184 @@
+// Exact learning of qhorn-1 queries (§3.1, Theorem 3.1): the learner must
+// reconstruct a semantically equivalent query for every target, within the
+// O(n lg n) question budget.
+
+#include "src/learn/qhorn1_learner.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/classify.h"
+#include "src/core/enumerate.h"
+#include "src/core/normalize.h"
+#include "src/core/random_query.h"
+#include "src/oracle/oracle.h"
+#include "src/util/stats.h"
+
+namespace qhorn {
+namespace {
+
+// Learns the target and checks semantic equivalence.
+Qhorn1Structure LearnAndCheck(const Qhorn1Structure& target,
+                              int64_t* questions = nullptr) {
+  Query target_query = target.ToQuery();
+  QueryOracle oracle(target_query);
+  CountingOracle counting(&oracle);
+  Qhorn1Learner learner(target.n(), &counting);
+  Qhorn1Structure learned = learner.Learn();
+  EXPECT_TRUE(Equivalent(learned.ToQuery(), target_query))
+      << "target:  " << target.ToString()
+      << "\nlearned: " << learned.ToString();
+  if (questions != nullptr) *questions = counting.stats().questions;
+  return learned;
+}
+
+TEST(Qhorn1LearnerTest, SingleUniversalVariable) {
+  Qhorn1Structure target(1);
+  target.AddPart(Qhorn1Part{0, VarBit(0), 0});  // ∀x1
+  LearnAndCheck(target);
+}
+
+TEST(Qhorn1LearnerTest, SingleExistentialVariable) {
+  Qhorn1Structure target(1);
+  target.AddPart(Qhorn1Part{0, 0, VarBit(0)});  // ∃x1
+  LearnAndCheck(target);
+}
+
+TEST(Qhorn1LearnerTest, PaperShorthandExample) {
+  // ∀x1x2→x3 ∀x4 ∃x5 (§2.1's shorthand example).
+  Qhorn1Structure target(5);
+  target.AddPart(Qhorn1Part{VarBit(0) | VarBit(1), VarBit(2), 0});
+  target.AddPart(Qhorn1Part{0, VarBit(3), 0});
+  target.AddPart(Qhorn1Part{0, 0, VarBit(4)});
+  LearnAndCheck(target);
+}
+
+TEST(Qhorn1LearnerTest, Fig2Example) {
+  // ∀x1x2→x4 ∃x1x2→x5 ∃x3→x6 (Fig. 2).
+  Qhorn1Structure target(6);
+  target.AddPart(Qhorn1Part{VarBit(0) | VarBit(1), VarBit(3), VarBit(4)});
+  target.AddPart(Qhorn1Part{VarBit(2), 0, VarBit(5)});
+  LearnAndCheck(target);
+}
+
+TEST(Qhorn1LearnerTest, SharedBodyManyHeads) {
+  // One body x1x2, heads x3 (∀), x4 (∃), x5 (∃).
+  Qhorn1Structure target(5);
+  target.AddPart(Qhorn1Part{VarBit(0) | VarBit(1), VarBit(2),
+                            VarBit(3) | VarBit(4)});
+  LearnAndCheck(target);
+}
+
+TEST(Qhorn1LearnerTest, PartitionConstruction) {
+  // §2.1.3's partition example: ∀x1 ∀x2 ∃x3→x4 ∃x5x6→x7 from
+  // x1|x2|x3x4|x5x6x7.
+  Qhorn1Structure target(7);
+  target.AddPart(Qhorn1Part{0, VarBit(0), 0});
+  target.AddPart(Qhorn1Part{0, VarBit(1), 0});
+  target.AddPart(Qhorn1Part{VarBit(2), 0, VarBit(3)});
+  target.AddPart(Qhorn1Part{VarBit(4) | VarBit(5), 0, VarBit(6)});
+  LearnAndCheck(target);
+}
+
+TEST(Qhorn1LearnerTest, AllSingletonUniversals) {
+  Qhorn1Structure target(6);
+  for (int v = 0; v < 6; ++v) {
+    target.AddPart(Qhorn1Part{0, VarBit(v), 0});
+  }
+  LearnAndCheck(target);
+}
+
+TEST(Qhorn1LearnerTest, AllSingletonExistentials) {
+  Qhorn1Structure target(6);
+  for (int v = 0; v < 6; ++v) {
+    target.AddPart(Qhorn1Part{0, 0, VarBit(v)});
+  }
+  LearnAndCheck(target);
+}
+
+TEST(Qhorn1LearnerTest, OneGiantExistentialBody) {
+  // ∃x1x2x3x4x5x6x7→x8.
+  Qhorn1Structure target(8);
+  target.AddPart(Qhorn1Part{AllTrue(7), 0, VarBit(7)});
+  LearnAndCheck(target);
+}
+
+TEST(Qhorn1LearnerTest, OneGiantUniversalBody) {
+  Qhorn1Structure target(8);
+  target.AddPart(Qhorn1Part{AllTrue(7), VarBit(7), 0});
+  LearnAndCheck(target);
+}
+
+TEST(Qhorn1LearnerTest, UniversalRolesRecoveredExactly) {
+  // Universal Horn expressions are uniquely identifiable (not just up to
+  // equivalence): check the exact part structure for a mixed target.
+  Qhorn1Structure target(6);
+  target.AddPart(Qhorn1Part{VarBit(1) | VarBit(4), VarBit(0) | VarBit(5), 0});
+  target.AddPart(Qhorn1Part{0, VarBit(2), 0});
+  target.AddPart(Qhorn1Part{0, 0, VarBit(3)});
+  Qhorn1Structure learned = LearnAndCheck(target);
+
+  VarSet universal_heads = 0;
+  VarSet universal_body = 0;
+  for (const Qhorn1Part& p : learned.parts()) {
+    universal_heads |= p.universal_heads;
+    if (p.universal_heads != 0) universal_body |= p.body;
+  }
+  EXPECT_EQ(universal_heads, VarBit(0) | VarBit(2) | VarBit(5));
+  EXPECT_EQ(universal_body, VarBit(1) | VarBit(4));
+}
+
+// Exhaustive: every syntactic qhorn-1 query on up to 4 variables.
+class Qhorn1ExhaustiveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Qhorn1ExhaustiveTest, LearnsEveryQuery) {
+  int n = GetParam();
+  int64_t max_questions = 0;
+  std::vector<Qhorn1Structure> all = EnumerateQhorn1(n);
+  ASSERT_FALSE(all.empty());
+  for (const Qhorn1Structure& target : all) {
+    int64_t questions = 0;
+    LearnAndCheck(target, &questions);
+    max_questions = std::max(max_questions, questions);
+  }
+  // Theorem 3.1 budget with a generous constant.
+  EXPECT_LE(max_questions,
+            static_cast<int64_t>(20.0 * n * Lg(n) + 20));
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallN, Qhorn1ExhaustiveTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+// Randomized: larger n across seeds and part-size profiles.
+class Qhorn1RandomTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(Qhorn1RandomTest, LearnsRandomQueries) {
+  auto [n, seed] = GetParam();
+  Rng rng(seed);
+  Qhorn1Options opts;
+  opts.max_part_size = 1 + static_cast<int>(seed % 5);
+  Qhorn1Structure target = RandomQhorn1(n, rng, opts);
+  int64_t questions = 0;
+  LearnAndCheck(target, &questions);
+  EXPECT_LE(questions, static_cast<int64_t>(20.0 * n * Lg(n) + 20));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Qhorn1RandomTest,
+    ::testing::Combine(::testing::Values(5, 8, 12, 17, 24, 33),
+                       ::testing::Range<uint64_t>(0, 8)));
+
+// The question count must actually scale like n lg n, not n².
+TEST(Qhorn1LearnerTest, QuestionCountScalesQuasilinearly) {
+  for (int n : {16, 32, 64}) {
+    Rng rng(42);
+    Qhorn1Structure target = RandomQhorn1(n, rng);
+    int64_t questions = 0;
+    LearnAndCheck(target, &questions);
+    EXPECT_LE(questions, static_cast<int64_t>(12.0 * n * Lg(n)))
+        << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace qhorn

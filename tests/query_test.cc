@@ -1,0 +1,142 @@
+// Query model and evaluation semantics (§2.1): universal Horn expressions
+// with guarantee clauses, existential conjunctions, Horn closure.
+
+#include "src/core/query.h"
+
+#include <gtest/gtest.h>
+
+#include "src/bool/tuple_set.h"
+
+namespace qhorn {
+namespace {
+
+TEST(QueryTest, PaperQueryOneOnChocolateBoxes) {
+  // Query (1): ∀c(p1) ∧ ∃c(p2 ∧ p3). Boolean form over x1..x3.
+  Query q(3);
+  q.AddUniversal(0, 0);                     // ∀x1
+  q.AddExistential(VarBit(1) | VarBit(2));  // ∃x2x3
+
+  // An all-dark box with a filled Madagascar chocolate is an answer.
+  TupleSet good_box = TupleSet::Parse({"111", "100"});
+  EXPECT_TRUE(q.Evaluate(good_box));
+
+  // Fig. 1's S1 = {111, 000, 110} has a non-dark chocolate (000); S2 =
+  // {100, 110} lacks a filled Madagascar chocolate. Both are non-answers.
+  EXPECT_FALSE(q.Evaluate(TupleSet::Parse({"111", "000", "110"})));
+  EXPECT_FALSE(q.Evaluate(TupleSet::Parse({"100", "110"})));
+}
+
+TEST(QueryTest, UniversalHornViolation) {
+  Query q = Query::Parse("∀x1x2→x3");
+  EXPECT_TRUE(q.Evaluate(TupleSet::Parse({"111"})));
+  EXPECT_TRUE(q.Evaluate(TupleSet::Parse({"111", "100"})));  // body not full
+  EXPECT_FALSE(q.Evaluate(TupleSet::Parse({"111", "110"})));  // violation
+}
+
+TEST(QueryTest, GuaranteeClauseRequiresPositiveInstance) {
+  Query q = Query::Parse("∀x1");
+  // The empty-ish box: a tuple with x1 false violates ∀x1 outright.
+  EXPECT_FALSE(q.Evaluate(TupleSet::Parse({"0"})));
+  // A box where x1 never appears true fails the guarantee ∃x1.
+  TupleSet no_positive;  // empty set of tuples
+  EXPECT_FALSE(q.Evaluate(no_positive));
+  // Footnote 1: with guarantees relaxed, the empty set satisfies ∀x1.
+  EvalOptions relaxed;
+  relaxed.require_guarantees = false;
+  EXPECT_TRUE(q.Evaluate(no_positive, relaxed));
+}
+
+TEST(QueryTest, GuaranteeOfHornNeedsBodyAndHeadTogether) {
+  Query q = Query::Parse("∀x1x2→x3");
+  // Violation-free but no tuple has x1,x2,x3 all true → guarantee fails.
+  EXPECT_FALSE(q.Evaluate(TupleSet::Parse({"101", "011"})));
+  EXPECT_TRUE(q.Evaluate(TupleSet::Parse({"101", "011", "111"})));
+  EvalOptions relaxed;
+  relaxed.require_guarantees = false;
+  EXPECT_TRUE(q.Evaluate(TupleSet::Parse({"101", "011"}), relaxed));
+}
+
+TEST(QueryTest, ExistentialConjunctionSemantics) {
+  Query q = Query::Parse("∃x1x3");
+  EXPECT_TRUE(q.Evaluate(TupleSet::Parse({"101"})));
+  EXPECT_TRUE(q.Evaluate(TupleSet::Parse({"010", "111"})));
+  EXPECT_FALSE(q.Evaluate(TupleSet::Parse({"100", "001", "011"})));
+}
+
+TEST(QueryTest, EmptyQueryAcceptsEverything) {
+  Query q(3);
+  EXPECT_TRUE(q.Evaluate(TupleSet()));
+  EXPECT_TRUE(q.Evaluate(TupleSet::Parse({"000"})));
+}
+
+TEST(QueryTest, ViolatesUniversal) {
+  Query q = Query::Parse("∀x1x2→x6 ∀x3x4→x5", 6);
+  EXPECT_TRUE(q.ViolatesUniversal(ParseTuple("111110")));   // x6 false
+  EXPECT_TRUE(q.ViolatesUniversal(ParseTuple("111101")));   // x5 false
+  EXPECT_FALSE(q.ViolatesUniversal(ParseTuple("111111")));
+  EXPECT_FALSE(q.ViolatesUniversal(ParseTuple("101011")));  // bodies broken
+}
+
+TEST(QueryTest, HornClosure) {
+  Query q = Query::Parse("∀x1→x2 ∀x2x3→x4", 5);
+  EXPECT_EQ(q.HornClosure(VarBit(0)), VarBit(0) | VarBit(1));
+  EXPECT_EQ(q.HornClosure(VarBit(0) | VarBit(2)),
+            VarBit(0) | VarBit(1) | VarBit(2) | VarBit(3));
+  EXPECT_EQ(q.HornClosure(VarBit(4)), VarBit(4));
+}
+
+TEST(QueryTest, HornClosureWithBodylessHead) {
+  Query q = Query::Parse("∀x1 ∃x2", 2);
+  // ∀x1 forces x1 into every closure.
+  EXPECT_EQ(q.HornClosure(VarBit(1)), VarBit(0) | VarBit(1));
+}
+
+TEST(QueryTest, SizeAndHeads) {
+  Query q = Query::Parse("∀x1x2→x4 ∃x3 ∃x1x2x3", 4);
+  EXPECT_EQ(q.size_k(), 3);
+  EXPECT_EQ(q.UniversalHeadVars(), VarBit(3));
+  EXPECT_EQ(q.MentionedVars(), AllTrue(4));
+}
+
+TEST(QueryTest, ToStringShorthand) {
+  Query q(5);
+  q.AddUniversal(VarBit(0) | VarBit(1), 2);
+  q.AddUniversal(0, 3);
+  q.AddExistential(VarBit(4));
+  EXPECT_EQ(q.ToString(), "∀x1x2→x3 ∀x4 ∃x5");
+}
+
+TEST(Qhorn1StructureTest, LowersToQuery) {
+  Qhorn1Structure s(6);
+  // ∀x1x2→x4 ∃x1x2→x5 ∃x3→x6 (Fig. 2's example).
+  Qhorn1Part shared;
+  shared.body = VarBit(0) | VarBit(1);
+  shared.universal_heads = VarBit(3);
+  shared.existential_heads = VarBit(4);
+  s.AddPart(shared);
+  Qhorn1Part other;
+  other.body = VarBit(2);
+  other.existential_heads = VarBit(5);
+  s.AddPart(other);
+
+  EXPECT_TRUE(s.CoversAllVars());
+  Query q = s.ToQuery();
+  ASSERT_EQ(q.universal().size(), 1u);
+  EXPECT_EQ(q.universal()[0].body, VarBit(0) | VarBit(1));
+  EXPECT_EQ(q.universal()[0].head, 3);
+  ASSERT_EQ(q.existential().size(), 2u);
+  EXPECT_EQ(q.existential()[0].vars, VarBit(0) | VarBit(1) | VarBit(4));
+  EXPECT_EQ(q.existential()[1].vars, VarBit(2) | VarBit(5));
+  EXPECT_EQ(s.ToString(), "∀x1x2→x4 ∃x1x2→x5 ∃x3→x6");
+}
+
+TEST(Qhorn1StructureTest, CoverageDetection) {
+  Qhorn1Structure s(3);
+  Qhorn1Part p;
+  p.existential_heads = VarBit(0);
+  s.AddPart(p);
+  EXPECT_FALSE(s.CoversAllVars());
+}
+
+}  // namespace
+}  // namespace qhorn

@@ -1,0 +1,115 @@
+// Random query generators: structural invariants and parameter fidelity.
+
+#include "src/core/random_query.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/classify.h"
+
+namespace qhorn {
+namespace {
+
+class RandomQhorn1Test : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomQhorn1Test, StructuresAreValidAndCovering) {
+  Rng rng(GetParam());
+  for (int n : {1, 2, 5, 13, 40, 64}) {
+    Qhorn1Structure s = RandomQhorn1(n, rng);
+    EXPECT_TRUE(IsQhorn1(s)) << s.ToString();
+    EXPECT_TRUE(s.CoversAllVars()) << s.ToString();
+    EXPECT_EQ(s.n(), n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomQhorn1Test,
+                         ::testing::Range<uint64_t>(0, 10));
+
+TEST(RandomQhorn1Test, MaxPartSizeRespected) {
+  Rng rng(7);
+  Qhorn1Options opts;
+  opts.max_part_size = 2;
+  Qhorn1Structure s = RandomQhorn1(20, rng, opts);
+  for (const Qhorn1Part& p : s.parts()) {
+    EXPECT_LE(Popcount(p.vars()), 2);
+  }
+}
+
+TEST(RandomQhorn1Test, AllUniversalProbability) {
+  Rng rng(3);
+  Qhorn1Options opts;
+  opts.max_part_size = 1;
+  opts.universal_head_prob = 1.0;
+  Qhorn1Structure s = RandomQhorn1(10, rng, opts);
+  for (const Qhorn1Part& p : s.parts()) {
+    EXPECT_EQ(p.existential_heads, 0u);
+    EXPECT_EQ(Popcount(p.universal_heads), 1);
+  }
+}
+
+class RandomRpTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomRpTest, QueriesAreRolePreservingAndCovering) {
+  Rng rng(GetParam());
+  RpOptions opts;
+  opts.num_heads = static_cast<int>(rng.Range(0, 3));
+  opts.theta = static_cast<int>(rng.Range(1, 3));
+  opts.num_conjunctions = static_cast<int>(rng.Range(0, 4));
+  Query q = RandomRolePreserving(10, rng, opts);
+  EXPECT_TRUE(IsRolePreserving(q));
+  EXPECT_EQ(q.MentionedVars(), AllTrue(10));
+  EXPECT_EQ(q.n(), 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomRpTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+TEST(RandomRpTest, CausalDensityMatchesTheta) {
+  Rng rng(11);
+  RpOptions opts;
+  opts.num_heads = 2;
+  opts.theta = 3;
+  opts.body_size = 2;
+  opts.num_conjunctions = 0;
+  Query q = RandomRolePreserving(12, rng, opts);
+  EXPECT_EQ(CausalDensity(q), 3) << q.ToString();
+}
+
+TEST(RandomRpTest, HeadCountRespected) {
+  Rng rng(13);
+  RpOptions opts;
+  opts.num_heads = 4;
+  Query q = RandomRolePreserving(12, rng, opts);
+  EXPECT_EQ(Popcount(q.UniversalHeadVars()), 4);
+}
+
+TEST(RandomRpTest, BodylessHeads) {
+  Rng rng(17);
+  RpOptions opts;
+  opts.num_heads = 3;
+  opts.bodyless_prob = 1.0;
+  Query q = RandomRolePreserving(8, rng, opts);
+  for (const UniversalHorn& u : q.universal()) {
+    EXPECT_EQ(u.body, 0u);
+  }
+}
+
+TEST(RandomRpTest, NoCoverageLeavesVarsUnmentioned) {
+  Rng rng(19);
+  RpOptions opts;
+  opts.num_heads = 0;
+  opts.num_conjunctions = 1;
+  opts.conj_size_max = 1;
+  opts.cover_all_vars = false;
+  Query q = RandomRolePreserving(10, rng, opts);
+  EXPECT_LT(Popcount(q.MentionedVars()), 10);
+}
+
+TEST(RandomRpTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  EXPECT_EQ(RandomRolePreserving(9, a).ToString(),
+            RandomRolePreserving(9, b).ToString());
+}
+
+}  // namespace
+}  // namespace qhorn

@@ -1,0 +1,55 @@
+// Flat and nested relations (Defs. 2.1–2.3).
+
+#include "src/relation/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "src/relation/chocolate.h"
+
+namespace qhorn {
+namespace {
+
+TEST(FlatRelationTest, AddAndReadRows) {
+  FlatRelation r(ChocolateSchema());
+  r.AddRow(MakeChocolate(true, false, true, false, "Madagascar"));
+  r.AddRow(MakeChocolate(false, true, false, true, "Belgium"));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.rows()[0][4].string_value(), "Madagascar");
+  EXPECT_FALSE(r.empty());
+}
+
+TEST(FlatRelationDeathTest, ArityMismatchAborts) {
+  FlatRelation r(ChocolateSchema());
+  EXPECT_DEATH(r.AddRow({Value::Bool(true)}), "arity");
+}
+
+TEST(FlatRelationDeathTest, TypeMismatchAborts) {
+  FlatRelation r(Schema({{"isDark", ValueType::kBool}}));
+  EXPECT_DEATH(r.AddRow({Value::Str("yes")}), "type mismatch");
+}
+
+TEST(NestedRelationTest, SingleLevelNesting) {
+  NestedRelation boxes = Fig1Boxes();
+  EXPECT_EQ(boxes.name(), "Box");
+  ASSERT_EQ(boxes.objects().size(), 2u);
+  EXPECT_EQ(boxes.objects()[0].name, "Global Ground");
+  EXPECT_EQ(boxes.objects()[0].tuples.size(), 3u);
+  EXPECT_EQ(boxes.objects()[1].name, "Europe's Finest");
+}
+
+TEST(NestedRelationDeathTest, SchemaMismatchAborts) {
+  NestedRelation boxes("Box", ChocolateSchema());
+  NestedObject bad;
+  bad.name = "bad";
+  bad.tuples = FlatRelation(Schema({{"x", ValueType::kInt}}));
+  EXPECT_DEATH(boxes.AddObject(std::move(bad)), "embedded schema");
+}
+
+TEST(NestedRelationTest, ToStringListsObjects) {
+  std::string text = Fig1Boxes().ToString();
+  EXPECT_NE(text.find("Global Ground"), std::string::npos);
+  EXPECT_NE(text.find("Madagascar"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qhorn

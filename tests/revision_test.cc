@@ -1,0 +1,104 @@
+// Query revision (§6 extension): accepted queries return unchanged; close
+// queries revise with the seeded descent; distant ones fall back and still
+// converge.
+
+#include "src/learn/revision.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/normalize.h"
+#include "src/core/random_query.h"
+
+namespace qhorn {
+namespace {
+
+TEST(RevisionTest, AcceptedQueryIsReturnedVerbatim) {
+  Query q = Query::Parse("∀x1x2→x4 ∃x3", 4);
+  QueryOracle user(q);
+  RevisionResult r = ReviseQuery(q, &user);
+  EXPECT_TRUE(r.verified_unchanged);
+  EXPECT_TRUE(Equivalent(r.query, q));
+  EXPECT_EQ(r.learning_questions, 0);
+}
+
+TEST(RevisionTest, SmallConjunctionEditUsesTheSeed) {
+  // The intended query shrinks one conjunction by a variable — distance 1.
+  Query given = Query::Parse("∃x1x2x3 ∃x4", 4);
+  Query intended = Query::Parse("∃x1x2 ∃x4", 4);
+  QueryOracle user(intended);
+  RevisionResult r = ReviseQuery(given, &user);
+  EXPECT_FALSE(r.verified_unchanged);
+  EXPECT_TRUE(Equivalent(r.query, intended)) << r.query.ToString();
+  EXPECT_TRUE(r.used_seed);
+}
+
+TEST(RevisionTest, GrownConjunctionFallsBackAndStillConverges) {
+  // The intended conjunction is larger — qg's tuples no longer dominate,
+  // so the seed test fails and a full search runs.
+  Query given = Query::Parse("∃x1x2 ∃x4", 4);
+  Query intended = Query::Parse("∃x1x2x3 ∃x4", 4);
+  QueryOracle user(intended);
+  RevisionResult r = ReviseQuery(given, &user);
+  EXPECT_TRUE(Equivalent(r.query, intended)) << r.query.ToString();
+}
+
+TEST(RevisionTest, UniversalEditsAreRelearned) {
+  Query given = Query::Parse("∀x1→x3 ∃x2", 3);
+  Query intended = Query::Parse("∀x2→x3 ∃x1", 3);
+  QueryOracle user(intended);
+  RevisionResult r = ReviseQuery(given, &user);
+  EXPECT_TRUE(Equivalent(r.query, intended)) << r.query.ToString();
+}
+
+TEST(RevisionTest, SeedCheapensCloseRevisions) {
+  // Revising a distance-1 edit must cost fewer questions than learning
+  // from scratch when the seed applies.
+  Query intended = Query::Parse("∃x1x2x3x4x5 ∃x6x7 ∃x8", 8);
+  Query given = Query::Parse("∃x1x2x3x4x5x8 ∃x6x7 ∃x8", 8);  // one edit
+
+  QueryOracle user1(intended);
+  RevisionResult revised = ReviseQuery(given, &user1);
+  ASSERT_TRUE(Equivalent(revised.query, intended));
+  ASSERT_TRUE(revised.used_seed);
+
+  QueryOracle user2(intended);
+  CountingOracle scratch(&user2);
+  RpLearnerResult full = LearnRolePreserving(8, &scratch);
+  ASSERT_TRUE(Equivalent(full.query, intended));
+
+  EXPECT_LT(revised.learning_questions, scratch.stats().questions);
+}
+
+TEST(RevisionTest, RandomizedRevisionsConverge) {
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    Rng rng(seed);
+    RpOptions opts;
+    opts.num_heads = static_cast<int>(rng.Range(0, 2));
+    opts.num_conjunctions = static_cast<int>(rng.Range(1, 3));
+    Query given = RandomRolePreserving(6, rng, opts);
+    Query intended = RandomRolePreserving(6, rng, opts);
+    QueryOracle user(intended);
+    RevisionResult r = ReviseQuery(given, &user);
+    EXPECT_TRUE(Equivalent(r.query, intended))
+        << "given: " << given.ToString()
+        << "\nintended: " << intended.ToString()
+        << "\nrevised: " << r.query.ToString();
+  }
+}
+
+TEST(QueryDistanceTest, ZeroForEquivalentQueries) {
+  Query a = Query::Parse("∃x1x2 ∀x3", 3);
+  Query b = Query::Parse("∀x3 ∃x1x2x3 ∃x1x2", 3);  // equivalent rewriting
+  EXPECT_EQ(QueryDistance(a, b), 0);
+}
+
+TEST(QueryDistanceTest, CountsLatticeFlips) {
+  Query a = Query::Parse("∃x1x2x3 ∃x4", 4);
+  Query b = Query::Parse("∃x1x2 ∃x4", 4);
+  EXPECT_EQ(QueryDistance(a, b), 1);
+  Query c = Query::Parse("∃x1x2 ∃x3", 4);
+  EXPECT_EQ(QueryDistance(b, c), 2);  // x4 → x3
+}
+
+}  // namespace
+}  // namespace qhorn

@@ -1,0 +1,152 @@
+// The lattice-based existential-conjunction learner (§3.2.2, Algorithms
+// 7–8): worked-example fidelity, pruning, the guarantee-downset
+// optimization, and the O(k·n·lg n) budget of Theorem 3.8.
+
+#include "src/learn/rp_existential.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/core/classify.h"
+#include "src/core/normalize.h"
+#include "src/core/random_query.h"
+#include "src/util/stats.h"
+
+namespace qhorn {
+namespace {
+
+std::set<VarSet> LearnConjunctions(const Query& target,
+                                   const RpExistentialOptions& opts = {},
+                                   int64_t* questions = nullptr) {
+  QueryOracle oracle(target);
+  CountingOracle counting(&oracle);
+  RpExistentialResult r = LearnExistentialConjunctions(
+      target.n(), &counting, target.universal(), opts);
+  if (questions != nullptr) *questions = counting.stats().questions;
+  return std::set<VarSet>(r.conjunctions.begin(), r.conjunctions.end());
+}
+
+TEST(RpExistentialTest, PaperWalkthroughTuples) {
+  // §3.2.2 walks the lattice for query (2) and terminates with
+  // {110011, 100110, 111001, 011011, 011110}.
+  Query target = Query::Parse(
+      "∀x1x4→x5 ∀x3x4→x5 ∀x1x2→x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6");
+  std::set<VarSet> expected = {
+      ParseTuple("110011"), ParseTuple("100110"), ParseTuple("111001"),
+      ParseTuple("011011"), ParseTuple("011110")};
+  EXPECT_EQ(LearnConjunctions(target), expected);
+}
+
+TEST(RpExistentialTest, SingleConjunction) {
+  Query target = Query::Parse("∃x1x3", 4);
+  std::set<VarSet> expected = {VarBit(0) | VarBit(2)};
+  EXPECT_EQ(LearnConjunctions(target), expected);
+}
+
+TEST(RpExistentialTest, FullConjunctionIsTheTopTuple) {
+  Query target = Query::Parse("∃x1x2x3x4", 4);
+  std::set<VarSet> expected = {AllTrue(4)};
+  EXPECT_EQ(LearnConjunctions(target), expected);
+}
+
+TEST(RpExistentialTest, DisjointSingletons) {
+  Query target = Query::Parse("∃x1 ∃x2 ∃x3", 3);
+  std::set<VarSet> expected = {VarBit(0), VarBit(1), VarBit(2)};
+  EXPECT_EQ(LearnConjunctions(target), expected);
+}
+
+TEST(RpExistentialTest, DominatedConjunctionsVanish) {
+  Query target = Query::Parse("∃x1x2 ∃x1 ∃x2", 2);
+  std::set<VarSet> expected = {AllTrue(2)};
+  EXPECT_EQ(LearnConjunctions(target), expected);
+}
+
+TEST(RpExistentialTest, GuaranteesOfHornsAreDiscovered) {
+  // Only a universal Horn expression: its guarantee clause is the sole
+  // dominant conjunction.
+  Query target = Query::Parse("∀x1x2→x3 ∃x4", 4);
+  std::set<VarSet> conjs = LearnConjunctions(target);
+  EXPECT_TRUE(conjs.count(VarBit(0) | VarBit(1) | VarBit(2)));
+  EXPECT_TRUE(conjs.count(VarBit(3)));
+}
+
+TEST(RpExistentialTest, ClosureAppliedToDiscoveredConjunctions) {
+  // ∃x2 closes to ∃x2x3 under ∀x2→x3.
+  Query target = Query::Parse("∀x2→x3 ∃x1 ∃x2", 3);
+  std::set<VarSet> conjs = LearnConjunctions(target);
+  EXPECT_TRUE(conjs.count(VarBit(1) | VarBit(2)));
+}
+
+TEST(RpExistentialTest, OptimizationOnAndOffAgree) {
+  Query target = Query::Parse(
+      "∀x1x4→x5 ∀x3x4→x5 ∀x1x2→x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6");
+  RpExistentialOptions on;
+  on.skip_guarantee_downsets = true;
+  RpExistentialOptions off;
+  off.skip_guarantee_downsets = false;
+  int64_t q_on = 0;
+  int64_t q_off = 0;
+  EXPECT_EQ(LearnConjunctions(target, on, &q_on),
+            LearnConjunctions(target, off, &q_off));
+  EXPECT_LE(q_on, q_off);  // the optimization can only save questions
+}
+
+TEST(RpExistentialTest, SeededFrontierFindsDeeperTuples) {
+  // Seeding the descent at the (already known) dominant tuples must give
+  // the same result as starting from the top.
+  Query target = Query::Parse("∃x1x2 ∃x3", 3);
+  QueryOracle oracle(target);
+  std::vector<Tuple> seed = {ParseTuple("110"), ParseTuple("001")};
+  RpExistentialResult r = LearnExistentialConjunctions(
+      3, &oracle, target.universal(), RpExistentialOptions(), &seed);
+  std::set<VarSet> got(r.conjunctions.begin(), r.conjunctions.end());
+  EXPECT_EQ(got, (std::set<VarSet>{ParseTuple("110"), ParseTuple("001")}));
+}
+
+TEST(RpExistentialTest, QuestionBudgetTheorem38) {
+  // O(k·n·lg n) with an empirical constant across a parameter sweep.
+  for (int n : {6, 10, 14}) {
+    for (uint64_t seed = 0; seed < 6; ++seed) {
+      Rng rng(seed);
+      RpOptions opts;
+      opts.num_heads = 0;
+      opts.num_conjunctions = static_cast<int>(rng.Range(1, 5));
+      opts.conj_size_max = n;
+      Query target = RandomRolePreserving(n, rng, opts);
+      int64_t questions = 0;
+      LearnConjunctions(target, RpExistentialOptions(), &questions);
+      double k = static_cast<double>(DominantSize(target));
+      EXPECT_LE(static_cast<double>(questions), 12.0 * k * n * Lg(n) + 30.0)
+          << "n=" << n << " seed=" << seed << " target=" << target.ToString();
+    }
+  }
+}
+
+TEST(RpExistentialTest, ResultMatchesCanonicalExistentialPart) {
+  // The discovered tuples are exactly the canonical (dominant, closed)
+  // conjunction sets of the target.
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    RpOptions opts;
+    opts.num_heads = static_cast<int>(rng.Range(0, 2));
+    opts.theta = 1;
+    opts.num_conjunctions = static_cast<int>(rng.Range(1, 4));
+    Query target = RandomRolePreserving(7, rng, opts);
+
+    QueryOracle oracle(target);
+    // Use the target's true dominant horns as the learned universal side.
+    Query normalized = Normalize(target);
+    RpExistentialResult r = LearnExistentialConjunctions(
+        7, &oracle, normalized.universal());
+    std::set<VarSet> got(r.conjunctions.begin(), r.conjunctions.end());
+    CanonicalForm form = Canonicalize(target);
+    std::set<VarSet> expected(form.existential.begin(),
+                              form.existential.end());
+    EXPECT_EQ(got, expected) << target.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace qhorn

@@ -1,0 +1,158 @@
+// End-to-end learning of role-preserving qhorn queries (§3.2): exhaustive
+// over every canonical query on n ≤ 3, the paper's worked example, and
+// randomized sweeps over n, k, θ with the Theorem 3.5/3.8 budgets.
+
+#include "src/learn/rp_learner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/classify.h"
+#include "src/core/enumerate.h"
+#include "src/core/normalize.h"
+#include "src/core/random_query.h"
+#include "src/util/stats.h"
+
+namespace qhorn {
+namespace {
+
+RpLearnerResult LearnAndCheck(const Query& target) {
+  QueryOracle oracle(target);
+  RpLearnerResult result = LearnRolePreserving(target.n(), &oracle);
+  EXPECT_TRUE(Equivalent(result.query, target))
+      << "target:  " << target.ToString()
+      << "\nlearned: " << result.query.ToString();
+  return result;
+}
+
+TEST(RpLearnerTest, PaperWorkedExample) {
+  // §3.2.2's target query (2).
+  Query target = Query::Parse(
+      "∀x1x4→x5 ∀x3x4→x5 ∀x1x2→x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6");
+  RpLearnerResult result = LearnAndCheck(target);
+
+  // The learner must discover exactly the distinguishing tuples the paper
+  // lists: {110011, 100110, 111001, 011011, 011110}.
+  std::vector<VarSet> conjs;
+  for (const ExistentialConj& e : result.query.existential()) {
+    conjs.push_back(e.vars);
+  }
+  std::sort(conjs.begin(), conjs.end());
+  std::vector<VarSet> expected = {
+      ParseTuple("110011"), ParseTuple("100110"), ParseTuple("111001"),
+      ParseTuple("011011"), ParseTuple("011110")};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(conjs, expected);
+
+  // And the three universal Horn expressions.
+  EXPECT_EQ(result.query.universal().size(), 3u);
+}
+
+TEST(RpLearnerTest, RolePreservingExampleFromSection214) {
+  // ∀x1x4→x5 ∀x3x4→x5 ∀x2x4→x6 ∃x1x2x3 ∃x1x2x5x6 (§2.1.4's example).
+  Query target =
+      Query::Parse("∀x1x4→x5 ∀x3x4→x5 ∀x2x4→x6 ∃x1x2x3 ∃x1x2x5x6");
+  LearnAndCheck(target);
+}
+
+TEST(RpLearnerTest, PureExistential) {
+  Query target = Query::Parse("∃x1x2 ∃x2x3 ∃x4", 4);
+  LearnAndCheck(target);
+}
+
+TEST(RpLearnerTest, PureUniversalBodyless) {
+  Query target = Query::Parse("∀x1 ∀x2 ∀x3", 3);
+  LearnAndCheck(target);
+}
+
+TEST(RpLearnerTest, SingleHornHighDensity) {
+  // One head with three incomparable bodies (θ = 3).
+  Query target = Query::Parse("∀x1x2→x7 ∀x3x4→x7 ∀x5x6→x7", 7);
+  RpLearnerResult result = LearnAndCheck(target);
+  EXPECT_EQ(CausalDensity(result.query), 3);
+}
+
+TEST(RpLearnerTest, OverlappingBodies) {
+  // Incomparable but overlapping bodies.
+  Query target = Query::Parse("∀x1x2→x5 ∀x2x3→x5 ∀x3x4→x5", 5);
+  LearnAndCheck(target);
+}
+
+TEST(RpLearnerTest, SharedBodyAcrossHeads) {
+  Query target = Query::Parse("∀x1x2→x4 ∀x1x2→x5 ∃x3", 5);
+  LearnAndCheck(target);
+}
+
+TEST(RpLearnerTest, MixedBodylessAndBodied) {
+  Query target = Query::Parse("∀x3 ∀x1→x4 ∃x2", 4);
+  LearnAndCheck(target);
+}
+
+TEST(RpLearnerTest, UnmentionedVariableLearnedAsAbsent) {
+  // x3 appears nowhere; the learner must not invent constraints on it.
+  Query target = Query::Parse("∃x1x2", 3);
+  LearnAndCheck(target);
+}
+
+TEST(RpLearnerTest, GuaranteeOptimizationOffStillCorrect) {
+  Query target = Query::Parse(
+      "∀x1x4→x5 ∀x3x4→x5 ∀x1x2→x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6");
+  QueryOracle oracle(target);
+  RpLearnerOptions opts;
+  opts.existential.skip_guarantee_downsets = false;
+  RpLearnerResult result = LearnRolePreserving(target.n(), &oracle, opts);
+  EXPECT_TRUE(Equivalent(result.query, target));
+}
+
+// Exhaustive: every canonical role-preserving query on n variables.
+class RpExhaustiveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RpExhaustiveTest, LearnsEveryQuery) {
+  int n = GetParam();
+  std::vector<Query> all = EnumerateRolePreserving(n);
+  ASSERT_FALSE(all.empty());
+  for (const Query& target : all) {
+    LearnAndCheck(target);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallN, RpExhaustiveTest, ::testing::Values(1, 2, 3));
+
+// Randomized sweep over n with bounded θ; checks the question budget
+// O(n^{θ+1} + k n lg n) with an empirical constant.
+class RpRandomTest
+    : public ::testing::TestWithParam<std::tuple<int, int, uint64_t>> {};
+
+TEST_P(RpRandomTest, LearnsRandomQueries) {
+  auto [n, theta, seed] = GetParam();
+  Rng rng(seed);
+  RpOptions opts;
+  opts.num_heads = static_cast<int>(rng.Range(1, std::max(1, n / 3)));
+  opts.theta = theta;
+  opts.body_size = static_cast<int>(rng.Range(1, 3));
+  opts.num_conjunctions = static_cast<int>(rng.Range(1, 4));
+  opts.conj_size_max = std::min(4, n);
+  Query target = RandomRolePreserving(n, rng, opts);
+  ASSERT_TRUE(IsRolePreserving(target));
+
+  QueryOracle oracle(target);
+  CountingOracle counting(&oracle);
+  RpLearnerResult result = LearnRolePreserving(n, &counting);
+  EXPECT_TRUE(Equivalent(result.query, target))
+      << "target:  " << target.ToString()
+      << "\nlearned: " << result.query.ToString();
+
+  double k = DominantSize(target);
+  double budget = 40.0 * (std::pow(n, theta + 1) + k * n * Lg(n)) + 60.0;
+  EXPECT_LE(static_cast<double>(counting.stats().questions), budget)
+      << "n=" << n << " θ=" << theta << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RpRandomTest,
+    ::testing::Combine(::testing::Values(4, 6, 9, 12), ::testing::Values(1, 2),
+                       ::testing::Range<uint64_t>(0, 10)));
+
+}  // namespace
+}  // namespace qhorn

@@ -1,0 +1,148 @@
+// Learning universal Horn expressions in role-preserving qhorn (§3.2.1,
+// Theorem 3.5): head detection, bodyless detection, Algorithm 6 extraction,
+// search-root enumeration, and the O(n^θ) question budget.
+
+#include "src/learn/rp_universal.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/core/normalize.h"
+#include "src/core/random_query.h"
+#include "src/util/stats.h"
+
+namespace qhorn {
+namespace {
+
+// Sorted (head, body) pairs for comparison.
+std::multiset<std::pair<int, VarSet>> HornSet(
+    const std::vector<UniversalHorn>& horns) {
+  std::multiset<std::pair<int, VarSet>> out;
+  for (const UniversalHorn& u : horns) out.insert({u.head, u.body});
+  return out;
+}
+
+RpUniversalResult Learn(const Query& target) {
+  QueryOracle oracle(target);
+  return LearnUniversalHorns(target.n(), &oracle);
+}
+
+TEST(RpUniversalTest, DetectsHeadVariables) {
+  RpUniversalResult r =
+      Learn(Query::Parse("∀x1x4→x5 ∀x3x4→x5 ∀x1x2→x6 ∃x1x2x3"));
+  EXPECT_EQ(r.head_vars, VarBit(4) | VarBit(5));
+}
+
+TEST(RpUniversalTest, NoHeadsInPureExistentialQuery) {
+  RpUniversalResult r = Learn(Query::Parse("∃x1x2 ∃x3", 3));
+  EXPECT_EQ(r.head_vars, 0u);
+  EXPECT_TRUE(r.horns.empty());
+}
+
+TEST(RpUniversalTest, BodylessHead) {
+  RpUniversalResult r = Learn(Query::Parse("∀x2 ∃x1x3", 3));
+  EXPECT_EQ(HornSet(r.horns),
+            (std::multiset<std::pair<int, VarSet>>{{1, 0}}));
+}
+
+TEST(RpUniversalTest, SingleBody) {
+  RpUniversalResult r = Learn(Query::Parse("∀x1x3→x4 ∃x2", 4));
+  EXPECT_EQ(HornSet(r.horns), (std::multiset<std::pair<int, VarSet>>{
+                                  {3, VarBit(0) | VarBit(2)}}));
+}
+
+TEST(RpUniversalTest, PaperExampleTwoBodiesOneHead) {
+  // Fig. 5's setting: x5 has bodies x1x4 and x3x4.
+  RpUniversalResult r =
+      Learn(Query::Parse("∀x1x4→x5 ∀x3x4→x5 ∀x1x2→x6 ∃x1x2x3 ∃x2x3x4"));
+  std::multiset<std::pair<int, VarSet>> expected = {
+      {4, VarBit(0) | VarBit(3)},
+      {4, VarBit(2) | VarBit(3)},
+      {5, VarBit(0) | VarBit(1)},
+  };
+  EXPECT_EQ(HornSet(r.horns), expected);
+}
+
+TEST(RpUniversalTest, ThreeDisjointBodies) {
+  RpUniversalResult r =
+      Learn(Query::Parse("∀x1x2→x7 ∀x3x4→x7 ∀x5x6→x7", 7));
+  EXPECT_EQ(r.horns.size(), 3u);
+}
+
+TEST(RpUniversalTest, OverlappingIncomparableBodies) {
+  RpUniversalResult r =
+      Learn(Query::Parse("∀x1x2→x5 ∀x2x3→x5 ∀x3x4→x5", 5));
+  std::multiset<std::pair<int, VarSet>> expected = {
+      {4, VarBit(0) | VarBit(1)},
+      {4, VarBit(1) | VarBit(2)},
+      {4, VarBit(2) | VarBit(3)},
+  };
+  EXPECT_EQ(HornSet(r.horns), expected);
+}
+
+TEST(RpUniversalTest, DominatedInputBodiesComeBackMinimal) {
+  // The target contains a dominated expression; only the dominant body is
+  // discoverable (they are semantically indistinguishable — R2).
+  RpUniversalResult r = Learn(Query::Parse("∀x1→x3 ∀x1x2→x3", 3));
+  EXPECT_EQ(HornSet(r.horns),
+            (std::multiset<std::pair<int, VarSet>>{{2, VarBit(0)}}));
+}
+
+TEST(RpUniversalTest, SingletonBodies) {
+  RpUniversalResult r = Learn(Query::Parse("∀x1→x3 ∀x2→x3", 3));
+  EXPECT_EQ(r.horns.size(), 2u);
+}
+
+TEST(RpUniversalTest, WholePoolBody) {
+  RpUniversalResult r = Learn(Query::Parse("∀x1x2x3x4x5→x6", 6));
+  EXPECT_EQ(HornSet(r.horns),
+            (std::multiset<std::pair<int, VarSet>>{{5, AllTrue(5)}}));
+}
+
+// Question budget: O(n^θ) per head (Theorem 3.5) with a small constant.
+class RpUniversalBudgetTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RpUniversalBudgetTest, WithinTheorem35Budget) {
+  auto [n, theta] = GetParam();
+  Rng rng(uint64_t(n) * 1000 + uint64_t(theta));
+  RpOptions opts;
+  opts.num_heads = 1;
+  opts.theta = theta;
+  opts.body_size = 3;
+  opts.num_conjunctions = 0;
+  Query target = RandomRolePreserving(n, rng, opts);
+
+  QueryOracle oracle(target);
+  CountingOracle counting(&oracle);
+  RpUniversalResult r = LearnUniversalHorns(n, &counting);
+
+  Query relearned(n);
+  for (const UniversalHorn& u : r.horns) relearned.AddUniversal(u.body, u.head);
+  for (const ExistentialConj& e : target.existential()) {
+    relearned.AddExistential(e.vars);
+  }
+  EXPECT_TRUE(Equivalent(relearned, target)) << target.ToString();
+
+  double budget = 10.0 * (n + std::pow(n, theta)) + 50.0;
+  EXPECT_LE(static_cast<double>(counting.stats().questions), budget)
+      << "n=" << n << " θ=" << theta;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RpUniversalBudgetTest,
+                         ::testing::Combine(::testing::Values(8, 12, 16),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(RpUniversalTest, QuestionsUseTwoTuplesEach) {
+  Query target = Query::Parse("∀x1x4→x5 ∀x3x4→x5 ∃x1x2x3", 5);
+  QueryOracle oracle(target);
+  CountingOracle counting(&oracle);
+  LearnUniversalHorns(5, &counting);
+  EXPECT_LE(counting.stats().max_tuples, 2);
+}
+
+}  // namespace
+}  // namespace qhorn

@@ -1,0 +1,49 @@
+// Schemas.
+
+#include "src/relation/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace qhorn {
+namespace {
+
+Schema Choc() {
+  return Schema({{"isDark", ValueType::kBool}, {"origin", ValueType::kString}});
+}
+
+TEST(SchemaTest, IndexLookups) {
+  Schema s = Choc();
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.IndexOf("isDark"), 0);
+  EXPECT_EQ(s.IndexOf("origin"), 1);
+  EXPECT_EQ(s.IndexOf("missing"), -1);
+  EXPECT_EQ(s.RequireIndex("origin"), 1u);
+}
+
+TEST(SchemaTest, AttributeAccess) {
+  Schema s = Choc();
+  EXPECT_EQ(s.attribute(0).name, "isDark");
+  EXPECT_EQ(s.attribute(1).type, ValueType::kString);
+}
+
+TEST(SchemaTest, EqualityAndToString) {
+  EXPECT_EQ(Choc(), Choc());
+  EXPECT_NE(Choc(), Schema({{"isDark", ValueType::kBool}}));
+  EXPECT_EQ(Choc().ToString(), "(isDark:bool, origin:string)");
+}
+
+TEST(SchemaDeathTest, DuplicateNameAborts) {
+  EXPECT_DEATH(Schema({{"a", ValueType::kBool}, {"a", ValueType::kInt}}),
+               "duplicate attribute");
+}
+
+TEST(SchemaDeathTest, MissingAttributeAborts) {
+  EXPECT_DEATH(Choc().RequireIndex("nope"), "no attribute");
+}
+
+TEST(SchemaDeathTest, EmptyNameAborts) {
+  EXPECT_DEATH(Schema({{"", ValueType::kBool}}), "empty");
+}
+
+}  // namespace
+}  // namespace qhorn

@@ -1,0 +1,113 @@
+// Question materialization: synthesis, database selection (§5), and the
+// data-domain oracle round trip.
+
+#include "src/relation/synthesize.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/normalize.h"
+#include "src/learn/rp_learner.h"
+#include "src/relation/chocolate.h"
+
+namespace qhorn {
+namespace {
+
+class SynthesizeTest : public ::testing::Test {
+ protected:
+  SynthesizeTest()
+      : binding_(ChocolateSchema(), ChocolatePropositions()),
+        synthesizer_(&binding_) {}
+
+  BooleanBinding binding_;
+  TupleSynthesizer synthesizer_;
+};
+
+TEST_F(SynthesizeTest, EveryAssignmentRoundTrips) {
+  // All 2^3 Boolean chocolate classes must be constructible (§2: with 3
+  // propositions there are 8 chocolate classes).
+  for (Tuple t = 0; t < 8; ++t) {
+    DataTuple data = synthesizer_.Synthesize(t);
+    EXPECT_EQ(binding_.ToBoolean(data), t) << FormatTuple(t, 3);
+  }
+}
+
+TEST_F(SynthesizeTest, ObjectRoundTrips) {
+  TupleSet question = TupleSet::Parse({"111", "011", "100"});
+  NestedObject box = synthesizer_.SynthesizeObject(question, "box-1");
+  EXPECT_EQ(box.name, "box-1");
+  EXPECT_EQ(box.tuples.size(), 3u);
+  EXPECT_EQ(binding_.ObjectToBoolean(box), question);
+}
+
+TEST_F(SynthesizeTest, NegatedEqualsGetsFreshValue) {
+  // p3 false → origin must differ from Madagascar.
+  DataTuple data = synthesizer_.Synthesize(ParseTuple("110"));
+  EXPECT_NE(data[4].string_value(), "Madagascar");
+}
+
+TEST(DatabaseSelectorTest, PrefersPoolTuples) {
+  BooleanBinding binding(ChocolateSchema(), ChocolatePropositions());
+  Rng rng(3);
+  FlatRelation pool = RandomChocolateDatabase(500, rng);
+  DatabaseSelector selector(&pool, &binding);
+  // With 500 random chocolates every Boolean class almost surely has a
+  // real representative.
+  int64_t pool_hits = 0;
+  for (Tuple t = 0; t < 8; ++t) {
+    DataTuple picked = selector.PickOrSynthesize(t, rng);
+    EXPECT_EQ(binding.ToBoolean(picked), t);
+  }
+  pool_hits = selector.from_pool();
+  EXPECT_GT(pool_hits, 4);
+}
+
+TEST(DatabaseSelectorTest, FallsBackToSynthesisOnEmptyPool) {
+  BooleanBinding binding(ChocolateSchema(), ChocolatePropositions());
+  FlatRelation empty_pool(ChocolateSchema());
+  DatabaseSelector selector(&empty_pool, &binding);
+  Rng rng(4);
+  DataTuple t = selector.PickOrSynthesize(ParseTuple("101"), rng);
+  EXPECT_EQ(binding.ToBoolean(t), ParseTuple("101"));
+  EXPECT_EQ(selector.from_pool(), 0);
+  EXPECT_EQ(selector.synthesized(), 1);
+}
+
+TEST(DatabaseSelectorTest, MaterializesWholeObjects) {
+  BooleanBinding binding(ChocolateSchema(), ChocolatePropositions());
+  Rng rng(5);
+  FlatRelation pool = RandomChocolateDatabase(100, rng);
+  DatabaseSelector selector(&pool, &binding);
+  TupleSet question = TupleSet::Parse({"111", "010"});
+  NestedObject box = selector.MaterializeObject(question, "box", rng);
+  EXPECT_EQ(binding.ObjectToBoolean(box), question);
+}
+
+TEST(DataDomainOracleTest, AgreesWithBooleanOracle) {
+  Query intended = IntroChocolateQuery();
+  BooleanBinding binding(ChocolateSchema(), ChocolatePropositions());
+  DataDomainOracle data_oracle(intended, &binding);
+  QueryOracle bool_oracle(intended);
+  for (Tuple a = 0; a < 8; ++a) {
+    for (Tuple b = a; b < 8; ++b) {
+      TupleSet question{a, b};
+      EXPECT_EQ(data_oracle.IsAnswer(question), bool_oracle.IsAnswer(question))
+          << question.ToString(3);
+    }
+  }
+  EXPECT_EQ(data_oracle.shown_objects().size(), 36u);
+}
+
+TEST(DataDomainOracleTest, EndToEndLearningThroughTheDataDomain) {
+  // Learn the intro chocolate query by showing synthesized boxes to the
+  // simulated user — the full DataPlay-style loop.
+  Query intended = IntroChocolateQuery();
+  BooleanBinding binding(ChocolateSchema(), ChocolatePropositions());
+  DataDomainOracle user(intended, &binding);
+  RpLearnerResult result = LearnRolePreserving(3, &user);
+  EXPECT_TRUE(Equivalent(result.query, intended))
+      << result.query.ToString();
+  EXPECT_GT(user.shown_objects().size(), 0u);
+}
+
+}  // namespace
+}  // namespace qhorn

@@ -1,0 +1,71 @@
+// Objects (tuple sets): canonical form, set algebra, hashing.
+
+#include "src/bool/tuple_set.h"
+
+#include <gtest/gtest.h>
+
+namespace qhorn {
+namespace {
+
+TEST(TupleSetTest, DeduplicatesAndSorts) {
+  TupleSet s{0b11, 0b01, 0b11, 0b10};
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.tuples(), (std::vector<Tuple>{0b01, 0b10, 0b11}));
+}
+
+TEST(TupleSetTest, ParseMatchesManual) {
+  // The §3.1.1 question {111, 011}.
+  TupleSet parsed = TupleSet::Parse({"111", "011"});
+  TupleSet manual{ParseTuple("111"), ParseTuple("011")};
+  EXPECT_EQ(parsed, manual);
+}
+
+TEST(TupleSetTest, AddRemoveContains) {
+  TupleSet s;
+  EXPECT_TRUE(s.empty());
+  s.Add(5);
+  s.Add(3);
+  s.Add(5);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.Contains(5));
+  s.Remove(5);
+  EXPECT_FALSE(s.Contains(5));
+  s.Remove(99);  // no-op
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(TupleSetTest, UnionKeepsCanonicalForm) {
+  TupleSet a{1, 3};
+  TupleSet b{2, 3};
+  TupleSet u = a.Union(b);
+  EXPECT_EQ(u.tuples(), (std::vector<Tuple>{1, 2, 3}));
+}
+
+TEST(TupleSetTest, SatisfiesConjunction) {
+  TupleSet s = TupleSet::Parse({"101", "011"});
+  EXPECT_TRUE(s.SatisfiesConjunction(ParseTuple("100")));   // x1 ⊆ 101
+  EXPECT_TRUE(s.SatisfiesConjunction(ParseTuple("011")));   // x2x3 ⊆ 011
+  EXPECT_FALSE(s.SatisfiesConjunction(ParseTuple("110")));  // x1x2 nowhere
+  EXPECT_TRUE(s.SatisfiesConjunction(0));                   // trivial
+  EXPECT_FALSE(TupleSet().SatisfiesConjunction(0));  // empty object has no tuple
+}
+
+TEST(TupleSetTest, EqualityIsOrderInsensitive) {
+  EXPECT_EQ(TupleSet::Parse({"10", "01"}), TupleSet::Parse({"01", "10"}));
+  EXPECT_NE(TupleSet::Parse({"10"}), TupleSet::Parse({"01"}));
+}
+
+TEST(TupleSetTest, HashAgreesWithEquality) {
+  TupleSet a = TupleSet::Parse({"110", "011"});
+  TupleSet b = TupleSet::Parse({"011", "110", "110"});
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a.Hash(), TupleSet::Parse({"110"}).Hash());
+}
+
+TEST(TupleSetTest, ToStringUsesPaperNotation) {
+  TupleSet s = TupleSet::Parse({"111", "011"});
+  EXPECT_EQ(s.ToString(3), "{011, 111}");
+}
+
+}  // namespace
+}  // namespace qhorn

@@ -1,0 +1,68 @@
+// Boolean tuples and variable sets.
+
+#include "src/bool/tuple.h"
+
+#include <gtest/gtest.h>
+
+namespace qhorn {
+namespace {
+
+TEST(TupleTest, VarBitAndHasVar) {
+  EXPECT_EQ(VarBit(0), 1u);
+  EXPECT_EQ(VarBit(5), 32u);
+  EXPECT_TRUE(HasVar(0b101, 0));
+  EXPECT_FALSE(HasVar(0b101, 1));
+  EXPECT_TRUE(HasVar(0b101, 2));
+}
+
+TEST(TupleTest, AllTrue) {
+  EXPECT_EQ(AllTrue(0), 0u);
+  EXPECT_EQ(AllTrue(1), 1u);
+  EXPECT_EQ(AllTrue(4), 0b1111u);
+  EXPECT_EQ(AllTrue(64), ~uint64_t{0});
+}
+
+TEST(TupleTest, SubsetIncomparable) {
+  EXPECT_TRUE(IsSubset(0b010, 0b110));
+  EXPECT_TRUE(IsSubset(0, 0b1));
+  EXPECT_FALSE(IsSubset(0b110, 0b010));
+  EXPECT_TRUE(Incomparable(0b011, 0b101));
+  EXPECT_FALSE(Incomparable(0b011, 0b011));
+  EXPECT_FALSE(Incomparable(0b011, 0b111));
+}
+
+TEST(TupleTest, VarsOfRoundTrip) {
+  std::vector<int> vars = {0, 3, 7, 63};
+  EXPECT_EQ(VarsOf(MaskOf(vars)), vars);
+  EXPECT_TRUE(VarsOf(0).empty());
+}
+
+TEST(TupleTest, FormatAndParse) {
+  // Paper convention: leftmost character is x1.
+  EXPECT_EQ(FormatTuple(ParseTuple("1011"), 4), "1011");
+  EXPECT_EQ(ParseTuple("100"), VarBit(0));
+  EXPECT_EQ(ParseTuple("001"), VarBit(2));
+  EXPECT_EQ(FormatTuple(0, 3), "000");
+  EXPECT_EQ(FormatTuple(AllTrue(6), 6), "111111");
+}
+
+TEST(TupleTest, FormatVarSet) {
+  EXPECT_EQ(FormatVarSet(0), "{}");
+  EXPECT_EQ(FormatVarSet(VarBit(0) | VarBit(2) | VarBit(4)), "x1x3x5");
+}
+
+TEST(TupleTest, LevelCountsFalseVariables) {
+  // Fig. 4: the top tuple is level 0; each level adds one false variable.
+  EXPECT_EQ(Level(AllTrue(4), 4), 0);
+  EXPECT_EQ(Level(ParseTuple("0011"), 4), 2);
+  EXPECT_EQ(Level(0, 4), 4);
+}
+
+TEST(TupleTest, PopcountMatches) {
+  EXPECT_EQ(Popcount(0), 0);
+  EXPECT_EQ(Popcount(0b1011), 3);
+  EXPECT_EQ(Popcount(~uint64_t{0}), 64);
+}
+
+}  // namespace
+}  // namespace qhorn

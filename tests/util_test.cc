@@ -1,0 +1,143 @@
+// Utility layer: RNG determinism and distribution sanity, text tables,
+// accumulators, checked assertions.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace qhorn {
+namespace {
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(13), 13u);
+  }
+}
+
+TEST(RngTest, BelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(13);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Range(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_TRUE(seen.count(-2));
+  EXPECT_TRUE(seen.count(2));
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(19);
+  double sum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 2000.0, 0.5, 0.05);
+}
+
+TEST(RngTest, SampleIsSortedDistinctSubset) {
+  Rng rng(23);
+  std::vector<int> sample = rng.Sample(20, 8);
+  ASSERT_EQ(sample.size(), 8u);
+  for (size_t i = 1; i < sample.size(); ++i) {
+    EXPECT_LT(sample[i - 1], sample[i]);
+  }
+  EXPECT_GE(sample.front(), 0);
+  EXPECT_LT(sample.back(), 20);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(AccumulatorTest, Statistics) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  for (double v : {2.0, 4.0, 6.0}) acc.Add(v);
+  EXPECT_EQ(acc.count(), 3);
+  EXPECT_DOUBLE_EQ(acc.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 6.0);
+  EXPECT_NEAR(acc.stddev(), 1.632993, 1e-5);
+}
+
+TEST(LgTest, SmallValuesClampToOne) {
+  EXPECT_DOUBLE_EQ(Lg(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Lg(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Lg(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(Lg(8.0), 3.0);
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"a", "long-header"});
+  t.Row().Cell(1).Cell("x");
+  t.Row().Cell(12345).Cell(3.14159, 2);
+  std::ostringstream os;
+  t.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("12345"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTableDeathTest, ArityMismatchAborts) {
+  TextTable t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "arity");
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+}
+
+TEST(CheckDeathTest, MessageIncludesExpression) {
+  EXPECT_DEATH(QHORN_CHECK(1 == 2), "1 == 2");
+  EXPECT_DEATH(QHORN_CHECK_MSG(false, "custom " << 42), "custom 42");
+}
+
+}  // namespace
+}  // namespace qhorn

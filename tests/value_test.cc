@@ -1,0 +1,45 @@
+// Typed values.
+
+#include "src/relation/value.h"
+
+#include <gtest/gtest.h>
+
+namespace qhorn {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Bool(true).type(), ValueType::kBool);
+  EXPECT_EQ(Value::Int(42).type(), ValueType::kInt);
+  EXPECT_EQ(Value::Str("x").type(), ValueType::kString);
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_EQ(Value::Int(-5).int_value(), -5);
+  EXPECT_EQ(Value::Str("Madagascar").string_value(), "Madagascar");
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value::Str("a"), Value::Str("a"));
+  EXPECT_NE(Value::Str("a"), Value::Str("b"));
+  EXPECT_NE(Value::Int(1), Value::Str("1"));
+  EXPECT_NE(Value::Bool(true), Value::Int(1));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Int(7).ToString(), "7");
+  EXPECT_EQ(Value::Str("Belgium").ToString(), "Belgium");
+}
+
+TEST(ValueTest, TypeNames) {
+  EXPECT_STREQ(ValueTypeName(ValueType::kBool), "bool");
+  EXPECT_STREQ(ValueTypeName(ValueType::kInt), "int");
+  EXPECT_STREQ(ValueTypeName(ValueType::kString), "string");
+}
+
+TEST(ValueDeathTest, WrongAccessorAborts) {
+  EXPECT_DEATH(Value::Int(1).bool_value(), "not a bool");
+  EXPECT_DEATH(Value::Bool(true).int_value(), "not an int");
+  EXPECT_DEATH(Value::Int(1).string_value(), "not a string");
+}
+
+}  // namespace
+}  // namespace qhorn

@@ -1,0 +1,165 @@
+// Verification (§4): the verifier accepts a query iff the user's intended
+// query is semantically equivalent — Theorem 4.2, tested exhaustively over
+// every pair of canonical role-preserving queries on 2 and 3 variables
+// (the n = 2 instance is the paper's Fig. 8 matrix).
+
+#include "src/verify/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/enumerate.h"
+#include "src/core/normalize.h"
+#include "src/core/random_query.h"
+#include "src/util/rng.h"
+
+namespace qhorn {
+namespace {
+
+TEST(VerifierTest, AcceptsTheIdenticalQuery) {
+  Query q = Query::Parse(
+      "∀x1x4→x5 ∀x1x2→x6 ∀x3x4→x5 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6");
+  QueryOracle user(q);
+  VerificationReport report = VerifyQuery(q, &user);
+  EXPECT_TRUE(report.accepted);
+  EXPECT_TRUE(report.discrepancies.empty());
+}
+
+TEST(VerifierTest, AcceptsAnEquivalentRewriting) {
+  // R2/R3-rewritten variants must also pass.
+  Query given = Query::Parse("∀x1→x4 ∃x1x2x3→x4");
+  Query intended = Query::Parse("∀x1x2x3→x4 ∀x1x2→x4 ∀x1→x4");
+  QueryOracle user(intended);
+  EXPECT_TRUE(VerifyQuery(given, &user).accepted);
+}
+
+TEST(VerifierTest, DetectsAMissingConjunction) {
+  Query given = Query::Parse("∃x1x2", 3);
+  QueryOracle user(Query::Parse("∃x1x2 ∃x3", 3));
+  VerificationReport report = VerifyQuery(given, &user);
+  EXPECT_FALSE(report.accepted);
+}
+
+TEST(VerifierTest, DetectsAnExtraConjunction) {
+  Query given = Query::Parse("∃x1x2 ∃x3", 3);
+  QueryOracle user(Query::Parse("∃x1x2", 3));
+  EXPECT_FALSE(VerifyQuery(given, &user).accepted);
+}
+
+TEST(VerifierTest, DetectsAMissedHeadVariableViaA4) {
+  Query given = Query::Parse("∃x1 ∃x2", 2);
+  QueryOracle user(Query::Parse("∀x1 ∃x2", 2));
+  VerificationReport report = VerifyQuery(given, &user);
+  ASSERT_FALSE(report.accepted);
+  bool a4_fired = false;
+  for (const Discrepancy& d : report.discrepancies) {
+    a4_fired |= (d.family == QuestionFamily::kA4);
+  }
+  EXPECT_TRUE(a4_fired);
+}
+
+TEST(VerifierTest, DetectsAMissingIncomparableBodyViaA3) {
+  // The paper's own A3 scenario: the intended query gives x5 another body
+  // x2x4 ⊆ {x2,x3,x4} that is incomparable with x3x4 and invisible to
+  // A1/N1/A2/N2/A4 (see §4.2).
+  Query given = Query::Parse(
+      "∀x1x4→x5 ∀x1x2→x6 ∀x3x4→x5 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6");
+  Query intended = Query::Parse(
+      "∀x1x4→x5 ∀x1x2→x6 ∀x3x4→x5 ∀x2x4→x5 "
+      "∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6");
+  QueryOracle user(intended);
+  VerificationReport report = VerifyQuery(given, &user);
+  ASSERT_FALSE(report.accepted);
+  bool a3_fired = false;
+  for (const Discrepancy& d : report.discrepancies) {
+    a3_fired |= (d.family == QuestionFamily::kA3);
+  }
+  EXPECT_TRUE(a3_fired) << BuildVerificationSet(given).ToString();
+}
+
+TEST(VerifierTest, DetectsBodyGrowthViaN2) {
+  // The intended body x1x2 strictly contains qg's x1 (Lemma 4.5): qg's
+  // distinguishing tuple no longer violates the intended expression, so
+  // the N2 question flips from non-answer to answer.
+  Query given = Query::Parse("∀x1→x3 ∃x2", 3);
+  QueryOracle user(Query::Parse("∀x1x2→x3", 3));
+  VerificationReport report = VerifyQuery(given, &user);
+  ASSERT_FALSE(report.accepted);
+  bool n2_fired = false;
+  for (const Discrepancy& d : report.discrepancies) {
+    n2_fired |= (d.family == QuestionFamily::kN2);
+  }
+  EXPECT_TRUE(n2_fired);
+}
+
+TEST(VerifierTest, DetectsBodyShrinkageViaA2) {
+  // The intended body x1 is strictly inside qg's x1x2 (Lemma 4.4): some
+  // child of qg's distinguishing tuple still violates the intended
+  // expression, so the A2 question flips from answer to non-answer.
+  Query given = Query::Parse("∀x1x2→x3", 3);
+  QueryOracle user(Query::Parse("∀x1→x3 ∃x2", 3));
+  VerificationReport report = VerifyQuery(given, &user);
+  ASSERT_FALSE(report.accepted);
+  bool a2_fired = false;
+  for (const Discrepancy& d : report.discrepancies) {
+    a2_fired |= (d.family == QuestionFamily::kA2);
+  }
+  EXPECT_TRUE(a2_fired);
+}
+
+// Empirical Theorem 4.2: over every ordered pair (intended, given) of
+// canonical role-preserving queries, verification accepts iff the queries
+// are semantically equivalent. n = 2 is exactly the universe of Fig. 7/8.
+class VerifierCompletenessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VerifierCompletenessTest, AcceptIffEquivalent) {
+  int n = GetParam();
+  std::vector<Query> queries = EnumerateRolePreserving(n);
+  ASSERT_FALSE(queries.empty());
+  if (n == 2) {
+    // The paper counts exactly 7 role-preserving queries on two variables.
+    EXPECT_EQ(queries.size(), 7u);
+  }
+  for (const Query& given : queries) {
+    VerificationSet set = BuildVerificationSet(given);
+    for (const Query& intended : queries) {
+      QueryOracle user(intended);
+      VerificationReport report = RunVerification(set, &user);
+      bool equivalent = Equivalent(given, intended);
+      EXPECT_EQ(report.accepted, equivalent)
+          << "given:    " << given.ToString()
+          << "\nintended: " << intended.ToString() << "\n"
+          << set.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallN, VerifierCompletenessTest,
+                         ::testing::Values(1, 2, 3));
+
+// Randomized soundness/completeness at larger n: mutate a query and verify
+// the mutation is detected; verify the original passes.
+class VerifierRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VerifierRandomTest, RandomPairs) {
+  Rng rng(GetParam());
+  RpOptions opts;
+  opts.num_heads = static_cast<int>(rng.Range(0, 2));
+  opts.theta = static_cast<int>(rng.Range(1, 2));
+  opts.num_conjunctions = static_cast<int>(rng.Range(1, 3));
+  Query a = RandomRolePreserving(5, rng, opts);
+  Query b = RandomRolePreserving(5, rng, opts);
+
+  QueryOracle user_a(a);
+  EXPECT_TRUE(VerifyQuery(a, &user_a).accepted);
+
+  QueryOracle user_b(b);
+  VerificationReport cross = VerifyQuery(a, &user_b);
+  EXPECT_EQ(cross.accepted, Equivalent(a, b))
+      << "a: " << a.ToString() << "\nb: " << b.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerifierRandomTest,
+                         ::testing::Range<uint64_t>(0, 60));
+
+}  // namespace
+}  // namespace qhorn

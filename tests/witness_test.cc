@@ -1,0 +1,93 @@
+// Counterexample construction and the equivalence-question oracle.
+
+#include "src/core/witness.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/enumerate.h"
+#include "src/core/normalize.h"
+#include "src/core/random_query.h"
+
+namespace qhorn {
+namespace {
+
+TEST(WitnessTest, NoneForEquivalentQueries) {
+  Query a = Query::Parse("∀x1→x2 ∃x1x2", 2);
+  Query b = Query::Parse("∀x1→x2", 2);  // guarantee makes them equal
+  EXPECT_FALSE(DistinguishingWitness(a, b).has_value());
+}
+
+TEST(WitnessTest, WitnessActuallySeparates) {
+  Query a = Query::Parse("∃x1x2", 3);
+  Query b = Query::Parse("∃x1x2 ∃x3", 3);
+  auto witness = DistinguishingWitness(a, b);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_NE(a.Evaluate(*witness), b.Evaluate(*witness));
+}
+
+TEST(WitnessTest, EmptyQueryAgainstNonEmpty) {
+  Query top(2);  // ⊤
+  Query b = Query::Parse("∃x1", 2);
+  auto witness = DistinguishingWitness(top, b);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_NE(top.Evaluate(*witness), b.Evaluate(*witness));
+}
+
+TEST(WitnessTest, ExhaustivePairsHaveWitnesses) {
+  std::vector<Query> world = EnumerateRolePreserving(3);
+  for (const Query& a : world) {
+    for (const Query& b : world) {
+      auto witness = DistinguishingWitness(a, b);
+      if (Equivalent(a, b)) {
+        EXPECT_FALSE(witness.has_value());
+      } else {
+        ASSERT_TRUE(witness.has_value())
+            << a.ToString() << " vs " << b.ToString();
+        EXPECT_NE(a.Evaluate(*witness), b.Evaluate(*witness))
+            << a.ToString() << " vs " << b.ToString();
+      }
+    }
+  }
+}
+
+TEST(WitnessTest, RandomPairsAtScale) {
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    Rng rng(seed);
+    RpOptions opts;
+    opts.num_heads = static_cast<int>(rng.Range(0, 3));
+    opts.theta = static_cast<int>(rng.Range(1, 2));
+    opts.num_conjunctions = static_cast<int>(rng.Range(1, 4));
+    Query a = RandomRolePreserving(10, rng, opts);
+    Query b = RandomRolePreserving(10, rng, opts);
+    auto witness = DistinguishingWitness(a, b);
+    if (Equivalent(a, b)) {
+      EXPECT_FALSE(witness.has_value());
+    } else {
+      ASSERT_TRUE(witness.has_value());
+      EXPECT_NE(a.Evaluate(*witness), b.Evaluate(*witness));
+    }
+  }
+}
+
+TEST(EquivalenceOracleTest, AcceptsExactHypothesis) {
+  Query target = Query::Parse("∀x1x2→x4 ∃x3", 4);
+  EquivalenceOracle oracle(target);
+  EXPECT_FALSE(oracle.Counterexample(target).has_value());
+  EXPECT_FALSE(
+      oracle.Counterexample(Query::Parse("∀x1x2→x4 ∃x3 ∃x1x2x4", 4))
+          .has_value());
+  EXPECT_EQ(oracle.asked(), 2);
+}
+
+TEST(EquivalenceOracleTest, ReturnsLabelledCounterexample) {
+  Query target = Query::Parse("∀x1 ∃x2", 2);
+  EquivalenceOracle oracle(target);
+  Query hypothesis = Query::Parse("∃x1 ∃x2", 2);
+  auto counterexample = oracle.Counterexample(hypothesis);
+  ASSERT_TRUE(counterexample.has_value());
+  EXPECT_NE(target.Evaluate(*counterexample),
+            hypothesis.Evaluate(*counterexample));
+}
+
+}  // namespace
+}  // namespace qhorn
