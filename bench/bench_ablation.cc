@@ -41,11 +41,12 @@ int main() {
               "guarantee-downset pruning, question caching, binary search "
               "vs serial probing");
 
-  const int kSeeds = 12;
+  const uint64_t kSeeds = SmokeScaled(12, 2);
 
   std::printf("\n-- ablation 1: guarantee-downset optimization (§3.2.2) --\n");
   TextTable opt({"n", "questions (on)", "questions (off)", "saved"});
   for (int n : {8, 12, 16, 20}) {
+    if (SmokeSkip(n, 12)) continue;
     Accumulator on_q, off_q;
     for (uint64_t seed = 0; seed < kSeeds; ++seed) {
       Rng rng(seed * 3 + static_cast<uint64_t>(n));
@@ -114,6 +115,7 @@ int main() {
   std::printf("\n-- ablation 3: binary search vs serial probing (§3.1.2) --\n");
   TextTable serial({"n", "binary-search q", "serial q (naive)", "speedup"});
   for (int n : {8, 16, 32, 64}) {
+    if (SmokeSkip(n, 16)) continue;
     Accumulator bin_q, ser_q;
     for (uint64_t seed = 0; seed < kSeeds; ++seed) {
       Rng rng(seed * 11 + static_cast<uint64_t>(n));
@@ -137,6 +139,7 @@ int main() {
   TextTable inter({"n", "membership q (1 bit each)", "interaction q",
                    "  roles/shares/causes"});
   for (int n : {8, 16, 32}) {
+    if (SmokeSkip(n, 16)) continue;
     Accumulator mem_q, int_q;
     std::string split;
     for (uint64_t seed = 0; seed < kSeeds; ++seed) {

@@ -26,7 +26,7 @@ int main() {
   std::printf("\n-- exact counts by exhaustive enumeration --\n");
   TextTable exact({"n", "syntactic qhorn-1", "distinct (canonical)",
                    "Bell(n) lower bound", "lg(distinct)", "2n + n·lg n"});
-  for (int n = 1; n <= 5; ++n) {
+  for (int n = 1; n <= SmokeScaled(5, 4); ++n) {
     uint64_t syntactic = EnumerateQhorn1(n).size();
     uint64_t distinct = CountDistinctQhorn1(n);
     exact.Row()
@@ -42,6 +42,7 @@ int main() {
   std::printf("\n-- asymptotics: lg(B_n) vs n·lg n --\n");
   TextTable asym({"n", "lg Bell(n)", "n lg n", "ratio"});
   for (int n : {10, 20, 40, 80, 160}) {
+    if (SmokeSkip(n, 40)) continue;
     double lgb = LgBellNumber(n);
     double nlgn = n * Lg(n);
     asym.Row().Cell(n).Cell(lgb, 1).Cell(nlgn, 1).Cell(lgb / nlgn, 3);

@@ -4,9 +4,29 @@
 #define QHORN_BENCH_BENCH_DOMAIN_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 namespace qhorn {
+
+/// True when QHORN_BENCH_SMOKE is set in the environment (the ctest
+/// `bench_smoke` label sets it): experiment binaries shrink their seed
+/// counts and problem sizes so CI keeps them runnable, not just compiling.
+inline bool BenchSmoke() {
+  const char* env = std::getenv("QHORN_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// `full` in a normal run, `smoke` under QHORN_BENCH_SMOKE=1.
+inline int SmokeScaled(int full, int smoke) {
+  return BenchSmoke() ? smoke : full;
+}
+
+/// Smoke-mode size cap for problem-size loops: true when `n` should be
+/// skipped in a smoke run.
+inline bool SmokeSkip(int n, int max_smoke_n) {
+  return BenchSmoke() && n > max_smoke_n;
+}
 
 inline void PrintHeader(const std::string& id, const std::string& claim) {
   std::printf("\n================================================================\n");

@@ -29,6 +29,7 @@ int main() {
   };
   for (Config cfg : {Config{4, 2}, Config{8, 2}, Config{16, 2}, Config{3, 3},
                      Config{5, 3}, Config{7, 3}, Config{3, 4}, Config{4, 4}}) {
+    if (SmokeSkip(cfg.width, 8)) continue;
     int n = cfg.width * (cfg.theta - 1);
     DenseBodyFamily family = MakeDenseBodyFamily(n, cfg.theta);
     std::vector<Query> cls = DenseBodyClass(family);

@@ -24,6 +24,7 @@ int main() {
 
   TextTable table({"n", "c", "questions (adversary)", "n²/c²", "ratio"});
   for (int n : {8, 16, 24, 32, 48}) {
+    if (SmokeSkip(n, 16)) continue;
     for (int c : {2, 4, 8}) {
       AdversaryOracle adversary(PairHeadClass(n));
       PairHeadResult r = LearnPairHeads(n, c, &adversary);

@@ -24,10 +24,11 @@ int main() {
               "O(n lg n) questions; phases: heads O(n), universal bodies "
               "O(n lg n) [Lemma 3.2], existential O(n lg n) [Lemma 3.3]");
 
-  const int kSeeds = 20;
+  const uint64_t kSeeds = SmokeScaled(20, 3);
   TextTable table({"n", "questions(mean)", "max", "heads", "uni-bodies",
                    "existential", "q / n lg n", "q / n^2"});
   for (int n : {4, 8, 12, 16, 24, 32, 48, 64}) {
+    if (SmokeSkip(n, 16)) continue;
     Accumulator total, heads, bodies, exist;
     for (uint64_t seed = 0; seed < kSeeds; ++seed) {
       Rng rng(seed * 7919 + static_cast<uint64_t>(n));

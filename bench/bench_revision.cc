@@ -44,7 +44,7 @@ int main() {
               "revision questions should track the distance between the "
               "queries, not the full learning cost");
 
-  const int kSeeds = 10;
+  const uint64_t kSeeds = SmokeScaled(10, 2);
   const int n = 12;
   TextTable table({"distance", "revise-q(mean)", "scratch-q(mean)",
                    "savings", "seed-hit-rate"});

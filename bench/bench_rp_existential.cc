@@ -45,11 +45,12 @@ int main() {
               "O(k·n·lg n) questions, info floor lg C(C(n,n/2), k) ≈ "
               "nk/2 − k·lg k");
 
-  const int kSeeds = 10;
+  const uint64_t kSeeds = SmokeScaled(10, 2);
 
   std::printf("\n-- sweep n at k = 4 (mid-level conjunctions) --\n");
   TextTable by_n({"n", "k", "questions(mean)", "q/(k n lg n)", "floor nk/2-klgk"});
   for (int n : {8, 12, 16, 20, 24}) {
+    if (SmokeSkip(n, 16)) continue;
     Accumulator total;
     int k = 4;
     for (uint64_t seed = 0; seed < kSeeds; ++seed) {

@@ -22,12 +22,13 @@ int main() {
   PrintHeader("E6 | Theorem 3.5 (universal Horn learning)",
               "O(n^θ) questions per head variable; O(n^{θ+1}) overall");
 
-  const int kSeeds = 10;
+  const uint64_t kSeeds = SmokeScaled(10, 2);
 
   std::printf("\n-- one head, θ bodies: questions vs n^θ --\n");
   TextTable per_head({"n", "θ", "questions(mean)", "max", "q / n^θ"});
   for (int theta : {1, 2, 3}) {
     for (int n : {8, 12, 16, 24}) {
+      if (SmokeSkip(n, 16)) continue;
       Accumulator total;
       for (uint64_t seed = 0; seed < kSeeds; ++seed) {
         Rng rng(seed * 104729 + static_cast<uint64_t>(n * 31 + theta));

@@ -25,10 +25,11 @@ int main() {
               "O(k) membership questions verify a query; learning costs "
               "O(n^{θ+1} + k·n·lg n)");
 
-  const int kSeeds = 10;
+  const uint64_t kSeeds = SmokeScaled(10, 2);
   TextTable table({"n", "θ", "k(dominant)", "verify-q(mean)", "q/k",
                    "tuples/question", "learn-q(mean)", "learn/verify"});
   for (int n : {8, 16, 24}) {
+    if (SmokeSkip(n, 16)) continue;
     for (int theta : {1, 2}) {
       Accumulator vq, ratio, tuples, lq;
       Accumulator ks;

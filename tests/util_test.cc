@@ -82,6 +82,40 @@ TEST(RngTest, SampleIsSortedDistinctSubset) {
   EXPECT_LT(sample.back(), 20);
 }
 
+TEST(RngTest, BelowOneIsAlwaysZero) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Below(1), 0u);
+}
+
+TEST(RngTest, PickReturnsAnElementAndCoversAll) {
+  Rng rng(37);
+  const std::vector<int> items = {10, 20, 30};
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) {
+    int picked = rng.Pick(items);
+    EXPECT_TRUE(picked == 10 || picked == 20 || picked == 30);
+    seen.insert(picked);
+  }
+  EXPECT_EQ(seen.size(), items.size());
+}
+
+TEST(RngTest, SampleFullUniverseAndEmpty) {
+  Rng rng(41);
+  std::vector<int> all = rng.Sample(5, 5);
+  EXPECT_EQ(all, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(rng.Sample(5, 0).empty());
+}
+
+TEST(RngTest, ShuffleHandlesEmptyAndSingleton) {
+  Rng rng(43);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {7};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, (std::vector<int>{7}));
+}
+
 TEST(RngTest, ShuffleIsAPermutation) {
   Rng rng(29);
   std::vector<int> v = {1, 2, 3, 4, 5, 6};
@@ -102,6 +136,17 @@ TEST(AccumulatorTest, Statistics) {
   EXPECT_DOUBLE_EQ(acc.min(), 2.0);
   EXPECT_DOUBLE_EQ(acc.max(), 6.0);
   EXPECT_NEAR(acc.stddev(), 1.632993, 1e-5);
+}
+
+TEST(AccumulatorTest, FewSamplesHaveZeroStddev) {
+  Accumulator acc;
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+  acc.Add(5.0);
+  EXPECT_EQ(acc.count(), 1);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
 }
 
 TEST(LgTest, SmallValuesClampToOne) {
@@ -137,6 +182,26 @@ TEST(FormatDoubleTest, Precision) {
 TEST(CheckDeathTest, MessageIncludesExpression) {
   EXPECT_DEATH(QHORN_CHECK(1 == 2), "1 == 2");
   EXPECT_DEATH(QHORN_CHECK_MSG(false, "custom " << 42), "custom 42");
+}
+
+TEST(CheckDeathTest, MessageIncludesFileAndLine) {
+  EXPECT_DEATH(QHORN_CHECK(false), "util_test");
+}
+
+TEST(CheckDeathTest, PassingChecksAreSilent) {
+  QHORN_CHECK(1 + 1 == 2);
+  QHORN_CHECK_MSG(true, "never shown");
+  QHORN_DCHECK(1 + 1 == 2);
+}
+
+// QHORN_DCHECK aborts in debug builds and compiles out under NDEBUG; this
+// pins down both halves of that contract for whichever mode is building.
+TEST(CheckDeathTest, DcheckFollowsBuildMode) {
+#ifdef NDEBUG
+  QHORN_DCHECK(false);  // must be a no-op
+#else
+  EXPECT_DEATH(QHORN_DCHECK(false), "false");
+#endif
 }
 
 }  // namespace
