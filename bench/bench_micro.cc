@@ -2,9 +2,24 @@
 // performance requirements. Question generation must be polynomial (and in
 // practice microseconds), evaluation linear in the object, and the full
 // learning loops fast enough for a UI.
+//
+// Evaluation benchmarks come in compiled/legacy pairs over identical
+// workloads: BM_EvaluateQuery* drives the CompiledQuery engine (what every
+// oracle now runs), BM_EvaluateQuery*Legacy drives the interpreted
+// Query::Evaluate it replaced — the in-tree before/after record for
+// BENCH_micro.json. The primary workload is a stream of 64 guarantee-
+// satisfiable ("answer-shaped") 16-tuple objects: objects that pass the
+// guarantee clauses are the ones the interpreter had to re-scan once per
+// expression, and they are what learner questions look like (every
+// learner question contains the all-true tuple). The Single pair keeps the
+// original one-random-object shape, which mostly measures how fast a
+// first Horn violation is found.
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "src/core/compiled_query.h"
 #include "src/core/enumerate.h"
 #include "src/core/normalize.h"
 #include "src/core/random_query.h"
@@ -18,20 +33,126 @@
 namespace qhorn {
 namespace {
 
-void BM_EvaluateQuery(benchmark::State& state) {
-  int n = static_cast<int>(state.range(0));
-  Rng rng(1);
+Query BenchQuery(int n, Rng& rng) {
   RpOptions opts;
   opts.num_heads = 2;
   opts.theta = 2;
   opts.num_conjunctions = 4;
-  Query q = RandomRolePreserving(n, rng, opts);
+  return RandomRolePreserving(n, rng, opts);
+}
+
+Query BenchQuery(int n) {
+  Rng rng(1);
+  return BenchQuery(n, rng);
+}
+
+// 64 answer-shaped objects: up to 16 random tuples plus the all-true tuple
+// (which satisfies every guarantee clause, the way real answers and
+// learner questions do).
+std::vector<TupleSet> AnswerShapedStream(int n) {
+  Rng rng(2);
+  std::vector<TupleSet> objects;
+  objects.reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    TupleSet o = RandomObject(n, rng, 16);
+    o.Add(AllTrue(n));
+    objects.push_back(std::move(o));
+  }
+  return objects;
+}
+
+void BM_EvaluateQuery(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Query q = BenchQuery(n);
+  CompiledQuery compiled(q);
+  std::vector<TupleSet> objects = AnswerShapedStream(n);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiled.Evaluate(objects[i]));
+    i = (i + 1) & 63;
+  }
+  state.SetLabel(std::string("answer-shaped stream, ") +
+                 CompiledQuery::SimdBackend() + " kernels");
+}
+BENCHMARK(BM_EvaluateQuery)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_EvaluateQueryLegacy(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Query q = BenchQuery(n);
+  std::vector<TupleSet> objects = AnswerShapedStream(n);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.Evaluate(objects[i]));
+    i = (i + 1) & 63;
+  }
+  state.SetLabel("answer-shaped stream, interpreted Query::Evaluate");
+}
+BENCHMARK(BM_EvaluateQueryLegacy)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_EvaluateQuerySingle(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(1);  // the pre-PR benchmark's exact query and object
+  Query q = BenchQuery(n, rng);
+  TupleSet object = RandomObject(n, rng, 16);
+  CompiledQuery compiled(q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiled.Evaluate(object));
+  }
+}
+BENCHMARK(BM_EvaluateQuerySingle)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_EvaluateQuerySingleLegacy(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Query q = BenchQuery(n, rng);
   TupleSet object = RandomObject(n, rng, 16);
   for (auto _ : state) {
     benchmark::DoNotOptimize(q.Evaluate(object));
   }
 }
-BENCHMARK(BM_EvaluateQuery)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_EvaluateQuerySingleLegacy)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_CompileQuery(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Query q = BenchQuery(n);
+  for (auto _ : state) {
+    CompiledQuery compiled(q);
+    benchmark::DoNotOptimize(compiled.num_need_masks());
+  }
+  state.SetLabel("one-time cost, amortized over a session's questions");
+}
+BENCHMARK(BM_CompileQuery)->Arg(16)->Arg(64);
+
+void BM_CachingOracleHit(benchmark::State& state) {
+  int n = 64;
+  Query q = BenchQuery(n);
+  QueryOracle oracle(q);
+  CachingOracle caching(&oracle);
+  Rng rng(3);
+  TupleSet question = RandomObject(n, rng, 16);
+  caching.IsAnswer(question);  // prime the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(caching.IsAnswer(question));
+  }
+  state.SetLabel("repeat question; cached TupleSet hash, no rehash");
+}
+BENCHMARK(BM_CachingOracleHit);
+
+// The pre-worklist fixpoint re-scan, kept as the in-tree reference the
+// worklist closure is measured against (shared by both Legacy closures).
+VarSet FixpointClosure(const Query& q, VarSet vars) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const UniversalHorn& u : q.universal()) {
+      if (IsSubset(u.body, vars) && !HasVar(vars, u.head)) {
+        vars |= VarBit(u.head);
+        changed = true;
+      }
+    }
+  }
+  return vars;
+}
 
 void BM_HornClosure(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
@@ -43,8 +164,52 @@ void BM_HornClosure(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(q.HornClosure(AllTrue(n / 2)));
   }
+  state.SetLabel("worklist closure");
 }
 BENCHMARK(BM_HornClosure)->Arg(16)->Arg(64);
+
+void BM_HornClosureLegacy(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  RpOptions opts;
+  opts.num_heads = n / 4;
+  opts.theta = 2;
+  Query q = RandomRolePreserving(n, rng, opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FixpointClosure(q, AllTrue(n / 2)));
+  }
+  state.SetLabel("O(k²) fixpoint re-scan");
+}
+BENCHMARK(BM_HornClosureLegacy)->Arg(16)->Arg(64);
+
+// Worst case for the fixpoint: a reverse-ordered implication chain
+// ∀x63→x64, …, ∀x1→x2 closed from {x1} fires one expression per O(k)
+// re-scan round — Θ(k²) — where the worklist closure is linear.
+Query ReverseChain(int n) {
+  Query q(n);
+  for (int i = n - 2; i >= 0; --i) q.AddUniversal(VarBit(i), i + 1);
+  return q;
+}
+
+void BM_HornClosureChain(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Query q = ReverseChain(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.HornClosure(VarBit(0)));
+  }
+  state.SetLabel("worklist closure, reverse implication chain");
+}
+BENCHMARK(BM_HornClosureChain)->Arg(16)->Arg(64);
+
+void BM_HornClosureChainLegacy(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Query q = ReverseChain(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FixpointClosure(q, VarBit(0)));
+  }
+  state.SetLabel("O(k²) fixpoint re-scan, reverse implication chain");
+}
+BENCHMARK(BM_HornClosureChainLegacy)->Arg(16)->Arg(64);
 
 void BM_Canonicalize(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
@@ -129,4 +294,12 @@ BENCHMARK(BM_BruteForceEquivalence);
 }  // namespace
 }  // namespace qhorn
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("qhorn_simd",
+                              qhorn::CompiledQuery::SimdBackend());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Build-host SIMD probe for QHORN_SIMD=auto (see the top-level
+// CMakeLists.txt). Exit code: 52 = AVX-512F, 2 = AVX2, 0 = neither.
+int main() {
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx512f")) return 52;
+  if (__builtin_cpu_supports("avx2")) return 2;
+  return 0;
+}

@@ -6,66 +6,81 @@ namespace qhorn {
 
 std::vector<Tuple> LatticeChildren(Tuple t, VarSet universe) {
   std::vector<Tuple> children;
-  VarSet true_vars = t & universe;
-  children.reserve(static_cast<size_t>(Popcount(true_vars)));
-  while (true_vars != 0) {
-    VarSet low = true_vars & (~true_vars + 1);  // lowest set bit
-    children.push_back(t & ~low);
-    true_vars &= true_vars - 1;
-  }
+  children.reserve(static_cast<size_t>(Popcount(t & universe)));
+  ForEachLatticeChild(t, universe,
+                      [&children](Tuple c) { children.push_back(c); });
   return children;
 }
 
 std::vector<Tuple> LatticeParents(Tuple t, VarSet universe) {
   std::vector<Tuple> parents;
-  VarSet false_vars = ~t & universe;
-  parents.reserve(static_cast<size_t>(Popcount(false_vars)));
-  while (false_vars != 0) {
-    VarSet low = false_vars & (~false_vars + 1);
-    parents.push_back(t | low);
-    false_vars &= false_vars - 1;
-  }
+  parents.reserve(static_cast<size_t>(Popcount(~t & universe)));
+  ForEachLatticeParent(t, universe,
+                       [&parents](Tuple p) { parents.push_back(p); });
   return parents;
 }
 
-std::vector<Tuple> LatticeChildrenFiltered(
-    Tuple t, VarSet universe, const std::function<bool(Tuple)>& keep) {
-  std::vector<Tuple> children = LatticeChildren(t, universe);
+void AppendLatticeChildrenFiltered(Tuple t, VarSet universe,
+                                   FunctionRef<bool(Tuple)> keep,
+                                   std::vector<Tuple>* out) {
+  ForEachLatticeChild(t, universe, [&keep, out](Tuple c) {
+    if (keep(c)) out->push_back(c);
+  });
+}
+
+std::vector<Tuple> LatticeChildrenFiltered(Tuple t, VarSet universe,
+                                           FunctionRef<bool(Tuple)> keep) {
   std::vector<Tuple> kept;
-  kept.reserve(children.size());
-  for (Tuple c : children) {
-    if (keep(c)) kept.push_back(c);
-  }
+  kept.reserve(static_cast<size_t>(Popcount(t & universe)));
+  AppendLatticeChildrenFiltered(t, universe, keep, &kept);
   return kept;
 }
 
-namespace {
-
-// Emits every way of clearing `remaining` of the variables in `candidates`
-// from `base`, in ascending-variable order.
-void EnumerateClears(Tuple base, const std::vector<int>& candidates,
-                     size_t next, int remaining, std::vector<Tuple>* out) {
-  if (remaining == 0) {
-    out->push_back(base);
-    return;
-  }
-  if (candidates.size() - next < static_cast<size_t>(remaining)) return;
-  for (size_t i = next; i < candidates.size(); ++i) {
-    EnumerateClears(base & ~VarBit(candidates[i]), candidates, i + 1,
-                    remaining - 1, out);
-  }
-}
-
-}  // namespace
-
-std::vector<Tuple> LatticeLevel(VarSet universe, int level, Tuple fixed) {
+void ForEachLatticeLevel(VarSet universe, int level, Tuple fixed,
+                         FunctionRef<void(Tuple)> visit) {
   int width = Popcount(universe);
   QHORN_CHECK_MSG(level >= 0 && level <= width,
                   "level " << level << " outside lattice of width " << width);
   Tuple top = (fixed & ~universe) | universe;
-  std::vector<int> vars = VarsOf(universe);
+
+  // Per-position variable bits of the universe, ascending (stack buffer —
+  // this walker allocates nothing).
+  VarSet var_bit[kMaxVars];
+  int count = 0;
+  VarSet rest = universe;
+  while (rest != 0) {
+    VarSet low = rest & (~rest + 1);
+    var_bit[count++] = low;
+    rest &= rest - 1;
+  }
+
+  if (level == 0) {
+    visit(top);
+    return;
+  }
+
+  // Index combinations {c[0] < … < c[level-1]} in lexicographic order —
+  // the same order as clearing candidates in ascending-variable depth-first
+  // recursion.
+  int c[kMaxVars];
+  for (int i = 0; i < level; ++i) c[i] = i;
+  for (;;) {
+    Tuple t = top;
+    for (int i = 0; i < level; ++i) t &= ~var_bit[c[i]];
+    visit(t);
+    // Lexicographic successor: bump the rightmost index that has room.
+    int i = level - 1;
+    while (i >= 0 && c[i] == width - level + i) --i;
+    if (i < 0) break;
+    ++c[i];
+    for (int j = i + 1; j < level; ++j) c[j] = c[j - 1] + 1;
+  }
+}
+
+std::vector<Tuple> LatticeLevel(VarSet universe, int level, Tuple fixed) {
   std::vector<Tuple> out;
-  EnumerateClears(top, vars, 0, level, &out);
+  ForEachLatticeLevel(universe, level, fixed,
+                      [&out](Tuple t) { out.push_back(t); });
   return out;
 }
 

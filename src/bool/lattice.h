@@ -7,35 +7,77 @@
 // Fig. 5) and filter out tuples that violate universal Horn expressions —
 // both are supported here via the `universe` mask and a caller-supplied
 // predicate.
+//
+// The walkers come in two forms. The ForEach* callback walkers are the hot
+// path: they visit each neighbour in place, allocate nothing, and take a
+// two-word FunctionRef instead of a std::function, so the learners'
+// per-node lattice moves cost only the bit arithmetic. The vector-returning
+// forms are kept as convenience wrappers for tests and cold callers.
 
 #ifndef QHORN_BOOL_LATTICE_H_
 #define QHORN_BOOL_LATTICE_H_
 
-#include <functional>
 #include <vector>
 
 #include "src/bool/tuple.h"
+#include "src/util/function_ref.h"
 
 namespace qhorn {
 
-/// Children of `t` within `universe`: for each variable of `universe` that
-/// is true in `t`, the tuple with that variable flipped to false. Bits of
-/// `t` outside `universe` are preserved (they encode pinned variables such
-/// as the neutralized head variables of Fig. 5).
+/// Visits the children of `t` within `universe`: for each variable of
+/// `universe` that is true in `t`, the tuple with that variable flipped to
+/// false, in ascending variable order. Bits of `t` outside `universe` are
+/// preserved (they encode pinned variables such as the neutralized head
+/// variables of Fig. 5). Allocation-free.
+inline void ForEachLatticeChild(Tuple t, VarSet universe,
+                                FunctionRef<void(Tuple)> visit) {
+  VarSet true_vars = t & universe;
+  while (true_vars != 0) {
+    VarSet low = true_vars & (~true_vars + 1);  // lowest set bit
+    visit(t & ~low);
+    true_vars &= true_vars - 1;
+  }
+}
+
+/// Visits the parents of `t` within `universe` (one false variable flipped
+/// to true), in ascending variable order. Allocation-free.
+inline void ForEachLatticeParent(Tuple t, VarSet universe,
+                                 FunctionRef<void(Tuple)> visit) {
+  VarSet false_vars = ~t & universe;
+  while (false_vars != 0) {
+    VarSet low = false_vars & (~false_vars + 1);
+    visit(t | low);
+    false_vars &= false_vars - 1;
+  }
+}
+
+/// Children of `t` within `universe`, as a fresh vector.
 std::vector<Tuple> LatticeChildren(Tuple t, VarSet universe);
 
 /// Parents of `t` within `universe` (one false variable flipped to true).
 std::vector<Tuple> LatticeParents(Tuple t, VarSet universe);
 
-/// Children that additionally satisfy `keep` (used to drop tuples that
-/// violate universal Horn expressions, §3.2.2).
-std::vector<Tuple> LatticeChildrenFiltered(
-    Tuple t, VarSet universe, const std::function<bool(Tuple)>& keep);
+/// Appends the children of `t` that satisfy `keep` to `*out` (used to drop
+/// tuples that violate universal Horn expressions, §3.2.2). The caller owns
+/// the buffer, so a learner can reuse one vector across its whole walk.
+void AppendLatticeChildrenFiltered(Tuple t, VarSet universe,
+                                   FunctionRef<bool(Tuple)> keep,
+                                   std::vector<Tuple>* out);
 
-/// All tuples at level `level` of the lattice over `universe` (level 0 is
-/// the top: all universe variables true). Bits outside the universe are
-/// taken from `fixed`. Order is deterministic (combinations in ascending
-/// variable order).
+/// Children that additionally satisfy `keep`, as a fresh vector.
+std::vector<Tuple> LatticeChildrenFiltered(Tuple t, VarSet universe,
+                                           FunctionRef<bool(Tuple)> keep);
+
+/// Visits all tuples at level `level` of the lattice over `universe`
+/// (level 0 is the top: all universe variables true). Bits outside the
+/// universe are taken from `fixed`. Order is deterministic (combinations in
+/// ascending variable order). Allocation-free: combinations are enumerated
+/// by colex succession on a compact index mask and expanded through the
+/// universe on the fly.
+void ForEachLatticeLevel(VarSet universe, int level, Tuple fixed,
+                         FunctionRef<void(Tuple)> visit);
+
+/// All tuples at level `level`, as a fresh vector.
 std::vector<Tuple> LatticeLevel(VarSet universe, int level, Tuple fixed = 0);
 
 /// True iff `a` lies in the upset of `b`: every variable true in `b` is true

@@ -1,6 +1,7 @@
 #include "src/bool/tuple_set.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "src/util/check.h"
 
@@ -24,16 +25,35 @@ TupleSet TupleSet::Parse(const std::vector<std::string>& literals) {
 void TupleSet::Canonicalize() {
   std::sort(tuples_.begin(), tuples_.end());
   tuples_.erase(std::unique(tuples_.begin(), tuples_.end()), tuples_.end());
+  Rehash();
+}
+
+void TupleSet::Rehash() {
+  // FNV-1a over the canonical tuple list.
+  uint64_t h = kEmptyHash;
+  for (Tuple t : tuples_) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (t >> (8 * byte)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  }
+  hash_ = static_cast<size_t>(h);
 }
 
 void TupleSet::Add(Tuple t) {
   auto it = std::lower_bound(tuples_.begin(), tuples_.end(), t);
-  if (it == tuples_.end() || *it != t) tuples_.insert(it, t);
+  if (it == tuples_.end() || *it != t) {
+    tuples_.insert(it, t);
+    Rehash();
+  }
 }
 
 void TupleSet::Remove(Tuple t) {
   auto it = std::lower_bound(tuples_.begin(), tuples_.end(), t);
-  if (it != tuples_.end() && *it == t) tuples_.erase(it);
+  if (it != tuples_.end() && *it == t) {
+    tuples_.erase(it);
+    Rehash();
+  }
 }
 
 bool TupleSet::Contains(Tuple t) const {
@@ -48,6 +68,7 @@ TupleSet TupleSet::Union(const TupleSet& other) const {
   merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
   TupleSet result;
   result.tuples_ = std::move(merged);
+  result.Rehash();
   return result;
 }
 
@@ -58,16 +79,41 @@ bool TupleSet::SatisfiesConjunction(VarSet vars) const {
   return false;
 }
 
-size_t TupleSet::Hash() const {
-  // FNV-1a over the canonical tuple list.
-  uint64_t h = 1469598103934665603ULL;
-  for (Tuple t : tuples_) {
-    for (int byte = 0; byte < 8; ++byte) {
-      h ^= (t >> (8 * byte)) & 0xff;
-      h *= 1099511628211ULL;
-    }
+bool TupleSet::SatisfiesConjunctionAll(
+    std::span<const VarSet> conjunctions) const {
+  size_t count = conjunctions.size();
+  if (count == 0) return true;
+  // Still-unsatisfied bitset, one word per 64 masks; the scan stops as soon
+  // as every mask has found a witness tuple.
+  size_t words = (count + 63) / 64;
+  constexpr size_t kStackWords = 8;  // 512 conjunctions
+  uint64_t stack[kStackWords];
+  std::vector<uint64_t> heap;
+  uint64_t* unsat = stack;
+  if (words > kStackWords) {
+    heap.assign(words, ~uint64_t{0});
+    unsat = heap.data();
+  } else {
+    std::fill(stack, stack + words, ~uint64_t{0});
   }
-  return static_cast<size_t>(h);
+  if (count % 64 != 0) unsat[words - 1] = (uint64_t{1} << (count % 64)) - 1;
+  size_t remaining = count;
+  for (Tuple t : tuples_) {
+    for (size_t w = 0; w < words; ++w) {
+      uint64_t bits = unsat[w];
+      while (bits != 0) {
+        uint64_t low = bits & (~bits + 1);
+        size_t idx = w * 64 + static_cast<size_t>(std::countr_zero(bits));
+        if (IsSubset(conjunctions[idx], t)) {
+          unsat[w] &= ~low;
+          --remaining;
+        }
+        bits &= bits - 1;
+      }
+    }
+    if (remaining == 0) return true;
+  }
+  return remaining == 0;
 }
 
 std::string TupleSet::ToString(int n) const {

@@ -3,13 +3,17 @@
 // A membership question (§2.1.2) is an object: a *set* of Boolean tuples.
 // TupleSet keeps its tuples sorted and deduplicated so that equal objects
 // compare equal and hash equally — the caching oracle and the adversarial
-// oracles rely on this canonical form.
+// oracles rely on this canonical form. The hash of the canonical tuple
+// list is maintained eagerly on every mutation, so Hash() is O(1): the
+// caching oracle probes its map once per question and must not pay a full
+// rehash of the tuple list each time.
 
 #ifndef QHORN_BOOL_TUPLE_SET_H_
 #define QHORN_BOOL_TUPLE_SET_H_
 
 #include <cstddef>
 #include <initializer_list>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -51,18 +55,31 @@ class TupleSet {
   /// object satisfies the existential conjunction ∃(vars).
   bool SatisfiesConjunction(VarSet vars) const;
 
-  bool operator==(const TupleSet& other) const = default;
+  /// True iff *every* mask of `conjunctions` is satisfied by some tuple.
+  /// Single pass over the tuples with a still-unsatisfied bitset, instead
+  /// of one full scan per mask.
+  bool SatisfiesConjunctionAll(std::span<const VarSet> conjunctions) const;
 
-  /// Stable hash of the canonical tuple list.
-  size_t Hash() const;
+  friend bool operator==(const TupleSet& a, const TupleSet& b) {
+    return a.tuples_ == b.tuples_;
+  }
+
+  /// Stable hash of the canonical tuple list (cached; O(1)).
+  size_t Hash() const { return hash_; }
 
   /// "{111, 011}" with n-variable-wide tuples.
   std::string ToString(int n) const;
 
  private:
   void Canonicalize();
+  void Rehash();
 
   std::vector<Tuple> tuples_;  // sorted ascending, unique
+  size_t hash_ = kEmptyHash;   // always in sync with tuples_
+
+  // FNV-1a offset basis: the hash of the empty tuple list.
+  static constexpr size_t kEmptyHash =
+      static_cast<size_t>(1469598103934665603ULL);
 };
 
 /// Hash functor for unordered containers keyed by objects.

@@ -1,6 +1,7 @@
 #include "src/core/enumerate.h"
 
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 
@@ -52,21 +53,60 @@ void PartitionDfs(const std::vector<int>& vars, size_t i,
 
 }  // namespace
 
-std::vector<std::vector<VarSet>> AntichainsOf(VarSet universe) {
-  int width = Popcount(universe);
-  QHORN_CHECK_MSG(width <= 5, "antichain enumeration supported to width 5");
-  std::vector<int> vars = VarsOf(universe);
+namespace {
+
+// Antichain families depend only on the universe's *width*: the families
+// over an arbitrary universe are the families over {0..width-1} with bit j
+// remapped to the universe's j-th variable. Enumerating once per width and
+// remapping makes repeated calls (EnumerateRolePreserving alone issues one
+// per head set, and the exhaustive test suites re-enumerate whole worlds)
+// effectively free.
+const std::vector<std::vector<VarSet>>& CompactAntichainsOfWidth(int width) {
+  static std::mutex mutex;
+  static std::map<int, std::vector<std::vector<VarSet>>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(width);
+  if (it != cache.end()) return it->second;
+
   std::vector<VarSet> subsets;
   for (uint64_t bits = 0; bits < (uint64_t{1} << width); ++bits) {
-    VarSet s = 0;
-    for (int j = 0; j < width; ++j) {
-      if ((bits >> j) & 1) s |= VarBit(vars[static_cast<size_t>(j)]);
-    }
-    subsets.push_back(s);
+    subsets.push_back(bits);
   }
   std::vector<std::vector<VarSet>> out;
   std::vector<VarSet> chosen;
   AntichainDfs(subsets, 0, &chosen, &out);
+  return cache.emplace(width, std::move(out)).first->second;
+}
+
+// Spreads the low `width` bits of `compact` onto the variables of
+// `universe` (bit j → j-th lowest universe variable).
+VarSet SpreadOnto(VarSet compact, VarSet universe) {
+  VarSet spread = 0;
+  while (compact != 0) {
+    VarSet low_universe = universe & (~universe + 1);
+    if (compact & 1) spread |= low_universe;
+    universe &= universe - 1;
+    compact >>= 1;
+  }
+  return spread;
+}
+
+}  // namespace
+
+std::vector<std::vector<VarSet>> AntichainsOf(VarSet universe) {
+  int width = Popcount(universe);
+  QHORN_CHECK_MSG(width <= 5, "antichain enumeration supported to width 5");
+  const std::vector<std::vector<VarSet>>& compact =
+      CompactAntichainsOfWidth(width);
+  if (universe == AllTrue(width)) return compact;  // identity remap
+  std::vector<std::vector<VarSet>> out;
+  out.reserve(compact.size());
+  for (const std::vector<VarSet>& family : compact) {
+    std::vector<VarSet> mapped;
+    mapped.reserve(family.size());
+    for (VarSet s : family) mapped.push_back(SpreadOnto(s, universe));
+    out.push_back(std::move(mapped));
+  }
   return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/core/compiled_query.h"
 #include "src/util/check.h"
 
 namespace qhorn {
@@ -112,16 +113,22 @@ bool FindDistinguishingObject(const Query& a, const Query& b,
   QHORN_CHECK(a.n() == b.n());
   int n = a.n();
   QHORN_CHECK_MSG(n <= 4, "brute-force enumeration is 2^(2^n); n=" << n);
+  // Compile both queries once; the scan evaluates up to 2^(2^n) objects.
+  CompiledQuery ca(a, opts);
+  CompiledQuery cb(b, opts);
   uint64_t num_tuples = uint64_t{1} << n;
   uint64_t num_objects = uint64_t{1} << num_tuples;
+  Tuple tuples[16];  // n ≤ 4 so an object has at most 16 tuples
   for (uint64_t bits = 0; bits < num_objects; ++bits) {
-    std::vector<Tuple> tuples;
+    size_t count = 0;
     for (uint64_t t = 0; t < num_tuples; ++t) {
-      if ((bits >> t) & 1) tuples.push_back(t);
+      if ((bits >> t) & 1) tuples[count++] = t;
     }
-    TupleSet object(std::move(tuples));
-    if (a.Evaluate(object, opts) != b.Evaluate(object, opts)) {
-      if (witness != nullptr) *witness = object;
+    // Tuples are emitted in ascending order — already canonical.
+    if (ca.EvaluateTuples(tuples, count) != cb.EvaluateTuples(tuples, count)) {
+      if (witness != nullptr) {
+        *witness = TupleSet(std::vector<Tuple>(tuples, tuples + count));
+      }
       return true;
     }
   }

@@ -1,6 +1,7 @@
 #include "src/core/query.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "src/util/check.h"
 
@@ -19,6 +20,7 @@ void Query::AddExistential(VarSet vars) {
   QHORN_CHECK(vars != 0);
   QHORN_CHECK_MSG(IsSubset(vars, AllTrue(n_)), "conjunction outside n=" << n_);
   existential_.push_back(ExistentialConj{vars});
+  existential_masks_.push_back(vars);
 }
 
 bool Query::Evaluate(const TupleSet& object, const EvalOptions& opts) const {
@@ -31,10 +33,9 @@ bool Query::Evaluate(const TupleSet& object, const EvalOptions& opts) const {
       return false;
     }
   }
-  for (const ExistentialConj& e : existential_) {
-    if (!object.SatisfiesConjunction(e.vars)) return false;
-  }
-  return true;
+  // All existential conjunctions in one pass over the object instead of
+  // one full scan per conjunction (same verdict: conjunction of ∃-tests).
+  return object.SatisfiesConjunctionAll(existential_masks_);
 }
 
 bool Query::ViolatesUniversal(Tuple t) const {
@@ -45,14 +46,61 @@ bool Query::ViolatesUniversal(Tuple t) const {
 }
 
 VarSet Query::HornClosure(VarSet vars) const {
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (const UniversalHorn& u : universal_) {
-      if (IsSubset(u.body, vars) && !HasVar(vars, u.head)) {
-        vars |= VarBit(u.head);
-        changed = true;
+  size_t k = universal_.size();
+  if (k == 0) return vars;
+  if (k > 64) {
+    // Rare wide queries: plain fixpoint re-scan.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const UniversalHorn& u : universal_) {
+        if (IsSubset(u.body, vars) && !HasVar(vars, u.head)) {
+          vars |= VarBit(u.head);
+          changed = true;
+        }
       }
+    }
+    return vars;
+  }
+  // Worklist closure, O(k + Σ|body|) instead of the O(k²) fixpoint
+  // re-scan: track how many body variables each expression still misses,
+  // fire it the moment the count reaches zero, and let each newly added
+  // head decrement only the expressions whose bodies contain it. var_exprs
+  // entries are initialized lazily (tracked by `touched`) so a call costs
+  // no up-front clearing of the whole table.
+  uint64_t var_exprs[kMaxVars];  // exprs missing variable v
+  VarSet touched = 0;
+  int missing[64];
+  uint64_t ready = 0;  // exprs with body ⊆ vars, not yet fired
+  for (size_t i = 0; i < k; ++i) {
+    VarSet rem = universal_[i].body & ~vars;
+    missing[i] = Popcount(rem);
+    if (rem == 0) {
+      ready |= uint64_t{1} << i;
+    } else {
+      while (rem != 0) {
+        int v = std::countr_zero(rem);
+        if (!HasVar(touched, v)) {
+          var_exprs[v] = 0;
+          touched |= VarBit(v);
+        }
+        var_exprs[v] |= uint64_t{1} << i;
+        rem &= rem - 1;
+      }
+    }
+  }
+  while (ready != 0) {
+    size_t i = static_cast<size_t>(std::countr_zero(ready));
+    ready &= ready - 1;
+    int head = universal_[i].head;
+    if (HasVar(vars, head)) continue;
+    vars |= VarBit(head);
+    uint64_t affected = HasVar(touched, head) ? var_exprs[head] : 0;
+    var_exprs[head] = 0;
+    while (affected != 0) {
+      size_t j = static_cast<size_t>(std::countr_zero(affected));
+      affected &= affected - 1;
+      if (--missing[j] == 0) ready |= uint64_t{1} << j;
     }
   }
   return vars;

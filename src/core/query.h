@@ -84,6 +84,10 @@ class Query {
   int n_ = 0;
   std::vector<UniversalHorn> universal_;
   std::vector<ExistentialConj> existential_;
+  // Parallel to existential_: the raw masks, so Evaluate can certify every
+  // conjunction in one pass (TupleSet::SatisfiesConjunctionAll) instead of
+  // one object scan per conjunction.
+  std::vector<VarSet> existential_masks_;
 };
 
 /// A structured qhorn-1 query (§2.1.3): disjoint parts, each a body with its

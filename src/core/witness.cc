@@ -1,5 +1,6 @@
 #include "src/core/witness.h"
 
+#include "src/core/compiled_query.h"
 #include "src/core/normalize.h"
 #include "src/util/check.h"
 #include "src/verify/verification_set.h"
@@ -17,8 +18,9 @@ std::optional<TupleSet> DistinguishingWitness(const Query& a, const Query& b) {
   const Query& base = a.size_k() > 0 ? a : b;
   const Query& other = a.size_k() > 0 ? b : a;
   VerificationSet set = BuildVerificationSet(base);
+  CompiledQuery compiled_other(other);
   for (const VerificationQuestion& vq : set.questions) {
-    if (other.Evaluate(vq.question) != vq.expected_answer) {
+    if (compiled_other.Evaluate(vq.question) != vq.expected_answer) {
       return vq.question;
     }
   }

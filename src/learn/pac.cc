@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/core/compiled_query.h"
 #include "src/util/check.h"
 
 namespace qhorn {
@@ -29,11 +30,12 @@ PacReport PacVerify(const Query& hypothesis, MembershipOracle* user, Rng& rng,
   int64_t m = static_cast<int64_t>(
       std::ceil(std::log(1.0 / opts.delta) / opts.epsilon));
   PacReport report;
+  CompiledQuery compiled(hypothesis);
   for (int64_t i = 0; i < m; ++i) {
     TupleSet object =
         RandomObject(hypothesis.n(), rng, opts.max_tuples_per_object);
     ++report.samples;
-    if (hypothesis.Evaluate(object) != user->IsAnswer(object)) {
+    if (compiled.Evaluate(object) != user->IsAnswer(object)) {
       report.consistent = false;
       report.counterexample = object;
       return report;
@@ -47,9 +49,11 @@ double EstimateDisagreement(const Query& a, const Query& b, int samples,
   QHORN_CHECK(a.n() == b.n());
   QHORN_CHECK(samples > 0);
   int64_t disagreements = 0;
+  CompiledQuery ca(a);
+  CompiledQuery cb(b);
   for (int i = 0; i < samples; ++i) {
     TupleSet object = RandomObject(a.n(), rng, max_tuples);
-    if (a.Evaluate(object) != b.Evaluate(object)) ++disagreements;
+    if (ca.Evaluate(object) != cb.Evaluate(object)) ++disagreements;
   }
   return static_cast<double>(disagreements) / static_cast<double>(samples);
 }

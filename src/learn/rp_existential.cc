@@ -4,6 +4,7 @@
 #include <set>
 
 #include "src/bool/lattice.h"
+#include "src/core/compiled_query.h"
 #include "src/learn/find.h"
 #include "src/util/check.h"
 
@@ -16,14 +17,19 @@ class LatticeSearch {
   LatticeSearch(int n, MembershipOracle* oracle,
                 const std::vector<UniversalHorn>& universal,
                 const RpExistentialOptions& opts)
-      : n_(n), oracle_(oracle), universal_(universal), opts_(opts) {
-    // Horn closures of the guarantee clauses, for the downset optimization.
-    Query closer(n);
-    for (const UniversalHorn& u : universal_) {
-      closer.AddUniversal(u.body, u.head);
+      : n_(n), oracle_(oracle), opts_(opts) {
+    // Compile the learned universal Horn expressions once: the walk tests
+    // every lattice child against them (§3.2.2). Only ViolatesUniversal is
+    // used, so skip compiling guarantee-clause need masks.
+    Query horn_query(n);
+    for (const UniversalHorn& u : universal) {
+      horn_query.AddUniversal(u.body, u.head);
     }
-    for (const UniversalHorn& u : universal_) {
-      guarantee_closures_.insert(closer.HornClosure(u.GuaranteeVars()));
+    compiled_horns_ =
+        CompiledQuery(horn_query, EvalOptions{.require_guarantees = false});
+    // Horn closures of the guarantee clauses, for the downset optimization.
+    for (const UniversalHorn& u : universal) {
+      guarantee_closures_.insert(horn_query.HornClosure(u.GuaranteeVars()));
     }
   }
 
@@ -44,7 +50,7 @@ class LatticeSearch {
                     frontier.end());
         base.insert(base.end(), next.begin(), next.end());
 
-        std::vector<Tuple> children = ViolationFreeChildren(t);
+        const std::vector<Tuple>& children = ViolationFreeChildren(t);
         if (!Ask(Join(base, children), &result.trace)) {
           // No substitute covers t's conjunction: t is a distinguishing
           // tuple of a dominant existential conjunction.
@@ -93,26 +99,24 @@ class LatticeSearch {
     return TupleSet(std::move(all));
   }
 
-  bool Violates(Tuple t) const {
-    for (const UniversalHorn& u : universal_) {
-      if (u.ViolatedBy(t)) return true;
-    }
-    return false;
-  }
-
-  std::vector<Tuple> ViolationFreeChildren(Tuple t) const {
-    std::vector<Tuple> kept;
-    for (Tuple c : LatticeChildren(t, AllTrue(n_))) {
-      if (!Violates(c)) kept.push_back(c);
-    }
-    return kept;
+  /// Children of `t` that violate no learned Horn expression. The walk is
+  /// allocation-free: children are visited in place and collected into a
+  /// buffer reused across the whole search (valid until the next call).
+  const std::vector<Tuple>& ViolationFreeChildren(Tuple t) {
+    children_scratch_.clear();
+    AppendLatticeChildrenFiltered(
+        t, AllTrue(n_),
+        [this](Tuple c) { return !compiled_horns_.ViolatesUniversal(c); },
+        &children_scratch_);
+    return children_scratch_;
   }
 
   int n_;
   MembershipOracle* oracle_;
-  std::vector<UniversalHorn> universal_;
+  CompiledQuery compiled_horns_;
   RpExistentialOptions opts_;
   std::set<Tuple> guarantee_closures_;
+  std::vector<Tuple> children_scratch_;
 };
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include "src/oracle/adversary.h"
 
+#include <utility>
+
 #include "src/util/check.h"
 
 namespace qhorn {
@@ -8,30 +10,43 @@ AdversaryOracle::AdversaryOracle(std::vector<Query> candidates,
                                  EvalOptions opts)
     : candidates_(std::move(candidates)), opts_(opts) {
   QHORN_CHECK(!candidates_.empty());
+  compiled_.reserve(candidates_.size());
+  for (const Query& q : candidates_) compiled_.emplace_back(q, opts_);
 }
 
 bool AdversaryOracle::IsAnswer(const TupleSet& question) {
-  std::vector<Query> yes;
-  std::vector<Query> no;
-  for (Query& q : candidates_) {
-    if (q.Evaluate(question, opts_)) {
-      yes.push_back(std::move(q));
-    } else {
-      no.push_back(std::move(q));
-    }
+  size_t count = candidates_.size();
+  std::vector<bool> verdicts(count);
+  size_t yes_count = 0;
+  for (size_t i = 0; i < count; ++i) {
+    verdicts[i] = compiled_[i].Evaluate(question);
+    yes_count += verdicts[i] ? 1 : 0;
   }
+  size_t no_count = count - yes_count;
   // Never contradict every remaining candidate; otherwise keep the larger
   // side, preferring "non-answer" on ties (the paper's adversaries answer
   // non-answer whenever they can).
   bool answer;
-  if (no.empty()) {
+  if (no_count == 0) {
     answer = true;
-  } else if (yes.empty()) {
+  } else if (yes_count == 0) {
     answer = false;
   } else {
-    answer = yes.size() > no.size();
+    answer = yes_count > no_count;
   }
-  candidates_ = answer ? std::move(yes) : std::move(no);
+  // Partition in place, preserving relative order of the survivors.
+  size_t kept = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (verdicts[i] == answer) {
+      if (kept != i) {
+        candidates_[kept] = std::move(candidates_[i]);
+        compiled_[kept] = std::move(compiled_[i]);
+      }
+      ++kept;
+    }
+  }
+  candidates_.resize(kept);
+  compiled_.resize(kept);
   return answer;
 }
 

@@ -37,6 +37,10 @@ class AdversaryOracle : public MembershipOracle {
 
  private:
   std::vector<Query> candidates_;
+  // Compiled once at construction, partitioned in lock-step with
+  // candidates_: every question evaluates the whole surviving class, so
+  // the per-candidate evaluation must be the compiled fast path.
+  std::vector<CompiledQuery> compiled_;
   EvalOptions opts_;
 };
 

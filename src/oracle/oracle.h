@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "src/bool/tuple_set.h"
+#include "src/core/compiled_query.h"
 #include "src/core/query.h"
 #include "src/util/rng.h"
 
@@ -27,20 +28,24 @@ class MembershipOracle {
 };
 
 /// A perfectly reliable simulated user holding a hidden intended query.
+/// The intended query is compiled once at construction; every question is
+/// answered by the compiled engine (extensionally identical to
+/// Query::Evaluate, so learner question counts are unaffected).
 class QueryOracle : public MembershipOracle {
  public:
   explicit QueryOracle(Query intended, EvalOptions opts = EvalOptions())
-      : intended_(std::move(intended)), opts_(opts) {}
+      : intended_(std::move(intended)), compiled_(intended_, opts) {}
 
   bool IsAnswer(const TupleSet& question) override {
-    return intended_.Evaluate(question, opts_);
+    return compiled_.Evaluate(question);
   }
 
   const Query& intended() const { return intended_; }
+  const CompiledQuery& compiled() const { return compiled_; }
 
  private:
   Query intended_;
-  EvalOptions opts_;
+  CompiledQuery compiled_;
 };
 
 /// Question-count statistics (the unit all of the paper's bounds are in).
@@ -71,7 +76,9 @@ class CountingOracle : public MembershipOracle {
 /// Decorator that memoizes responses, so repeated identical questions cost
 /// nothing. The role-preserving universal-body search re-examines lattice
 /// roots as new bodies are found; the paper's counting convention charges a
-/// question once, which this decorator implements.
+/// question once, which this decorator implements. Probes are cheap:
+/// TupleSet caches its canonical-form hash, so a lookup never rehashes the
+/// tuple list.
 class CachingOracle : public MembershipOracle {
  public:
   explicit CachingOracle(MembershipOracle* inner) : inner_(inner) {}

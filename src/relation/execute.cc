@@ -1,5 +1,6 @@
 #include "src/relation/execute.h"
 
+#include "src/core/compiled_query.h"
 #include "src/util/check.h"
 
 namespace qhorn {
@@ -10,10 +11,12 @@ std::vector<size_t> ExecuteQuery(const Query& query,
                                  const EvalOptions& opts) {
   QHORN_CHECK_MSG(query.n() == binding.n(),
                   "query arity does not match the proposition count");
+  // One compilation amortized over the whole relation scan.
+  CompiledQuery compiled(query, opts);
   std::vector<size_t> answers;
   for (size_t i = 0; i < relation.objects().size(); ++i) {
     TupleSet image = binding.ObjectToBoolean(relation.objects()[i]);
-    if (query.Evaluate(image, opts)) answers.push_back(i);
+    if (compiled.Evaluate(image)) answers.push_back(i);
   }
   return answers;
 }

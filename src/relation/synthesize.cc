@@ -110,9 +110,9 @@ DataDomainOracle::DataDomainOracle(Query intended,
                                    const BooleanBinding* binding,
                                    EvalOptions opts)
     : intended_(std::move(intended)),
+      compiled_(intended_, opts),
       binding_(binding),
-      synthesizer_(binding),
-      opts_(opts) {
+      synthesizer_(binding) {
   QHORN_CHECK(binding != nullptr);
   QHORN_CHECK_MSG(intended_.n() == binding->n(),
                   "query arity does not match the proposition count");
@@ -126,7 +126,7 @@ bool DataDomainOracle::IsAnswer(const TupleSet& question) {
   // the Boolean classes of its tuples and evaluate the intended query.
   TupleSet round_trip = binding_->ObjectToBoolean(object);
   shown_objects_.push_back(std::move(object));
-  return intended_.Evaluate(round_trip, opts_);
+  return compiled_.Evaluate(round_trip);
 }
 
 }  // namespace qhorn

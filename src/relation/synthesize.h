@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/compiled_query.h"
 #include "src/core/query.h"
 #include "src/oracle/oracle.h"
 #include "src/relation/binding.h"
@@ -81,9 +82,9 @@ class DataDomainOracle : public MembershipOracle {
 
  private:
   Query intended_;
+  CompiledQuery compiled_;  // compiled once; answers every round trip
   const BooleanBinding* binding_;
   TupleSynthesizer synthesizer_;
-  EvalOptions opts_;
   std::vector<NestedObject> shown_objects_;
 };
 

@@ -1,0 +1,62 @@
+// A lightweight non-owning callable reference (the std::function_ref of
+// P0792, reduced to what the lattice walkers need).
+//
+// std::function allocates for large captures and always costs an indirect
+// call through a type-erased vtable; passing one into the per-node lattice
+// helpers put an allocation and two indirections on the learners' hottest
+// loop. FunctionRef is two words (callable address + thunk), never
+// allocates, and is trivially copyable. It must not outlive the referenced
+// callable — use it for downward (callee) parameters only.
+
+#ifndef QHORN_UTIL_FUNCTION_REF_H_
+#define QHORN_UTIL_FUNCTION_REF_H_
+
+#include <type_traits>
+#include <utility>
+
+namespace qhorn {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Binds any callable with a compatible signature — a lambda, functor,
+  /// or plain function. The callable is held by reference; the FunctionRef
+  /// is invalid once it dies (free functions live forever).
+  template <typename F,
+            typename = std::enable_if_t<
+                std::is_invocable_r_v<R, F&, Args...> &&
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef>>>
+  FunctionRef(F&& f) {  // NOLINT(google-explicit-constructor)
+    using T = std::remove_reference_t<F>;
+    if constexpr (std::is_function_v<T>) {
+      // Function lvalue: stash the function pointer itself (a
+      // function-pointer round trip through void* is universal on the
+      // platforms this builds for).
+      target_ = reinterpret_cast<void*>(std::addressof(f));
+      thunk_ = [](void* target, Args... args) -> R {
+        return (*reinterpret_cast<T*>(target))(std::forward<Args>(args)...);
+      };
+    } else {
+      target_ =
+          const_cast<void*>(static_cast<const void*>(std::addressof(f)));
+      thunk_ = [](void* target, Args... args) -> R {
+        return (*static_cast<T*>(target))(std::forward<Args>(args)...);
+      };
+    }
+  }
+
+  R operator()(Args... args) const {
+    return thunk_(target_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* target_;
+  R (*thunk_)(void*, Args...);
+};
+
+}  // namespace qhorn
+
+#endif  // QHORN_UTIL_FUNCTION_REF_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "src/bool/lattice.h"
 #include "src/core/normalize.h"
 
 namespace qhorn {
@@ -42,22 +43,12 @@ Tuple UniversalDistinguishingTuple(const UniversalHorn& horn,
 
 std::vector<Tuple> ViolationFreeChildren(
     Tuple t, int n, const std::vector<UniversalHorn>& horns) {
-  std::vector<Tuple> kept;
-  VarSet true_vars = t & AllTrue(n);
-  while (true_vars != 0) {
-    VarSet low = true_vars & (~true_vars + 1);
-    Tuple child = t & ~low;
-    bool violates = false;
+  return LatticeChildrenFiltered(t, AllTrue(n), [&horns](Tuple child) {
     for (const UniversalHorn& u : horns) {
-      if (u.ViolatedBy(child)) {
-        violates = true;
-        break;
-      }
+      if (u.ViolatedBy(child)) return false;
     }
-    if (!violates) kept.push_back(child);
-    true_vars &= true_vars - 1;
-  }
-  return kept;
+    return true;
+  });
 }
 
 }  // namespace qhorn

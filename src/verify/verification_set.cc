@@ -3,6 +3,7 @@
 #include <set>
 
 #include "src/core/classify.h"
+#include "src/core/compiled_query.h"
 #include "src/core/normalize.h"
 #include "src/verify/distinguishing.h"
 #include "src/util/check.h"
@@ -163,8 +164,11 @@ VerificationSet BuildVerificationSet(const Query& given,
   }
 
   if (opts.validate_expected) {
+    // One compilation amortized across the whole set (the construction
+    // self-test re-evaluates every question against qg).
+    CompiledQuery compiled(q);
     for (const VerificationQuestion& vq : set.questions) {
-      bool actual = q.Evaluate(vq.question);
+      bool actual = compiled.Evaluate(vq.question);
       QHORN_CHECK_MSG(actual == vq.expected_answer,
                       "verification-set construction bug: "
                           << vq.description << " expected "

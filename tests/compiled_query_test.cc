@@ -1,0 +1,279 @@
+// CompiledQuery is the engine behind every membership answer, so its one
+// obligation is extensional equality with Query::Evaluate — checked here
+// exhaustively (all role-preserving queries × all objects × both guarantee
+// modes at n ≤ 3), differentially at n ∈ {16, 64}, and at the behavioral
+// level: learners and verifiers driven through the compiled oracle must
+// ask bit-identical question counts to the uncompiled evaluation path.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/core/compiled_query.h"
+#include "src/core/enumerate.h"
+#include "src/core/normalize.h"
+#include "src/core/random_query.h"
+#include "src/learn/pac.h"
+#include "src/learn/qhorn1_learner.h"
+#include "src/learn/rp_learner.h"
+#include "src/oracle/oracle.h"
+#include "src/util/rng.h"
+#include "src/verify/verifier.h"
+
+namespace qhorn {
+namespace {
+
+// The pre-rewire oracle: answers through the interpreted Query::Evaluate.
+class UncompiledQueryOracle : public MembershipOracle {
+ public:
+  explicit UncompiledQueryOracle(Query intended,
+                                 EvalOptions opts = EvalOptions())
+      : intended_(std::move(intended)), opts_(opts) {}
+
+  bool IsAnswer(const TupleSet& question) override {
+    return intended_.Evaluate(question, opts_);
+  }
+
+ private:
+  Query intended_;
+  EvalOptions opts_;
+};
+
+std::vector<TupleSet> AllObjects(int n) {
+  uint64_t num_tuples = uint64_t{1} << n;
+  std::vector<TupleSet> objects;
+  objects.reserve(size_t{1} << num_tuples);
+  for (uint64_t bits = 0; bits < (uint64_t{1} << num_tuples); ++bits) {
+    std::vector<Tuple> tuples;
+    for (uint64_t t = 0; t < num_tuples; ++t) {
+      if ((bits >> t) & 1) tuples.push_back(t);
+    }
+    objects.push_back(TupleSet(std::move(tuples)));
+  }
+  return objects;
+}
+
+TEST(CompiledQueryTest, ExhaustiveEquivalenceWithInterpreterUpToN3) {
+  for (int n = 1; n <= 3; ++n) {
+    std::vector<TupleSet> objects = AllObjects(n);
+    for (const Query& q : EnumerateRolePreserving(n)) {
+      for (bool require : {true, false}) {
+        EvalOptions opts;
+        opts.require_guarantees = require;
+        CompiledQuery compiled(q, opts);
+        for (const TupleSet& object : objects) {
+          ASSERT_EQ(compiled.Evaluate(object), q.Evaluate(object, opts))
+              << "n=" << n << " query=" << q.ToString()
+              << " require_guarantees=" << require
+              << " object=" << object.ToString(n);
+        }
+      }
+    }
+  }
+}
+
+TEST(CompiledQueryTest, DifferentialAtN16AndN64) {
+  Rng rng(20260730);
+  for (int n : {16, 64}) {
+    for (int trial = 0; trial < 200; ++trial) {
+      RpOptions qopts;
+      qopts.num_heads = static_cast<int>(rng.Below(4));
+      qopts.theta = 1 + static_cast<int>(rng.Below(3));
+      qopts.num_conjunctions = static_cast<int>(rng.Below(6));
+      qopts.bodyless_prob = 0.25;
+      Query q = RandomRolePreserving(n, rng, qopts);
+      for (bool require : {true, false}) {
+        EvalOptions opts;
+        opts.require_guarantees = require;
+        CompiledQuery compiled(q, opts);
+        for (int obj = 0; obj < 20; ++obj) {
+          TupleSet object =
+              RandomObject(n, rng, 1 + static_cast<int>(rng.Below(20)));
+          ASSERT_EQ(compiled.Evaluate(object), q.Evaluate(object, opts))
+              << "n=" << n << " query=" << q.ToString()
+              << " require_guarantees=" << require
+              << " object=" << object.ToString(n);
+        }
+        // Learner-style question: {1^n, probe}.
+        Tuple all = AllTrue(n);
+        TupleSet question{
+            all, all & ~VarBit(static_cast<int>(
+                     rng.Below(static_cast<uint64_t>(n))))};
+        ASSERT_EQ(compiled.Evaluate(question), q.Evaluate(question, opts));
+        // Empty object.
+        TupleSet empty;
+        ASSERT_EQ(compiled.Evaluate(empty), q.Evaluate(empty, opts));
+      }
+    }
+  }
+}
+
+TEST(CompiledQueryTest, ViolatesUniversalMatchesInterpreter) {
+  Rng rng(77);
+  for (int trial = 0; trial < 100; ++trial) {
+    int n = 1 + static_cast<int>(rng.Below(64));
+    RpOptions qopts;
+    qopts.num_heads = static_cast<int>(
+        rng.Below(std::min<uint64_t>(4, static_cast<uint64_t>(n) + 1)));
+    qopts.theta = 1 + static_cast<int>(rng.Below(3));
+    qopts.bodyless_prob = 0.3;
+    Query q = RandomRolePreserving(n, rng, qopts);
+    CompiledQuery compiled(q);
+    for (int i = 0; i < 50; ++i) {
+      Tuple t = rng.Next() & AllTrue(n);
+      ASSERT_EQ(compiled.ViolatesUniversal(t), q.ViolatesUniversal(t))
+          << q.ToString() << " tuple " << FormatTuple(t, n);
+    }
+  }
+}
+
+TEST(CompiledQueryTest, SimdKernelMatchesScalarReference) {
+  Rng rng(4242);
+  std::vector<Tuple> tuples;
+  for (int trial = 0; trial < 500; ++trial) {
+    size_t m = rng.Below(24);
+    tuples.clear();
+    for (size_t j = 0; j < m; ++j) tuples.push_back(rng.Next());
+    uint64_t guard = rng.Next();
+    uint64_t want = rng.Next() & guard;
+    // Plant an exact match in some trials so both branches are exercised.
+    if (m > 0 && trial % 3 == 0) {
+      tuples[rng.Below(m)] = want | (rng.Next() & ~guard);
+    }
+    EXPECT_EQ(internal::AnyTupleMatches(tuples.data(), m, guard, want),
+              internal::AnyTupleMatchesScalar(tuples.data(), m, guard, want));
+  }
+}
+
+TEST(CompiledQueryTest, EvaluateAllMatchesPerObjectEvaluate) {
+  Rng rng(11);
+  int n = 16;
+  RpOptions qopts;
+  qopts.num_heads = 2;
+  qopts.theta = 2;
+  qopts.num_conjunctions = 3;
+  Query q = RandomRolePreserving(n, rng, qopts);
+  CompiledQuery compiled(q);
+  std::vector<TupleSet> objects;
+  for (int i = 0; i < 64; ++i) objects.push_back(RandomObject(n, rng, 12));
+  std::vector<bool> verdicts = compiled.EvaluateAll(objects);
+  ASSERT_EQ(verdicts.size(), objects.size());
+  for (size_t i = 0; i < objects.size(); ++i) {
+    EXPECT_EQ(verdicts[i], compiled.Evaluate(objects[i]));
+  }
+}
+
+TEST(CompiledQueryTest, PrunesDominatedExpressions) {
+  // ∀x1x2→x5 dominates ∀x1x2x3→x5 (R2); ∃x1x2x3 dominates ∃x1 (R1); the
+  // guarantee of the dominated universal is absorbed by its closure.
+  Query q = Query::Parse("∀x1x2→x5 ∀x1x2x3→x5 ∃x1 ∃x1x2x3", 5);
+  CompiledQuery compiled(q);
+  EXPECT_EQ(compiled.num_violation_masks(), 1u);
+  // Needs: closure(x1) ⊂ closure(x1x2x3) and the two guarantee closures
+  // x1x2x5 ⊂ x1x2x3x5; the maximal antichain is {x1x2x3x5}.
+  EXPECT_EQ(compiled.num_need_masks(), 1u);
+  EXPECT_EQ(CompiledQuery(q, EvalOptions{.require_guarantees = false})
+                .num_need_masks(),
+            1u);  // closure(x1x2x3) = x1x2x3x5 absorbs closure(x1)
+}
+
+TEST(CompiledQueryTest, EmptyQueryAcceptsEverything) {
+  Query q(4);
+  CompiledQuery compiled(q);
+  EXPECT_TRUE(compiled.Evaluate(TupleSet{}));
+  EXPECT_TRUE(compiled.Evaluate(TupleSet{ParseTuple("0000")}));
+  EXPECT_EQ(compiled.num_violation_masks(), 0u);
+  EXPECT_EQ(compiled.num_need_masks(), 0u);
+}
+
+// The paper's complexity measure is the question count; the engine rewire
+// must not change it. Drive every learner and the verifier once through
+// the compiled oracle and once through the interpreted evaluator and
+// require bit-identical counts (identical answers force identical
+// adaptive trajectories, so this is a strong end-to-end check).
+TEST(CompiledQueryTest, LearnerQuestionCountsUnchangedByCompiledOracle) {
+  Rng rng(987);
+  for (int trial = 0; trial < 10; ++trial) {
+    int n = 4 + static_cast<int>(rng.Below(13));
+    RpOptions qopts;
+    qopts.num_heads = static_cast<int>(rng.Below(3));
+    qopts.theta = 1 + static_cast<int>(rng.Below(2));
+    qopts.num_conjunctions = static_cast<int>(rng.Below(4));
+    Query target = RandomRolePreserving(n, rng, qopts);
+
+    QueryOracle compiled_oracle(target);
+    CountingOracle compiled_counting(&compiled_oracle);
+    RpLearnerResult with_compiled = LearnRolePreserving(n, &compiled_counting);
+
+    UncompiledQueryOracle plain_oracle(target);
+    CountingOracle plain_counting(&plain_oracle);
+    RpLearnerResult with_plain = LearnRolePreserving(n, &plain_counting);
+
+    EXPECT_EQ(compiled_counting.stats().questions,
+              plain_counting.stats().questions)
+        << target.ToString();
+    EXPECT_EQ(compiled_counting.stats().tuples, plain_counting.stats().tuples);
+    EXPECT_EQ(compiled_counting.stats().answers,
+              plain_counting.stats().answers);
+    EXPECT_EQ(with_compiled.query, with_plain.query);
+  }
+}
+
+TEST(CompiledQueryTest, Qhorn1QuestionCountsUnchangedByCompiledOracle) {
+  Rng rng(654);
+  for (int trial = 0; trial < 10; ++trial) {
+    int n = 4 + static_cast<int>(rng.Below(29));
+    Qhorn1Structure target = RandomQhorn1(n, rng);
+    Query target_query = target.ToQuery();
+
+    QueryOracle compiled_oracle(target_query);
+    CountingOracle compiled_counting(&compiled_oracle);
+    Qhorn1Learner compiled_learner(n, &compiled_counting);
+    Qhorn1Structure learned_compiled = compiled_learner.Learn();
+
+    UncompiledQueryOracle plain_oracle(target_query);
+    CountingOracle plain_counting(&plain_oracle);
+    Qhorn1Learner plain_learner(n, &plain_counting);
+    Qhorn1Structure learned_plain = plain_learner.Learn();
+
+    EXPECT_EQ(compiled_counting.stats().questions,
+              plain_counting.stats().questions)
+        << target.ToString();
+    EXPECT_EQ(compiled_counting.stats().answers,
+              plain_counting.stats().answers);
+    EXPECT_EQ(learned_compiled, learned_plain);
+  }
+}
+
+TEST(CompiledQueryTest, VerifierQuestionCountsUnchangedByCompiledOracle) {
+  Rng rng(321);
+  for (int trial = 0; trial < 10; ++trial) {
+    int n = 3 + static_cast<int>(rng.Below(6));
+    RpOptions qopts;
+    qopts.num_heads = static_cast<int>(rng.Below(3));
+    qopts.theta = 1 + static_cast<int>(rng.Below(2));
+    qopts.num_conjunctions = static_cast<int>(rng.Below(3));
+    Query given = RandomRolePreserving(n, rng, qopts);
+    Query intended = RandomRolePreserving(n, rng, qopts);
+    if (given.size_k() == 0) continue;
+
+    QueryOracle compiled_user(intended);
+    VerificationReport with_compiled = VerifyQuery(given, &compiled_user);
+
+    UncompiledQueryOracle plain_user(intended);
+    VerificationReport with_plain = VerifyQuery(given, &plain_user);
+
+    EXPECT_EQ(with_compiled.questions_asked, with_plain.questions_asked);
+    EXPECT_EQ(with_compiled.accepted, with_plain.accepted);
+    ASSERT_EQ(with_compiled.discrepancies.size(),
+              with_plain.discrepancies.size());
+    for (size_t i = 0; i < with_compiled.discrepancies.size(); ++i) {
+      EXPECT_EQ(with_compiled.discrepancies[i].question_index,
+                with_plain.discrepancies[i].question_index);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qhorn

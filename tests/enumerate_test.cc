@@ -35,6 +35,39 @@ TEST(AntichainsTest, MembersArePairwiseIncomparable) {
   }
 }
 
+TEST(AntichainsTest, ScatteredUniverseIsWidthFamilyRemapped) {
+  // Memoization enumerates per width and remaps onto the universe: a
+  // scattered universe must yield the Dedekind count, subsets of the
+  // universe only, pairwise incomparable — and exactly the compact
+  // families with bit j sent to the universe's j-th variable.
+  VarSet universe = VarBit(1) | VarBit(4) | VarBit(9);
+  auto scattered = AntichainsOf(universe);
+  auto compact = AntichainsOf(AllTrue(3));
+  ASSERT_EQ(scattered.size(), compact.size());
+  auto remap = [&](VarSet s) {
+    VarSet out = 0;
+    if (HasVar(s, 0)) out |= VarBit(1);
+    if (HasVar(s, 1)) out |= VarBit(4);
+    if (HasVar(s, 2)) out |= VarBit(9);
+    return out;
+  };
+  for (size_t f = 0; f < compact.size(); ++f) {
+    ASSERT_EQ(scattered[f].size(), compact[f].size());
+    for (size_t i = 0; i < compact[f].size(); ++i) {
+      EXPECT_EQ(scattered[f][i], remap(compact[f][i]));
+      EXPECT_TRUE(IsSubset(scattered[f][i], universe));
+    }
+  }
+}
+
+TEST(AntichainsTest, RepeatedCallsReturnIdenticalFamilies) {
+  // The cache must be invisible: identical output on every call.
+  auto first = AntichainsOf(ParseTuple("1111"));
+  auto second = AntichainsOf(ParseTuple("1111"));
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.size(), 168u);  // Dedekind number for m=4
+}
+
 TEST(SetPartitionsTest, CountsAreBellNumbers) {
   for (int n = 1; n <= 6; ++n) {
     EXPECT_EQ(SetPartitions(n).size(), BellNumber(n)) << "n=" << n;

@@ -94,5 +94,76 @@ TEST(LatticeTest, DistanceIsSymmetricDifference) {
   EXPECT_EQ(LatticeDistance(ParseTuple("1111"), ParseTuple("0000")), 4);
 }
 
+TEST(LatticeTest, CallbackWalkersMatchVectorFormsInOrder) {
+  // The allocation-free ForEach* walkers must visit exactly the tuples of
+  // the vector forms, in the same (ascending-variable) order — the
+  // learners' question composition depends on it.
+  for (Tuple t = 0; t < (Tuple{1} << 5); ++t) {
+    VarSet universe = ParseTuple("11011");
+    std::vector<Tuple> visited;
+    ForEachLatticeChild(t, universe,
+                        [&visited](Tuple c) { visited.push_back(c); });
+    EXPECT_EQ(visited, LatticeChildren(t, universe));
+    visited.clear();
+    ForEachLatticeParent(t, universe,
+                         [&visited](Tuple p) { visited.push_back(p); });
+    EXPECT_EQ(visited, LatticeParents(t, universe));
+  }
+}
+
+TEST(LatticeTest, LevelWalkerMatchesRecursiveReferenceOrder) {
+  // Reference: the original depth-first "clear candidates in ascending
+  // variable order" recursion.
+  struct Ref {
+    static void Clears(Tuple base, const std::vector<int>& cand, size_t next,
+                       int remaining, std::vector<Tuple>* out) {
+      if (remaining == 0) {
+        out->push_back(base);
+        return;
+      }
+      if (cand.size() - next < static_cast<size_t>(remaining)) return;
+      for (size_t i = next; i < cand.size(); ++i) {
+        Clears(base & ~VarBit(cand[i]), cand, i + 1, remaining - 1, out);
+      }
+    }
+  };
+  VarSet universe = ParseTuple("110111");
+  Tuple fixed = ParseTuple("001000");
+  int width = Popcount(universe);
+  for (int level = 0; level <= width; ++level) {
+    std::vector<Tuple> expected;
+    Tuple top = (fixed & ~universe) | universe;
+    Ref::Clears(top, VarsOf(universe), 0, level, &expected);
+    EXPECT_EQ(LatticeLevel(universe, level, fixed), expected)
+        << "level " << level;
+  }
+}
+
+bool KeepEvenPopcount(Tuple t) { return Popcount(t) % 2 == 0; }
+
+TEST(LatticeTest, FunctionRefBindsFreeFunctions) {
+  // FunctionRef accepts plain functions, not just lambdas/functors.
+  std::vector<Tuple> kept =
+      LatticeChildrenFiltered(ParseTuple("1110"), AllTrue(4),
+                              KeepEvenPopcount);
+  for (Tuple t : kept) EXPECT_EQ(Popcount(t) % 2, 0);
+  EXPECT_EQ(kept.size(), 3u);  // all children of a popcount-3 tuple
+}
+
+TEST(LatticeTest, AppendFilteredReusesCallerBuffer) {
+  Query q = Query::Parse("∀x1x2→x6", 6);
+  std::vector<Tuple> buffer;
+  AppendLatticeChildrenFiltered(
+      ParseTuple("111011"), AllTrue(6),
+      [&q](Tuple c) { return !q.ViolatesUniversal(c); }, &buffer);
+  EXPECT_EQ(buffer.size(), 4u);
+  size_t first = buffer.size();
+  // Appending again extends the same buffer (caller owns clearing).
+  AppendLatticeChildrenFiltered(
+      ParseTuple("111011"), AllTrue(6),
+      [&q](Tuple c) { return !q.ViolatesUniversal(c); }, &buffer);
+  EXPECT_EQ(buffer.size(), 2 * first);
+}
+
 }  // namespace
 }  // namespace qhorn

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "src/bool/tuple_set.h"
+#include "src/util/rng.h"
 
 namespace qhorn {
 namespace {
@@ -89,6 +90,50 @@ TEST(QueryTest, HornClosureWithBodylessHead) {
   Query q = Query::Parse("∀x1 ∃x2", 2);
   // ∀x1 forces x1 into every closure.
   EXPECT_EQ(q.HornClosure(VarBit(1)), VarBit(0) | VarBit(1));
+}
+
+TEST(QueryTest, HornClosureMatchesFixpointReference) {
+  // The worklist closure must agree with the naive fixpoint re-scan on
+  // random queries, including long chains and the k > 64 fallback.
+  auto reference = [](const Query& q, VarSet vars) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const UniversalHorn& u : q.universal()) {
+        if (IsSubset(u.body, vars) && !HasVar(vars, u.head)) {
+          vars |= VarBit(u.head);
+          changed = true;
+        }
+      }
+    }
+    return vars;
+  };
+
+  // Chain ∀x1→x2, ∀x2→x3, … in worst-case (reverse) discovery order.
+  {
+    Query chain(16);
+    for (int i = 14; i >= 0; --i) chain.AddUniversal(VarBit(i), i + 1);
+    EXPECT_EQ(chain.HornClosure(VarBit(0)), AllTrue(16));
+    EXPECT_EQ(chain.HornClosure(VarBit(0)), reference(chain, VarBit(0)));
+  }
+
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    int n = 2 + static_cast<int>(rng.Below(63));
+    // More than 64 expressions on some trials exercises the fallback.
+    int k = 1 + static_cast<int>(rng.Below(100));
+    Query q(n);
+    for (int i = 0; i < k; ++i) {
+      int head = static_cast<int>(rng.Below(static_cast<uint64_t>(n)));
+      VarSet body = rng.Next() & AllTrue(n) & ~VarBit(head);
+      q.AddUniversal(body & rng.Next(), head);  // sparser bodies
+    }
+    for (int probe = 0; probe < 10; ++probe) {
+      VarSet vars = rng.Next() & AllTrue(n);
+      ASSERT_EQ(q.HornClosure(vars), reference(q, vars))
+          << "n=" << n << " k=" << k;
+    }
+  }
 }
 
 TEST(QueryTest, SizeAndHeads) {

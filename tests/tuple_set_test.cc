@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/util/rng.h"
+
 namespace qhorn {
 namespace {
 
@@ -65,6 +67,57 @@ TEST(TupleSetTest, HashAgreesWithEquality) {
 TEST(TupleSetTest, ToStringUsesPaperNotation) {
   TupleSet s = TupleSet::Parse({"111", "011"});
   EXPECT_EQ(s.ToString(3), "{011, 111}");
+}
+
+TEST(TupleSetTest, CachedHashStaysInSyncThroughMutations) {
+  // Hash() is cached and updated on mutation; it must always equal the
+  // hash of a freshly constructed set with the same tuples.
+  Rng rng(5);
+  TupleSet s;
+  for (int step = 0; step < 200; ++step) {
+    Tuple t = rng.Below(64);
+    if (rng.Chance(0.3)) {
+      s.Remove(t);
+    } else {
+      s.Add(t);
+    }
+    TupleSet fresh(s.tuples());
+    ASSERT_EQ(s.Hash(), fresh.Hash());
+    ASSERT_EQ(s, fresh);
+  }
+  TupleSet u = s.Union(TupleSet{1, 2, 3});
+  EXPECT_EQ(u.Hash(), TupleSet(u.tuples()).Hash());
+}
+
+TEST(TupleSetTest, SatisfiesConjunctionAllMatchesPerMaskScans) {
+  Rng rng(9);
+  for (int trial = 0; trial < 100; ++trial) {
+    TupleSet s;
+    size_t tuples = rng.Below(12);
+    for (size_t i = 0; i < tuples; ++i) s.Add(rng.Next() & 0xffff);
+    std::vector<VarSet> masks;
+    size_t count = rng.Below(20);
+    for (size_t i = 0; i < count; ++i) masks.push_back(rng.Next() & 0xffff);
+    bool all = true;
+    for (VarSet m : masks) all = all && s.SatisfiesConjunction(m);
+    ASSERT_EQ(s.SatisfiesConjunctionAll(masks), all)
+        << "trial " << trial << " tuples=" << tuples
+        << " masks=" << masks.size();
+  }
+}
+
+TEST(TupleSetTest, SatisfiesConjunctionAllEdgeCases) {
+  TupleSet s = TupleSet::Parse({"101", "011"});
+  EXPECT_TRUE(s.SatisfiesConjunctionAll({}));        // no masks
+  EXPECT_TRUE(TupleSet().SatisfiesConjunctionAll({}));
+  std::vector<VarSet> one = {ParseTuple("100")};
+  EXPECT_FALSE(TupleSet().SatisfiesConjunctionAll(one));  // empty object
+  // More masks than the stack bitset holds (heap path, > 512 masks).
+  std::vector<VarSet> many(600, ParseTuple("001"));
+  many.push_back(ParseTuple("110"));  // unsatisfied
+  EXPECT_FALSE(s.SatisfiesConjunctionAll(many));
+  many.pop_back();
+  EXPECT_TRUE(s.SatisfiesConjunctionAll(many));
 }
 
 }  // namespace
