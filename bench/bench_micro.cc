@@ -123,6 +123,59 @@ void BM_CompileQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_CompileQuery)->Arg(16)->Arg(64);
 
+// Per-question overhead of the oracle pipeline at different round sizes:
+// the Batched variant sends each round through IsAnswerBatch (one virtual
+// hop, then CompiledQuery::EvaluateAll), the Sequential variant decomposes
+// the identical round into per-question IsAnswer calls via the
+// SequentialOracle adapter — the before/after pair for the batched oracle
+// seam. Time is per round; read per-question cost off items_per_second.
+std::vector<TupleSet> BatchQuestions(int n, size_t count) {
+  Rng rng(7);
+  std::vector<TupleSet> questions;
+  questions.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    TupleSet q = RandomObject(n, rng, 16);
+    q.Add(AllTrue(n));
+    questions.push_back(std::move(q));
+  }
+  return questions;
+}
+
+void BM_OracleBatchBatched(benchmark::State& state) {
+  int n = 64;
+  size_t batch = static_cast<size_t>(state.range(0));
+  Query q = BenchQuery(n);
+  QueryOracle oracle(q);
+  CountingOracle counting(&oracle);
+  std::vector<TupleSet> questions = BatchQuestions(n, batch);
+  std::vector<bool> answers;
+  for (auto _ : state) {
+    counting.IsAnswerBatch(questions, &answers);
+    benchmark::DoNotOptimize(answers);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+  state.SetLabel("counting → compiled oracle, one round per iteration");
+}
+BENCHMARK(BM_OracleBatchBatched)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_OracleBatchSequential(benchmark::State& state) {
+  int n = 64;
+  size_t batch = static_cast<size_t>(state.range(0));
+  Query q = BenchQuery(n);
+  QueryOracle oracle(q);
+  CountingOracle counting(&oracle);
+  SequentialOracle sequential(&counting);
+  std::vector<TupleSet> questions = BatchQuestions(n, batch);
+  std::vector<bool> answers;
+  for (auto _ : state) {
+    sequential.IsAnswerBatch(questions, &answers);
+    benchmark::DoNotOptimize(answers);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+  state.SetLabel("same round decomposed into per-question IsAnswer calls");
+}
+BENCHMARK(BM_OracleBatchSequential)->Arg(1)->Arg(16)->Arg(256);
+
 void BM_CachingOracleHit(benchmark::State& state) {
   int n = 64;
   Query q = BenchQuery(n);

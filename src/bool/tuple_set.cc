@@ -25,10 +25,10 @@ TupleSet TupleSet::Parse(const std::vector<std::string>& literals) {
 void TupleSet::Canonicalize() {
   std::sort(tuples_.begin(), tuples_.end());
   tuples_.erase(std::unique(tuples_.begin(), tuples_.end()), tuples_.end());
-  Rehash();
+  hash_valid_ = false;
 }
 
-void TupleSet::Rehash() {
+void TupleSet::Rehash() const {
   // FNV-1a over the canonical tuple list.
   uint64_t h = kEmptyHash;
   for (Tuple t : tuples_) {
@@ -38,13 +38,25 @@ void TupleSet::Rehash() {
     }
   }
   hash_ = static_cast<size_t>(h);
+  hash_valid_ = true;
+}
+
+void TupleSet::AssignPair(Tuple a, Tuple b) {
+  tuples_.clear();
+  if (a == b) {
+    tuples_.push_back(a);
+  } else {
+    tuples_.push_back(std::min(a, b));
+    tuples_.push_back(std::max(a, b));
+  }
+  hash_valid_ = false;
 }
 
 void TupleSet::Add(Tuple t) {
   auto it = std::lower_bound(tuples_.begin(), tuples_.end(), t);
   if (it == tuples_.end() || *it != t) {
     tuples_.insert(it, t);
-    Rehash();
+    hash_valid_ = false;
   }
 }
 
@@ -52,7 +64,7 @@ void TupleSet::Remove(Tuple t) {
   auto it = std::lower_bound(tuples_.begin(), tuples_.end(), t);
   if (it != tuples_.end() && *it == t) {
     tuples_.erase(it);
-    Rehash();
+    hash_valid_ = false;
   }
 }
 
@@ -68,7 +80,7 @@ TupleSet TupleSet::Union(const TupleSet& other) const {
   merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
   TupleSet result;
   result.tuples_ = std::move(merged);
-  result.Rehash();
+  result.hash_valid_ = false;
   return result;
 }
 

@@ -4,9 +4,11 @@
 // TupleSet keeps its tuples sorted and deduplicated so that equal objects
 // compare equal and hash equally — the caching oracle and the adversarial
 // oracles rely on this canonical form. The hash of the canonical tuple
-// list is maintained eagerly on every mutation, so Hash() is O(1): the
-// caching oracle probes its map once per question and must not pay a full
-// rehash of the tuple list each time.
+// list is computed lazily on first use and cached, so Hash() is amortized
+// O(1) where it matters — the caching oracle probes its map once per
+// question and must not pay a full rehash each time — while the learners'
+// probe loops, which build thousands of questions that are never hashed,
+// pay nothing.
 
 #ifndef QHORN_BOOL_TUPLE_SET_H_
 #define QHORN_BOOL_TUPLE_SET_H_
@@ -36,6 +38,12 @@ class TupleSet {
   /// Inserts a tuple (no-op if already present).
   void Add(Tuple t);
 
+  /// Replaces the contents with the two-tuple object {a, b} in place,
+  /// reusing the existing allocation. The learners' probe questions are
+  /// almost all two-tuple objects built in tight loops; this keeps their
+  /// construction allocation-free after warm-up.
+  void AssignPair(Tuple a, Tuple b);
+
   /// Removes a tuple if present.
   void Remove(Tuple t);
 
@@ -64,18 +72,26 @@ class TupleSet {
     return a.tuples_ == b.tuples_;
   }
 
-  /// Stable hash of the canonical tuple list (cached; O(1)).
-  size_t Hash() const { return hash_; }
+  /// Stable hash of the canonical tuple list (computed lazily, then
+  /// cached until the next mutation). NOTE: the lazy fill mutates shared
+  /// state from a const method; concurrent first-Hash() calls on one
+  /// object are a data race. A parallel oracle backend must pre-hash its
+  /// questions (call Hash() once before sharing) or synchronize.
+  size_t Hash() const {
+    if (!hash_valid_) Rehash();
+    return hash_;
+  }
 
   /// "{111, 011}" with n-variable-wide tuples.
   std::string ToString(int n) const;
 
  private:
   void Canonicalize();
-  void Rehash();
+  void Rehash() const;
 
   std::vector<Tuple> tuples_;  // sorted ascending, unique
-  size_t hash_ = kEmptyHash;   // always in sync with tuples_
+  mutable size_t hash_ = kEmptyHash;
+  mutable bool hash_valid_ = true;  // empty list hashes to kEmptyHash
 
   // FNV-1a offset basis: the hash of the empty tuple list.
   static constexpr size_t kEmptyHash =

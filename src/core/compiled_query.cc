@@ -73,11 +73,17 @@ CompiledQuery::CompiledQuery(const Query& query, const EvalOptions& opts)
 
 std::vector<bool> CompiledQuery::EvaluateAll(
     std::span<const TupleSet> objects) const {
-  std::vector<bool> verdicts(objects.size());
-  for (size_t i = 0; i < objects.size(); ++i) {
-    verdicts[i] = Evaluate(objects[i]);
-  }
+  std::vector<bool> verdicts;
+  EvaluateAll(objects, &verdicts);
   return verdicts;
+}
+
+void CompiledQuery::EvaluateAll(std::span<const TupleSet> objects,
+                                std::vector<bool>* verdicts) const {
+  verdicts->assign(objects.size(), false);
+  for (size_t i = 0; i < objects.size(); ++i) {
+    (*verdicts)[i] = Evaluate(objects[i]);
+  }
 }
 
 }  // namespace qhorn

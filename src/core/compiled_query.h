@@ -145,11 +145,14 @@ class CompiledQuery {
     return EvaluateTuples(object.tuples().data(), object.tuples().size());
   }
 
-  /// Evaluates a span of objects. No production caller yet — the learners
-  /// still ask one question at a time — this is the primitive the planned
-  /// batched/async oracle work builds on (see ROADMAP "next perf
-  /// targets"); exercised by tests/compiled_query_test.cc.
+  /// Evaluates a span of objects — the kernel behind every batched oracle
+  /// round (QueryOracle::IsAnswerBatch and the miss-only forwarding of
+  /// CachingOracle both land here).
   std::vector<bool> EvaluateAll(std::span<const TupleSet> objects) const;
+
+  /// Allocation-reusing variant: `verdicts` is resized to objects.size().
+  void EvaluateAll(std::span<const TupleSet> objects,
+                   std::vector<bool>* verdicts) const;
 
   /// True iff `t` violates some universal Horn expression (body true, head
   /// false). Extensionally equal to Query::ViolatesUniversal.
@@ -168,6 +171,13 @@ class CompiledQuery {
   bool EvaluateTuples(const Tuple* ts, size_t m) const {
     if (m == 0) return need_.empty();
     if (!need_.empty() && (ts[m - 1] & need_union_) != need_union_) {
+      // Union fast-reject: a need can only be met by a single tuple, so if
+      // even the union of all tuples misses a variable of some need the
+      // object is a non-answer. One O(m) pass spares the per-need scans on
+      // the learners' frequent deliberately-deficient probes.
+      Tuple all_vars = 0;
+      for (size_t j = 0; j < m; ++j) all_vars |= ts[j];
+      if ((all_vars & need_union_) != need_union_) return false;
       for (uint64_t nd : need_) {
         if (!internal::AnyTupleMatches(ts, m, nd, nd)) return false;
       }

@@ -24,42 +24,74 @@ void SplitHalves(VarSet mask, VarSet* low, VarSet* high) {
 
 }  // namespace
 
-VarSet FindOne(MembershipOracle& oracle, const SetQuestion& question,
-               bool eliminate, VarSet domain) {
+VarSet FindOne(MembershipOracle& oracle, SetQuestion question, bool eliminate,
+               VarSet domain) {
   if (domain == 0) return 0;
-  if (oracle.IsAnswer(question(domain)) == eliminate) return 0;
+  TupleSet probe;
+  question(domain, &probe);
+  if (oracle.IsAnswer(probe) == eliminate) return 0;
   // Invariant: `domain` contains a sought variable.
   while (Popcount(domain) > 1) {
     VarSet low, high;
     SplitHalves(domain, &low, &high);
-    domain = (oracle.IsAnswer(question(low)) == eliminate) ? high : low;
+    question(low, &probe);
+    domain = (oracle.IsAnswer(probe) == eliminate) ? high : low;
   }
   return domain;
 }
 
-namespace {
-
-void FindAllRec(MembershipOracle& oracle, const SetQuestion& question,
-                bool eliminate, VarSet domain, VarSet* found) {
-  if (domain == 0) return;
-  if (oracle.IsAnswer(question(domain)) == eliminate) return;
-  if (Popcount(domain) == 1) {
-    *found |= domain;
-    return;
+VarSet FindAllVars(MembershipOracle& oracle, SetQuestion question,
+                   bool eliminate, VarSet domain, FindScratch* scratch) {
+  // Breadth-first over the halving tree: the questions of one depth are
+  // determined entirely by the previous depth's answers, so each level is
+  // labelled in a single oracle round. The question multiset (and so the
+  // Lemma 3.2/3.3 budget) is exactly the recursive descent's; only the
+  // order changes from depth-first to level order.
+  VarSet found = 0;
+  if (domain == 0) return 0;
+  std::vector<VarSet>& level = scratch->level;
+  std::vector<VarSet>& next = scratch->next;
+  // Question slots are assigned in place and never shrunk, so the TupleSet
+  // allocations are reused across levels (and across calls sharing the
+  // scratch).
+  std::vector<TupleSet>& questions = scratch->questions;
+  std::vector<bool>& answers = scratch->answers;
+  level.assign(1, domain);
+  while (!level.empty()) {
+    if (questions.size() < level.size()) questions.resize(level.size());
+    for (size_t i = 0; i < level.size(); ++i) {
+      question(level[i], &questions[i]);
+    }
+    if (level.size() == 1) {
+      // Singleton levels (the root, and pruned-down tails) skip the batch
+      // plumbing — a one-question round costs more than a plain question.
+      answers.assign(1, oracle.IsAnswer(questions[0]));
+    } else {
+      oracle.IsAnswerBatch(
+          std::span<const TupleSet>(questions.data(), level.size()),
+          &answers);
+    }
+    next.clear();
+    for (size_t i = 0; i < level.size(); ++i) {
+      if (answers[i] == eliminate) continue;  // no sought variable inside
+      if (Popcount(level[i]) == 1) {
+        found |= level[i];
+        continue;
+      }
+      VarSet low, high;
+      SplitHalves(level[i], &low, &high);
+      next.push_back(low);
+      next.push_back(high);
+    }
+    std::swap(level, next);
   }
-  VarSet low, high;
-  SplitHalves(domain, &low, &high);
-  FindAllRec(oracle, question, eliminate, low, found);
-  FindAllRec(oracle, question, eliminate, high, found);
+  return found;
 }
 
-}  // namespace
-
-VarSet FindAllVars(MembershipOracle& oracle, const SetQuestion& question,
+VarSet FindAllVars(MembershipOracle& oracle, SetQuestion question,
                    bool eliminate, VarSet domain) {
-  VarSet found = 0;
-  FindAllRec(oracle, question, eliminate, domain, &found);
-  return found;
+  FindScratch scratch;
+  return FindAllVars(oracle, question, eliminate, domain, &scratch);
 }
 
 std::vector<Tuple> MinimalSubset(const std::vector<Tuple>& items,

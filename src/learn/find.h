@@ -7,6 +7,14 @@
 // the questions' set semantics: Q(D) draws the non-eliminating response iff
 // some v ∈ D does.
 //
+// The question template writes into a caller-owned TupleSet so the probe
+// loops reuse one allocation (almost every template is a two-tuple object —
+// see TupleSet::AssignPair); it is passed as a FunctionRef, so building the
+// question costs no std::function allocation or double indirection.
+// FindAllVars walks its halving tree breadth-first and labels each depth in
+// one batched oracle round — same question multiset and count as the
+// recursive descent, in level order.
+//
 // MinimalSubset is the workhorse of Prune (Algorithm 8): it extracts a
 // subset-minimal K ⊆ items with pred(K) true, for a monotone predicate,
 // using O((|K|+1)·lg|items|) predicate evaluations via prefix binary search.
@@ -19,21 +27,40 @@
 
 #include "src/bool/tuple.h"
 #include "src/oracle/oracle.h"
+#include "src/util/function_ref.h"
 
 namespace qhorn {
 
-/// Builds the membership question for a candidate variable set.
-using SetQuestion = std::function<TupleSet(VarSet)>;
+/// Builds the membership question for a candidate variable set, writing it
+/// into `*out` (contents replaced; allocation reused).
+using SetQuestion = FunctionRef<void(VarSet, TupleSet*)>;
 
 /// Algorithm 2. Returns one variable (as a single-bit mask) v ∈ domain with
 /// Ask(Q({v})) != eliminate, or 0 if Ask(Q(domain)) == eliminate (no such
 /// variable). Asks O(lg |domain|) questions.
-VarSet FindOne(MembershipOracle& oracle, const SetQuestion& question,
-               bool eliminate, VarSet domain);
+VarSet FindOne(MembershipOracle& oracle, SetQuestion question, bool eliminate,
+               VarSet domain);
+
+/// Reusable buffers for FindAllVars. A learner makes one of these per
+/// session and passes it to every call: the level worklists, question
+/// slots and answer vector then allocate only on the widest call ever
+/// made, not once per call (the qhorn-1 learner calls FindAllVars once or
+/// twice per variable).
+struct FindScratch {
+  std::vector<VarSet> level;
+  std::vector<VarSet> next;
+  std::vector<TupleSet> questions;
+  std::vector<bool> answers;
+};
 
 /// Algorithm 3. Returns the mask of all variables v ∈ domain with
-/// Ask(Q({v})) != eliminate. Asks O((|result|+1)·lg |domain|) questions.
-VarSet FindAllVars(MembershipOracle& oracle, const SetQuestion& question,
+/// Ask(Q({v})) != eliminate. Asks O((|result|+1)·lg |domain|) questions,
+/// batched one halving-tree level per oracle round.
+VarSet FindAllVars(MembershipOracle& oracle, SetQuestion question,
+                   bool eliminate, VarSet domain, FindScratch* scratch);
+
+/// Convenience overload with call-local scratch.
+VarSet FindAllVars(MembershipOracle& oracle, SetQuestion question,
                    bool eliminate, VarSet domain);
 
 /// Monotone predicate over a candidate subset of tuples.

@@ -31,13 +31,23 @@ PacReport PacVerify(const Query& hypothesis, MembershipOracle* user, Rng& rng,
       std::ceil(std::log(1.0 / opts.delta) / opts.epsilon));
   PacReport report;
   CompiledQuery compiled(hypothesis);
+  // The m sample objects are drawn up front (the draw sequence does not
+  // depend on the user's labels) and labelled in one oracle round; the
+  // hypothesis is then checked against the whole labelling. The first
+  // disagreement in sample order is reported, as the sequential loop would.
+  std::vector<TupleSet> sample;
+  sample.reserve(static_cast<size_t>(m));
   for (int64_t i = 0; i < m; ++i) {
-    TupleSet object =
-        RandomObject(hypothesis.n(), rng, opts.max_tuples_per_object);
-    ++report.samples;
-    if (compiled.Evaluate(object) != user->IsAnswer(object)) {
+    sample.push_back(
+        RandomObject(hypothesis.n(), rng, opts.max_tuples_per_object));
+  }
+  std::vector<bool> labels;
+  user->IsAnswerBatch(sample, &labels);
+  report.samples = m;
+  for (size_t i = 0; i < sample.size(); ++i) {
+    if (compiled.Evaluate(sample[i]) != labels[i]) {
       report.consistent = false;
-      report.counterexample = object;
+      report.counterexample = sample[i];
       return report;
     }
   }

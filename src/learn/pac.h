@@ -32,7 +32,11 @@ struct PacReport {
   TupleSet counterexample;     ///< first disagreement, when !consistent
 };
 
-/// Runs the sampling check of `hypothesis` against the user's oracle.
+/// Runs the sampling check of `hypothesis` against the user's oracle. The
+/// whole m-object sample is labelled in a single batched oracle round
+/// (random questions are non-adaptive, so nothing is gained by
+/// interleaving); on disagreement the first mismatch in sample order is
+/// reported and `samples` still counts the full round.
 PacReport PacVerify(const Query& hypothesis, MembershipOracle* user, Rng& rng,
                     const PacOptions& opts = PacOptions());
 

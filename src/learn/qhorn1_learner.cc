@@ -5,6 +5,34 @@
 
 namespace qhorn {
 
+namespace {
+
+/// Adapter handed to the find.h primitives: forwards questions — single or
+/// batched — to the real oracle while charging them to a per-phase counter.
+/// Unlike a plain lambda shim, batches stay batches all the way down.
+class CountingForwarder : public MembershipOracle {
+ public:
+  CountingForwarder(MembershipOracle* inner, int64_t* counter)
+      : inner_(inner), counter_(counter) {}
+
+  bool IsAnswer(const TupleSet& question) override {
+    ++*counter_;
+    return inner_->IsAnswer(question);
+  }
+
+  void IsAnswerBatch(std::span<const TupleSet> questions,
+                     std::vector<bool>* answers) override {
+    *counter_ += static_cast<int64_t>(questions.size());
+    inner_->IsAnswerBatch(questions, answers);
+  }
+
+ private:
+  MembershipOracle* inner_;
+  int64_t* counter_;
+};
+
+}  // namespace
+
 Qhorn1Learner::Qhorn1Learner(int n, MembershipOracle* oracle)
     : n_(n), oracle_(oracle) {
   QHORN_CHECK(n >= 1 && n <= kMaxVars);
@@ -16,24 +44,31 @@ bool Qhorn1Learner::Ask(const TupleSet& question, int64_t* counter) {
   return oracle_->IsAnswer(question);
 }
 
+void Qhorn1Learner::AskBatch(std::span<const TupleSet> questions,
+                             int64_t* counter, std::vector<bool>* answers) {
+  *counter += static_cast<int64_t>(questions.size());
+  if (questions.size() == 1) {
+    // One-question rounds skip the batch plumbing.
+    answers->assign(1, oracle_->IsAnswer(questions[0]));
+    return;
+  }
+  oracle_->IsAnswerBatch(questions, answers);
+}
+
 VarSet Qhorn1Learner::LearnUniversalHeads() {
-  VarSet heads = 0;
   Tuple all = AllTrue(n_);
+  size_t count = static_cast<size_t>(n_);
+  if (batch_questions_.size() < count) batch_questions_.resize(count);
   for (int v = 0; v < n_; ++v) {
-    TupleSet question{all, all & ~VarBit(v)};
-    if (!Ask(question, &trace_.head_questions)) heads |= VarBit(v);
+    batch_questions_[static_cast<size_t>(v)].AssignPair(all, all & ~VarBit(v));
+  }
+  AskBatch(std::span<const TupleSet>(batch_questions_.data(), count),
+           &trace_.head_questions, &batch_answers_);
+  VarSet heads = 0;
+  for (int v = 0; v < n_; ++v) {
+    if (!batch_answers_[static_cast<size_t>(v)]) heads |= VarBit(v);
   }
   return heads;
-}
-
-TupleSet Qhorn1Learner::UniversalDependenceQuestion(int head, VarSet v) const {
-  Tuple all = AllTrue(n_);
-  return TupleSet{all, all & ~(v | VarBit(head))};
-}
-
-TupleSet Qhorn1Learner::IndependenceQuestion(VarSet x, VarSet y) const {
-  Tuple all = AllTrue(n_);
-  return TupleSet{all & ~x, all & ~y};
 }
 
 TupleSet Qhorn1Learner::MatrixQuestion(VarSet s) const {
@@ -57,17 +92,11 @@ VarSet Qhorn1Learner::UnionOfBodies() const {
 }
 
 void Qhorn1Learner::LearnUniversalBody(int head) {
-  auto question = [this, head](VarSet v) {
-    return UniversalDependenceQuestion(head, v);
+  Tuple all = AllTrue(n_);
+  auto question = [all, head](VarSet v, TupleSet* out) {
+    out->AssignPair(all, all & ~(v | VarBit(head)));
   };
-  auto ask = [this](const TupleSet& q) {
-    return Ask(q, &trace_.universal_body_questions);
-  };
-  struct OracleShim : MembershipOracle {
-    std::function<bool(const TupleSet&)> fn;
-    bool IsAnswer(const TupleSet& q) override { return fn(q); }
-  } shim;
-  shim.fn = ask;
+  CountingForwarder shim(oracle_, &trace_.universal_body_questions);
 
   // Algorithm 1: first look for a body variable among the bodies learned so
   // far; the head then shares that body (restriction 1: bodies are equal or
@@ -88,7 +117,8 @@ void Qhorn1Learner::LearnUniversalBody(int head) {
   // The head's body (if any) is disjoint from every known body: binary
   // search the unassigned existential variables.
   VarSet domain = existential_vars_ & ~known & ~assigned_;
-  VarSet body = FindAllVars(shim, question, /*eliminate=*/false, domain);
+  VarSet body =
+      FindAllVars(shim, question, /*eliminate=*/false, domain, &find_scratch_);
   Part part;
   part.body = body;
   part.universal_heads = VarBit(head);
@@ -144,17 +174,11 @@ VarSet Qhorn1Learner::GetHead(VarSet d) {
 }
 
 void Qhorn1Learner::LearnExistentialFor(int e) {
-  auto question = [this, e](VarSet v) {
-    return IndependenceQuestion(VarBit(e), v);
+  Tuple all = AllTrue(n_);
+  auto question = [all, e](VarSet v, TupleSet* out) {
+    out->AssignPair(all & ~VarBit(e), all & ~v);
   };
-  auto ask_raw = [this](const TupleSet& q) {
-    return Ask(q, &trace_.existential_questions);
-  };
-  struct OracleShim : MembershipOracle {
-    std::function<bool(const TupleSet&)> fn;
-    bool IsAnswer(const TupleSet& q) override { return fn(q); }
-  } shim;
-  shim.fn = ask_raw;
+  CountingForwarder shim(oracle_, &trace_.existential_questions);
 
   // Algorithm 4 step 1: does e depend on a variable of a known body? An
   // answer means independence, so `eliminate` is the answer response.
@@ -172,7 +196,8 @@ void Qhorn1Learner::LearnExistentialFor(int e) {
 
   // Step 2: find every unassigned existential variable e depends on.
   VarSet domain = existential_vars_ & ~assigned_ & ~VarBit(e);
-  VarSet d = FindAllVars(shim, question, /*eliminate=*/true, domain);
+  VarSet d =
+      FindAllVars(shim, question, /*eliminate=*/true, domain, &find_scratch_);
   if (d == 0) {
     // e participates in no Horn expression beyond itself: ∃e.
     Part part;
@@ -192,13 +217,20 @@ void Qhorn1Learner::LearnExistentialFor(int e) {
     part.existential_heads = VarBit(e);
   } else {
     // e is a body variable; sweep the rest of d to separate its co-heads
-    // (independent of `head`) from fellow body variables.
+    // (independent of `head`) from fellow body variables. The sweep's
+    // questions do not depend on each other: one round labels them all.
+    std::vector<int> rest = VarsOf(d & ~head);
+    if (batch_questions_.size() < rest.size()) {
+      batch_questions_.resize(rest.size());
+    }
+    for (size_t i = 0; i < rest.size(); ++i) {
+      batch_questions_[i].AssignPair(all & ~head, all & ~VarBit(rest[i]));
+    }
+    AskBatch(std::span<const TupleSet>(batch_questions_.data(), rest.size()),
+             &trace_.existential_questions, &batch_answers_);
     VarSet heads = head;
-    for (int v : VarsOf(d & ~head)) {
-      if (Ask(IndependenceQuestion(head, VarBit(v)),
-              &trace_.existential_questions)) {
-        heads |= VarBit(v);
-      }
+    for (size_t i = 0; i < rest.size(); ++i) {
+      if (batch_answers_[i]) heads |= VarBit(rest[i]);
     }
     part.body = (d & ~heads) | VarBit(e);
     part.existential_heads = heads;

@@ -20,9 +20,11 @@
 #ifndef QHORN_LEARN_QHORN1_LEARNER_H_
 #define QHORN_LEARN_QHORN1_LEARNER_H_
 
+#include <span>
 #include <vector>
 
 #include "src/core/query.h"
+#include "src/learn/find.h"
 #include "src/oracle/oracle.h"
 
 namespace qhorn {
@@ -59,15 +61,13 @@ class Qhorn1Learner {
   };
 
   /// §3.1.1: {1^n, all-true-except-v} is a non-answer iff v is a universal
-  /// head.
+  /// head. The n questions are independent and go out as one batch.
   VarSet LearnUniversalHeads();
 
-  /// §3.1.2: universal dependence question on h and V — {1^n, tuple with h
-  /// and V false, all else true}.
-  TupleSet UniversalDependenceQuestion(int head, VarSet v) const;
-
-  /// §3.1.3: existential independence question between var sets X and Y.
-  TupleSet IndependenceQuestion(VarSet x, VarSet y) const;
+  // The §3.1.2 universal dependence questions ({1^n, tuple with h and V
+  // false}) and §3.1.3 independence questions ({1^n minus X, 1^n minus Y})
+  // are built in place by the probe lambdas of LearnUniversalBody /
+  // LearnExistentialFor via TupleSet::AssignPair.
 
   /// Def. 3.3: one tuple per d ∈ s with only d false.
   TupleSet MatrixQuestion(VarSet s) const;
@@ -92,9 +92,18 @@ class Qhorn1Learner {
 
   bool Ask(const TupleSet& question, int64_t* counter);
 
+  /// One oracle round for a run of independent questions; `counter` is
+  /// charged once per question, exactly as the sequential loop would.
+  void AskBatch(std::span<const TupleSet> questions, int64_t* counter,
+                std::vector<bool>* answers);
+
   int n_;
   MembershipOracle* oracle_;
   Qhorn1LearnerTrace trace_;
+  // Probe-loop scratch, reused across every batched round of a Learn().
+  FindScratch find_scratch_;
+  std::vector<TupleSet> batch_questions_;
+  std::vector<bool> batch_answers_;
 
   VarSet universal_heads_ = 0;
   VarSet existential_vars_ = 0;

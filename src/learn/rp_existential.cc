@@ -40,24 +40,37 @@ class LatticeSearch {
     while (!frontier.empty()) {
       ++result.trace.levels;
       std::vector<Tuple> next;
-      for (size_t i = 0; i < frontier.size(); ++i) {
-        Tuple t = frontier[i];
-        // Everything that must stay in the question while t is replaced:
-        // discovered tuples, not-yet-processed frontier tuples, and the
-        // tuples already kept for the next level.
-        std::vector<Tuple> base = discovered;
-        base.insert(base.end(), frontier.begin() + static_cast<long>(i) + 1,
-                    frontier.end());
-        base.insert(base.end(), next.begin(), next.end());
+      // The level runs in two regimes. While substitutions are frequent —
+      // the descent phase, where each substitution changes the working
+      // object and so the next tuple's question — the tuples are probed one
+      // at a time, exactly the sequential Algorithm 7/8 walk (zero wasted
+      // questions). After two consecutive non-answers the walk assumes it
+      // has reached distinguishing tuples and flips to batch mode: one
+      // round poses, for every still-pending tuple t, the *optimistic*
+      // substitute question (t replaced by its violation-free children,
+      // every other pending tuple intact). Consuming such a round is sound:
+      //   * A non-answer is final. The optimistic object's coverage is a
+      //     superset of the object any sequential interleaving would have
+      //     used (intact tuples cover at least what their pruned children
+      //     cover), and answers are monotone in coverage on violation-free
+      //     objects — so t's conjunction is genuinely indispensable.
+      //   * The first answer's base is exact: every other pending tuple is
+      //     still intact at that point, so its substitution is performed —
+      //     the children are pruned adaptively (Algorithm 8) — while the
+      //     answers of *later* substitutable tuples are discarded
+      //     (trace.discarded_probes) and re-asked against the updated
+      //     object, back in the sequential regime.
+      // In the common tail — a frontier sitting on distinguishing tuples —
+      // a level costs two sequential probes plus a single all-false round.
+      std::vector<Tuple> pending = std::move(frontier);
+      size_t head = 0;  // tuples before `head` are resolved
+      int consecutive_non_answers = 0;
 
-        const std::vector<Tuple>& children = ViolationFreeChildren(t);
-        if (!Ask(Join(base, children), &result.trace)) {
-          // No substitute covers t's conjunction: t is a distinguishing
-          // tuple of a dominant existential conjunction.
-          discovered.push_back(t);
-          continue;
-        }
-        // Prune the children to a minimal necessary set (Algorithm 8).
+      // Prunes the already-probed-replaceable tuple `t` against `base`
+      // (everything in the working object except t) and distributes the
+      // kept children (Algorithm 8).
+      auto substitute = [&](const std::vector<Tuple>& base,
+                            const std::vector<Tuple>& children) {
         std::vector<Tuple> kept =
             MinimalSubset(children, [&](const std::vector<Tuple>& sub) {
               return Ask(Join(base, sub), &result.trace);
@@ -72,6 +85,88 @@ class LatticeSearch {
             next.push_back(c);
           }
         }
+      };
+
+      while (head < pending.size()) {
+        if (consecutive_non_answers < 2 || pending.size() - head == 1) {
+          // Sequential regime: probe the front tuple alone — bit-for-bit
+          // the classic Algorithm 7/8 walk, with base and children built
+          // once and shared between the probe and the prune.
+          Tuple t = pending[head];
+          std::vector<Tuple> base = discovered;
+          base.insert(base.end(),
+                      pending.begin() + static_cast<long>(head) + 1,
+                      pending.end());
+          base.insert(base.end(), next.begin(), next.end());
+          const std::vector<Tuple>& children = ViolationFreeChildren(t);
+          ++result.trace.rounds;
+          if (!Ask(Join(base, children), &result.trace)) {
+            discovered.push_back(t);
+            ++consecutive_non_answers;
+            ++head;
+            continue;
+          }
+          consecutive_non_answers = 0;
+          substitute(base, children);
+          ++head;
+          continue;
+        }
+
+        // Batch regime: one round probes every unresolved tuple with its
+        // optimistic substitute question — its children plus everything
+        // that must stay (discovered tuples, the other unresolved tuples
+        // intact, and the tuples kept for the next level).
+        size_t count = pending.size() - head;
+        std::vector<TupleSet> questions;
+        questions.reserve(count);
+        for (size_t i = head; i < pending.size(); ++i) {
+          std::vector<Tuple> object = discovered;
+          for (size_t j = head; j < pending.size(); ++j) {
+            if (j != i) object.push_back(pending[j]);
+          }
+          object.insert(object.end(), next.begin(), next.end());
+          const std::vector<Tuple>& children =
+              ViolationFreeChildren(pending[i]);
+          object.insert(object.end(), children.begin(), children.end());
+          questions.emplace_back(std::move(object));
+        }
+        ++result.trace.rounds;
+        result.trace.questions += static_cast<int64_t>(count);
+        std::vector<bool> answers;
+        oracle_->IsAnswerBatch(questions, &answers);
+
+        // Consume: every non-answer is final; the first answer's base was
+        // exact, so it is substituted; later answers are discarded and
+        // re-probed under the updated object, back in sequential regime.
+        size_t first_true = count;
+        std::vector<Tuple> unresolved;
+        for (size_t i = 0; i < count; ++i) {
+          if (!answers[i]) {
+            discovered.push_back(pending[head + i]);
+            ++consecutive_non_answers;
+          } else if (first_true == count) {
+            first_true = i;
+          } else {
+            unresolved.push_back(pending[head + i]);
+          }
+        }
+        if (first_true == count) break;  // level fully resolved in one round
+
+        consecutive_non_answers = 0;
+        result.trace.discarded_probes +=
+            static_cast<int64_t>(unresolved.size());
+        // Rewrite the unresolved window — the re-probes follow the acted-on
+        // tuple — and substitute it (its probe already answered).
+        Tuple acted = pending[head + first_true];
+        pending.resize(head + 1 + unresolved.size());
+        pending[head] = acted;
+        std::copy(unresolved.begin(), unresolved.end(),
+                  pending.begin() + static_cast<long>(head) + 1);
+        std::vector<Tuple> base = discovered;
+        base.insert(base.end(), unresolved.begin(), unresolved.end());
+        base.insert(base.end(), next.begin(), next.end());
+        substitute(base, ViolationFreeChildren(acted));
+        ++head;
       }
       // Children reached from several parents appear once.
       std::sort(next.begin(), next.end());

@@ -37,6 +37,12 @@ struct RpExistentialTrace {
   int64_t questions = 0;
   int64_t levels = 0;            ///< deepest lattice level reached
   int64_t pruned_tuples = 0;     ///< children discarded by Algorithm 8
+  int64_t rounds = 0;            ///< oracle rounds of batched level probes
+  /// Speculative probes whose answers had to be discarded: a substitution
+  /// earlier in the same round changed the working object, so the question
+  /// was re-asked against the updated state. The price of labelling a
+  /// lattice level per round instead of per tuple.
+  int64_t discarded_probes = 0;
 };
 
 struct RpExistentialResult {

@@ -37,30 +37,41 @@ class HeadBodyLearner {
 
     // Search roots: every way of excluding one variable from each known
     // body. A body incomparable with all known ones survives under some
-    // root (it misses at least one variable of each known body).
+    // root (it misses at least one variable of each known body). All of an
+    // iteration's untested roots are probed in one oracle round — the
+    // common final sweep (no surviving body anywhere) finishes in a single
+    // batch, and a hit costs one adaptive extraction before the roots are
+    // regenerated with the new body in the product.
     std::set<VarSet> tested;
     bool found_new = true;
     while (found_new) {
       found_new = false;
-      std::vector<VarSet> roots = SearchRoots(bodies);
-      for (VarSet excluded : roots) {
-        if (tested.count(excluded) != 0) continue;
-        tested.insert(excluded);
-        if (HasBodyAvoiding(excluded)) {
-          VarSet body = ExtractBody(excluded);
-          if (body == 0) continue;  // inconsistent oracle; skip this root
-          for (VarSet known : bodies) {
-            QHORN_CHECK_MSG(Incomparable(body, known),
-                            "extracted body comparable with a known body");
-          }
-          bodies.push_back(body);
-          QHORN_CHECK_MSG(
-              static_cast<int>(bodies.size()) <= opts_.max_bodies_per_head,
-              "causal density exceeds max_bodies_per_head="
-                  << opts_.max_bodies_per_head);
-          found_new = true;
-          break;  // regenerate roots with the new body in the product
+      std::vector<VarSet> untested;
+      for (VarSet excluded : SearchRoots(bodies)) {
+        if (tested.count(excluded) == 0) untested.push_back(excluded);
+      }
+      std::vector<bool> has_body = HasBodyAvoidingBatch(untested);
+      for (size_t i = 0; i < untested.size(); ++i) {
+        // Consuming an answer marks its root tested; the answers after an
+        // acted-on hit are discarded *unmarked* — extraction changes the
+        // known-body set, so their verdicts must be re-established against
+        // the regenerated root product (a caching oracle makes the
+        // re-probe free).
+        tested.insert(untested[i]);
+        if (!has_body[i]) continue;
+        VarSet body = ExtractBody(untested[i]);
+        if (body == 0) continue;  // inconsistent oracle; skip this root
+        for (VarSet known : bodies) {
+          QHORN_CHECK_MSG(Incomparable(body, known),
+                          "extracted body comparable with a known body");
         }
+        bodies.push_back(body);
+        QHORN_CHECK_MSG(
+            static_cast<int>(bodies.size()) <= opts_.max_bodies_per_head,
+            "causal density exceeds max_bodies_per_head="
+                << opts_.max_bodies_per_head);
+        found_new = true;
+        break;  // regenerate roots with the new body in the product
       }
     }
     return bodies;
@@ -85,6 +96,28 @@ class HeadBodyLearner {
   bool HasBodyAvoiding(VarSet excluded) {
     Tuple t = AllTrue(n_) & ~excluded & ~VarBit(head_);
     return !Ask(TupleSet{AllTrue(n_), t});
+  }
+
+  /// One oracle round of HasBodyAvoiding probes, one per exclusion set
+  /// (singleton rounds skip the batch plumbing — the first iteration's
+  /// root product is always the single root ∅).
+  std::vector<bool> HasBodyAvoidingBatch(const std::vector<VarSet>& excluded) {
+    if (excluded.size() <= 1) {
+      std::vector<bool> answers;
+      if (!excluded.empty()) answers.push_back(HasBodyAvoiding(excluded[0]));
+      return answers;
+    }
+    std::vector<TupleSet> questions;
+    questions.reserve(excluded.size());
+    for (VarSet x : excluded) {
+      Tuple t = AllTrue(n_) & ~x & ~VarBit(head_);
+      questions.push_back(TupleSet{AllTrue(n_), t});
+    }
+    trace_->body_questions += static_cast<int64_t>(questions.size());
+    std::vector<bool> answers;
+    oracle_->IsAnswerBatch(questions, &answers);
+    answers.flip();  // non-answer ⟺ a body survives the exclusion
+    return answers;
   }
 
   /// Algorithm 6 seeded with `excluded`: returns a minimal body within
@@ -138,13 +171,19 @@ RpUniversalResult LearnUniversalHorns(int n, MembershipOracle* oracle,
   QHORN_CHECK(oracle != nullptr);
   RpUniversalResult result;
 
-  // §3.1.1 head test, unchanged in the role-preserving setting.
+  // §3.1.1 head test, unchanged in the role-preserving setting; the n
+  // per-variable questions are independent, so one round labels them all.
   Tuple all = AllTrue(n);
+  std::vector<TupleSet> head_questions;
+  head_questions.reserve(static_cast<size_t>(n));
   for (int v = 0; v < n; ++v) {
-    ++result.trace.head_questions;
-    if (!oracle->IsAnswer(TupleSet{all, all & ~VarBit(v)})) {
-      result.head_vars |= VarBit(v);
-    }
+    head_questions.push_back(TupleSet{all, all & ~VarBit(v)});
+  }
+  result.trace.head_questions += n;
+  std::vector<bool> head_answers;
+  oracle->IsAnswerBatch(head_questions, &head_answers);
+  for (int v = 0; v < n; ++v) {
+    if (!head_answers[static_cast<size_t>(v)]) result.head_vars |= VarBit(v);
   }
 
   for (int h : VarsOf(result.head_vars)) {

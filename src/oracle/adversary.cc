@@ -1,5 +1,6 @@
 #include "src/oracle/adversary.h"
 
+#include <numeric>
 #include <utility>
 
 #include "src/util/check.h"
@@ -14,6 +15,16 @@ AdversaryOracle::AdversaryOracle(std::vector<Query> candidates,
   for (const Query& q : candidates_) compiled_.emplace_back(q, opts_);
 }
 
+bool AdversaryOracle::Answer(size_t yes_count, size_t alive_count) {
+  size_t no_count = alive_count - yes_count;
+  // Never contradict every remaining candidate; otherwise keep the larger
+  // side, preferring "non-answer" on ties (the paper's adversaries answer
+  // non-answer whenever they can).
+  if (no_count == 0) return true;
+  if (yes_count == 0) return false;
+  return yes_count > no_count;
+}
+
 bool AdversaryOracle::IsAnswer(const TupleSet& question) {
   size_t count = candidates_.size();
   std::vector<bool> verdicts(count);
@@ -22,18 +33,7 @@ bool AdversaryOracle::IsAnswer(const TupleSet& question) {
     verdicts[i] = compiled_[i].Evaluate(question);
     yes_count += verdicts[i] ? 1 : 0;
   }
-  size_t no_count = count - yes_count;
-  // Never contradict every remaining candidate; otherwise keep the larger
-  // side, preferring "non-answer" on ties (the paper's adversaries answer
-  // non-answer whenever they can).
-  bool answer;
-  if (no_count == 0) {
-    answer = true;
-  } else if (yes_count == 0) {
-    answer = false;
-  } else {
-    answer = yes_count > no_count;
-  }
+  bool answer = Answer(yes_count, count);
   // Partition in place, preserving relative order of the survivors.
   size_t kept = 0;
   for (size_t i = 0; i < count; ++i) {
@@ -48,6 +48,44 @@ bool AdversaryOracle::IsAnswer(const TupleSet& question) {
   candidates_.resize(kept);
   compiled_.resize(kept);
   return answer;
+}
+
+void AdversaryOracle::IsAnswerBatch(std::span<const TupleSet> questions,
+                                    std::vector<bool>* answers) {
+  answers->clear();
+  answers->reserve(questions.size());
+  // Indices of the candidates consistent with the answers so far; the
+  // verdicts of eliminated candidates are never computed.
+  std::vector<size_t> alive(candidates_.size());
+  std::iota(alive.begin(), alive.end(), size_t{0});
+  std::vector<bool> verdicts;
+  for (const TupleSet& question : questions) {
+    verdicts.assign(alive.size(), false);
+    size_t yes_count = 0;
+    for (size_t j = 0; j < alive.size(); ++j) {
+      verdicts[j] = compiled_[alive[j]].Evaluate(question);
+      yes_count += verdicts[j] ? 1 : 0;
+    }
+    bool answer = Answer(yes_count, alive.size());
+    answers->push_back(answer);
+    size_t kept = 0;
+    for (size_t j = 0; j < alive.size(); ++j) {
+      if (verdicts[j] == answer) alive[kept++] = alive[j];
+    }
+    alive.resize(kept);
+  }
+  // One compaction for the whole round (alive is sorted ascending, so the
+  // surviving candidates keep their relative order).
+  size_t kept = 0;
+  for (size_t idx : alive) {
+    if (kept != idx) {
+      candidates_[kept] = std::move(candidates_[idx]);
+      compiled_[kept] = std::move(compiled_[idx]);
+    }
+    ++kept;
+  }
+  candidates_.resize(kept);
+  compiled_.resize(kept);
 }
 
 }  // namespace qhorn

@@ -11,6 +11,7 @@
 #ifndef QHORN_ORACLE_ADVERSARY_H_
 #define QHORN_ORACLE_ADVERSARY_H_
 
+#include <span>
 #include <vector>
 
 #include "src/oracle/oracle.h"
@@ -29,6 +30,14 @@ class AdversaryOracle : public MembershipOracle {
   /// discards the eliminated candidates.
   bool IsAnswer(const TupleSet& question) override;
 
+  /// Batched rounds give the same answers the sequential loop would: each
+  /// question is decided by the candidates still alive after the previous
+  /// question's verdict. Only the physical compaction of the candidate
+  /// class is deferred — eliminated candidates are masked out per question
+  /// and the surviving class is partitioned once per batch.
+  void IsAnswerBatch(std::span<const TupleSet> questions,
+                     std::vector<bool>* answers) override;
+
   /// Remaining consistent candidates.
   const std::vector<Query>& candidates() const { return candidates_; }
 
@@ -36,6 +45,9 @@ class AdversaryOracle : public MembershipOracle {
   bool Pinned() const { return candidates_.size() == 1; }
 
  private:
+  /// The paper's answering rule given the verdict split of the alive class.
+  static bool Answer(size_t yes_count, size_t alive_count);
+
   std::vector<Query> candidates_;
   // Compiled once at construction, partitioned in lock-step with
   // candidates_: every question evaluates the whole surviving class, so

@@ -4,14 +4,30 @@
 
 namespace qhorn {
 
-bool CountingOracle::IsAnswer(const TupleSet& question) {
+void CountingOracle::Record(const TupleSet& question) {
   ++stats_.questions;
   stats_.tuples += static_cast<int64_t>(question.size());
   stats_.max_tuples =
       std::max(stats_.max_tuples, static_cast<int64_t>(question.size()));
+}
+
+bool CountingOracle::IsAnswer(const TupleSet& question) {
+  ++stats_.rounds;
+  Record(question);
   bool answer = inner_->IsAnswer(question);
   if (answer) ++stats_.answers;
   return answer;
+}
+
+void CountingOracle::IsAnswerBatch(std::span<const TupleSet> questions,
+                                   std::vector<bool>* answers) {
+  ++stats_.rounds;
+  stats_.batched_questions += static_cast<int64_t>(questions.size());
+  for (const TupleSet& q : questions) Record(q);
+  inner_->IsAnswerBatch(questions, answers);
+  for (bool a : *answers) {
+    if (a) ++stats_.answers;
+  }
 }
 
 bool CachingOracle::IsAnswer(const TupleSet& question) {
@@ -26,13 +42,60 @@ bool CachingOracle::IsAnswer(const TupleSet& question) {
   return answer;
 }
 
-bool NoisyOracle::IsAnswer(const TupleSet& question) {
-  bool answer = inner_->IsAnswer(question);
+void CachingOracle::IsAnswerBatch(std::span<const TupleSet> questions,
+                                  std::vector<bool>* answers) {
+  // Partition in question order. A duplicate of an earlier miss in the same
+  // round counts as a hit (the sequential path would have cached the first
+  // occurrence before seeing the second), so the forwarded batch holds each
+  // unseen question exactly once, in first-occurrence order. One map probe
+  // per question: the per-question cache slots are remembered (references
+  // into an unordered_map survive rehashing) and patched after the inner
+  // round answers the misses.
+  std::vector<TupleSet> misses;
+  std::vector<bool*> slots;
+  std::vector<bool*> miss_slots;
+  slots.reserve(questions.size());
+  for (const TupleSet& q : questions) {
+    auto [it, inserted] = cache_.try_emplace(q, false);
+    if (inserted) {
+      ++misses_;
+      misses.push_back(q);
+      miss_slots.push_back(&it->second);
+    } else {
+      ++hits_;
+    }
+    slots.push_back(&it->second);
+  }
+  if (!misses.empty()) {
+    std::vector<bool> miss_answers;
+    inner_->IsAnswerBatch(misses, &miss_answers);
+    for (size_t i = 0; i < misses.size(); ++i) {
+      *miss_slots[i] = miss_answers[i];
+    }
+  }
+  answers->clear();
+  answers->reserve(questions.size());
+  for (bool* slot : slots) answers->push_back(*slot);
+}
+
+bool NoisyOracle::MaybeFlip(bool answer) {
   if (rng_.Chance(flip_prob_)) {
     ++flips_;
     return !answer;
   }
   return answer;
+}
+
+bool NoisyOracle::IsAnswer(const TupleSet& question) {
+  return MaybeFlip(inner_->IsAnswer(question));
+}
+
+void NoisyOracle::IsAnswerBatch(std::span<const TupleSet> questions,
+                                std::vector<bool>* answers) {
+  inner_->IsAnswerBatch(questions, answers);
+  for (size_t i = 0; i < answers->size(); ++i) {
+    (*answers)[i] = MaybeFlip((*answers)[i]);
+  }
 }
 
 }  // namespace qhorn

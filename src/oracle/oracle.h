@@ -4,12 +4,20 @@
 // user, classifying it as an answer or a non-answer to the intended query.
 // Learners and verifiers depend only on the MembershipOracle interface;
 // decorators add counting, caching, noise and history.
+//
+// Oracles answer one question at a time (IsAnswer) or a whole round at
+// once (IsAnswerBatch). The batch entry point is the seam for oracle
+// backends that amortize per-question cost — compiled bulk evaluation,
+// cache partitioning, version-space pruning, and eventually async or
+// sharded user pools — while the learners stay backend-agnostic.
 
 #ifndef QHORN_ORACLE_ORACLE_H_
 #define QHORN_ORACLE_ORACLE_H_
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "src/bool/tuple_set.h"
 #include "src/core/compiled_query.h"
@@ -25,12 +33,50 @@ class MembershipOracle {
 
   /// True iff `question` is an answer to the intended query.
   virtual bool IsAnswer(const TupleSet& question) = 0;
+
+  /// Answers a whole round of questions at once.
+  ///
+  /// Contract: observably equivalent to asking IsAnswer(questions[0]),
+  /// IsAnswer(questions[1]), … in order — same answers, same state
+  /// evolution, same decorator statistics and transcripts. Overrides are
+  /// pure optimizations of that sequential semantics (bulk compiled
+  /// evaluation, miss-only forwarding, one version-space partition per
+  /// round); tests/oracle_batch_test.cc pins every override against the
+  /// default question-for-question path.
+  ///
+  /// On return `answers->size() == questions.size()`, answer i matching
+  /// question i. Previous contents of `answers` are discarded.
+  virtual void IsAnswerBatch(std::span<const TupleSet> questions,
+                             std::vector<bool>* answers) {
+    answers->clear();
+    answers->reserve(questions.size());
+    for (const TupleSet& q : questions) answers->push_back(IsAnswer(q));
+  }
+};
+
+/// Decorator that forwards IsAnswer and *decomposes* every batch into
+/// sequential IsAnswer calls (it deliberately inherits the default
+/// IsAnswerBatch). Wrapping a stack in it yields the reference sequential
+/// path the batched path must agree with question for question — the
+/// differential harness of tests/oracle_batch_test.cc and the
+/// BM_OracleBatchSequential baseline both use it.
+class SequentialOracle : public MembershipOracle {
+ public:
+  explicit SequentialOracle(MembershipOracle* inner) : inner_(inner) {}
+
+  bool IsAnswer(const TupleSet& question) override {
+    return inner_->IsAnswer(question);
+  }
+
+ private:
+  MembershipOracle* inner_;
 };
 
 /// A perfectly reliable simulated user holding a hidden intended query.
 /// The intended query is compiled once at construction; every question is
 /// answered by the compiled engine (extensionally identical to
-/// Query::Evaluate, so learner question counts are unaffected).
+/// Query::Evaluate, so learner question counts are unaffected). Batches
+/// dispatch to CompiledQuery::EvaluateAll — one virtual call per round.
 class QueryOracle : public MembershipOracle {
  public:
   explicit QueryOracle(Query intended, EvalOptions opts = EvalOptions())
@@ -38,6 +84,11 @@ class QueryOracle : public MembershipOracle {
 
   bool IsAnswer(const TupleSet& question) override {
     return compiled_.Evaluate(question);
+  }
+
+  void IsAnswerBatch(std::span<const TupleSet> questions,
+                     std::vector<bool>* answers) override {
+    compiled_.EvaluateAll(questions, answers);
   }
 
   const Query& intended() const { return intended_; }
@@ -54,21 +105,27 @@ struct OracleStats {
   int64_t tuples = 0;           ///< total tuples across all questions
   int64_t max_tuples = 0;       ///< largest single question
   int64_t answers = 0;          ///< questions classified as answers
+  int64_t rounds = 0;           ///< oracle calls (a batch is one round)
+  int64_t batched_questions = 0;  ///< questions that arrived inside batches
 
   void Reset() { *this = OracleStats(); }
 };
 
-/// Decorator that counts questions and question sizes.
+/// Decorator that counts questions, question sizes and oracle rounds.
 class CountingOracle : public MembershipOracle {
  public:
   explicit CountingOracle(MembershipOracle* inner) : inner_(inner) {}
 
   bool IsAnswer(const TupleSet& question) override;
+  void IsAnswerBatch(std::span<const TupleSet> questions,
+                     std::vector<bool>* answers) override;
 
   const OracleStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
  private:
+  void Record(const TupleSet& question);
+
   MembershipOracle* inner_;
   OracleStats stats_;
 };
@@ -78,12 +135,16 @@ class CountingOracle : public MembershipOracle {
 /// roots as new bodies are found; the paper's counting convention charges a
 /// question once, which this decorator implements. Probes are cheap:
 /// TupleSet caches its canonical-form hash, so a lookup never rehashes the
-/// tuple list.
+/// tuple list. A batch forwards only its unique misses to the wrapped
+/// oracle — duplicates within a round and questions answered in earlier
+/// rounds are served from the cache, exactly as the sequential path would.
 class CachingOracle : public MembershipOracle {
  public:
   explicit CachingOracle(MembershipOracle* inner) : inner_(inner) {}
 
   bool IsAnswer(const TupleSet& question) override;
+  void IsAnswerBatch(std::span<const TupleSet> questions,
+                     std::vector<bool>* answers) override;
 
   int64_t hits() const { return hits_; }
   int64_t misses() const { return misses_; }
@@ -96,17 +157,23 @@ class CachingOracle : public MembershipOracle {
 };
 
 /// Decorator modelling an unreliable user (§5 "Noisy Users"): each response
-/// is flipped independently with probability `flip_prob`.
+/// is flipped independently with probability `flip_prob`. The flip draws
+/// happen in question order whether the round arrives batched or not, so a
+/// fixed seed yields the identical noise sequence on either path.
 class NoisyOracle : public MembershipOracle {
  public:
   NoisyOracle(MembershipOracle* inner, double flip_prob, uint64_t seed)
       : inner_(inner), flip_prob_(flip_prob), rng_(seed) {}
 
   bool IsAnswer(const TupleSet& question) override;
+  void IsAnswerBatch(std::span<const TupleSet> questions,
+                     std::vector<bool>* answers) override;
 
   int64_t flips() const { return flips_; }
 
  private:
+  bool MaybeFlip(bool answer);
+
   MembershipOracle* inner_;
   double flip_prob_;
   Rng rng_;

@@ -5,9 +5,19 @@
 namespace qhorn {
 
 bool TranscriptOracle::IsAnswer(const TupleSet& question) {
+  int64_t round = rounds_++;
   bool response = inner_->IsAnswer(question);
-  entries_.push_back(TranscriptEntry{question, response});
+  entries_.push_back(TranscriptEntry{question, response, round});
   return response;
+}
+
+void TranscriptOracle::IsAnswerBatch(std::span<const TupleSet> questions,
+                                     std::vector<bool>* answers) {
+  int64_t round = rounds_++;
+  inner_->IsAnswerBatch(questions, answers);
+  for (size_t i = 0; i < questions.size(); ++i) {
+    entries_.push_back(TranscriptEntry{questions[i], (*answers)[i], round});
+  }
 }
 
 void TranscriptOracle::Correct(size_t index) {
@@ -25,20 +35,48 @@ std::string TranscriptOracle::ToString(int n) const {
   return out;
 }
 
-bool ReplayOracle::IsAnswer(const TupleSet& question) {
-  if (!diverged_ && next_ < transcript_.size()) {
-    const TranscriptEntry& entry = transcript_[next_];
-    if (entry.question == question) {
-      ++next_;
-      ++replayed_;
-      return entry.response;
-    }
+bool ReplayOracle::TryReplay(const TupleSet& question, bool* response) {
+  if (diverged_ || next_ >= transcript_.size()) return false;
+  const TranscriptEntry& entry = transcript_[next_];
+  if (entry.question != question) {
     // The learner's question sequence changed (it depends on earlier
     // responses); everything from here on must be asked fresh.
     diverged_ = true;
+    return false;
   }
+  ++next_;
+  ++replayed_;
+  *response = entry.response;
+  return true;
+}
+
+bool ReplayOracle::IsAnswer(const TupleSet& question) {
+  bool response = false;
+  if (TryReplay(question, &response)) return response;
   ++asked_;
   return fallback_->IsAnswer(question);
+}
+
+void ReplayOracle::IsAnswerBatch(std::span<const TupleSet> questions,
+                                 std::vector<bool>* answers) {
+  // Serve the still-matching transcript prefix, then send the remainder to
+  // the fallback in one round. Once any question needs the fallback, every
+  // later one does too (a mismatch diverges the replay; an exhausted
+  // transcript stays exhausted), so the remainder is a contiguous tail.
+  answers->clear();
+  answers->reserve(questions.size());
+  size_t served = 0;
+  for (; served < questions.size(); ++served) {
+    bool response = false;
+    if (!TryReplay(questions[served], &response)) break;
+    answers->push_back(response);
+  }
+  if (served == questions.size()) return;
+  std::span<const TupleSet> rest = questions.subspan(served);
+  asked_ += static_cast<int64_t>(rest.size());
+  std::vector<bool> rest_answers;
+  fallback_->IsAnswerBatch(rest, &rest_answers);
+  answers->insert(answers->end(), rest_answers.begin(), rest_answers.end());
 }
 
 }  // namespace qhorn

@@ -7,10 +7,16 @@
 // recorded response; ReplayOracle then serves the corrected prefix verbatim
 // and falls through to the ground-truth oracle afterwards — exactly the
 // restart-from-the-point-of-error workflow.
+//
+// Both decorators are batch-aware: a batched round records (or replays)
+// its questions in order, and each transcript entry remembers which round
+// it arrived in, so a UI can render "round 7 asked these 12 questions
+// together" while correction indices keep addressing single questions.
 
 #ifndef QHORN_ORACLE_TRANSCRIPT_H_
 #define QHORN_ORACLE_TRANSCRIPT_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -22,6 +28,9 @@ namespace qhorn {
 struct TranscriptEntry {
   TupleSet question;
   bool response = false;
+  /// Oracle round the exchange belonged to (a batch is one round; the
+  /// questions of a batch share a round id).
+  int64_t round = 0;
 };
 
 /// Decorator that records the full exchange history.
@@ -30,8 +39,13 @@ class TranscriptOracle : public MembershipOracle {
   explicit TranscriptOracle(MembershipOracle* inner) : inner_(inner) {}
 
   bool IsAnswer(const TupleSet& question) override;
+  void IsAnswerBatch(std::span<const TupleSet> questions,
+                     std::vector<bool>* answers) override;
 
   const std::vector<TranscriptEntry>& entries() const { return entries_; }
+
+  /// Oracle rounds recorded so far (single questions and batches alike).
+  int64_t rounds() const { return rounds_; }
 
   /// Flips the recorded response at `index` (0-based). Later entries are
   /// discarded: they were computed from the bad answer and must be re-asked.
@@ -43,6 +57,7 @@ class TranscriptOracle : public MembershipOracle {
  private:
   MembershipOracle* inner_;
   std::vector<TranscriptEntry> entries_;
+  int64_t rounds_ = 0;
 };
 
 /// Serves recorded responses for questions that match the transcript
@@ -56,6 +71,8 @@ class ReplayOracle : public MembershipOracle {
       : transcript_(std::move(transcript)), fallback_(fallback) {}
 
   bool IsAnswer(const TupleSet& question) override;
+  void IsAnswerBatch(std::span<const TupleSet> questions,
+                     std::vector<bool>* answers) override;
 
   /// Questions served from the recorded transcript.
   int64_t replayed() const { return replayed_; }
@@ -63,6 +80,10 @@ class ReplayOracle : public MembershipOracle {
   int64_t asked() const { return asked_; }
 
  private:
+  /// Serves `question` from the transcript prefix if it still matches.
+  /// Returns false when the question must go to the fallback instead.
+  bool TryReplay(const TupleSet& question, bool* response);
+
   std::vector<TranscriptEntry> transcript_;
   MembershipOracle* fallback_;
   size_t next_ = 0;

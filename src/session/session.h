@@ -62,6 +62,19 @@ class QuerySession {
   /// Questions that actually reached the user (cache misses).
   int64_t questions_asked() const { return counting_->stats().questions; }
 
+  /// Full per-question statistics at the user boundary, including how many
+  /// questions arrived inside batched rounds.
+  const OracleStats& oracle_stats() const { return counting_->stats(); }
+
+  /// Oracle rounds the session issued (a batch counts once): the number of
+  /// user interactions, as opposed to the number of questions. Learners
+  /// emit whole lattice levels / head sweeps per round, so this is much
+  /// smaller than the question count.
+  int64_t rounds() const { return transcript_->rounds(); }
+
+  /// Cache traffic: identical questions served without re-asking the user.
+  int64_t cache_hits() const { return cache_ ? cache_->hits() : 0; }
+
  private:
   int n_;
   MembershipOracle* user_;

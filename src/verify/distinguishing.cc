@@ -51,4 +51,11 @@ std::vector<Tuple> ViolationFreeChildren(
   });
 }
 
+std::vector<Tuple> ViolationFreeChildren(Tuple t, int n,
+                                         const CompiledQuery& compiled) {
+  return LatticeChildrenFiltered(t, AllTrue(n), [&compiled](Tuple child) {
+    return !compiled.ViolatesUniversal(child);
+  });
+}
+
 }  // namespace qhorn

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "src/core/compiled_query.h"
 #include "src/core/query.h"
 
 namespace qhorn {
@@ -44,6 +45,12 @@ Tuple UniversalDistinguishingTuple(const UniversalHorn& horn,
 /// `horns` (§3.2.2 / Fig. 6 footnote).
 std::vector<Tuple> ViolationFreeChildren(
     Tuple t, int n, const std::vector<UniversalHorn>& horns);
+
+/// Same, with the Horn expressions already compiled — the verification-set
+/// builder compiles its query once and reuses it across every N1 question
+/// and the construction self-test.
+std::vector<Tuple> ViolationFreeChildren(Tuple t, int n,
+                                         const CompiledQuery& compiled);
 
 }  // namespace qhorn
 

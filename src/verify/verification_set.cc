@@ -74,6 +74,12 @@ VerificationSet BuildVerificationSet(const Query& given,
   int n = q.n();
   Tuple all = AllTrue(n);
 
+  // One compilation serves the whole construction: the N1 violation-free
+  // child walks below and the expected-label self-test at the end both
+  // evaluate against it (compiling per use was the BM_BuildVerificationSet
+  // regression ROADMAP flagged).
+  CompiledQuery compiled(q);
+
   std::vector<UniversalHorn> horns = DominantUniversalHorns(q);
   // Distinguishing tuples come from the *original* query: normalization
   // rewrites guarantee clauses into explicit conjunctions, which would
@@ -101,7 +107,7 @@ VerificationSet BuildVerificationSet(const Query& given,
   // violation-free children.
   for (const ExistentialTupleInfo& info : exist) {
     if (info.guarantee_only) continue;
-    std::vector<Tuple> tuples = ViolationFreeChildren(info.tuple, n, horns);
+    std::vector<Tuple> tuples = ViolationFreeChildren(info.tuple, n, compiled);
     for (const ExistentialTupleInfo& other : exist) {
       if (other.tuple != info.tuple) tuples.push_back(other.tuple);
     }
@@ -164,15 +170,23 @@ VerificationSet BuildVerificationSet(const Query& given,
   }
 
   if (opts.validate_expected) {
-    // One compilation amortized across the whole set (the construction
-    // self-test re-evaluates every question against qg).
-    CompiledQuery compiled(q);
+    // The construction self-test re-evaluates every question against qg in
+    // one batch through the already-compiled form — the A1–A4 families are
+    // validated the way a batched oracle would answer them.
+    std::vector<TupleSet> questions;
+    questions.reserve(set.questions.size());
     for (const VerificationQuestion& vq : set.questions) {
-      bool actual = compiled.Evaluate(vq.question);
-      QHORN_CHECK_MSG(actual == vq.expected_answer,
+      questions.push_back(vq.question);
+    }
+    std::vector<bool> actual;
+    compiled.EvaluateAll(questions, &actual);
+    for (size_t i = 0; i < set.questions.size(); ++i) {
+      const VerificationQuestion& vq = set.questions[i];
+      QHORN_CHECK_MSG(actual[i] == vq.expected_answer,
                       "verification-set construction bug: "
                           << vq.description << " expected "
-                          << vq.expected_answer << " but qg says " << actual);
+                          << vq.expected_answer << " but qg says "
+                          << actual[i]);
     }
   }
   return set;

@@ -1,15 +1,25 @@
 #include "src/verify/verifier.h"
 
+#include <vector>
+
 namespace qhorn {
 
 VerificationReport RunVerification(const VerificationSet& set,
                                    MembershipOracle* user) {
   VerificationReport report;
+  // Verification is a fixed, non-adaptive question set: present it as one
+  // batched round (the paper's model of showing the user the whole set).
+  std::vector<TupleSet> questions;
+  questions.reserve(set.questions.size());
+  for (const VerificationQuestion& vq : set.questions) {
+    questions.push_back(vq.question);
+  }
+  std::vector<bool> user_says;
+  user->IsAnswerBatch(questions, &user_says);
+  report.questions_asked = static_cast<int64_t>(questions.size());
   for (size_t i = 0; i < set.questions.size(); ++i) {
     const VerificationQuestion& vq = set.questions[i];
-    ++report.questions_asked;
-    bool user_says = user->IsAnswer(vq.question);
-    if (user_says != vq.expected_answer) {
+    if (user_says[i] != vq.expected_answer) {
       report.accepted = false;
       report.discrepancies.push_back(
           Discrepancy{i, vq.family, vq.description});

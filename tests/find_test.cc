@@ -29,14 +29,13 @@ class HitSetOracle : public MembershipOracle {
   int64_t questions_ = 0;
 };
 
-SetQuestion Probe() {
-  return [](VarSet v) { return TupleSet{v}; };
-}
+// The probed set rides along as the single tuple of the question.
+void Probe(VarSet v, TupleSet* out) { out->AssignPair(v, v); }
 
 TEST(FindOneTest, FindsAMemberOfTheHitSet) {
   for (VarSet hits : {VarSet{0b1}, VarSet{0b10000}, VarSet{0b1010100}}) {
     HitSetOracle oracle(hits);
-    VarSet found = FindOne(oracle, Probe(), /*eliminate=*/false, AllTrue(8));
+    VarSet found = FindOne(oracle, Probe, /*eliminate=*/false, AllTrue(8));
     EXPECT_EQ(Popcount(found), 1);
     EXPECT_NE(found & hits, 0u);
   }
@@ -44,20 +43,20 @@ TEST(FindOneTest, FindsAMemberOfTheHitSet) {
 
 TEST(FindOneTest, EmptyHitSetReturnsZeroAfterOneQuestion) {
   HitSetOracle oracle(0);
-  EXPECT_EQ(FindOne(oracle, Probe(), false, AllTrue(8)), 0u);
+  EXPECT_EQ(FindOne(oracle, Probe, false, AllTrue(8)), 0u);
   EXPECT_EQ(oracle.questions(), 1);
 }
 
 TEST(FindOneTest, EmptyDomainAsksNothing) {
   HitSetOracle oracle(0b1);
-  EXPECT_EQ(FindOne(oracle, Probe(), false, 0), 0u);
+  EXPECT_EQ(FindOne(oracle, Probe, false, 0), 0u);
   EXPECT_EQ(oracle.questions(), 0);
 }
 
 TEST(FindOneTest, LogarithmicQuestionCount) {
   for (int n : {8, 16, 32, 64}) {
     HitSetOracle oracle(VarBit(n - 1));
-    FindOne(oracle, Probe(), false, AllTrue(n));
+    FindOne(oracle, Probe, false, AllTrue(n));
     EXPECT_LE(oracle.questions(), static_cast<int64_t>(Lg(n)) + 2) << n;
   }
 }
@@ -66,7 +65,7 @@ TEST(FindAllTest, RecoversTheExactHitSet) {
   for (VarSet hits :
        {VarSet{0}, VarSet{0b1}, VarSet{0b11000011}, AllTrue(8)}) {
     HitSetOracle oracle(hits);
-    EXPECT_EQ(FindAllVars(oracle, Probe(), false, AllTrue(8)), hits);
+    EXPECT_EQ(FindAllVars(oracle, Probe, false, AllTrue(8)), hits);
   }
 }
 
@@ -74,7 +73,7 @@ TEST(FindAllTest, QuestionBudgetIsHitsTimesLog) {
   int n = 64;
   for (VarSet hits : {VarSet{0b1}, VarSet{0b101}, VarSet{0xF0F0}}) {
     HitSetOracle oracle(hits);
-    FindAllVars(oracle, Probe(), false, AllTrue(n));
+    FindAllVars(oracle, Probe, false, AllTrue(n));
     int h = Popcount(hits);
     EXPECT_LE(oracle.questions(), 2 * (h + 1) * (static_cast<int64_t>(Lg(n)) + 1))
         << "hits=" << h;
@@ -92,9 +91,7 @@ TEST(FindAllTest, InvertedEliminationResponse) {
     }
   } oracle;
   oracle.dependents = 0b0110;
-  VarSet found = FindAllVars(
-      oracle, [](VarSet v) { return TupleSet{v}; }, /*eliminate=*/true,
-      AllTrue(4));
+  VarSet found = FindAllVars(oracle, Probe, /*eliminate=*/true, AllTrue(4));
   EXPECT_EQ(found, 0b0110u);
 }
 

@@ -5,9 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "src/core/normalize.h"
 #include "src/core/random_query.h"
 #include "src/learn/pac.h"
+#include "src/oracle/oracle.h"
 #include "src/util/rng.h"
 
 namespace qhorn {
@@ -148,6 +151,67 @@ TEST_P(QueryPropertyTest, GuaranteeRelaxationOnlyWeakens) {
       EXPECT_TRUE(q.Evaluate(object, relaxed));
     }
   }
+}
+
+// Batched caching invariant: a round containing duplicate questions and
+// questions answered in earlier rounds forwards only its unique misses to
+// the wrapped oracle, and every served answer matches the ground truth.
+TEST_P(QueryPropertyTest, CachingOracleBatchForwardsOnlyUniqueMisses) {
+  Rng rng(GetParam());
+  int n = 8;
+  Query q = RandomQuery(rng, n);
+  QueryOracle base(q);
+  CountingOracle counting(&base);
+  CachingOracle caching(&counting);
+
+  // Warm the cache with a few sequential questions.
+  std::vector<TupleSet> warm;
+  for (int i = 0; i < 4; ++i) warm.push_back(RandomObject(n, rng, 4));
+  for (const TupleSet& w : warm) caching.IsAnswer(w);
+
+  // A batch mixing fresh questions, in-batch duplicates and re-asks of the
+  // warm-up questions.
+  std::vector<TupleSet> fresh;
+  for (int i = 0; i < 5; ++i) fresh.push_back(RandomObject(n, rng, 4));
+  std::vector<TupleSet> batch = {fresh[0], warm[0], fresh[1], fresh[0],
+                                 warm[1], fresh[2], fresh[1], fresh[3],
+                                 warm[0], fresh[4], fresh[4]};
+
+  // Expected forwards: first occurrences not already answered (the warm-up
+  // may collide with a fresh draw by chance, so simulate the cache).
+  std::vector<TupleSet> seen = warm;
+  int64_t expected_misses = 0;
+  for (const TupleSet& b : batch) {
+    bool found = false;
+    for (const TupleSet& s : seen) {
+      if (s == b) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      ++expected_misses;
+      seen.push_back(b);
+    }
+  }
+
+  int64_t inner_before = counting.stats().questions;
+  int64_t rounds_before = counting.stats().rounds;
+  std::vector<bool> answers;
+  caching.IsAnswerBatch(batch, &answers);
+
+  EXPECT_EQ(counting.stats().questions - inner_before, expected_misses)
+      << "the wrapped oracle must see each unseen question exactly once";
+  EXPECT_LE(counting.stats().rounds - rounds_before, 1)
+      << "all forwarded misses must share one round";
+  ASSERT_EQ(answers.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(answers[i], q.Evaluate(batch[i])) << "question " << i;
+  }
+  // Re-asking the whole batch forwards nothing.
+  int64_t inner_after = counting.stats().questions;
+  caching.IsAnswerBatch(batch, &answers);
+  EXPECT_EQ(counting.stats().questions, inner_after);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, QueryPropertyTest,

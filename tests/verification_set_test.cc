@@ -177,5 +177,41 @@ TEST(VerificationSetTest, SelfConsistencyAcrossRandomQueries) {
   }
 }
 
+TEST(VerificationSetTest, ValidationReusesOneCompileWithoutChangingTheSet) {
+  // Regression guard for the BM_BuildVerificationSet fix: the construction
+  // compiles qg once and shares it between the N1 child walks and the
+  // expected-label self-test. Pin the observable behavior on both sides:
+  // validation on/off builds the identical set, and every expected label
+  // still agrees with the *interpreted* evaluation of the normalized qg
+  // (an independent path from the compiled engine the builder now uses).
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    Rng rng(seed);
+    RpOptions opts;
+    opts.num_heads = 2;
+    opts.theta = 2;
+    opts.num_conjunctions = 3;
+    Query q = RandomRolePreserving(10, rng, opts);
+
+    VerificationSetOptions validated;
+    validated.validate_expected = true;
+    VerificationSetOptions unvalidated;
+    unvalidated.validate_expected = false;
+    VerificationSet a = BuildVerificationSet(q, validated);
+    VerificationSet b = BuildVerificationSet(q, unvalidated);
+
+    ASSERT_EQ(a.questions.size(), b.questions.size());
+    for (size_t i = 0; i < a.questions.size(); ++i) {
+      EXPECT_EQ(a.questions[i].question, b.questions[i].question);
+      EXPECT_EQ(a.questions[i].expected_answer, b.questions[i].expected_answer);
+      EXPECT_EQ(a.questions[i].family, b.questions[i].family);
+    }
+    Query normalized = Normalize(q);
+    for (const VerificationQuestion& vq : a.questions) {
+      EXPECT_EQ(normalized.Evaluate(vq.question), vq.expected_answer)
+          << vq.description << " of " << q.ToString();
+    }
+  }
+}
+
 }  // namespace
 }  // namespace qhorn

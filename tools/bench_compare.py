@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Compare two bench_micro JSON files and fail on headline regressions.
+
+CI machines differ from the reference box that produced the committed
+BENCH_micro.json, so raw nanoseconds do not transfer. What does transfer is
+the *pair ratio*: every headline kernel ships as an optimized/baseline pair
+measured on identical workloads in the same process (compiled vs legacy
+evaluation, batched vs sequential oracle rounds, worklist vs fixpoint
+closure). The ratio baseline_time / optimized_time is a machine-independent
+speedup; this tool fails when a candidate run's speedup falls more than
+--threshold below the reference's.
+
+    tools/bench_compare.py BENCH_micro.json BENCH_micro.ci.json
+
+For same-machine comparisons (e.g. regenerating the committed baseline)
+--absolute additionally diffs raw cpu_time of identically named benchmarks.
+
+Exit status: 0 clean, 1 regression, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+# (optimized, baseline) benchmark pairs; the second column is the in-tree
+# reference implementation measured on the identical workload.
+HEADLINE_PAIRS = [
+    ("BM_EvaluateQuery/16", "BM_EvaluateQueryLegacy/16"),
+    ("BM_EvaluateQuery/64", "BM_EvaluateQueryLegacy/64"),
+    ("BM_HornClosureChain/16", "BM_HornClosureChainLegacy/16"),
+    ("BM_HornClosureChain/64", "BM_HornClosureChainLegacy/64"),
+    ("BM_OracleBatchBatched/16", "BM_OracleBatchSequential/16"),
+    ("BM_OracleBatchBatched/256", "BM_OracleBatchSequential/256"),
+]
+
+# Benchmarks whose absolute time is also checked under --absolute (the
+# end-to-end learner loops the README quotes).
+ABSOLUTE_HEADLINES = [
+    "BM_EvaluateQuery/64",
+    "BM_OracleBatchBatched/256",
+    "BM_Qhorn1LearnEndToEnd/64",
+    "BM_RpLearnEndToEnd/24",
+    "BM_BuildVerificationSet/32",
+]
+
+
+def load_times(path):
+    """name -> median cpu_time over repetitions (robust to a noisy rep)."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    samples = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        samples.setdefault(b["name"], []).append(float(b["cpu_time"]))
+    return {name: statistics.median(ts) for name, ts in samples.items()}
+
+
+def pair_speedup(times, fast, slow):
+    if fast not in times or slow not in times:
+        return None
+    if times[fast] <= 0:
+        return None
+    return times[slow] / times[fast]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("reference", help="committed baseline JSON")
+    parser.add_argument("candidate", help="freshly measured JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="fail when candidate speedup (or --absolute time) regresses by "
+        "more than this factor (default 1.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="also compare raw cpu_time of headline benchmarks "
+        "(same-machine runs only)",
+    )
+    args = parser.parse_args()
+
+    ref = load_times(args.reference)
+    cand = load_times(args.candidate)
+    failures = []
+    checked = 0
+
+    for fast, slow in HEADLINE_PAIRS:
+        ref_speedup = pair_speedup(ref, fast, slow)
+        cand_speedup = pair_speedup(cand, fast, slow)
+        if cand_speedup is None:
+            # A missing pair in the candidate is itself a regression: the
+            # kernel was renamed or dropped without updating the tool.
+            failures.append(f"{fast}: pair missing from candidate run")
+            continue
+        # Pairs newly added to the tree have no committed reference yet;
+        # hold them to "the optimized side must not lose to its baseline".
+        floor = (ref_speedup / args.threshold) if ref_speedup else 1.0 / args.threshold
+        checked += 1
+        status = "ok" if cand_speedup >= floor else "REGRESSION"
+        print(
+            f"{status:>10}  {fast:<34} speedup {cand_speedup:6.2f}x "
+            f"(reference {ref_speedup:.2f}x, floor {floor:.2f}x)"
+            if ref_speedup
+            else f"{status:>10}  {fast:<34} speedup {cand_speedup:6.2f}x "
+            f"(no reference, floor {floor:.2f}x)"
+        )
+        if cand_speedup < floor:
+            failures.append(
+                f"{fast}: speedup {cand_speedup:.2f}x below floor {floor:.2f}x"
+            )
+
+    if args.absolute:
+        for name in ABSOLUTE_HEADLINES:
+            if name not in ref or name not in cand:
+                continue
+            checked += 1
+            ratio = cand[name] / ref[name]
+            status = "ok" if ratio <= args.threshold else "REGRESSION"
+            print(
+                f"{status:>10}  {name:<34} {cand[name]:10.1f} ns "
+                f"(reference {ref[name]:.1f} ns, {ratio:.2f}x)"
+            )
+            if ratio > args.threshold:
+                failures.append(f"{name}: {ratio:.2f}x slower than reference")
+
+    if not checked:
+        print("bench_compare: no comparable benchmarks found", file=sys.stderr)
+        sys.exit(2)
+    if failures:
+        print("\nbench_compare: FAILED")
+        for f in failures:
+            print(f"  - {f}")
+        sys.exit(1)
+    print(f"\nbench_compare: {checked} headline checks clean")
+
+
+if __name__ == "__main__":
+    main()
