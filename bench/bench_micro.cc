@@ -17,6 +17,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "src/core/compiled_query.h"
@@ -27,7 +31,10 @@
 #include "src/learn/qhorn1_learner.h"
 #include "src/learn/rp_learner.h"
 #include "src/oracle/oracle.h"
+#include "src/oracle/pipeline.h"
 #include "src/relation/chocolate.h"
+#include "src/session/router.h"
+#include "src/util/executor.h"
 #include "src/verify/verification_set.h"
 
 namespace qhorn {
@@ -147,16 +154,19 @@ void BM_OracleBatchBatched(benchmark::State& state) {
   Query q = BenchQuery(n);
   QueryOracle oracle(q);
   CountingOracle counting(&oracle);
+  // Both pair arms call through MembershipOracle* — the learners' actual
+  // call shape — so neither arm is flattered by devirtualization.
+  MembershipOracle* top = &counting;
   std::vector<TupleSet> questions = BatchQuestions(n, batch);
-  std::vector<bool> answers;
+  BitVec answers;
   for (auto _ : state) {
-    counting.IsAnswerBatch(questions, &answers);
+    top->IsAnswerBatch(questions, answers.Prepare(batch));
     benchmark::DoNotOptimize(answers);
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
   state.SetLabel("counting → compiled oracle, one round per iteration");
 }
-BENCHMARK(BM_OracleBatchBatched)->Arg(1)->Arg(16)->Arg(256);
+BENCHMARK(BM_OracleBatchBatched)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
 
 void BM_OracleBatchSequential(benchmark::State& state) {
   int n = 64;
@@ -165,16 +175,51 @@ void BM_OracleBatchSequential(benchmark::State& state) {
   QueryOracle oracle(q);
   CountingOracle counting(&oracle);
   SequentialOracle sequential(&counting);
+  MembershipOracle* top = &sequential;
   std::vector<TupleSet> questions = BatchQuestions(n, batch);
-  std::vector<bool> answers;
+  BitVec answers;
   for (auto _ : state) {
-    sequential.IsAnswerBatch(questions, &answers);
+    top->IsAnswerBatch(questions, answers.Prepare(batch));
     benchmark::DoNotOptimize(answers);
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
   state.SetLabel("same round decomposed into per-question IsAnswer calls");
 }
-BENCHMARK(BM_OracleBatchSequential)->Arg(1)->Arg(16)->Arg(256);
+BENCHMARK(BM_OracleBatchSequential)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
+
+// BM_OracleBatchParallel vs BM_OracleBatchBatched at the same width is the
+// executor pair: the identical round through the identical decorator,
+// evaluated inline (Batched) vs sharded across the executor by the
+// AsyncOracle backend (Parallel). Widths straddle
+// CompiledQuery::kParallelRoundCutover. Executor sized by
+// Executor::DefaultConcurrency() — i.e. QHORN_THREADS-overridable — so the
+// recorded number reflects the machine it ran on.
+void BM_OracleBatchParallel(benchmark::State& state) {
+  int n = 64;
+  size_t batch = static_cast<size_t>(state.range(0));
+  Query q = BenchQuery(n);
+  Executor executor;
+  AsyncOracle oracle(std::make_shared<const CompiledQuery>(q), &executor);
+  CountingOracle counting(&oracle);
+  MembershipOracle* top = &counting;
+  std::vector<TupleSet> questions = BatchQuestions(n, batch);
+  BitVec answers;
+  for (auto _ : state) {
+    top->IsAnswerBatch(questions, answers.Prepare(batch));
+    benchmark::DoNotOptimize(answers);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+  // The lane count (QHORN_THREADS-sensitive) rides along in the JSON so
+  // tools/bench_compare.py can refuse to compare runs with different
+  // effective parallelism, not just different machines.
+  state.counters["lanes"] = static_cast<double>(executor.concurrency());
+  state.SetLabel("executor-sharded EvaluateAll, " +
+                 std::to_string(executor.concurrency()) + " lanes");
+}
+// UseRealTime: the work happens on pool threads, so the benchmark
+// thread's cpu_time would under-count; the pair ratio is wall-clock
+// (tools/bench_compare.py reads real_time for the concurrency pairs).
+BENCHMARK(BM_OracleBatchParallel)->Arg(256)->Arg(4096)->UseRealTime();
 
 void BM_CachingOracleHit(benchmark::State& state) {
   int n = 64;
@@ -333,6 +378,119 @@ void BM_SynthesizeQuestion(benchmark::State& state) {
   state.SetLabel("Boolean question → concrete chocolate box");
 }
 BENCHMARK(BM_SynthesizeQuestion);
+
+// Aggregate multi-session throughput through the SessionRouter: N
+// simulated users, four distinct intended queries shared via the
+// compiled-query cache, each session learning end to end. The
+// Throughput/Sequential pair is the service-layer headline: the identical
+// workload routed across the default executor (QHORN_THREADS-overridable;
+// the 4-core reference config targets ≥3× at 16 sessions) vs pinned to one
+// lane. Time is per full drain; read sessions/second off items_per_second.
+std::vector<Query> ServiceTargets(int n) {
+  std::vector<Query> targets;
+  for (uint64_t seed = 40; seed < 44; ++seed) {
+    Rng rng(seed);
+    RpOptions opts;
+    opts.num_heads = 2;
+    opts.theta = 2;
+    opts.num_conjunctions = 3;
+    targets.push_back(RandomRolePreserving(n, rng, opts));
+  }
+  return targets;
+}
+
+void ServiceRound(int threads, int sessions, const std::vector<Query>& targets) {
+  SessionRouter::Options opts;
+  opts.threads = threads;
+  SessionRouter router(opts);
+  for (int s = 0; s < sessions; ++s) {
+    SessionRouter::SessionId id =
+        router.OpenSimulated(targets[static_cast<size_t>(s) % targets.size()]);
+    router.SubmitLearn(id);
+  }
+  router.Drain();
+}
+
+void BM_ServiceThroughput(benchmark::State& state) {
+  int sessions = static_cast<int>(state.range(0));
+  std::vector<Query> targets = ServiceTargets(32);
+  for (auto _ : state) {
+    ServiceRound(/*threads=*/0, sessions, targets);
+  }
+  state.SetItemsProcessed(state.iterations() * sessions);
+  state.counters["lanes"] =
+      static_cast<double>(Executor::DefaultConcurrency());
+  state.SetLabel("router over default executor (" +
+                 std::to_string(Executor::DefaultConcurrency()) + " lanes)");
+}
+// UseRealTime: the sessions run on router lanes while the benchmark
+// thread sleeps in Drain(); aggregate throughput is a wall-clock number.
+BENCHMARK(BM_ServiceThroughput)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ServiceSequential(benchmark::State& state) {
+  int sessions = static_cast<int>(state.range(0));
+  std::vector<Query> targets = ServiceTargets(32);
+  for (auto _ : state) {
+    ServiceRound(/*threads=*/1, sessions, targets);
+  }
+  state.SetItemsProcessed(state.iterations() * sessions);
+  state.counters["lanes"] = 1.0;
+  state.SetLabel("identical workload pinned to one lane");
+}
+BENCHMARK(BM_ServiceSequential)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The canonical-form dedup pair (the enumerate bottleneck): keying on the
+// hashed CanonicalForm itself vs rendering ToString() keys into an ordered
+// set, over an identical mixed-duplicate query stream.
+std::vector<Query> DedupStream(int n) {
+  std::vector<Query> queries;
+  Rng rng(9);
+  RpOptions opts;
+  opts.num_heads = 3;
+  opts.theta = 2;
+  opts.num_conjunctions = 6;
+  for (int i = 0; i < 64; ++i) {
+    queries.push_back(RandomRolePreserving(n, rng, opts));
+  }
+  // Every query appears twice: half the probes are dedup hits, as in the
+  // enumeration sweeps.
+  for (int i = 0; i < 64; ++i) queries.push_back(queries[static_cast<size_t>(i)]);
+  return queries;
+}
+
+void BM_CanonicalDedup(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::vector<Query> stream = DedupStream(n);
+  for (auto _ : state) {
+    std::unordered_set<CanonicalForm, CanonicalFormHash> seen;
+    for (const Query& q : stream) seen.insert(Canonicalize(q));
+    benchmark::DoNotOptimize(seen.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+  state.SetLabel("hashed CanonicalForm keys (cached FNV)");
+}
+BENCHMARK(BM_CanonicalDedup)->Arg(16)->Arg(64);
+
+void BM_CanonicalDedupLegacy(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::vector<Query> stream = DedupStream(n);
+  for (auto _ : state) {
+    std::set<std::string> seen;
+    for (const Query& q : stream) seen.insert(Canonicalize(q).ToString());
+    benchmark::DoNotOptimize(seen.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+  state.SetLabel("ToString() keys in an ordered set (the pre-PR scheme)");
+}
+BENCHMARK(BM_CanonicalDedupLegacy)->Arg(16)->Arg(64);
 
 void BM_BruteForceEquivalence(benchmark::State& state) {
   Query a = Query::Parse("∀x1→x2 ∃x3x4", 4);

@@ -2,8 +2,8 @@
 
 #include <map>
 #include <mutex>
-#include <set>
-#include <string>
+#include <unordered_set>
+#include <utility>
 
 #include "src/core/normalize.h"
 #include "src/util/check.h"
@@ -132,14 +132,17 @@ std::vector<Query> EnumerateRolePreserving(int n) {
     if (!has_empty) exist_families.push_back(family);
   }
 
-  std::map<std::string, Query> canonical;  // key: canonical form string
+  // Dedup on the hashed canonical form itself (cached FNV, the TupleSet
+  // idiom) — the ToString() keys this replaces were the canonical-form
+  // bottleneck: one string render plus a lexicographic map probe per
+  // candidate. Results keep the deterministic first-encounter order of the
+  // (deterministic) enumeration.
+  std::unordered_set<CanonicalForm, CanonicalFormHash> seen;
+  std::vector<Query> result;
   auto consider = [&](const Query& q) {
     if (q.MentionedVars() != all) return;
-    CanonicalForm form = Canonicalize(q);
-    std::string key = form.ToString();
-    if (canonical.find(key) == canonical.end()) {
-      canonical.emplace(std::move(key), ToQuery(form));
-    }
+    auto [it, inserted] = seen.insert(Canonicalize(q));
+    if (inserted) result.push_back(ToQuery(*it));
   };
 
   for (VarSet heads = 0; heads <= all; ++heads) {
@@ -179,9 +182,6 @@ std::vector<Query> EnumerateRolePreserving(int n) {
     if (heads == all) break;  // avoid VarSet overflow wrap when n == 64
   }
 
-  std::vector<Query> result;
-  result.reserve(canonical.size());
-  for (auto& [key, q] : canonical) result.push_back(std::move(q));
   return result;
 }
 
@@ -252,9 +252,9 @@ std::vector<Qhorn1Structure> EnumerateQhorn1(int n) {
 }
 
 uint64_t CountDistinctQhorn1(int n) {
-  std::set<std::string> keys;
+  std::unordered_set<CanonicalForm, CanonicalFormHash> keys;
   for (const Qhorn1Structure& s : EnumerateQhorn1(n)) {
-    keys.insert(Canonicalize(s.ToQuery()).ToString());
+    keys.insert(Canonicalize(s.ToQuery()));
   }
   return keys.size();
 }

@@ -53,7 +53,12 @@ std::vector<VarSet> MaximalAntichain(std::vector<VarSet> sets) {
   return kept;
 }
 
-CanonicalForm Canonicalize(const Query& q) {
+namespace {
+
+/// Shared R1/R2/R3 pipeline: `with_guarantees` selects whether guarantee
+/// clauses join the existential pool (they do for semantic equivalence
+/// and strict evaluation; they don't for relaxed evaluation).
+CanonicalForm CanonicalizeImpl(const Query& q, bool with_guarantees) {
   CanonicalForm form;
   form.n = q.n();
 
@@ -66,17 +71,30 @@ CanonicalForm Canonicalize(const Query& q) {
     form.universal[head] = MinimalAntichain(std::move(list));
   }
 
-  // Existential pool: user conjunctions plus every guarantee clause. R3
-  // closes each under the universal Horn expressions; R1 keeps the maximal
-  // antichain.
+  // Existential pool: user conjunctions (plus every guarantee clause when
+  // they matter). R3 closes each under the universal Horn expressions; R1
+  // keeps the maximal antichain.
   std::vector<VarSet> pool;
   for (const ExistentialConj& e : q.existential()) pool.push_back(e.vars);
-  for (const UniversalHorn& u : q.universal()) {
-    pool.push_back(u.GuaranteeVars());
+  if (with_guarantees) {
+    for (const UniversalHorn& u : q.universal()) {
+      pool.push_back(u.GuaranteeVars());
+    }
   }
   for (VarSet& s : pool) s = q.HornClosure(s);
   form.existential = MaximalAntichain(std::move(pool));
   return form;
+}
+
+}  // namespace
+
+CanonicalForm Canonicalize(const Query& q) {
+  return CanonicalizeImpl(q, /*with_guarantees=*/true);
+}
+
+CanonicalForm CanonicalizeForEvaluation(const Query& q,
+                                        const EvalOptions& opts) {
+  return CanonicalizeImpl(q, /*with_guarantees=*/opts.require_guarantees);
 }
 
 Query ToQuery(const CanonicalForm& form) {
@@ -92,6 +110,32 @@ Query Normalize(const Query& q) { return ToQuery(Canonicalize(q)); }
 
 bool Equivalent(const Query& a, const Query& b) {
   return Canonicalize(a) == Canonicalize(b);
+}
+
+size_t CanonicalForm::Hash() const {
+  if (hash_valid_) return hash_;
+  // FNV-1a over the structure in its canonical iteration order. Lengths
+  // are mixed in so ({a,b},{}) and ({a},{b}) cannot collide structurally.
+  constexpr size_t kPrime = 1099511628211ULL;
+  size_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (value >> (byte * 8)) & 0xff;
+      h *= kPrime;
+    }
+  };
+  mix(static_cast<uint64_t>(n));
+  mix(universal.size());
+  for (const auto& [head, bodies] : universal) {
+    mix(static_cast<uint64_t>(head));
+    mix(bodies.size());
+    for (VarSet body : bodies) mix(body);
+  }
+  mix(existential.size());
+  for (VarSet vars : existential) mix(vars);
+  hash_ = h;
+  hash_valid_ = true;
+  return hash_;
 }
 
 std::string CanonicalForm::ToString() const {

@@ -48,14 +48,44 @@ struct CanonicalForm {
   /// guarantee-clause closures), sorted.
   std::vector<VarSet> existential;
 
-  friend bool operator==(const CanonicalForm&, const CanonicalForm&) = default;
+  friend bool operator==(const CanonicalForm& a, const CanonicalForm& b) {
+    return a.n == b.n && a.universal == b.universal &&
+           a.existential == b.existential;
+  }
+
+  /// Stable FNV-1a hash over the canonical structure, cached after the
+  /// first call (the TupleSet idiom: forms are built once, then probed
+  /// repeatedly as dedup / compiled-cache keys). Callers that mutate a
+  /// form after hashing must not reuse it as a key. NOTE: like
+  /// TupleSet::Hash, the lazy fill writes shared state from a const
+  /// method; hash before sharing a form across threads.
+  size_t Hash() const;
 
   /// Human-readable rendering (for test failure messages).
   std::string ToString() const;
+
+ private:
+  mutable size_t hash_ = 0;
+  mutable bool hash_valid_ = false;
+};
+
+/// Hash functor for unordered containers keyed by canonical forms — the
+/// enumeration dedup and the service layer's compiled-query cache.
+struct CanonicalFormHash {
+  size_t operator()(const CanonicalForm& f) const { return f.Hash(); }
 };
 
 /// Computes the canonical form.
 CanonicalForm Canonicalize(const Query& q);
+
+/// Canonical form of what *evaluation under opts* depends on. With
+/// require_guarantees set this is Canonicalize(q) (Proposition 4.1: equal
+/// forms answer identically). With it unset, guarantee clauses contribute
+/// nothing to evaluation, so the existential part closes only the user's
+/// conjunctions — two queries with equal strict forms can differ relaxed
+/// and vice versa. The compiled-query cache keys on this.
+CanonicalForm CanonicalizeForEvaluation(const Query& q,
+                                        const EvalOptions& opts);
 
 /// Rebuilds a normalized Query from a canonical form: one universal Horn
 /// expression per dominant body plus one existential conjunction per

@@ -55,25 +55,24 @@ VarSet FindAllVars(MembershipOracle& oracle, SetQuestion question,
   // allocations are reused across levels (and across calls sharing the
   // scratch).
   std::vector<TupleSet>& questions = scratch->questions;
-  std::vector<bool>& answers = scratch->answers;
+  BitVec& answers = scratch->answers;
   level.assign(1, domain);
   while (!level.empty()) {
     if (questions.size() < level.size()) questions.resize(level.size());
     for (size_t i = 0; i < level.size(); ++i) {
       question(level[i], &questions[i]);
     }
-    if (level.size() == 1) {
-      // Singleton levels (the root, and pruned-down tails) skip the batch
-      // plumbing — a one-question round costs more than a plain question.
-      answers.assign(1, oracle.IsAnswer(questions[0]));
-    } else {
-      oracle.IsAnswerBatch(
-          std::span<const TupleSet>(questions.data(), level.size()),
-          &answers);
-    }
+    // Singleton levels (the root, and pruned-down tails) ride the same
+    // batch path as wide ones. A one-question round keeps a few ns of
+    // fixed batch-plumbing cost over a plain IsAnswer
+    // (BM_OracleBatchBatched/1) — invisible end to end, and the uniform
+    // path is what the pipeline layers assume.
+    oracle.IsAnswerBatch(
+        std::span<const TupleSet>(questions.data(), level.size()),
+        answers.Prepare(level.size()));
     next.clear();
     for (size_t i = 0; i < level.size(); ++i) {
-      if (answers[i] == eliminate) continue;  // no sought variable inside
+      if (answers.Get(i) == eliminate) continue;  // no sought variable inside
       if (Popcount(level[i]) == 1) {
         found |= level[i];
         continue;

@@ -27,6 +27,7 @@
 
 #include "src/bool/tuple.h"
 #include "src/oracle/oracle.h"
+#include "src/util/bit_span.h"
 #include "src/util/function_ref.h"
 
 namespace qhorn {
@@ -50,7 +51,7 @@ struct FindScratch {
   std::vector<VarSet> level;
   std::vector<VarSet> next;
   std::vector<TupleSet> questions;
-  std::vector<bool> answers;
+  BitVec answers;
 };
 
 /// Algorithm 3. Returns the mask of all variables v ∈ domain with

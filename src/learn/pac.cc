@@ -41,11 +41,11 @@ PacReport PacVerify(const Query& hypothesis, MembershipOracle* user, Rng& rng,
     sample.push_back(
         RandomObject(hypothesis.n(), rng, opts.max_tuples_per_object));
   }
-  std::vector<bool> labels;
-  user->IsAnswerBatch(sample, &labels);
+  BitVec labels;
+  user->IsAnswerBatch(sample, labels.Prepare(sample.size()));
   report.samples = m;
   for (size_t i = 0; i < sample.size(); ++i) {
-    if (compiled.Evaluate(sample[i]) != labels[i]) {
+    if (compiled.Evaluate(sample[i]) != labels.Get(i)) {
       report.consistent = false;
       report.counterexample = sample[i];
       return report;

@@ -21,7 +21,7 @@ class CountingForwarder : public MembershipOracle {
   }
 
   void IsAnswerBatch(std::span<const TupleSet> questions,
-                     std::vector<bool>* answers) override {
+                     BitSpan answers) override {
     *counter_ += static_cast<int64_t>(questions.size());
     inner_->IsAnswerBatch(questions, answers);
   }
@@ -45,14 +45,12 @@ bool Qhorn1Learner::Ask(const TupleSet& question, int64_t* counter) {
 }
 
 void Qhorn1Learner::AskBatch(std::span<const TupleSet> questions,
-                             int64_t* counter, std::vector<bool>* answers) {
+                             int64_t* counter) {
+  // One-question rounds take the same path as wide ones (the old
+  // singleton short-circuit is gone): the bit-packed plumbing keeps the
+  // per-round residue to a few ns, invisible end to end.
   *counter += static_cast<int64_t>(questions.size());
-  if (questions.size() == 1) {
-    // One-question rounds skip the batch plumbing.
-    answers->assign(1, oracle_->IsAnswer(questions[0]));
-    return;
-  }
-  oracle_->IsAnswerBatch(questions, answers);
+  oracle_->IsAnswerBatch(questions, batch_answers_.Prepare(questions.size()));
 }
 
 VarSet Qhorn1Learner::LearnUniversalHeads() {
@@ -63,10 +61,10 @@ VarSet Qhorn1Learner::LearnUniversalHeads() {
     batch_questions_[static_cast<size_t>(v)].AssignPair(all, all & ~VarBit(v));
   }
   AskBatch(std::span<const TupleSet>(batch_questions_.data(), count),
-           &trace_.head_questions, &batch_answers_);
+           &trace_.head_questions);
   VarSet heads = 0;
   for (int v = 0; v < n_; ++v) {
-    if (!batch_answers_[static_cast<size_t>(v)]) heads |= VarBit(v);
+    if (!batch_answers_.Get(static_cast<size_t>(v))) heads |= VarBit(v);
   }
   return heads;
 }
@@ -227,10 +225,10 @@ void Qhorn1Learner::LearnExistentialFor(int e) {
       batch_questions_[i].AssignPair(all & ~head, all & ~VarBit(rest[i]));
     }
     AskBatch(std::span<const TupleSet>(batch_questions_.data(), rest.size()),
-             &trace_.existential_questions, &batch_answers_);
+             &trace_.existential_questions);
     VarSet heads = head;
     for (size_t i = 0; i < rest.size(); ++i) {
-      if (batch_answers_[i]) heads |= VarBit(rest[i]);
+      if (batch_answers_.Get(i)) heads |= VarBit(rest[i]);
     }
     part.body = (d & ~heads) | VarBit(e);
     part.existential_heads = heads;

@@ -94,8 +94,8 @@ class Qhorn1Learner {
 
   /// One oracle round for a run of independent questions; `counter` is
   /// charged once per question, exactly as the sequential loop would.
-  void AskBatch(std::span<const TupleSet> questions, int64_t* counter,
-                std::vector<bool>* answers);
+  /// Answers land in batch_answers_.
+  void AskBatch(std::span<const TupleSet> questions, int64_t* counter);
 
   int n_;
   MembershipOracle* oracle_;
@@ -103,7 +103,7 @@ class Qhorn1Learner {
   // Probe-loop scratch, reused across every batched round of a Learn().
   FindScratch find_scratch_;
   std::vector<TupleSet> batch_questions_;
-  std::vector<bool> batch_answers_;
+  BitVec batch_answers_;
 
   VarSet universal_heads_ = 0;
   VarSet existential_vars_ = 0;

@@ -88,7 +88,7 @@ class LatticeSearch {
       };
 
       while (head < pending.size()) {
-        if (consecutive_non_answers < 2 || pending.size() - head == 1) {
+        if (consecutive_non_answers < 2) {
           // Sequential regime: probe the front tuple alone — bit-for-bit
           // the classic Algorithm 7/8 walk, with base and children built
           // once and shared between the probe and the prune.
@@ -115,7 +115,10 @@ class LatticeSearch {
         // Batch regime: one round probes every unresolved tuple with its
         // optimistic substitute question — its children plus everything
         // that must stay (discovered tuples, the other unresolved tuples
-        // intact, and the tuples kept for the next level).
+        // intact, and the tuples kept for the next level). A single
+        // unresolved tuple takes this path too — the round then *is* the
+        // sequential probe, question for question; the old singleton
+        // short-circuit bought only the few-ns batch-plumbing residue.
         size_t count = pending.size() - head;
         std::vector<TupleSet> questions;
         questions.reserve(count);
@@ -132,8 +135,8 @@ class LatticeSearch {
         }
         ++result.trace.rounds;
         result.trace.questions += static_cast<int64_t>(count);
-        std::vector<bool> answers;
-        oracle_->IsAnswerBatch(questions, &answers);
+        BitSpan answers = batch_answers_.Prepare(count);
+        oracle_->IsAnswerBatch(questions, answers);
 
         // Consume: every non-answer is final; the first answer's base was
         // exact, so it is substituted; later answers are discarded and
@@ -141,7 +144,7 @@ class LatticeSearch {
         size_t first_true = count;
         std::vector<Tuple> unresolved;
         for (size_t i = 0; i < count; ++i) {
-          if (!answers[i]) {
+          if (!answers.Get(i)) {
             discovered.push_back(pending[head + i]);
             ++consecutive_non_answers;
           } else if (first_true == count) {
@@ -212,6 +215,7 @@ class LatticeSearch {
   RpExistentialOptions opts_;
   std::set<Tuple> guarantee_closures_;
   std::vector<Tuple> children_scratch_;
+  BitVec batch_answers_;
 };
 
 }  // namespace

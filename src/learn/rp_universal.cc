@@ -1,6 +1,7 @@
 #include "src/learn/rp_universal.h"
 
 #include <set>
+#include <span>
 
 #include "src/util/check.h"
 
@@ -50,7 +51,7 @@ class HeadBodyLearner {
       for (VarSet excluded : SearchRoots(bodies)) {
         if (tested.count(excluded) == 0) untested.push_back(excluded);
       }
-      std::vector<bool> has_body = HasBodyAvoidingBatch(untested);
+      HasBodyAvoidingBatch(untested);
       for (size_t i = 0; i < untested.size(); ++i) {
         // Consuming an answer marks its root tested; the answers after an
         // acted-on hit are discarded *unmarked* — extraction changes the
@@ -58,7 +59,9 @@ class HeadBodyLearner {
         // the regenerated root product (a caching oracle makes the
         // re-probe free).
         tested.insert(untested[i]);
-        if (!has_body[i]) continue;
+        // An answer means every candidate body lost a variable — no body
+        // survives the exclusion (HasBodyAvoiding's negation).
+        if (batch_answers_.Get(i)) continue;
         VarSet body = ExtractBody(untested[i]);
         if (body == 0) continue;  // inconsistent oracle; skip this root
         for (VarSet known : bodies) {
@@ -90,34 +93,24 @@ class HeadBodyLearner {
     return !Ask(TupleSet{AllTrue(n_), t});
   }
 
-  /// True iff the target has a body for `head_` avoiding `excluded`:
-  /// {1^n, tuple with excluded ∪ {h} false} is a non-answer exactly when a
-  /// complete body remains true in the probe tuple.
-  bool HasBodyAvoiding(VarSet excluded) {
-    Tuple t = AllTrue(n_) & ~excluded & ~VarBit(head_);
-    return !Ask(TupleSet{AllTrue(n_), t});
-  }
-
-  /// One oracle round of HasBodyAvoiding probes, one per exclusion set
-  /// (singleton rounds skip the batch plumbing — the first iteration's
-  /// root product is always the single root ∅).
-  std::vector<bool> HasBodyAvoidingBatch(const std::vector<VarSet>& excluded) {
-    if (excluded.size() <= 1) {
-      std::vector<bool> answers;
-      if (!excluded.empty()) answers.push_back(HasBodyAvoiding(excluded[0]));
-      return answers;
+  /// One oracle round of exclusion probes ({1^n, tuple with excluded ∪
+  /// {h} false}), one per exclusion set, raw answers into batch_answers_.
+  /// A *non-answer* at i means a complete body stayed true in probe i's
+  /// tuple — i.e. the target has a body avoiding excluded[i]. Singleton
+  /// rounds (the first iteration's root product is always the single root
+  /// ∅) ride the same path; their few-ns batch-plumbing residue is
+  /// invisible next to the probe itself.
+  void HasBodyAvoidingBatch(const std::vector<VarSet>& excluded) {
+    if (questions_.size() < excluded.size()) questions_.resize(excluded.size());
+    for (size_t i = 0; i < excluded.size(); ++i) {
+      questions_[i].AssignPair(AllTrue(n_),
+                               AllTrue(n_) & ~excluded[i] & ~VarBit(head_));
     }
-    std::vector<TupleSet> questions;
-    questions.reserve(excluded.size());
-    for (VarSet x : excluded) {
-      Tuple t = AllTrue(n_) & ~x & ~VarBit(head_);
-      questions.push_back(TupleSet{AllTrue(n_), t});
-    }
-    trace_->body_questions += static_cast<int64_t>(questions.size());
-    std::vector<bool> answers;
-    oracle_->IsAnswerBatch(questions, &answers);
-    answers.flip();  // non-answer ⟺ a body survives the exclusion
-    return answers;
+    trace_->body_questions += static_cast<int64_t>(excluded.size());
+    if (excluded.empty()) return;
+    oracle_->IsAnswerBatch(
+        std::span<const TupleSet>(questions_.data(), excluded.size()),
+        batch_answers_.Prepare(excluded.size()));
   }
 
   /// Algorithm 6 seeded with `excluded`: returns a minimal body within
@@ -161,6 +154,9 @@ class HeadBodyLearner {
   MembershipOracle* oracle_;
   RpUniversalOptions opts_;
   RpUniversalTrace* trace_;
+  // Round scratch reused across the body search's sweeps.
+  std::vector<TupleSet> questions_;
+  BitVec batch_answers_;
 };
 
 }  // namespace
@@ -180,10 +176,11 @@ RpUniversalResult LearnUniversalHorns(int n, MembershipOracle* oracle,
     head_questions.push_back(TupleSet{all, all & ~VarBit(v)});
   }
   result.trace.head_questions += n;
-  std::vector<bool> head_answers;
-  oracle->IsAnswerBatch(head_questions, &head_answers);
+  BitVec head_answers;
+  oracle->IsAnswerBatch(head_questions,
+                        head_answers.Prepare(head_questions.size()));
   for (int v = 0; v < n; ++v) {
-    if (!head_answers[static_cast<size_t>(v)]) result.head_vars |= VarBit(v);
+    if (!head_answers.Get(static_cast<size_t>(v))) result.head_vars |= VarBit(v);
   }
 
   for (int h : VarsOf(result.head_vars)) {

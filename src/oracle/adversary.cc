@@ -51,14 +51,13 @@ bool AdversaryOracle::IsAnswer(const TupleSet& question) {
 }
 
 void AdversaryOracle::IsAnswerBatch(std::span<const TupleSet> questions,
-                                    std::vector<bool>* answers) {
-  answers->clear();
-  answers->reserve(questions.size());
+                                    BitSpan answers) {
   // Indices of the candidates consistent with the answers so far; the
   // verdicts of eliminated candidates are never computed.
   std::vector<size_t> alive(candidates_.size());
   std::iota(alive.begin(), alive.end(), size_t{0});
   std::vector<bool> verdicts;
+  size_t index = 0;
   for (const TupleSet& question : questions) {
     verdicts.assign(alive.size(), false);
     size_t yes_count = 0;
@@ -67,7 +66,7 @@ void AdversaryOracle::IsAnswerBatch(std::span<const TupleSet> questions,
       yes_count += verdicts[j] ? 1 : 0;
     }
     bool answer = Answer(yes_count, alive.size());
-    answers->push_back(answer);
+    answers.Set(index++, answer);
     size_t kept = 0;
     for (size_t j = 0; j < alive.size(); ++j) {
       if (verdicts[j] == answer) alive[kept++] = alive[j];

@@ -36,7 +36,7 @@ class AdversaryOracle : public MembershipOracle {
   /// class is deferred — eliminated candidates are masked out per question
   /// and the surviving class is partitioned once per batch.
   void IsAnswerBatch(std::span<const TupleSet> questions,
-                     std::vector<bool>* answers) override;
+                     BitSpan answers) override;
 
   /// Remaining consistent candidates.
   const std::vector<Query>& candidates() const { return candidates_; }

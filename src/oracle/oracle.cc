@@ -20,13 +20,13 @@ bool CountingOracle::IsAnswer(const TupleSet& question) {
 }
 
 void CountingOracle::IsAnswerBatch(std::span<const TupleSet> questions,
-                                   std::vector<bool>* answers) {
+                                   BitSpan answers) {
   ++stats_.rounds;
   stats_.batched_questions += static_cast<int64_t>(questions.size());
   for (const TupleSet& q : questions) Record(q);
   inner_->IsAnswerBatch(questions, answers);
-  for (bool a : *answers) {
-    if (a) ++stats_.answers;
+  for (size_t i = 0; i < questions.size(); ++i) {
+    if (answers.Get(i)) ++stats_.answers;
   }
 }
 
@@ -43,7 +43,7 @@ bool CachingOracle::IsAnswer(const TupleSet& question) {
 }
 
 void CachingOracle::IsAnswerBatch(std::span<const TupleSet> questions,
-                                  std::vector<bool>* answers) {
+                                  BitSpan answers) {
   // Partition in question order. A duplicate of an earlier miss in the same
   // round counts as a hit (the sequential path would have cached the first
   // occurrence before seeing the second), so the forwarded batch holds each
@@ -51,31 +51,28 @@ void CachingOracle::IsAnswerBatch(std::span<const TupleSet> questions,
   // per question: the per-question cache slots are remembered (references
   // into an unordered_map survive rehashing) and patched after the inner
   // round answers the misses.
-  std::vector<TupleSet> misses;
-  std::vector<bool*> slots;
-  std::vector<bool*> miss_slots;
-  slots.reserve(questions.size());
+  miss_questions_.clear();
+  miss_slots_.clear();
+  slots_.clear();
   for (const TupleSet& q : questions) {
     auto [it, inserted] = cache_.try_emplace(q, false);
     if (inserted) {
       ++misses_;
-      misses.push_back(q);
-      miss_slots.push_back(&it->second);
+      miss_questions_.push_back(q);
+      miss_slots_.push_back(&it->second);
     } else {
       ++hits_;
     }
-    slots.push_back(&it->second);
+    slots_.push_back(&it->second);
   }
-  if (!misses.empty()) {
-    std::vector<bool> miss_answers;
-    inner_->IsAnswerBatch(misses, &miss_answers);
-    for (size_t i = 0; i < misses.size(); ++i) {
-      *miss_slots[i] = miss_answers[i];
+  if (!miss_questions_.empty()) {
+    BitSpan miss_bits = miss_answers_.Prepare(miss_questions_.size());
+    inner_->IsAnswerBatch(miss_questions_, miss_bits);
+    for (size_t i = 0; i < miss_questions_.size(); ++i) {
+      *miss_slots_[i] = miss_bits.Get(i);
     }
   }
-  answers->clear();
-  answers->reserve(questions.size());
-  for (bool* slot : slots) answers->push_back(*slot);
+  for (size_t i = 0; i < slots_.size(); ++i) answers.Set(i, *slots_[i]);
 }
 
 bool NoisyOracle::MaybeFlip(bool answer) {
@@ -91,10 +88,10 @@ bool NoisyOracle::IsAnswer(const TupleSet& question) {
 }
 
 void NoisyOracle::IsAnswerBatch(std::span<const TupleSet> questions,
-                                std::vector<bool>* answers) {
+                                BitSpan answers) {
   inner_->IsAnswerBatch(questions, answers);
-  for (size_t i = 0; i < answers->size(); ++i) {
-    (*answers)[i] = MaybeFlip((*answers)[i]);
+  for (size_t i = 0; i < questions.size(); ++i) {
+    answers.Set(i, MaybeFlip(answers.Get(i)));
   }
 }
 

@@ -8,8 +8,17 @@
 // Oracles answer one question at a time (IsAnswer) or a whole round at
 // once (IsAnswerBatch). The batch entry point is the seam for oracle
 // backends that amortize per-question cost — compiled bulk evaluation,
-// cache partitioning, version-space pruning, and eventually async or
-// sharded user pools — while the learners stay backend-agnostic.
+// cache partitioning, version-space pruning, executor-sharded evaluation
+// (AsyncOracle in pipeline.h) — while the learners stay backend-agnostic.
+//
+// Answers travel as bits: the caller supplies a BitSpan over reusable
+// storage (BitVec), so a round allocates nothing anywhere in the stack.
+// A one-question round still carries single-digit nanoseconds of fixed
+// cost over a plain IsAnswer (virtual-boundary argument traffic and
+// scratch loads — BM_OracleBatchBatched/1); the learners stopped
+// special-casing singleton rounds anyway, because that residue is
+// invisible next to real rounds and the uniform batch path is what the
+// pipeline and service layers assume.
 
 #ifndef QHORN_ORACLE_ORACLE_H_
 #define QHORN_ORACLE_ORACLE_H_
@@ -22,6 +31,7 @@
 #include "src/bool/tuple_set.h"
 #include "src/core/compiled_query.h"
 #include "src/core/query.h"
+#include "src/util/bit_span.h"
 #include "src/util/rng.h"
 
 namespace qhorn {
@@ -41,16 +51,16 @@ class MembershipOracle {
   /// evolution, same decorator statistics and transcripts. Overrides are
   /// pure optimizations of that sequential semantics (bulk compiled
   /// evaluation, miss-only forwarding, one version-space partition per
-  /// round); tests/oracle_batch_test.cc pins every override against the
-  /// default question-for-question path.
+  /// round, executor-sharded evaluation); tests/oracle_batch_test.cc pins
+  /// every override against the default question-for-question path.
   ///
-  /// On return `answers->size() == questions.size()`, answer i matching
-  /// question i. Previous contents of `answers` are discarded.
+  /// `answers.size()` must equal `questions.size()`; answer i is written
+  /// to bit i. The caller owns the storage (typically a per-loop BitVec).
   virtual void IsAnswerBatch(std::span<const TupleSet> questions,
-                             std::vector<bool>* answers) {
-    answers->clear();
-    answers->reserve(questions.size());
-    for (const TupleSet& q : questions) answers->push_back(IsAnswer(q));
+                             BitSpan answers) {
+    for (size_t i = 0; i < questions.size(); ++i) {
+      answers.Set(i, IsAnswer(questions[i]));
+    }
   }
 };
 
@@ -87,7 +97,7 @@ class QueryOracle : public MembershipOracle {
   }
 
   void IsAnswerBatch(std::span<const TupleSet> questions,
-                     std::vector<bool>* answers) override {
+                     BitSpan answers) override {
     compiled_.EvaluateAll(questions, answers);
   }
 
@@ -118,7 +128,7 @@ class CountingOracle : public MembershipOracle {
 
   bool IsAnswer(const TupleSet& question) override;
   void IsAnswerBatch(std::span<const TupleSet> questions,
-                     std::vector<bool>* answers) override;
+                     BitSpan answers) override;
 
   const OracleStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
@@ -144,7 +154,7 @@ class CachingOracle : public MembershipOracle {
 
   bool IsAnswer(const TupleSet& question) override;
   void IsAnswerBatch(std::span<const TupleSet> questions,
-                     std::vector<bool>* answers) override;
+                     BitSpan answers) override;
 
   int64_t hits() const { return hits_; }
   int64_t misses() const { return misses_; }
@@ -154,11 +164,19 @@ class CachingOracle : public MembershipOracle {
   std::unordered_map<TupleSet, bool, TupleSetHash> cache_;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
+  // Round-local scratch, members so a steady-state round allocates
+  // nothing. Never read across calls; safe because the inner round runs on
+  // a *different* oracle object (the stack is a chain, not a cycle).
+  std::vector<TupleSet> miss_questions_;
+  std::vector<bool*> miss_slots_;
+  std::vector<const bool*> slots_;
+  BitVec miss_answers_;
 };
 
 /// Decorator modelling an unreliable user (§5 "Noisy Users"): each response
 /// is flipped independently with probability `flip_prob`. The flip draws
-/// happen in question order whether the round arrives batched or not, so a
+/// happen in question order whether the round arrives batched or not — and
+/// regardless of how the backend below scheduled its evaluation — so a
 /// fixed seed yields the identical noise sequence on either path.
 class NoisyOracle : public MembershipOracle {
  public:
@@ -167,7 +185,7 @@ class NoisyOracle : public MembershipOracle {
 
   bool IsAnswer(const TupleSet& question) override;
   void IsAnswerBatch(std::span<const TupleSet> questions,
-                     std::vector<bool>* answers) override;
+                     BitSpan answers) override;
 
   int64_t flips() const { return flips_; }
 

@@ -12,11 +12,11 @@ bool TranscriptOracle::IsAnswer(const TupleSet& question) {
 }
 
 void TranscriptOracle::IsAnswerBatch(std::span<const TupleSet> questions,
-                                     std::vector<bool>* answers) {
+                                     BitSpan answers) {
   int64_t round = rounds_++;
   inner_->IsAnswerBatch(questions, answers);
   for (size_t i = 0; i < questions.size(); ++i) {
-    entries_.push_back(TranscriptEntry{questions[i], (*answers)[i], round});
+    entries_.push_back(TranscriptEntry{questions[i], answers.Get(i), round});
   }
 }
 
@@ -58,25 +58,21 @@ bool ReplayOracle::IsAnswer(const TupleSet& question) {
 }
 
 void ReplayOracle::IsAnswerBatch(std::span<const TupleSet> questions,
-                                 std::vector<bool>* answers) {
+                                 BitSpan answers) {
   // Serve the still-matching transcript prefix, then send the remainder to
   // the fallback in one round. Once any question needs the fallback, every
   // later one does too (a mismatch diverges the replay; an exhausted
   // transcript stays exhausted), so the remainder is a contiguous tail.
-  answers->clear();
-  answers->reserve(questions.size());
   size_t served = 0;
   for (; served < questions.size(); ++served) {
     bool response = false;
     if (!TryReplay(questions[served], &response)) break;
-    answers->push_back(response);
+    answers.Set(served, response);
   }
   if (served == questions.size()) return;
   std::span<const TupleSet> rest = questions.subspan(served);
   asked_ += static_cast<int64_t>(rest.size());
-  std::vector<bool> rest_answers;
-  fallback_->IsAnswerBatch(rest, &rest_answers);
-  answers->insert(answers->end(), rest_answers.begin(), rest_answers.end());
+  fallback_->IsAnswerBatch(rest, answers.Subspan(served));
 }
 
 }  // namespace qhorn

@@ -40,7 +40,7 @@ class TranscriptOracle : public MembershipOracle {
 
   bool IsAnswer(const TupleSet& question) override;
   void IsAnswerBatch(std::span<const TupleSet> questions,
-                     std::vector<bool>* answers) override;
+                     BitSpan answers) override;
 
   const std::vector<TranscriptEntry>& entries() const { return entries_; }
 
@@ -70,9 +70,14 @@ class ReplayOracle : public MembershipOracle {
                MembershipOracle* fallback)
       : transcript_(std::move(transcript)), fallback_(fallback) {}
 
+  /// Stage-order constructor (inner first) for OraclePipeline::Push.
+  ReplayOracle(MembershipOracle* fallback,
+               std::vector<TranscriptEntry> transcript)
+      : ReplayOracle(std::move(transcript), fallback) {}
+
   bool IsAnswer(const TupleSet& question) override;
   void IsAnswerBatch(std::span<const TupleSet> questions,
-                     std::vector<bool>* answers) override;
+                     BitSpan answers) override;
 
   /// Questions served from the recorded transcript.
   int64_t replayed() const { return replayed_; }

@@ -1,0 +1,204 @@
+#include "src/session/router.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace qhorn {
+
+std::shared_ptr<const CompiledQuery> CompiledQueryCache::Get(
+    const Query& query, const EvalOptions& opts) {
+  // The key captures exactly what evaluation under `opts` depends on
+  // (CanonicalizeForEvaluation shares the R1/R2/R3 pipeline with
+  // Canonicalize, so the cache can never drift from Equivalent()).
+  Key key;
+  key.require_guarantees = opts.require_guarantees;
+  key.form = CanonicalizeForEvaluation(query, opts);
+  key.form.Hash();  // fill the cached hash before sharing the key
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+  // Compile outside the lock so concurrent opens compile distinct queries
+  // in parallel and cache hits never stall behind a compile. Two threads
+  // racing on the same new key both compile (both counted as misses); the
+  // first insert wins and the loser's copy is dropped — compiles are
+  // idempotent µs-scale work, not worth a per-key latch.
+  auto compiled = std::make_shared<const CompiledQuery>(query, opts);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = cache_.try_emplace(std::move(key), std::move(compiled));
+  return it->second;
+}
+
+int64_t CompiledQueryCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+int64_t CompiledQueryCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+SessionRouter::SessionRouter() : SessionRouter(Options()) {}
+
+SessionRouter::SessionRouter(Options options) : options_(std::move(options)) {
+  // Options.threads counts *session lanes*. Session jobs are Post()ed and
+  // the submitting thread sleeps in Drain(), so only the executor's
+  // workers (concurrency - 1 of them) ever run jobs — ask for one more
+  // lane so `threads` sessions really do run concurrently. threads == 1
+  // stays the synchronous inline executor (the differential baseline).
+  int lanes = options_.threads <= 0 ? Executor::DefaultConcurrency()
+                                    : options_.threads;
+  executor_ = std::make_unique<Executor>(lanes == 1 ? 1 : lanes + 1);
+}
+
+SessionRouter::~SessionRouter() {
+  Drain();
+  // Join the executor before any member is destroyed: Drain() returning
+  // only proves the last job *completed* — its runner task may still be
+  // between the completion bookkeeping and its final empty-queue check,
+  // touching session state, mutex_ and idle_cv_. ~Executor joins the
+  // workers, so after this line no runner code is in flight.
+  executor_.reset();
+}
+
+SessionRouter::SessionId SessionRouter::OpenInternal(
+    int n, MembershipOracle* user,
+    std::unique_ptr<MembershipOracle> owned_backend) {
+  auto state = std::make_unique<SessionState>();
+  state->session = std::make_unique<QuerySession>(n, user, options_.session);
+  state->owned_backend = std::move(owned_backend);
+  std::lock_guard<std::mutex> lock(mutex_);
+  SessionId id = next_id_++;
+  sessions_.emplace(id, std::move(state));
+  return id;
+}
+
+SessionRouter::SessionId SessionRouter::Open(int n, MembershipOracle* user) {
+  QHORN_CHECK(user != nullptr);
+  return OpenInternal(n, user, nullptr);
+}
+
+SessionRouter::SessionId SessionRouter::OpenSimulated(const Query& intended,
+                                                      EvalOptions opts) {
+  auto backend = std::make_unique<AsyncOracle>(
+      compiled_cache_.Get(intended, opts), executor_.get());
+  MembershipOracle* user = backend.get();
+  return OpenInternal(intended.n(), user, std::move(backend));
+}
+
+SessionRouter::SessionState* SessionRouter::FindSession(SessionId id) {
+  auto it = sessions_.find(id);
+  QHORN_CHECK_MSG(it != sessions_.end(), "no session " << id);
+  return it->second.get();
+}
+
+void SessionRouter::Submit(SessionId id, Job job) {
+  QHORN_CHECK(job != nullptr);
+  SessionState* state = nullptr;
+  bool start_runner = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    state = FindSession(id);
+    state->queue.push_back(std::move(job));
+    ++active_jobs_;
+    if (!state->running) {
+      state->running = true;
+      start_runner = true;
+    }
+  }
+  // Post outside the lock: at concurrency 1 the executor runs the task
+  // inline, and the runner re-acquires the mutex.
+  if (start_runner) {
+    executor_->Post([this, state] { RunSession(state); });
+  }
+}
+
+void SessionRouter::RunSession(SessionState* state) {
+  // The runner owns the session until its queue drains; other sessions'
+  // runners proceed in parallel on other lanes.
+  for (;;) {
+    Job job;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (state->queue.empty()) {
+        state->running = false;
+        return;
+      }
+      job = std::move(state->queue.front());
+      state->queue.pop_front();
+    }
+    job(*state->session);
+    bool idle = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++jobs_done_;
+      idle = --active_jobs_ == 0;
+    }
+    if (idle) idle_cv_.notify_all();
+  }
+}
+
+void SessionRouter::SubmitLearn(SessionId id) {
+  Submit(id, [this](QuerySession& session) {
+    session.Learn();
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++learns_;
+  });
+}
+
+void SessionRouter::SubmitVerify(SessionId id, Query candidate) {
+  Submit(id, [this, candidate = std::move(candidate)](QuerySession& session) {
+    session.Verify(candidate);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++verifies_;
+  });
+}
+
+void SessionRouter::SubmitRevise(SessionId id, Query candidate) {
+  Submit(id, [this, candidate = std::move(candidate)](QuerySession& session) {
+    session.Revise(candidate);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++revisions_;
+  });
+}
+
+void SessionRouter::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return active_jobs_ == 0; });
+}
+
+QuerySession& SessionRouter::session(SessionId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return *FindSession(id)->session;
+}
+
+ServiceStats SessionRouter::stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  QHORN_CHECK_MSG(active_jobs_ == 0, "stats() requires an idle router");
+  ServiceStats stats;
+  stats.sessions = static_cast<int64_t>(sessions_.size());
+  stats.jobs = jobs_done_;
+  stats.learns = learns_;
+  stats.verifies = verifies_;
+  stats.revisions = revisions_;
+  for (const auto& [id, state] : sessions_) {
+    const OracleStats& os = state->session->oracle_stats();
+    stats.questions += os.questions;
+    stats.batched_questions += os.batched_questions;
+    stats.rounds += state->session->rounds();
+    stats.cache_hits += state->session->cache_hits();
+  }
+  stats.compiled_hits = compiled_cache_.hits();
+  stats.compiled_misses = compiled_cache_.misses();
+  return stats;
+}
+
+}  // namespace qhorn

@@ -1,0 +1,191 @@
+// SessionRouter — the multi-session service layer over QuerySession.
+//
+// The paper's workflow is one interactive user per learner; the service
+// target is heavy traffic from many concurrent users. The router owns the
+// executor and multiplexes N live sessions across it:
+//
+//   * Each session keeps its own oracle pipeline (transcript → cache →
+//     counting → user backend), so per-user state never crosses threads.
+//   * Jobs against one session run strictly in submission order, one at a
+//     time (QuerySession is not thread-safe and the learning protocol is
+//     inherently sequential per user); jobs of different sessions run in
+//     parallel on the executor's workers.
+//   * Simulated users opened through OpenSimulated share compiled queries
+//     via a cache keyed by canonical form (Proposition 4.1: equal forms ⇒
+//     identical answers), so a thousand sessions against a hundred target
+//     queries compile each query once — and their AsyncOracle backends
+//     additionally shard large rounds across the same executor.
+//
+// Determinism contract: a session's observable history depends only on its
+// own job sequence, never on scheduling — per-session transcripts are
+// bit-identical to a single-threaded replay of the same jobs
+// (tests/service_router_test.cc stresses this with 8–64 sessions).
+//
+// An embedding server plugs a real user in by implementing
+// MembershipOracle (pose the round to the user, return their labels) and
+// passing it to Open(); everything else is unchanged.
+
+#ifndef QHORN_SESSION_ROUTER_H_
+#define QHORN_SESSION_ROUTER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/normalize.h"
+#include "src/oracle/pipeline.h"
+#include "src/session/session.h"
+#include "src/util/executor.h"
+
+namespace qhorn {
+
+/// Shared compiled-query store. Keyed by (canonical form, guarantee mode):
+/// equal keys evaluate identically object for object, so sessions sharing
+/// an entry are indistinguishable from sessions compiling their own.
+/// Thread-safe; the returned compiled forms are immutable.
+class CompiledQueryCache {
+ public:
+  std::shared_ptr<const CompiledQuery> Get(const Query& query,
+                                           const EvalOptions& opts);
+
+  int64_t hits() const;
+  int64_t misses() const;
+
+ private:
+  struct Key {
+    CanonicalForm form;
+    bool require_guarantees = false;
+
+    friend bool operator==(const Key& a, const Key& b) {
+      return a.require_guarantees == b.require_guarantees && a.form == b.form;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return k.form.Hash() ^ (k.require_guarantees ? 0x9e3779b97f4a7c15ULL : 0);
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, std::shared_ptr<const CompiledQuery>, KeyHash>
+      cache_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+/// Aggregate service counters across every session the router has hosted.
+struct ServiceStats {
+  int64_t sessions = 0;        ///< sessions opened
+  int64_t jobs = 0;            ///< jobs completed
+  int64_t learns = 0;          ///< SubmitLearn jobs completed
+  int64_t verifies = 0;        ///< SubmitVerify jobs completed
+  int64_t revisions = 0;       ///< SubmitRevise jobs completed
+  int64_t questions = 0;       ///< questions that reached the users
+  int64_t rounds = 0;          ///< user interactions (batch = one round)
+  int64_t batched_questions = 0;  ///< questions inside batched rounds
+  int64_t cache_hits = 0;      ///< per-session question-cache hits
+  int64_t compiled_hits = 0;   ///< shared compiled-query cache hits
+  int64_t compiled_misses = 0;  ///< … and misses (one compile each)
+};
+
+/// Multiplexes concurrent QuerySessions over a shared executor.
+class SessionRouter {
+ public:
+  using SessionId = int64_t;
+  /// A unit of session work, run on an executor lane with exclusive
+  /// access to the session.
+  using Job = std::function<void(QuerySession&)>;
+
+  struct Options {
+    /// Concurrent session lanes (worker threads running session jobs);
+    /// ≤ 0 means Executor::DefaultConcurrency() (which honours
+    /// QHORN_THREADS). 1 degrades to synchronous in-caller execution —
+    /// the differential baseline. The router sizes its executor one lane
+    /// wider than this, since the thread that submits jobs sleeps in
+    /// Drain() rather than running them.
+    int threads = 0;
+    QuerySession::Options session;
+  };
+
+  SessionRouter();
+  explicit SessionRouter(Options options);
+  /// Drains outstanding jobs before shutting the executor down.
+  ~SessionRouter();
+
+  SessionRouter(const SessionRouter&) = delete;
+  SessionRouter& operator=(const SessionRouter&) = delete;
+
+  /// Opens a session over a caller-owned user oracle. The oracle must
+  /// outlive the router and is used only from this session's jobs (one at
+  /// a time), so it need not be thread-safe — but it must not be shared
+  /// with another session.
+  SessionId Open(int n, MembershipOracle* user);
+
+  /// Opens a session against a simulated user holding `intended`: the
+  /// compiled form comes from the shared cache and rounds are sharded
+  /// across the router's executor (AsyncOracle backend). The router owns
+  /// the backend.
+  SessionId OpenSimulated(const Query& intended,
+                          EvalOptions opts = EvalOptions());
+
+  /// Enqueues a job for the session. Jobs of one session run in
+  /// submission order; jobs of different sessions run concurrently.
+  void Submit(SessionId id, Job job);
+
+  /// Typed conveniences (counted in ServiceStats).
+  void SubmitLearn(SessionId id);
+  void SubmitVerify(SessionId id, Query candidate);
+  void SubmitRevise(SessionId id, Query candidate);
+
+  /// Blocks until every submitted job has completed.
+  void Drain();
+
+  /// The session, for inspection between jobs. The caller must ensure the
+  /// session is idle (e.g. after Drain); the router does not lock it.
+  QuerySession& session(SessionId id);
+
+  /// Aggregate counters. Sessions must be idle (call after Drain).
+  ServiceStats stats();
+
+  Executor* executor() { return executor_.get(); }
+  CompiledQueryCache& compiled_cache() { return compiled_cache_; }
+
+ private:
+  struct SessionState {
+    std::unique_ptr<QuerySession> session;
+    std::unique_ptr<MembershipOracle> owned_backend;  // OpenSimulated only
+    std::deque<Job> queue;
+    bool running = false;  // a runner task currently owns this session
+  };
+
+  SessionId OpenInternal(int n, MembershipOracle* user,
+                         std::unique_ptr<MembershipOracle> owned_backend);
+  /// Executor task: runs the session's queued jobs until the queue is
+  /// empty, then releases ownership.
+  void RunSession(SessionState* state);
+  SessionState* FindSession(SessionId id);
+
+  Options options_;
+  std::unique_ptr<Executor> executor_;
+  CompiledQueryCache compiled_cache_;
+
+  std::mutex mutex_;  // guards sessions_ map shape and per-session queues
+  std::condition_variable idle_cv_;
+  std::unordered_map<SessionId, std::unique_ptr<SessionState>> sessions_;
+  SessionId next_id_ = 1;
+  int64_t active_jobs_ = 0;  // queued + running
+  // Counters bumped at job completion (stats() folds in session counters).
+  int64_t jobs_done_ = 0;
+  int64_t learns_ = 0;
+  int64_t verifies_ = 0;
+  int64_t revisions_ = 0;
+};
+
+}  // namespace qhorn
+
+#endif  // QHORN_SESSION_ROUTER_H_

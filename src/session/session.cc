@@ -11,14 +11,19 @@ QuerySession::QuerySession(int n, MembershipOracle* user, Options options)
     : n_(n), user_(user), options_(options) {
   QHORN_CHECK(user != nullptr);
   QHORN_CHECK(n >= 1 && n <= kMaxVars);
-  counting_ = std::make_unique<CountingOracle>(user_);
-  MembershipOracle* below = counting_.get();
-  if (options_.cache_questions) {
-    cache_ = std::make_unique<CachingOracle>(below);
-    below = cache_.get();
+  BuildPipeline({});
+}
+
+void QuerySession::BuildPipeline(std::vector<TranscriptEntry> replay_prefix) {
+  OraclePipeline pipeline(user_);
+  counting_ = pipeline.Push<CountingOracle>();
+  cache_ = options_.cache_questions ? pipeline.Push<CachingOracle>() : nullptr;
+  if (!replay_prefix.empty()) {
+    pipeline.Push<ReplayOracle>(std::move(replay_prefix));
   }
-  transcript_ = std::make_unique<TranscriptOracle>(below);
-  top_ = transcript_.get();
+  transcript_ = pipeline.Push<TranscriptOracle>();
+  pipeline_ = std::move(pipeline);
+  top_ = pipeline_.top();
 }
 
 const Query& QuerySession::Learn() {
@@ -43,25 +48,13 @@ RevisionResult QuerySession::Revise(const Query& candidate) {
 
 const Query& QuerySession::CorrectAndRelearn(size_t index) {
   transcript_->Correct(index);
-  // Replay the corrected prefix; fresh questions flow to the user through
-  // a fresh cache (the old cache holds the wrong answer).
-  std::vector<TranscriptEntry> prefix = transcript_->entries();
-  counting_ = std::make_unique<CountingOracle>(user_);
-  MembershipOracle* below = counting_.get();
-  if (options_.cache_questions) {
-    cache_ = std::make_unique<CachingOracle>(below);
-    below = cache_.get();
-  }
-  auto replay = std::make_unique<ReplayOracle>(std::move(prefix), below);
-  // The transcript re-records the whole corrected run.
-  auto transcript = std::make_unique<TranscriptOracle>(replay.get());
-  RpLearnerResult result =
-      LearnRolePreserving(n_, transcript.get(), options_.learner);
+  // Rebuild the chain with the corrected prefix behind a replay stage;
+  // fresh questions flow to the user through a fresh cache (the old cache
+  // holds the wrong answer) and the new transcript re-records the whole
+  // corrected run.
+  BuildPipeline(transcript_->entries());
+  RpLearnerResult result = LearnRolePreserving(n_, top_, options_.learner);
   current_ = std::move(result.query);
-  // Keep the replay oracle alive alongside the new transcript.
-  replay_keepalive_ = std::move(replay);
-  transcript_ = std::move(transcript);
-  top_ = transcript_.get();
   return *current_;
 }
 

@@ -12,9 +12,11 @@
 
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "src/learn/revision.h"
 #include "src/learn/rp_learner.h"
+#include "src/oracle/pipeline.h"
 #include "src/oracle/transcript.h"
 #include "src/verify/verifier.h"
 
@@ -76,14 +78,20 @@ class QuerySession {
   int64_t cache_hits() const { return cache_ ? cache_->hits() : 0; }
 
  private:
+  /// (Re)builds the middleware chain over the user backend, outermost
+  /// first: transcript → [replay] → cache → counting → user. A non-empty
+  /// `replay_prefix` inserts a ReplayOracle between the cache and the
+  /// transcript for the §5 correction workflow.
+  void BuildPipeline(std::vector<TranscriptEntry> replay_prefix);
+
   int n_;
   MembershipOracle* user_;
   Options options_;
-  // Oracle stack, outermost first: transcript → cache → counting → user.
-  std::unique_ptr<CountingOracle> counting_;
-  std::unique_ptr<CachingOracle> cache_;
-  std::unique_ptr<ReplayOracle> replay_keepalive_;
-  std::unique_ptr<TranscriptOracle> transcript_;
+  // Owning middleware chain; the typed pointers below alias its stages.
+  OraclePipeline pipeline_;
+  CountingOracle* counting_ = nullptr;
+  CachingOracle* cache_ = nullptr;
+  TranscriptOracle* transcript_ = nullptr;
   MembershipOracle* top_ = nullptr;
   std::optional<Query> current_;
 };

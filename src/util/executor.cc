@@ -1,0 +1,252 @@
+#include "src/util/executor.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "src/util/check.h"
+
+namespace qhorn {
+
+namespace {
+
+/// Identity of the worker loop running on this thread, if any. Workers of
+/// distinct executors never nest on one thread, so one pair of
+/// thread-locals (owning executor + index) is enough.
+thread_local const Executor* tls_executor = nullptr;
+thread_local int tls_worker_index = -1;
+
+}  // namespace
+
+int Executor::DefaultConcurrency() {
+  if (const char* env = std::getenv("QHORN_THREADS")) {
+    char* end = nullptr;
+    long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed >= 1) {
+      return static_cast<int>(parsed > 256 ? 256 : parsed);
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+Executor::Executor(int threads) {
+  concurrency_ = threads <= 0 ? DefaultConcurrency() : threads;
+  int workers = concurrency_ - 1;
+  queues_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    // stop_ flips under sleep_mutex_ so a worker checking the wait
+    // predicate cannot miss it.
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stop_.store(true, std::memory_order_release);
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  // The destructor contract is quiescence, not draining: owners (e.g.
+  // SessionRouter::Drain) must retire their work first. Losing a queued
+  // task silently would be a caller bug — fail loudly instead.
+  QHORN_CHECK_MSG(!HasPendingTask(),
+                  "Executor destroyed with tasks still queued");
+}
+
+void Executor::Post(std::function<void()> task) {
+  QHORN_CHECK(task != nullptr);
+  if (workers_.empty()) {
+    // Inline fallback: a 1-lane executor is a synchronous one.
+    task();
+    return;
+  }
+  WorkerQueue* queue = &injection_;
+  if (tls_executor == this && tls_worker_index >= 0) {
+    queue = queues_[static_cast<size_t>(tls_worker_index)].get();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue->mutex);
+    queue->tasks.push_back(std::move(task));
+  }
+  // The empty lock pairs the enqueue with any waiter that checked the
+  // queues just before it; the notify then cannot be lost.
+  { std::lock_guard<std::mutex> lock(sleep_mutex_); }
+  sleep_cv_.notify_all();
+}
+
+bool Executor::HasPendingTask() {
+  {
+    std::lock_guard<std::mutex> lock(helpers_.mutex);
+    if (!helpers_.tasks.empty()) return true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(injection_.mutex);
+    if (!injection_.tasks.empty()) return true;
+  }
+  for (const auto& q : queues_) {
+    std::lock_guard<std::mutex> lock(q->mutex);
+    if (!q->tasks.empty()) return true;
+  }
+  return false;
+}
+
+bool Executor::RunOneHelperTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(helpers_.mutex);
+    if (helpers_.tasks.empty()) return false;
+    task = std::move(helpers_.tasks.front());
+    helpers_.tasks.pop_front();
+  }
+  task();
+  { std::lock_guard<std::mutex> lock(sleep_mutex_); }
+  sleep_cv_.notify_all();
+  return true;
+}
+
+bool Executor::PopTask(int self_index, std::function<void()>* task) {
+  if (queues_.empty()) return false;
+  // Shard helpers first: some lane is blocked in a ParallelFor until they
+  // retire, so they gate the pool's tail latency.
+  {
+    std::lock_guard<std::mutex> lock(helpers_.mutex);
+    if (!helpers_.tasks.empty()) {
+      *task = std::move(helpers_.tasks.front());
+      helpers_.tasks.pop_front();
+      return true;
+    }
+  }
+  // …then the own deque (LIFO: the task most likely still in cache)…
+  if (self_index >= 0) {
+    WorkerQueue* own = queues_[static_cast<size_t>(self_index)].get();
+    std::lock_guard<std::mutex> lock(own->mutex);
+    if (!own->tasks.empty()) {
+      *task = std::move(own->tasks.back());
+      own->tasks.pop_back();
+      return true;
+    }
+  }
+  // …then the injection queue, then steal FIFO from the other workers.
+  {
+    std::lock_guard<std::mutex> lock(injection_.mutex);
+    if (!injection_.tasks.empty()) {
+      *task = std::move(injection_.tasks.front());
+      injection_.tasks.pop_front();
+      return true;
+    }
+  }
+  size_t base = static_cast<size_t>(self_index < 0 ? 0 : self_index);
+  for (size_t off = 1; off <= queues_.size(); ++off) {
+    size_t victim = (base + off) % queues_.size();
+    if (static_cast<int>(victim) == self_index) continue;
+    WorkerQueue* q = queues_[victim].get();
+    std::lock_guard<std::mutex> lock(q->mutex);
+    if (!q->tasks.empty()) {
+      *task = std::move(q->tasks.front());
+      q->tasks.pop_front();
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Executor::RunOneTask(int self_index) {
+  std::function<void()> task;
+  if (!PopTask(self_index, &task)) return false;
+  task();
+  // Completion may unblock a ParallelFor waiter (they sleep on the same
+  // condition variable as idle workers).
+  { std::lock_guard<std::mutex> lock(sleep_mutex_); }
+  sleep_cv_.notify_all();
+  return true;
+}
+
+void Executor::WorkerLoop(int index) {
+  tls_executor = this;
+  tls_worker_index = index;
+  while (true) {
+    if (RunOneTask(index)) continue;
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    if (stop_.load(std::memory_order_acquire)) break;
+    sleep_cv_.wait(lock, [&] {
+      return stop_.load(std::memory_order_acquire) || HasPendingTask();
+    });
+    if (stop_.load(std::memory_order_acquire)) break;
+  }
+  tls_executor = nullptr;
+  tls_worker_index = -1;
+}
+
+void Executor::ParallelFor(size_t n, size_t grain,
+                           FunctionRef<void(size_t, size_t)> body) {
+  if (n == 0) return;
+  QHORN_CHECK(grain >= 1);
+  size_t lanes = static_cast<size_t>(concurrency_);
+  size_t shards = (n + grain - 1) / grain;
+  if (workers_.empty() || shards <= 1) {
+    body(0, n);
+    return;
+  }
+  // Shard size: grain-aligned, aiming for ~4 shards per lane so a slow
+  // lane sheds work to fast ones (the loop analogue of stealing).
+  size_t target = lanes * 4;
+  size_t step = ((shards + target - 1) / target) * grain;
+  size_t chunks = (n + step - 1) / step;
+  size_t helper_count = lanes - 1;
+  if (helper_count > chunks - 1) helper_count = chunks - 1;
+
+  struct LoopState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> helpers_done{0};
+  };
+  auto state = std::make_shared<LoopState>();
+  auto run_chunks = [state, n, step, chunks, body] {
+    // `body` is a FunctionRef into the caller's frame; ParallelFor cannot
+    // return before helpers_done reaches helper_count, so the reference
+    // stays valid for every chunk execution.
+    size_t i;
+    while ((i = state->next.fetch_add(1, std::memory_order_relaxed)) < chunks) {
+      size_t begin = i * step;
+      size_t end = begin + step < n ? begin + step : n;
+      body(begin, end);
+    }
+  };
+  for (size_t h = 0; h < helper_count; ++h) {
+    {
+      std::lock_guard<std::mutex> lock(helpers_.mutex);
+      helpers_.tasks.push_back([state, run_chunks] {
+        run_chunks();
+        state->helpers_done.fetch_add(1, std::memory_order_release);
+      });
+    }
+    { std::lock_guard<std::mutex> lock(sleep_mutex_); }
+    sleep_cv_.notify_all();
+  }
+  run_chunks();
+  // All chunks are claimed (possibly all by this thread). Wait for the
+  // helper tasks to retire — and keep draining *helper* tasks while
+  // waiting (never foreign Post()ed jobs, which would splice their whole
+  // latency into this round), so nested ParallelFor calls from every
+  // worker at once cannot deadlock the pool: every blocked waiter is
+  // itself a consumer of the queue its progress depends on.
+  while (state->helpers_done.load(std::memory_order_acquire) < helper_count) {
+    if (RunOneHelperTask()) continue;
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    sleep_cv_.wait(lock, [&] {
+      return state->helpers_done.load(std::memory_order_acquire) >=
+                 helper_count ||
+             [this] {
+               std::lock_guard<std::mutex> hl(helpers_.mutex);
+               return !helpers_.tasks.empty();
+             }();
+    });
+  }
+}
+
+}  // namespace qhorn

@@ -14,12 +14,12 @@ VerificationReport RunVerification(const VerificationSet& set,
   for (const VerificationQuestion& vq : set.questions) {
     questions.push_back(vq.question);
   }
-  std::vector<bool> user_says;
-  user->IsAnswerBatch(questions, &user_says);
+  BitVec user_says;
+  user->IsAnswerBatch(questions, user_says.Prepare(questions.size()));
   report.questions_asked = static_cast<int64_t>(questions.size());
   for (size_t i = 0; i < set.questions.size(); ++i) {
     const VerificationQuestion& vq = set.questions[i];
-    if (user_says[i] != vq.expected_answer) {
+    if (user_says.Get(i) != vq.expected_answer) {
       report.accepted = false;
       report.discrepancies.push_back(
           Discrepancy{i, vq.family, vq.description});

@@ -27,8 +27,10 @@
 #include "src/learn/qhorn1_learner.h"
 #include "src/learn/rp_learner.h"
 #include "src/oracle/adversary.h"
+#include "src/oracle/pipeline.h"
 #include "src/oracle/transcript.h"
 #include "src/session/session.h"
+#include "src/util/executor.h"
 #include "src/verify/verifier.h"
 
 namespace qhorn {
@@ -108,8 +110,7 @@ struct NoisyStack : MembershipOracle {
   NoisyStack(const Query& q, double flip_prob, uint64_t seed)
       : truth(q), noisy(&truth, flip_prob, seed) {}
   bool IsAnswer(const TupleSet& q) override { return noisy.IsAnswer(q); }
-  void IsAnswerBatch(std::span<const TupleSet> qs,
-                     std::vector<bool>* as) override {
+  void IsAnswerBatch(std::span<const TupleSet> qs, BitSpan as) override {
     noisy.IsAnswerBatch(qs, as);
   }
 };
@@ -345,10 +346,12 @@ Workload StreamWorkload(int n, uint64_t seed) {
         }
       }
       history.insert(history.end(), batch.begin(), batch.end());
-      std::vector<bool> answers;
-      top->IsAnswerBatch(batch, &answers);
+      BitVec answers;
+      top->IsAnswerBatch(batch, answers.Prepare(batch.size()));
       payload += "|";
-      for (bool a : answers) payload += a ? '1' : '0';
+      for (size_t i = 0; i < batch.size(); ++i) {
+        payload += answers.Get(i) ? '1' : '0';
+      }
       // Interleave a single sequential question between rounds.
       TupleSet single = RandomObject(n, rng, 5);
       history.push_back(single);
@@ -413,6 +416,146 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Range<uint64_t>(0, 7)));
 
 // ---------------------------------------------------------------------------
+// Pipeline composition and the concurrent backend. The OraclePipeline must
+// wire the identical stack the hand-built chains above use, and the
+// AsyncOracle backend — rounds sharded across an executor — must be
+// invisible: same answers in question order, same decorator statistics,
+// same noise draws. SequentialOracle is itself a pipeline stage, so the
+// reference arm is one extra Push.
+
+RunRecord RunPipelineStack(MembershipOracle* backend, const Workload& drive,
+                           bool force_sequential) {
+  OraclePipeline pipeline(backend);
+  CountingOracle* counting = pipeline.Push<CountingOracle>();
+  CachingOracle* caching = pipeline.Push<CachingOracle>();
+  if (force_sequential) pipeline.Push<SequentialOracle>();
+  TranscriptOracle* transcript = pipeline.Push<TranscriptOracle>();
+  RunRecord record;
+  record.payload = drive(pipeline.top());
+  for (const TranscriptEntry& e : transcript->entries()) {
+    record.transcript.emplace_back(e.question, e.response);
+  }
+  record.stats = counting->stats();
+  record.cache_hits = caching->hits();
+  record.cache_misses = caching->misses();
+  return record;
+}
+
+void ExpectRecordsEqual(const RunRecord& batched, const RunRecord& sequential,
+                        const std::string& context) {
+  EXPECT_EQ(batched.payload, sequential.payload) << context;
+  EXPECT_EQ(batched.stats.questions, sequential.stats.questions) << context;
+  EXPECT_EQ(batched.stats.answers, sequential.stats.answers) << context;
+  EXPECT_EQ(batched.cache_hits, sequential.cache_hits) << context;
+  EXPECT_EQ(batched.cache_misses, sequential.cache_misses) << context;
+  ASSERT_EQ(batched.transcript.size(), sequential.transcript.size()) << context;
+  for (size_t i = 0; i < batched.transcript.size(); ++i) {
+    EXPECT_EQ(batched.transcript[i], sequential.transcript[i])
+        << context << " entry " << i;
+  }
+}
+
+/// Rounds wide enough to cross CompiledQuery::kParallelRoundCutover, with
+/// in-round duplicates so the cache partition feeds the parallel backend
+/// miss rounds of a different width than the posed rounds.
+Workload WideRoundWorkload(int n, uint64_t seed) {
+  return [n, seed](MembershipOracle* top) {
+    Rng rng(seed);
+    std::string payload;
+    size_t width = 2 * CompiledQuery::kParallelRoundCutover + 37;
+    for (int round = 0; round < 3; ++round) {
+      std::vector<TupleSet> batch;
+      batch.reserve(width);
+      for (size_t i = 0; i < width; ++i) {
+        if (!batch.empty() && rng.Chance(0.2)) {
+          batch.push_back(batch[static_cast<size_t>(
+              rng.Range(0, static_cast<int>(batch.size()) - 1))]);
+        } else {
+          batch.push_back(RandomObject(n, rng, 6));
+        }
+      }
+      BitVec answers;
+      top->IsAnswerBatch(batch, answers.Prepare(batch.size()));
+      int64_t ones = 0;
+      for (size_t i = 0; i < batch.size(); ++i) ones += answers.Get(i);
+      payload += "|" + std::to_string(ones);
+    }
+    return payload;
+  };
+}
+
+class PipelineDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(PipelineDifferentialTest, AsyncBackendEqualsSequential) {
+  auto [n, seed] = GetParam();
+  Query target = RandomRp(n, seed);
+  auto compiled = std::make_shared<const CompiledQuery>(target);
+  Executor executor(4);
+
+  for (const auto& [name, workload] :
+       std::vector<std::pair<std::string, Workload>>{
+           {"rp-learn", RpWorkload(n)},
+           {"wide", WideRoundWorkload(n, seed)}}) {
+    // Batched arm: executor-sharded rounds. Sequential arm: the identical
+    // backend decomposed question for question (never reaches the
+    // parallel path — it is the semantics being preserved).
+    AsyncOracle parallel_backend(compiled, &executor);
+    RunRecord batched = RunPipelineStack(&parallel_backend, workload,
+                                         /*force_sequential=*/false);
+    AsyncOracle inline_backend(compiled, nullptr);
+    RunRecord sequential = RunPipelineStack(&inline_backend, workload,
+                                            /*force_sequential=*/true);
+    ExpectRecordsEqual(batched, sequential,
+                       "pipeline+async " + name + " n=" + std::to_string(n) +
+                           " seed=" + std::to_string(seed));
+  }
+}
+
+TEST_P(PipelineDifferentialTest, NoisyOverAsyncDrawsFlipsInQuestionOrder) {
+  auto [n, seed] = GetParam();
+  Query target = RandomRp(n, seed);
+  auto compiled = std::make_shared<const CompiledQuery>(target);
+  Executor executor(4);
+
+  // The noise stage sits between the concurrent backend and the counting
+  // decorators: however the executor schedules the shards below it, the
+  // flip draws must consume the seed in question order.
+  auto run = [&](MembershipOracle* backend, bool force_sequential) {
+    OraclePipeline pipeline(backend);
+    pipeline.Push<NoisyOracle>(0.25, /*seed=*/seed ^ 0xf1f5ULL);
+    CountingOracle* counting = pipeline.Push<CountingOracle>();
+    if (force_sequential) pipeline.Push<SequentialOracle>();
+    std::string payload = WideRoundWorkload(n, seed)(pipeline.top());
+    payload += " answers=" + std::to_string(counting->stats().answers);
+    return payload;
+  };
+  AsyncOracle parallel_backend(compiled, &executor);
+  AsyncOracle inline_backend(compiled, nullptr);
+  EXPECT_EQ(run(&parallel_backend, false), run(&inline_backend, true))
+      << "n=" << n << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PipelineDifferentialTest,
+    ::testing::Combine(::testing::Values(8, 16, 64),
+                       ::testing::Range<uint64_t>(0, 5)));
+
+// The pipeline must compose the same stack QuerySession used to hand-wire:
+// same stats, hits and transcript as the legacy harness RunStack above.
+TEST(PipelineCompositionTest, MatchesHandWiredStack) {
+  Query target = RandomRp(8, 21);
+  Workload workload = RpWorkload(8);
+  RunRecord hand = RunStack(
+      [&] { return std::make_unique<QueryOracle>(target); }, workload,
+      /*force_sequential=*/false);
+  QueryOracle backend(target);
+  RunRecord piped = RunPipelineStack(&backend, workload,
+                                     /*force_sequential=*/false);
+  ExpectRecordsEqual(piped, hand, "pipeline vs hand-wired");
+}
+
+// ---------------------------------------------------------------------------
 // Replay: batches spanning the recorded-prefix boundary must replay the
 // matching prefix and forward exactly the tail, as the sequential path does.
 
@@ -443,10 +586,12 @@ TEST(ReplayBatchTest, BatchSpanningPrefixBoundaryMatchesSequential) {
     MembershipOracle* top = force_sequential
                                 ? static_cast<MembershipOracle*>(&sequential)
                                 : &replay;
-    std::vector<bool> answers;
-    top->IsAnswerBatch(batch, &answers);
+    BitVec answers;
+    top->IsAnswerBatch(batch, answers.Prepare(batch.size()));
     std::string payload;
-    for (bool a : answers) payload += a ? '1' : '0';
+    for (size_t i = 0; i < batch.size(); ++i) {
+      payload += answers.Get(i) ? '1' : '0';
+    }
     payload += " replayed=" + std::to_string(replay.replayed()) +
                " asked=" + std::to_string(replay.asked()) +
                " fresh=" + std::to_string(counting.stats().questions);

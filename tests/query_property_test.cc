@@ -197,8 +197,8 @@ TEST_P(QueryPropertyTest, CachingOracleBatchForwardsOnlyUniqueMisses) {
 
   int64_t inner_before = counting.stats().questions;
   int64_t rounds_before = counting.stats().rounds;
-  std::vector<bool> answers;
-  caching.IsAnswerBatch(batch, &answers);
+  BitVec answers;
+  caching.IsAnswerBatch(batch, answers.Prepare(batch.size()));
 
   EXPECT_EQ(counting.stats().questions - inner_before, expected_misses)
       << "the wrapped oracle must see each unseen question exactly once";
@@ -206,11 +206,11 @@ TEST_P(QueryPropertyTest, CachingOracleBatchForwardsOnlyUniqueMisses) {
       << "all forwarded misses must share one round";
   ASSERT_EQ(answers.size(), batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
-    EXPECT_EQ(answers[i], q.Evaluate(batch[i])) << "question " << i;
+    EXPECT_EQ(answers.Get(i), q.Evaluate(batch[i])) << "question " << i;
   }
   // Re-asking the whole batch forwards nothing.
   int64_t inner_after = counting.stats().questions;
-  caching.IsAnswerBatch(batch, &answers);
+  caching.IsAnswerBatch(batch, answers.Prepare(batch.size()));
   EXPECT_EQ(counting.stats().questions, inner_after);
 }
 

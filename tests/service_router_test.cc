@@ -1,0 +1,365 @@
+// The concurrent session service: Executor, CompiledQueryCache and
+// SessionRouter.
+//
+// The load-bearing property is determinism under concurrency: a session's
+// transcript depends only on its own job sequence, never on scheduling.
+// The stress tests drive 8–64 concurrent sessions over mixed
+// learn/verify/revise workloads on a multi-lane router and assert every
+// per-session observable equals a single-threaded replay of the same jobs.
+// Run under the tsan preset in CI.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/core/normalize.h"
+#include "src/core/random_query.h"
+#include "src/learn/pac.h"
+#include "src/oracle/pipeline.h"
+#include "src/session/router.h"
+#include "src/util/executor.h"
+
+namespace qhorn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Executor.
+
+TEST(ExecutorTest, ParallelForCoversTheRangeExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    Executor executor(threads);
+    EXPECT_EQ(executor.concurrency(), threads);
+    std::vector<std::atomic<int>> hits(1000);
+    executor.ParallelFor(1000, 64, [&](size_t begin, size_t end) {
+      if (begin != 1000) {
+        EXPECT_EQ(begin % 64, 0u) << "shard boundaries must be grain-aligned";
+      }
+      for (size_t i = begin; i < end; ++i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ExecutorTest, ParallelForHandlesEmptyAndTinyRanges) {
+  Executor executor(4);
+  int calls = 0;
+  executor.ParallelFor(0, 64, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> sum{0};
+  executor.ParallelFor(3, 64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) sum.fetch_add(static_cast<int>(i));
+  });
+  EXPECT_EQ(sum.load(), 0 + 1 + 2);
+}
+
+TEST(ExecutorTest, NestedParallelForDoesNotDeadlock) {
+  Executor executor(4);
+  std::atomic<int> total{0};
+  // Every outer shard issues an inner loop on the same pool; with all
+  // lanes blocked in outer waits, progress depends on the waiters
+  // draining helper tasks.
+  executor.ParallelFor(8, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      executor.ParallelFor(256, 64, [&](size_t b, size_t e) {
+        total.fetch_add(static_cast<int>(e - b), std::memory_order_relaxed);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 8 * 256);
+}
+
+TEST(ExecutorTest, PostRunsInlineAtConcurrencyOne) {
+  Executor executor(1);
+  bool ran = false;
+  executor.Post([&] { ran = true; });
+  EXPECT_TRUE(ran) << "a 1-lane executor is synchronous";
+}
+
+TEST(ExecutorTest, QhornThreadsOverridesDefaultConcurrency) {
+  // The override is read per call, so the test can set it temporarily.
+  setenv("QHORN_THREADS", "3", /*overwrite=*/1);
+  EXPECT_EQ(Executor::DefaultConcurrency(), 3);
+  setenv("QHORN_THREADS", "not-a-number", 1);
+  EXPECT_GE(Executor::DefaultConcurrency(), 1);
+  unsetenv("QHORN_THREADS");
+  EXPECT_GE(Executor::DefaultConcurrency(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel EvaluateAll: sharded verdicts must equal inline verdicts.
+
+TEST(ParallelEvaluateAllTest, ShardedEqualsInline) {
+  Rng rng(11);
+  RpOptions qopts;
+  qopts.num_heads = 2;
+  qopts.theta = 2;
+  qopts.num_conjunctions = 3;
+  Query q = RandomRolePreserving(16, rng, qopts);
+  CompiledQuery compiled(q);
+  size_t count = 2 * CompiledQuery::kParallelRoundCutover + 101;
+  std::vector<TupleSet> objects;
+  for (size_t i = 0; i < count; ++i) {
+    objects.push_back(RandomObject(16, rng, 8));
+  }
+  BitVec inline_bits;
+  compiled.EvaluateAll(objects, inline_bits.Prepare(count), nullptr);
+  Executor executor(4);
+  BitVec parallel_bits;
+  compiled.EvaluateAll(objects, parallel_bits.Prepare(count), &executor);
+  for (size_t i = 0; i < count; ++i) {
+    ASSERT_EQ(parallel_bits.Get(i), inline_bits.Get(i)) << "object " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CompiledQueryCache.
+
+TEST(CompiledQueryCacheTest, EquivalentQueriesShareOneCompile) {
+  CompiledQueryCache cache;
+  // R3: ∃x1x3 absorbs the implied head x2, so these two queries share a
+  // canonical form and must share one compiled entry.
+  Query a = Query::Parse("∀x1→x2 ∃x1x3", 3);
+  Query b = Query::Parse("∀x1→x2 ∃x1x2x3", 3);
+  ASSERT_TRUE(Equivalent(a, b));
+  auto ca = cache.Get(a, EvalOptions());
+  auto cb = cache.Get(b, EvalOptions());
+  EXPECT_EQ(ca.get(), cb.get());
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+TEST(CompiledQueryCacheTest, GuaranteeModesDoNotAlias) {
+  CompiledQueryCache cache;
+  // Relaxed evaluation ignores guarantee clauses, so the two modes answer
+  // differently for this query ({} is an answer iff guarantees are off) —
+  // they must compile separately.
+  Query q = Query::Parse("∀x1→x2", 2);
+  EvalOptions strict;
+  EvalOptions relaxed;
+  relaxed.require_guarantees = false;
+  auto cs = cache.Get(q, strict);
+  auto cr = cache.Get(q, relaxed);
+  EXPECT_NE(cs.get(), cr.get());
+  TupleSet empty;
+  EXPECT_FALSE(cs->Evaluate(empty));
+  EXPECT_TRUE(cr->Evaluate(empty));
+
+  // Equal *strict* canonical forms are not enough under relaxed
+  // semantics: ∀x1→x2 and ∀x1→x2 ∃x1x2 are strictly equivalent (the
+  // explicit conjunction is the guarantee clause), yet differ relaxed —
+  // the relaxed key must separate them.
+  Query e = Query::Parse("∀x1→x2 ∃x1x2", 2);
+  ASSERT_TRUE(Equivalent(q, e));  // strict-mode semantic equivalence
+  auto ce = cache.Get(e, relaxed);
+  EXPECT_NE(cr.get(), ce.get());
+  EXPECT_FALSE(ce->Evaluate(empty));
+}
+
+TEST(CompiledQueryCacheTest, CachedCompileAnswersLikeAFreshOne) {
+  CompiledQueryCache cache;
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    RpOptions opts;
+    opts.num_heads = 1 + static_cast<int>(rng.Range(0, 1));
+    opts.theta = 2;
+    opts.num_conjunctions = 2;
+    Query q = RandomRolePreserving(8, rng, opts);
+    auto shared = cache.Get(q, EvalOptions());
+    CompiledQuery fresh(q);
+    for (int j = 0; j < 50; ++j) {
+      TupleSet object = RandomObject(8, rng, 6);
+      ASSERT_EQ(shared->Evaluate(object), fresh.Evaluate(object))
+          << q.ToString() << " on " << object.ToString(8);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SessionRouter: ordering, stats, aggregate behaviour.
+
+TEST(SessionRouterTest, JobsOfOneSessionRunInSubmissionOrder) {
+  SessionRouter::Options opts;
+  opts.threads = 4;
+  SessionRouter router(opts);
+  Query target = Query::Parse("∀x1x2→x4 ∃x3", 4);
+  SessionRouter::SessionId id = router.OpenSimulated(target);
+  std::vector<int> order;
+  std::mutex order_mutex;
+  for (int i = 0; i < 16; ++i) {
+    router.Submit(id, [i, &order, &order_mutex](QuerySession&) {
+      std::lock_guard<std::mutex> lock(order_mutex);
+      order.push_back(i);
+    });
+  }
+  router.Drain();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SessionRouterTest, LearnVerifyReviseAcrossSessions) {
+  SessionRouter::Options opts;
+  opts.threads = 4;
+  SessionRouter router(opts);
+  Query target = Query::Parse("∀x1x2→x5 ∃x3x4", 5);
+  std::vector<SessionRouter::SessionId> ids;
+  for (int s = 0; s < 12; ++s) {
+    ids.push_back(router.OpenSimulated(target));
+  }
+  for (size_t s = 0; s < ids.size(); ++s) {
+    switch (s % 3) {
+      case 0:
+        router.SubmitLearn(ids[s]);
+        break;
+      case 1:
+        router.SubmitVerify(ids[s], target);
+        break;
+      default:
+        router.SubmitRevise(ids[s], Query::Parse("∀x1x2→x5 ∃x3x4x5", 5));
+        break;
+    }
+  }
+  router.Drain();
+  ServiceStats stats = router.stats();
+  EXPECT_EQ(stats.sessions, 12);
+  EXPECT_EQ(stats.jobs, 12);
+  EXPECT_EQ(stats.learns, 4);
+  EXPECT_EQ(stats.verifies, 4);
+  EXPECT_EQ(stats.revisions, 4);
+  EXPECT_EQ(stats.compiled_misses, 1) << "12 sessions share one compile";
+  EXPECT_EQ(stats.compiled_hits, 11);
+  EXPECT_GT(stats.questions, 0);
+  EXPECT_GT(stats.rounds, 0);
+  for (SessionRouter::SessionId id : ids) {
+    ASSERT_TRUE(router.session(id).current_query().has_value());
+    EXPECT_TRUE(Equivalent(*router.session(id).current_query(), target));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The stress test (the router's contract): per-session transcripts under a
+// many-lane router equal their single-threaded replays, job for job.
+
+struct SessionPlan {
+  Query target;
+  // 0 = learn, 1 = verify(correct), 2 = verify(wrong), 3 = revise(close).
+  std::vector<int> jobs;
+  Query wrong;
+  Query close;
+};
+
+SessionPlan MakePlan(int n, uint64_t seed) {
+  Rng rng(seed);
+  RpOptions opts;
+  opts.num_heads = static_cast<int>(rng.Range(0, 2));
+  opts.theta = 2;
+  opts.num_conjunctions = static_cast<int>(rng.Range(1, 3));
+  opts.conj_size_max = std::min(4, n);
+  SessionPlan plan;
+  plan.target = RandomRolePreserving(n, rng, opts);
+  plan.wrong = RandomRolePreserving(n, rng, opts);
+  plan.close = plan.target;  // revise from the target itself: quick + valid
+  size_t job_count = 1 + static_cast<size_t>(rng.Range(0, 2));
+  plan.jobs.push_back(0);  // always start with a learn
+  for (size_t j = 1; j < job_count; ++j) {
+    plan.jobs.push_back(static_cast<int>(rng.Range(0, 3)));
+  }
+  return plan;
+}
+
+void SubmitPlan(SessionRouter& router, SessionRouter::SessionId id,
+                const SessionPlan& plan) {
+  for (int job : plan.jobs) {
+    switch (job) {
+      case 0:
+        router.SubmitLearn(id);
+        break;
+      case 1:
+        router.SubmitVerify(id, plan.target);
+        break;
+      case 2:
+        router.SubmitVerify(id, plan.wrong);
+        break;
+      default:
+        router.SubmitRevise(id, plan.close);
+        break;
+    }
+  }
+}
+
+std::string SessionFingerprint(QuerySession& session) {
+  std::string out;
+  out += "q=" + std::to_string(session.questions_asked());
+  out += " rounds=" + std::to_string(session.rounds());
+  out += " hits=" + std::to_string(session.cache_hits());
+  out += " batched=" + std::to_string(session.oracle_stats().batched_questions);
+  if (session.current_query().has_value()) {
+    out += " current=" + session.current_query()->ToString();
+  }
+  out += "\n";
+  for (const TranscriptEntry& e : session.history()) {
+    out += std::to_string(e.round) + ":" + e.question.ToString(session.n());
+    out += e.response ? "+" : "-";
+    out += "\n";
+  }
+  return out;
+}
+
+class RouterStressTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RouterStressTest, TranscriptsEqualSingleThreadedReplay) {
+  auto [sessions, threads] = GetParam();
+  int n = 8;
+
+  std::vector<SessionPlan> plans;
+  for (int s = 0; s < sessions; ++s) {
+    plans.push_back(MakePlan(n, 1000 + static_cast<uint64_t>(s)));
+  }
+
+  auto run = [&](int lanes) {
+    std::vector<std::string> fingerprints;
+    SessionRouter::Options opts;
+    opts.threads = lanes;
+    SessionRouter router(opts);
+    std::vector<SessionRouter::SessionId> ids;
+    for (int s = 0; s < sessions; ++s) {
+      ids.push_back(router.OpenSimulated(plans[static_cast<size_t>(s)].target));
+    }
+    for (int s = 0; s < sessions; ++s) {
+      SubmitPlan(router, ids[static_cast<size_t>(s)],
+                 plans[static_cast<size_t>(s)]);
+    }
+    router.Drain();
+    for (int s = 0; s < sessions; ++s) {
+      fingerprints.push_back(
+          SessionFingerprint(router.session(ids[static_cast<size_t>(s)])));
+    }
+    return fingerprints;
+  };
+
+  std::vector<std::string> concurrent = run(threads);
+  std::vector<std::string> replay = run(1);
+  ASSERT_EQ(concurrent.size(), replay.size());
+  for (size_t s = 0; s < concurrent.size(); ++s) {
+    EXPECT_EQ(concurrent[s], replay[s])
+        << "session " << s << " diverged under " << threads << " lanes";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RouterStressTest,
+    ::testing::Values(std::make_tuple(8, 4), std::make_tuple(16, 4),
+                      std::make_tuple(32, 8), std::make_tuple(64, 8)));
+
+}  // namespace
+}  // namespace qhorn

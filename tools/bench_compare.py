@@ -32,6 +32,20 @@ HEADLINE_PAIRS = [
     ("BM_HornClosureChain/64", "BM_HornClosureChainLegacy/64"),
     ("BM_OracleBatchBatched/16", "BM_OracleBatchSequential/16"),
     ("BM_OracleBatchBatched/256", "BM_OracleBatchSequential/256"),
+    # One-question rounds must stay within noise of a plain IsAnswer — the
+    # contract that let the learners drop their singleton short-circuits.
+    ("BM_OracleBatchBatched/1", "BM_OracleBatchSequential/1"),
+    # Concurrency pairs: the identical round / fleet on the executor vs one
+    # lane, compared on *wall-clock* (the work runs on pool threads, so the
+    # benchmark thread's cpu_time under-counts — these benchmarks use
+    # UseRealTime and load_times() reads real_time for them). The upside is
+    # machine-dependent (a 1-core runner measures ~1.0×), so the ratio gate
+    # only guards against the parallel path *regressing* relative to the
+    # committed reference machine's ratio.
+    ("BM_OracleBatchParallel/4096/real_time", "BM_OracleBatchBatched/4096"),
+    ("BM_ServiceThroughput/16/real_time", "BM_ServiceSequential/16/real_time"),
+    # Canonical-form dedup: hashed CanonicalForm keys vs ToString() keys.
+    ("BM_CanonicalDedup/64", "BM_CanonicalDedupLegacy/64"),
 ]
 
 # Benchmarks whose absolute time is also checked under --absolute (the
@@ -45,20 +59,50 @@ ABSOLUTE_HEADLINES = [
 ]
 
 
-def load_times(path):
-    """name -> median cpu_time over repetitions (robust to a noisy rep)."""
+# Pairs whose ratio depends on effective parallelism (the executor can
+# only beat one lane when it has more than one). They are compared only
+# when reference and candidate agree on both num_cpus and the benchmark's
+# own "lanes" counter (which tracks QHORN_THREADS) — otherwise a baseline
+# recorded wide would fail a narrower runner spuriously, and a 1-lane
+# baseline would gate nothing while pretending to.
+CONCURRENCY_DEPENDENT = {
+    "BM_OracleBatchParallel/4096/real_time",
+    "BM_ServiceThroughput/16/real_time",
+}
+
+
+def load_doc(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
-            doc = json.load(f)
+            return json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+
+
+def load_times(doc):
+    """name -> median time over repetitions (robust to a noisy rep)."""
     samples = {}
     for b in doc.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
             continue
-        samples.setdefault(b["name"], []).append(float(b["cpu_time"]))
+        # Benchmarks registered with UseRealTime (the concurrency pairs)
+        # carry a /real_time name suffix; wall-clock is their meaningful
+        # metric — the work happens on pool threads.
+        metric = "real_time" if b["name"].endswith("/real_time") else "cpu_time"
+        samples.setdefault(b["name"], []).append(float(b[metric]))
     return {name: statistics.median(ts) for name, ts in samples.items()}
+
+
+def load_lanes(doc):
+    """name -> the benchmark's self-reported 'lanes' counter, if any."""
+    lanes = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        if "lanes" in b:
+            lanes[b["name"]] = b["lanes"]
+    return lanes
 
 
 def pair_speedup(times, fast, slow):
@@ -88,12 +132,28 @@ def main():
     )
     args = parser.parse_args()
 
-    ref = load_times(args.reference)
-    cand = load_times(args.candidate)
+    ref_doc = load_doc(args.reference)
+    cand_doc = load_doc(args.candidate)
+    ref = load_times(ref_doc)
+    cand = load_times(cand_doc)
+    ref_lanes = load_lanes(ref_doc)
+    cand_lanes = load_lanes(cand_doc)
+    ref_cpus = ref_doc.get("context", {}).get("num_cpus")
+    cand_cpus = cand_doc.get("context", {}).get("num_cpus")
     failures = []
     checked = 0
 
     for fast, slow in HEADLINE_PAIRS:
+        if fast in CONCURRENCY_DEPENDENT and (
+            ref_cpus != cand_cpus
+            or ref_lanes.get(fast) != cand_lanes.get(fast)
+        ):
+            print(
+                f"{'skipped':>10}  {fast:<34} concurrency-dependent pair "
+                f"(reference {ref_cpus} cpus / {ref_lanes.get(fast)} lanes, "
+                f"candidate {cand_cpus} / {cand_lanes.get(fast)})"
+            )
+            continue
         ref_speedup = pair_speedup(ref, fast, slow)
         cand_speedup = pair_speedup(cand, fast, slow)
         if cand_speedup is None:
