@@ -6,6 +6,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/session/router.h"
+#include "src/util/bit_span.h"
 
 namespace qhorn {
 
@@ -26,6 +31,35 @@ inline int SmokeScaled(int full, int smoke) {
 /// skipped in a smoke run.
 inline bool SmokeSkip(int n, int max_smoke_n) {
   return BenchSmoke() && n > max_smoke_n;
+}
+
+/// The embedding-server loop the pending-round benchmarks drive: answer
+/// every pending round from the per-session ground truth until no session
+/// is awaiting (Drain → PendingRounds → ProvideAnswers, repeated). One
+/// definition so the gated BM_ServiceOpenSessions pair and the
+/// bench_service fleet table exercise the identical protocol. Returns the
+/// number of rounds answered.
+inline int64_t DrivePendingSessions(
+    SessionRouter& router,
+    const std::unordered_map<SessionRouter::SessionId, QueryOracle*>&
+        truth_of) {
+  int64_t answered = 0;
+  BitVec bits;
+  for (;;) {
+    router.Drain();
+    std::vector<PendingRound> rounds = router.PendingRounds();
+    if (rounds.empty()) return answered;
+    for (PendingRound& round : rounds) {
+      BitSpan span = bits.Prepare(round.questions.size());
+      truth_of.at(round.session_id)->IsAnswerBatch(round.questions, span);
+      if (router.ProvideAnswers(round.session_id, round.round_id, span) !=
+          ProvideOutcome::kResumed) {
+        std::printf("BENCH FAILED: ProvideAnswers rejected a live round\n");
+        std::exit(1);
+      }
+      ++answered;
+    }
+  }
 }
 
 inline void PrintHeader(const std::string& id, const std::string& claim) {

@@ -20,9 +20,11 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "bench/bench_domain.h"
 #include "src/core/compiled_query.h"
 #include "src/core/enumerate.h"
 #include "src/core/normalize.h"
@@ -442,6 +444,81 @@ void BM_ServiceSequential(benchmark::State& state) {
 }
 BENCHMARK(BM_ServiceSequential)
     ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Open-sessions-vs-lanes: the continuation pair. 64 sessions multiplexed
+// over a 4-lane router — 16× more open sessions than lanes. The
+// OpenSessions arm runs them as *pending* sessions: every user round
+// suspends the job (yielding the lane), the benchmark thread plays all 64
+// users through the PendingRounds()/ProvideAnswers protocol, and each
+// resume re-runs the job with the answered prefix replayed. The Direct arm
+// is the identical fleet over synchronous in-process users on the same 4
+// lanes. The ratio prices the whole continuation machinery — suspension
+// unwinds, per-resume pipeline rebuilds, quadratic prefix replay — against
+// the zero threads it parks; it is expected *below* 1× (that is the cost
+// of not pinning a thread per blocked user, paid in µs of compute against
+// the seconds of human latency it hides), and the gate only guards the
+// recorded ratio against regressing further.
+void BM_ServiceOpenSessions(benchmark::State& state) {
+  int sessions = static_cast<int>(state.range(0));
+  std::vector<Query> targets = ServiceTargets(8);
+  std::vector<std::unique_ptr<QueryOracle>> truths;
+  truths.reserve(targets.size());
+  for (const Query& q : targets) {
+    truths.push_back(std::make_unique<QueryOracle>(q));
+  }
+  for (auto _ : state) {
+    SessionRouter::Options opts;
+    opts.threads = 4;
+    SessionRouter router(opts);
+    std::unordered_map<SessionRouter::SessionId, QueryOracle*> truth_of;
+    for (int s = 0; s < sessions; ++s) {
+      SessionRouter::SessionId id = router.OpenPending(8);
+      truth_of[id] = truths[static_cast<size_t>(s) % truths.size()].get();
+      router.SubmitLearn(id);
+    }
+    benchmark::DoNotOptimize(DrivePendingSessions(router, truth_of));
+  }
+  state.SetItemsProcessed(state.iterations() * sessions);
+  state.counters["lanes"] = 4.0;
+  state.SetLabel("pending sessions: suspend/replay, zero parked threads");
+}
+// UseRealTime: the resumed jobs run on router lanes while the benchmark
+// thread alternates between Drain() and playing the users.
+BENCHMARK(BM_ServiceOpenSessions)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ServiceOpenSessionsDirect(benchmark::State& state) {
+  int sessions = static_cast<int>(state.range(0));
+  std::vector<Query> targets = ServiceTargets(8);
+  // One private synchronous user per session (Open's contract); compiled
+  // once, reused across iterations.
+  std::vector<std::unique_ptr<QueryOracle>> users;
+  users.reserve(static_cast<size_t>(sessions));
+  for (int s = 0; s < sessions; ++s) {
+    users.push_back(std::make_unique<QueryOracle>(
+        targets[static_cast<size_t>(s) % targets.size()]));
+  }
+  for (auto _ : state) {
+    SessionRouter::Options opts;
+    opts.threads = 4;
+    SessionRouter router(opts);
+    for (int s = 0; s < sessions; ++s) {
+      SessionRouter::SessionId id =
+          router.Open(8, users[static_cast<size_t>(s)].get());
+      router.SubmitLearn(id);
+    }
+    router.Drain();
+  }
+  state.SetItemsProcessed(state.iterations() * sessions);
+  state.counters["lanes"] = 4.0;
+  state.SetLabel("identical fleet, synchronous in-process users");
+}
+BENCHMARK(BM_ServiceOpenSessionsDirect)
+    ->Arg(64)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -14,7 +14,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "bench/bench_domain.h"
@@ -73,6 +75,49 @@ double RunFleet(int lanes, int sessions, const std::vector<Query>& catalogue,
   return std::chrono::duration<double>(stop - start).count();
 }
 
+// The pending-round continuation fleet: the same learn workload, but every
+// session runs over a PendingOracle — each user round suspends the job and
+// yields its lane, and this thread plays all the users through the
+// PendingRounds()/ProvideAnswers protocol. Far more open sessions than
+// lanes, zero parked threads.
+double RunPendingFleet(int lanes, int sessions,
+                       const std::vector<Query>& catalogue,
+                       ServiceStats* stats_out) {
+  std::vector<std::unique_ptr<QueryOracle>> truths;
+  truths.reserve(catalogue.size());
+  for (const Query& q : catalogue) {
+    truths.push_back(std::make_unique<QueryOracle>(q));
+  }
+  SessionRouter::Options opts;
+  opts.threads = lanes;
+  SessionRouter router(opts);
+  std::vector<SessionRouter::SessionId> ids;
+  std::vector<const Query*> targets;
+  std::unordered_map<SessionRouter::SessionId, QueryOracle*> truth_of;
+  int n = catalogue.front().n();
+  for (int s = 0; s < sessions; ++s) {
+    size_t c = static_cast<size_t>(s) % catalogue.size();
+    SessionRouter::SessionId id = router.OpenPending(n);
+    ids.push_back(id);
+    targets.push_back(&catalogue[c]);
+    truth_of[id] = truths[c].get();
+  }
+  auto start = std::chrono::steady_clock::now();
+  for (SessionRouter::SessionId id : ids) router.SubmitLearn(id);
+  DrivePendingSessions(router, truth_of);
+  auto stop = std::chrono::steady_clock::now();
+  for (int s = 0; s < sessions; ++s) {
+    QuerySession& session = router.session(ids[static_cast<size_t>(s)]);
+    if (!session.current_query().has_value() ||
+        !Equivalent(*session.current_query(), *targets[static_cast<size_t>(s)])) {
+      std::printf("SERVICE FAILED: pending session %d diverged\n", s);
+      std::exit(1);
+    }
+  }
+  if (stats_out != nullptr) *stats_out = router.stats();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
 }  // namespace
 
 int main() {
@@ -110,5 +155,29 @@ int main() {
   std::printf(
       "\nspeedup is wall-clock 1-lane / multi-lane for the identical fleet;\n"
       "compiles counts distinct compiled forms (sessions share the rest).\n");
+
+  std::printf(
+      "\npending-round continuations: N open sessions on 4 lanes, every\n"
+      "user round suspending its job (this thread plays the users via\n"
+      "PendingRounds/ProvideAnswers); 'suspensions' counts yielded lanes.\n\n");
+  TextTable pending({"n", "sessions", "lanes", "s/s", "suspensions",
+                     "questions", "wall s"});
+  for (int n : {8, 16}) {
+    if (SmokeSkip(n, 8)) continue;
+    for (int sessions : {SmokeScaled(64, 4), SmokeScaled(256, 8)}) {
+      std::vector<Query> catalogue = Catalogue(n, kDistinct);
+      ServiceStats stats;
+      double wall = RunPendingFleet(4, sessions, catalogue, &stats);
+      pending.Row()
+          .Cell(n)
+          .Cell(sessions)
+          .Cell(4)
+          .Cell(sessions / wall, 1)
+          .Cell(stats.suspensions)
+          .Cell(stats.questions)
+          .Cell(wall, 3);
+    }
+  }
+  pending.Print(std::cout);
   return 0;
 }

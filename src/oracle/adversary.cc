@@ -52,6 +52,7 @@ bool AdversaryOracle::IsAnswer(const TupleSet& question) {
 
 void AdversaryOracle::IsAnswerBatch(std::span<const TupleSet> questions,
                                     BitSpan answers) {
+  if (questions.empty()) return;  // no questions: the version space is untouched
   // Indices of the candidates consistent with the answers so far; the
   // verdicts of eliminated candidates are never computed.
   std::vector<size_t> alive(candidates_.size());

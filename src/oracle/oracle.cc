@@ -21,7 +21,11 @@ bool CountingOracle::IsAnswer(const TupleSet& question) {
 
 void CountingOracle::IsAnswerBatch(std::span<const TupleSet> questions,
                                    BitSpan answers) {
-  ++stats_.rounds;
+  // Sequential equivalence: an empty batch is zero IsAnswer calls, so it
+  // counts no round — branchless, this function is on the hottest round
+  // path. (The empty forward below is harmless: every layer treats an
+  // empty round as a no-op.)
+  stats_.rounds += static_cast<int64_t>(!questions.empty());
   stats_.batched_questions += static_cast<int64_t>(questions.size());
   for (const TupleSet& q : questions) Record(q);
   inner_->IsAnswerBatch(questions, answers);
@@ -50,25 +54,46 @@ void CachingOracle::IsAnswerBatch(std::span<const TupleSet> questions,
   // unseen question exactly once, in first-occurrence order. One map probe
   // per question: the per-question cache slots are remembered (references
   // into an unordered_map survive rehashing) and patched after the inner
-  // round answers the misses.
-  miss_questions_.clear();
+  // round answers the misses. (An empty round falls through every loop: no
+  // probes, no forward.)
+  miss_indices_.clear();
   miss_slots_.clear();
   slots_.clear();
-  for (const TupleSet& q : questions) {
-    auto [it, inserted] = cache_.try_emplace(q, false);
+  bool contiguous = true;
+  for (size_t i = 0; i < questions.size(); ++i) {
+    auto [it, inserted] = cache_.try_emplace(questions[i], false);
     if (inserted) {
       ++misses_;
-      miss_questions_.push_back(q);
+      if (!miss_indices_.empty() && miss_indices_.back() + 1 != i) {
+        contiguous = false;
+      }
+      miss_indices_.push_back(i);
       miss_slots_.push_back(&it->second);
     } else {
       ++hits_;
     }
     slots_.push_back(&it->second);
   }
-  if (!miss_questions_.empty()) {
-    BitSpan miss_bits = miss_answers_.Prepare(miss_questions_.size());
-    inner_->IsAnswerBatch(miss_questions_, miss_bits);
-    for (size_t i = 0; i < miss_questions_.size(); ++i) {
+  if (!miss_indices_.empty()) {
+    BitSpan miss_bits = miss_answers_.Prepare(miss_indices_.size());
+    if (contiguous) {
+      // The misses are one run [front, back] of the caller's span: forward
+      // that subspan directly — an index-based view, no TupleSet copies no
+      // matter how wide the round. This is the hot shape: an all-fresh
+      // round is contiguous, and so is any round whose cache hits sit only
+      // at the edges.
+      inner_->IsAnswerBatch(
+          questions.subspan(miss_indices_.front(), miss_indices_.size()),
+          miss_bits);
+    } else {
+      // Hits interleaved between misses: gather the misses. The copies are
+      // confined to this cold shape (reused capacity, but each TupleSet
+      // still copies its tuple storage).
+      miss_questions_.clear();
+      for (size_t idx : miss_indices_) miss_questions_.push_back(questions[idx]);
+      inner_->IsAnswerBatch(miss_questions_, miss_bits);
+    }
+    for (size_t i = 0; i < miss_indices_.size(); ++i) {
       *miss_slots_[i] = miss_bits.Get(i);
     }
   }
@@ -89,6 +114,8 @@ bool NoisyOracle::IsAnswer(const TupleSet& question) {
 
 void NoisyOracle::IsAnswerBatch(std::span<const TupleSet> questions,
                                 BitSpan answers) {
+  // An empty round draws no noise (the loop is naturally empty) and the
+  // layers below all treat the empty forward as a no-op.
   inner_->IsAnswerBatch(questions, answers);
   for (size_t i = 0; i < questions.size(); ++i) {
     answers.Set(i, MaybeFlip(answers.Get(i)));

@@ -148,6 +148,11 @@ class CountingOracle : public MembershipOracle {
 /// tuple list. A batch forwards only its unique misses to the wrapped
 /// oracle — duplicates within a round and questions answered in earlier
 /// rounds are served from the cache, exactly as the sequential path would.
+/// When the misses form one contiguous run (the common shapes: an all-fresh
+/// round, or hits only at the edges), the forward is a subspan of the
+/// caller's own span — an index-based view, no TupleSet is copied however
+/// wide the round; only rounds with hits *interleaved between* misses fall
+/// back to gathering the misses into a scratch vector.
 class CachingOracle : public MembershipOracle {
  public:
   explicit CachingOracle(MembershipOracle* inner) : inner_(inner) {}
@@ -167,7 +172,8 @@ class CachingOracle : public MembershipOracle {
   // Round-local scratch, members so a steady-state round allocates
   // nothing. Never read across calls; safe because the inner round runs on
   // a *different* oracle object (the stack is a chain, not a cycle).
-  std::vector<TupleSet> miss_questions_;
+  std::vector<size_t> miss_indices_;
+  std::vector<TupleSet> miss_questions_;  // gather fallback only
   std::vector<bool*> miss_slots_;
   std::vector<const bool*> slots_;
   BitVec miss_answers_;

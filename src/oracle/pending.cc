@@ -1,0 +1,40 @@
+#include "src/oracle/pending.h"
+
+#include <utility>
+
+#include "src/util/suspend.h"
+
+namespace qhorn {
+
+void PendingOracle::BeginAttempt(int64_t next_round_id) {
+  next_round_id_ = next_round_id;
+  has_pending_ = false;
+  pending_ = PendingRound();
+}
+
+void PendingOracle::Suspend(std::vector<TupleSet> questions) {
+  pending_.session_id = session_id_;
+  pending_.round_id = next_round_id_;
+  pending_.questions = std::move(questions);
+  has_pending_ = true;
+  ++suspensions_;
+  throw JobSuspended();
+}
+
+bool PendingOracle::IsAnswer(const TupleSet& question) {
+  Suspend({question});
+}
+
+void PendingOracle::IsAnswerBatch(std::span<const TupleSet> questions,
+                                  BitSpan answers) {
+  (void)answers;
+  if (questions.empty()) return;
+  Suspend(std::vector<TupleSet>(questions.begin(), questions.end()));
+}
+
+PendingRound PendingOracle::TakePending() {
+  has_pending_ = false;
+  return std::move(pending_);
+}
+
+}  // namespace qhorn

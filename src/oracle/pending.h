@@ -1,0 +1,90 @@
+// PendingOracle — the real-user backend for pending-round continuations.
+//
+// Every other backend answers a round synchronously. A real user does not:
+// their answers arrive seconds to minutes later, over whatever transport
+// the embedding server uses. PendingOracle models exactly that: any round
+// reaching it is by definition "not answerable synchronously", so it
+// records the round's questions as a PendingRound{session_id, round_id,
+// questions} and throws JobSuspended (src/util/suspend.h) — the in-flight
+// job unwinds off its executor lane at the round boundary and the lane is
+// free for other sessions while this one waits for its human.
+//
+// Re-entry is by replay: once the answers arrive
+// (SessionRouter::ProvideAnswers), the accumulated answered rounds are
+// replayed at the user boundary by the existing ReplayOracle machinery and
+// the job is re-run from its start. Learners are deterministic functions
+// of the transcript, so the re-run asks the identical question sequence,
+// the replay stage serves the answered prefix without bothering the user,
+// and the first genuinely new round reaches this backend again — which
+// suspends again. The learners need zero restructuring, and the final
+// (completing) run's observables are bit-identical to a fully synchronous
+// session over the same answer sequence.
+//
+// Round ids count *user-boundary* rounds (each suspension is one round);
+// they are the resumption protocol's sequence numbers, distinct from the
+// TranscriptOracle round ids the session reports. An empty round is a
+// no-op, not a suspension — sequential equivalence says zero questions
+// mean zero user interactions.
+
+#ifndef QHORN_ORACLE_PENDING_H_
+#define QHORN_ORACLE_PENDING_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/oracle/oracle.h"
+
+namespace qhorn {
+
+/// One round of membership questions awaiting a real user's answers.
+struct PendingRound {
+  int64_t session_id = 0;  ///< the SessionRouter session that suspended
+  int64_t round_id = 0;    ///< user-boundary round sequence number
+  std::vector<TupleSet> questions;
+};
+
+/// Backend whose every (non-empty) round suspends the in-flight job.
+class PendingOracle : public MembershipOracle {
+ public:
+  PendingOracle() = default;
+
+  /// The router stamps the id after Open assigns it (no jobs can run
+  /// before Open returns, so this never races a suspension).
+  void set_session_id(int64_t id) { session_id_ = id; }
+
+  /// Called by the job runner before each (re-)run: `next_round_id` is the
+  /// number of rounds already answered — the id the next suspension will
+  /// carry. Clears any stale pending round from an abandoned attempt.
+  void BeginAttempt(int64_t next_round_id);
+
+  /// Single-question round: records it and throws JobSuspended.
+  bool IsAnswer(const TupleSet& question) override;
+
+  /// Records the round and throws JobSuspended. An empty round returns
+  /// immediately (no round, no suspension — nothing to ask a user).
+  void IsAnswerBatch(std::span<const TupleSet> questions,
+                     BitSpan answers) override;
+
+  bool has_pending() const { return has_pending_; }
+
+  /// Harvests the recorded round after catching JobSuspended.
+  PendingRound TakePending();
+
+  /// Rounds that suspended (a per-session statistic; replayed rounds never
+  /// reach this backend, so each user round counts exactly once).
+  int64_t suspensions() const { return suspensions_; }
+
+ private:
+  [[noreturn]] void Suspend(std::vector<TupleSet> questions);
+
+  int64_t session_id_ = 0;
+  int64_t next_round_id_ = 0;
+  int64_t suspensions_ = 0;
+  bool has_pending_ = false;
+  PendingRound pending_;
+};
+
+}  // namespace qhorn
+
+#endif  // QHORN_ORACLE_PENDING_H_

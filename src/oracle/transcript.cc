@@ -13,6 +13,9 @@ bool TranscriptOracle::IsAnswer(const TupleSet& question) {
 
 void TranscriptOracle::IsAnswerBatch(std::span<const TupleSet> questions,
                                      BitSpan answers) {
+  // An empty batch is zero sequential questions: no round id is consumed,
+  // nothing is recorded, and the inner oracle is not called.
+  if (questions.empty()) return;
   int64_t round = rounds_++;
   inner_->IsAnswerBatch(questions, answers);
   for (size_t i = 0; i < questions.size(); ++i) {

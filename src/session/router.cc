@@ -1,8 +1,10 @@
 #include "src/session/router.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/util/check.h"
+#include "src/util/suspend.h"
 
 namespace qhorn {
 
@@ -62,19 +64,21 @@ SessionRouter::SessionRouter(Options options) : options_(std::move(options)) {
 SessionRouter::~SessionRouter() {
   Drain();
   // Join the executor before any member is destroyed: Drain() returning
-  // only proves the last job *completed* — its runner task may still be
-  // between the completion bookkeeping and its final empty-queue check,
-  // touching session state, mutex_ and idle_cv_. ~Executor joins the
-  // workers, so after this line no runner code is in flight.
+  // only proves the last runnable job *completed* — its runner task may
+  // still be between the completion bookkeeping and its final empty-queue
+  // check, touching session state, mutex_ and idle_cv_. ~Executor joins
+  // the workers, so after this line no runner code is in flight.
   executor_.reset();
 }
 
 SessionRouter::SessionId SessionRouter::OpenInternal(
     int n, MembershipOracle* user,
-    std::unique_ptr<MembershipOracle> owned_backend) {
+    std::unique_ptr<MembershipOracle> owned_backend,
+    PendingOracle* pending_backend) {
   auto state = std::make_unique<SessionState>();
   state->session = std::make_unique<QuerySession>(n, user, options_.session);
   state->owned_backend = std::move(owned_backend);
+  state->pending_backend = pending_backend;
   std::lock_guard<std::mutex> lock(mutex_);
   SessionId id = next_id_++;
   sessions_.emplace(id, std::move(state));
@@ -83,7 +87,7 @@ SessionRouter::SessionId SessionRouter::OpenInternal(
 
 SessionRouter::SessionId SessionRouter::Open(int n, MembershipOracle* user) {
   QHORN_CHECK(user != nullptr);
-  return OpenInternal(n, user, nullptr);
+  return OpenInternal(n, user, nullptr, nullptr);
 }
 
 SessionRouter::SessionId SessionRouter::OpenSimulated(const Query& intended,
@@ -91,7 +95,17 @@ SessionRouter::SessionId SessionRouter::OpenSimulated(const Query& intended,
   auto backend = std::make_unique<AsyncOracle>(
       compiled_cache_.Get(intended, opts), executor_.get());
   MembershipOracle* user = backend.get();
-  return OpenInternal(intended.n(), user, std::move(backend));
+  return OpenInternal(intended.n(), user, std::move(backend), nullptr);
+}
+
+SessionRouter::SessionId SessionRouter::OpenPending(int n) {
+  auto backend = std::make_unique<PendingOracle>();
+  PendingOracle* pending = backend.get();
+  SessionId id = OpenInternal(n, pending, std::move(backend), pending);
+  // Safe after the fact: the caller cannot Submit before OpenPending
+  // returns, so no round can suspend carrying the unset id.
+  pending->set_session_id(id);
+  return id;
 }
 
 SessionRouter::SessionState* SessionRouter::FindSession(SessionId id) {
@@ -100,32 +114,76 @@ SessionRouter::SessionState* SessionRouter::FindSession(SessionId id) {
   return it->second.get();
 }
 
-void SessionRouter::Submit(SessionId id, Job job) {
+void SessionRouter::CompleteJob(JobKind kind) {
+  ++jobs_done_;
+  switch (kind) {
+    case JobKind::kLearn:
+      ++learns_;
+      break;
+    case JobKind::kVerify:
+      ++verifies_;
+      break;
+    case JobKind::kRevise:
+      ++revisions_;
+      break;
+    case JobKind::kOther:
+      break;
+  }
+}
+
+bool SessionRouter::Submit(SessionId id, Job job) {
+  return SubmitInternal(id, std::move(job), JobKind::kOther);
+}
+
+bool SessionRouter::SubmitInternal(SessionId id, Job job, JobKind kind) {
   QHORN_CHECK(job != nullptr);
   SessionState* state = nullptr;
   bool start_runner = false;
+  bool pending = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    state = FindSession(id);
-    state->queue.push_back(std::move(job));
-    ++active_jobs_;
-    if (!state->running) {
-      state->running = true;
-      start_runner = true;
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return false;
+    state = it->second.get();
+    if (state->closed) return false;
+    pending = state->pending_backend != nullptr;
+    if (pending) {
+      state->job_log.push_back(JobRecord{std::move(job), kind});
+      // A session blocked on its user cannot progress: the job waits in
+      // the log, uncounted, until ProvideAnswers makes it runnable.
+      if (!state->awaiting) {
+        ++runnable_jobs_;
+        if (!state->running) {
+          state->running = true;
+          start_runner = true;
+        }
+      }
+    } else {
+      state->queue.push_back(JobRecord{std::move(job), kind});
+      ++runnable_jobs_;
+      if (!state->running) {
+        state->running = true;
+        start_runner = true;
+      }
     }
   }
   // Post outside the lock: at concurrency 1 the executor runs the task
   // inline, and the runner re-acquires the mutex.
   if (start_runner) {
-    executor_->Post([this, state] { RunSession(state); });
+    if (pending) {
+      executor_->Post([this, state] { RunPendingSession(state); });
+    } else {
+      executor_->Post([this, state] { RunSession(state); });
+    }
   }
+  return true;
 }
 
 void SessionRouter::RunSession(SessionState* state) {
   // The runner owns the session until its queue drains; other sessions'
   // runners proceed in parallel on other lanes.
   for (;;) {
-    Job job;
+    JobRecord job;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (state->queue.empty()) {
@@ -135,44 +193,219 @@ void SessionRouter::RunSession(SessionState* state) {
       job = std::move(state->queue.front());
       state->queue.pop_front();
     }
-    job(*state->session);
+    job.fn(*state->session);
     bool idle = false;
+    bool finished = false;
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      ++jobs_done_;
-      idle = --active_jobs_ == 0;
+      CompleteJob(job.kind);
+      // Release ownership in the same critical section that lets Drain
+      // return: a drained router must already report every session idle.
+      if (state->queue.empty()) {
+        state->running = false;
+        finished = true;
+      }
+      idle = --runnable_jobs_ == 0;
     }
     if (idle) idle_cv_.notify_all();
+    if (finished) return;
   }
 }
 
-void SessionRouter::SubmitLearn(SessionId id) {
-  Submit(id, [this](QuerySession& session) {
-    session.Learn();
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++learns_;
-  });
+void SessionRouter::RunPendingSession(SessionState* state) {
+  // One iteration = one *attempt*: rebuild the session's pipeline with the
+  // answered rounds replayed at the user boundary, then re-run the job log
+  // from the start. Fresh decorators re-record everything, so the attempt
+  // that finally completes a job leaves observables bit-identical to a
+  // synchronous run; learners ask the identical question sequence, the
+  // replay stage serves the answered prefix, and the first unanswered
+  // round suspends the attempt. The replayed compute is µs-scale against
+  // the human latency that forced the suspension.
+  for (;;) {
+    int64_t next_round = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (state->jobs_completed >= state->job_log.size()) {
+        state->running = false;
+        return;
+      }
+      next_round = state->answered_rounds;
+    }
+    // Copying the answered transcript can be O(session lifetime); do it
+    // outside the router-wide mutex. Safe unlocked: answered_entries only
+    // mutates in ProvideAnswers, which requires awaiting == true, and
+    // this runner owns the session (awaiting stays false) until it
+    // suspends — the lock above orders this read after the resume's
+    // writes.
+    std::vector<TranscriptEntry> prefix = state->answered_entries;
+    state->session->ResetWithUserReplay(std::move(prefix));
+    state->pending_backend->BeginAttempt(next_round);
+    bool suspended = false;
+    try {
+      for (size_t i = 0;; ++i) {
+        JobRecord job;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          if (i >= state->job_log.size()) break;
+          job = state->job_log[i];  // copy: re-runs reuse the log
+        }
+        job.fn(*state->session);
+        bool idle = false;
+        bool finished = false;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          // Jobs below jobs_completed are replays of already-counted
+          // completions; only the frontier job completes for the first
+          // time here.
+          if (i == state->jobs_completed) {
+            ++state->jobs_completed;
+            CompleteJob(job.kind);
+            // Release ownership in the same critical section that lets
+            // Drain return, so a drained router reports the session idle.
+            if (state->jobs_completed >= state->job_log.size()) {
+              state->running = false;
+              finished = true;
+            }
+            idle = --runnable_jobs_ == 0;
+          }
+        }
+        if (idle) idle_cv_.notify_all();
+        if (finished) return;
+      }
+    } catch (const JobSuspended&) {
+      suspended = true;
+    }
+    if (suspended) {
+      bool idle = false;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++state->suspensions;
+        ++suspensions_;
+        // Everything this session still owes can no longer progress
+        // without the user; Drain must not wait for it.
+        runnable_jobs_ -= static_cast<int64_t>(state->job_log.size() -
+                                               state->jobs_completed);
+        idle = runnable_jobs_ == 0;
+        if (state->closed) {
+          // Closed mid-run: abandon the round; the session never resumes.
+          (void)state->pending_backend->TakePending();
+        } else {
+          state->pending_round = state->pending_backend->TakePending();
+          state->awaiting = true;
+        }
+        state->running = false;
+      }
+      if (idle) idle_cv_.notify_all();
+      return;  // ← the lane is free while the user thinks
+    }
+  }
 }
 
-void SessionRouter::SubmitVerify(SessionId id, Query candidate) {
-  Submit(id, [this, candidate = std::move(candidate)](QuerySession& session) {
-    session.Verify(candidate);
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++verifies_;
-  });
+bool SessionRouter::SubmitLearn(SessionId id) {
+  return SubmitInternal(
+      id, [](QuerySession& session) { session.Learn(); }, JobKind::kLearn);
 }
 
-void SessionRouter::SubmitRevise(SessionId id, Query candidate) {
-  Submit(id, [this, candidate = std::move(candidate)](QuerySession& session) {
-    session.Revise(candidate);
+bool SessionRouter::SubmitVerify(SessionId id, Query candidate) {
+  return SubmitInternal(
+      id,
+      [candidate = std::move(candidate)](QuerySession& session) {
+        session.Verify(candidate);
+      },
+      JobKind::kVerify);
+}
+
+bool SessionRouter::SubmitRevise(SessionId id, Query candidate) {
+  return SubmitInternal(
+      id,
+      [candidate = std::move(candidate)](QuerySession& session) {
+        session.Revise(candidate);
+      },
+      JobKind::kRevise);
+}
+
+std::vector<PendingRound> SessionRouter::PendingRounds() {
+  std::vector<PendingRound> rounds;
+  {
     std::lock_guard<std::mutex> lock(mutex_);
-    ++revisions_;
-  });
+    for (const auto& [id, state] : sessions_) {
+      if (state->awaiting) rounds.push_back(*state->pending_round);
+    }
+  }
+  std::sort(rounds.begin(), rounds.end(),
+            [](const PendingRound& a, const PendingRound& b) {
+              return a.session_id < b.session_id;
+            });
+  return rounds;
+}
+
+ProvideOutcome SessionRouter::ProvideAnswers(SessionId id, int64_t round_id,
+                                             BitSpan answers) {
+  SessionState* state = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return ProvideOutcome::kUnknownSession;
+    state = it->second.get();
+    if (state->closed) return ProvideOutcome::kSessionClosed;
+    if (!state->awaiting) return ProvideOutcome::kNotAwaiting;
+    PendingRound& round = *state->pending_round;
+    if (round_id != round.round_id) return ProvideOutcome::kStaleRound;
+    if (answers.size() != round.questions.size()) {
+      return ProvideOutcome::kAnswerCountMismatch;
+    }
+    // Accepted: fold the answered round into the user-boundary transcript
+    // and make the session runnable again.
+    for (size_t i = 0; i < round.questions.size(); ++i) {
+      state->answered_entries.push_back(TranscriptEntry{
+          std::move(round.questions[i]), answers.Get(i), round.round_id});
+    }
+    ++state->answered_rounds;
+    state->pending_round.reset();
+    state->awaiting = false;
+    runnable_jobs_ += static_cast<int64_t>(state->job_log.size() -
+                                           state->jobs_completed);
+    state->running = true;
+  }
+  executor_->Post([this, state] { RunPendingSession(state); });
+  return ProvideOutcome::kResumed;
+}
+
+bool SessionRouter::Close(SessionId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  SessionState* state = it->second.get();
+  if (state->closed) return false;
+  state->closed = true;
+  if (state->awaiting) {
+    // The user will never answer; abandon the round. The session's
+    // uncompleted jobs were uncounted at suspension, so nothing waits.
+    state->pending_round.reset();
+    state->awaiting = false;
+  }
+  return true;
+}
+
+std::optional<SessionStatus> SessionRouter::status(SessionId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return std::nullopt;
+  const SessionState* state = it->second.get();
+  if (state->awaiting) return SessionStatus::kAwaitingUser;
+  if (state->running || !state->queue.empty()) return SessionStatus::kRunning;
+  return SessionStatus::kIdle;
+}
+
+int64_t SessionRouter::suspensions(SessionId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? -1 : it->second->suspensions;
 }
 
 void SessionRouter::Drain() {
   std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return active_jobs_ == 0; });
+  idle_cv_.wait(lock, [this] { return runnable_jobs_ == 0; });
 }
 
 QuerySession& SessionRouter::session(SessionId id) {
@@ -182,19 +415,21 @@ QuerySession& SessionRouter::session(SessionId id) {
 
 ServiceStats SessionRouter::stats() {
   std::lock_guard<std::mutex> lock(mutex_);
-  QHORN_CHECK_MSG(active_jobs_ == 0, "stats() requires an idle router");
+  QHORN_CHECK_MSG(runnable_jobs_ == 0, "stats() requires an idle router");
   ServiceStats stats;
   stats.sessions = static_cast<int64_t>(sessions_.size());
   stats.jobs = jobs_done_;
   stats.learns = learns_;
   stats.verifies = verifies_;
   stats.revisions = revisions_;
+  stats.suspensions = suspensions_;
   for (const auto& [id, state] : sessions_) {
     const OracleStats& os = state->session->oracle_stats();
     stats.questions += os.questions;
     stats.batched_questions += os.batched_questions;
     stats.rounds += state->session->rounds();
     stats.cache_hits += state->session->cache_hits();
+    if (state->awaiting) ++stats.awaiting_sessions;
   }
   stats.compiled_hits = compiled_cache_.hits();
   stats.compiled_misses = compiled_cache_.misses();

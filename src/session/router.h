@@ -16,14 +16,34 @@
 //     queries compile each query once — and their AsyncOracle backends
 //     additionally shard large rounds across the same executor.
 //
-// Determinism contract: a session's observable history depends only on its
-// own job sequence, never on scheduling — per-session transcripts are
-// bit-identical to a single-threaded replay of the same jobs
-// (tests/service_router_test.cc stresses this with 8–64 sessions).
+// Pending-round continuations (OpenPending): a *real* user answers with
+// seconds-to-minutes latency, so a session blocked on one must not pin a
+// lane. Sessions opened with OpenPending run over a PendingOracle backend:
+// the first round that needs the user records a PendingRound and unwinds
+// the job (JobSuspended, src/util/suspend.h) — the lane is released the
+// moment the unwind reaches the runner, so 256 sessions all blocked on
+// users occupy zero threads. The embedding server polls PendingRounds()
+// (or renders them as they appear), collects the user's labels, and calls
+// ProvideAnswers(id, round_id, answers); the router then re-runs the
+// session's jobs with every answered round replayed at the user boundary
+// (ReplayOracle) — learners are deterministic functions of the transcript,
+// so the re-run reaches the next live round without asking anything twice.
+// Re-running the replayed prefix costs microseconds of compute against the
+// seconds of user latency that forced the suspension.
 //
-// An embedding server plugs a real user in by implementing
-// MembershipOracle (pose the round to the user, return their labels) and
-// passing it to Open(); everything else is unchanged.
+// Determinism contract (unchanged by continuations): a session's
+// observable history depends only on its own job sequence and answer
+// sequence, never on scheduling or on how often it suspended — after the
+// final resume, per-session transcripts, statistics and learned queries
+// are bit-identical to a fully synchronous single-threaded run of the
+// same jobs over the same answers (tests/service_router_test.cc and
+// tests/continuation_stress_test.cc stress this with up to 256 sessions).
+//
+// An embedding server has two ways to plug a real user in: synchronously,
+// by implementing MembershipOracle (pose the round, block for the labels)
+// and passing it to Open(); or asynchronously via OpenPending and the
+// PendingRounds()/ProvideAnswers protocol above — the only choice that
+// scales past one blocked thread per waiting user.
 
 #ifndef QHORN_SESSION_ROUTER_H_
 #define QHORN_SESSION_ROUTER_H_
@@ -34,10 +54,12 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "src/core/normalize.h"
+#include "src/oracle/pending.h"
 #include "src/oracle/pipeline.h"
 #include "src/session/session.h"
 #include "src/util/executor.h"
@@ -91,6 +113,26 @@ struct ServiceStats {
   int64_t cache_hits = 0;      ///< per-session question-cache hits
   int64_t compiled_hits = 0;   ///< shared compiled-query cache hits
   int64_t compiled_misses = 0;  ///< … and misses (one compile each)
+  int64_t suspensions = 0;     ///< pending rounds that yielded a lane
+  int64_t awaiting_sessions = 0;  ///< sessions currently blocked on a user
+};
+
+/// Where a session is in its lifecycle, as seen between router calls.
+enum class SessionStatus {
+  kIdle,         ///< no job queued or running
+  kRunning,      ///< a job owns (or is queued for) an executor lane
+  kAwaitingUser  ///< suspended on a pending round; occupies no lane
+};
+
+/// Result of a ProvideAnswers call. Anything but kResumed leaves the
+/// session — pending round included — exactly as it was.
+enum class ProvideOutcome {
+  kResumed,              ///< answers accepted; the session is re-running
+  kUnknownSession,       ///< no such session id
+  kSessionClosed,        ///< session was closed
+  kNotAwaiting,          ///< session has no pending round
+  kStaleRound,           ///< round_id is not the currently pending round
+  kAnswerCountMismatch,  ///< answers.size() != pending questions
 };
 
 /// Multiplexes concurrent QuerySessions over a shared executor.
@@ -98,7 +140,10 @@ class SessionRouter {
  public:
   using SessionId = int64_t;
   /// A unit of session work, run on an executor lane with exclusive
-  /// access to the session.
+  /// access to the session. For sessions opened with OpenPending, a job
+  /// may be run *multiple times* (each resume replays the job sequence
+  /// from the start), so raw Submit jobs on pending sessions must be
+  /// idempotent in their external effects; the typed submits are.
   using Job = std::function<void(QuerySession&)>;
 
   struct Options {
@@ -114,7 +159,9 @@ class SessionRouter {
 
   SessionRouter();
   explicit SessionRouter(Options options);
-  /// Drains outstanding jobs before shutting the executor down.
+  /// Drains outstanding runnable jobs before shutting the executor down.
+  /// Sessions still awaiting user answers are abandoned (their pending
+  /// rounds die with the router).
   ~SessionRouter();
 
   SessionRouter(const SessionRouter&) = delete;
@@ -133,41 +180,118 @@ class SessionRouter {
   SessionId OpenSimulated(const Query& intended,
                           EvalOptions opts = EvalOptions());
 
+  /// Opens a session over a *pending* (real, asynchronous) user: every
+  /// round suspends the job and surfaces through PendingRounds() until
+  /// ProvideAnswers feeds the labels back. The router owns the backend.
+  SessionId OpenPending(int n);
+
   /// Enqueues a job for the session. Jobs of one session run in
   /// submission order; jobs of different sessions run concurrently.
-  void Submit(SessionId id, Job job);
+  /// Returns false — and enqueues nothing — for an unknown or closed
+  /// session id.
+  bool Submit(SessionId id, Job job);
 
   /// Typed conveniences (counted in ServiceStats).
-  void SubmitLearn(SessionId id);
-  void SubmitVerify(SessionId id, Query candidate);
-  void SubmitRevise(SessionId id, Query candidate);
+  bool SubmitLearn(SessionId id);
+  bool SubmitVerify(SessionId id, Query candidate);
+  bool SubmitRevise(SessionId id, Query candidate);
 
-  /// Blocks until every submitted job has completed.
+  /// All rounds currently awaiting user answers, ordered by session id.
+  /// The embedding server's poll: render each round's questions to its
+  /// user, then call ProvideAnswers with the labels.
+  std::vector<PendingRound> PendingRounds();
+
+  /// Feeds a user's labels back into a suspended session. `round_id` must
+  /// be the id carried by the session's current PendingRound and
+  /// `answers.size()` must equal its question count; anything else is
+  /// rejected without touching the session (the transcript cannot be
+  /// corrupted by a stale or malformed reply). On kResumed the session's
+  /// jobs re-run with the answered prefix replayed; answers are consumed
+  /// by value, so the caller's storage is free immediately.
+  ProvideOutcome ProvideAnswers(SessionId id, int64_t round_id,
+                                BitSpan answers);
+
+  /// Marks a session closed: subsequent Submit/ProvideAnswers are
+  /// rejected. A pending round awaiting answers is abandoned; already
+  /// queued jobs of a direct session still drain. Returns false for an
+  /// unknown or already-closed id.
+  bool Close(SessionId id);
+
+  /// The session's lifecycle state, for the embedding server's dashboard
+  /// (and the continuation tests). Like every id-taking protocol call,
+  /// tolerant of garbage: nullopt for an unknown id.
+  std::optional<SessionStatus> status(SessionId id);
+
+  /// Times this session yielded its lane on a pending round so far;
+  /// -1 for an unknown id.
+  int64_t suspensions(SessionId id);
+
+  /// Blocks until no session can make progress without more input: every
+  /// session is idle or awaiting user answers. With pending sessions in
+  /// play the idiom is a poll loop —
+  ///   for (;;) { router.Drain();
+  ///              auto rounds = router.PendingRounds();
+  ///              if (rounds.empty()) break;
+  ///              /* answer them */ }
+  /// — which terminates once every session has run out of jobs.
   void Drain();
 
-  /// The session, for inspection between jobs. The caller must ensure the
-  /// session is idle (e.g. after Drain); the router does not lock it.
+  /// The session, for inspection between jobs. The caller must ensure no
+  /// job is running (e.g. after Drain); the router does not lock it. A
+  /// session awaiting answers exposes its partially re-run state — only
+  /// after its final job completes do its observables equal the
+  /// synchronous run's.
   QuerySession& session(SessionId id);
 
-  /// Aggregate counters. Sessions must be idle (call after Drain).
+  /// Aggregate counters. Requires no runnable job (call after Drain;
+  /// sessions awaiting user answers are fine).
   ServiceStats stats();
 
   Executor* executor() { return executor_.get(); }
   CompiledQueryCache& compiled_cache() { return compiled_cache_; }
 
  private:
+  enum class JobKind { kOther, kLearn, kVerify, kRevise };
+  struct JobRecord {
+    Job fn;
+    JobKind kind = JobKind::kOther;
+  };
+
   struct SessionState {
     std::unique_ptr<QuerySession> session;
-    std::unique_ptr<MembershipOracle> owned_backend;  // OpenSimulated only
-    std::deque<Job> queue;
-    bool running = false;  // a runner task currently owns this session
+    std::unique_ptr<MembershipOracle> owned_backend;  // OpenSimulated/Pending
+    PendingOracle* pending_backend = nullptr;  // null for direct sessions
+    // Direct sessions consume their queue; pending sessions keep the full
+    // job log (resumes re-run it from the start) plus the completed count.
+    std::deque<JobRecord> queue;
+    std::vector<JobRecord> job_log;
+    size_t jobs_completed = 0;
+    // The user-boundary transcript: every answered round, flattened in
+    // order, replayed below the decorators on each re-run. round field =
+    // the pending-protocol round id the entry was answered in.
+    std::vector<TranscriptEntry> answered_entries;
+    int64_t answered_rounds = 0;
+    std::optional<PendingRound> pending_round;  // set while awaiting
+    int64_t suspensions = 0;
+    bool awaiting = false;  // suspended; ProvideAnswers will resume
+    bool running = false;   // a runner task currently owns this session
+    bool closed = false;
   };
 
   SessionId OpenInternal(int n, MembershipOracle* user,
-                         std::unique_ptr<MembershipOracle> owned_backend);
-  /// Executor task: runs the session's queued jobs until the queue is
+                         std::unique_ptr<MembershipOracle> owned_backend,
+                         PendingOracle* pending_backend);
+  bool SubmitInternal(SessionId id, Job job, JobKind kind);
+  /// Executor task: runs a direct session's queued jobs until the queue is
   /// empty, then releases ownership.
   void RunSession(SessionState* state);
+  /// Executor task: one *attempt* loop for a pending session — rebuild the
+  /// pipeline with the answered prefix replayed, re-run the job log, and
+  /// either finish (queue empty) or catch the suspension, publish the
+  /// pending round and release the lane.
+  void RunPendingSession(SessionState* state);
+  /// Bumps jobs_done_ and the per-kind counter. Caller holds mutex_.
+  void CompleteJob(JobKind kind);
   SessionState* FindSession(SessionId id);
 
   Options options_;
@@ -178,12 +302,17 @@ class SessionRouter {
   std::condition_variable idle_cv_;
   std::unordered_map<SessionId, std::unique_ptr<SessionState>> sessions_;
   SessionId next_id_ = 1;
-  int64_t active_jobs_ = 0;  // queued + running
+  // Jobs that can make progress right now: queued + running jobs of
+  // direct sessions, plus uncompleted jobs of pending sessions that are
+  // not blocked on a user. A suspension subtracts its session's
+  // uncompleted jobs; ProvideAnswers adds them back. Drain waits for 0.
+  int64_t runnable_jobs_ = 0;
   // Counters bumped at job completion (stats() folds in session counters).
   int64_t jobs_done_ = 0;
   int64_t learns_ = 0;
   int64_t verifies_ = 0;
   int64_t revisions_ = 0;
+  int64_t suspensions_ = 0;
 };
 
 }  // namespace qhorn

@@ -11,11 +11,15 @@ QuerySession::QuerySession(int n, MembershipOracle* user, Options options)
     : n_(n), user_(user), options_(options) {
   QHORN_CHECK(user != nullptr);
   QHORN_CHECK(n >= 1 && n <= kMaxVars);
-  BuildPipeline({});
+  BuildPipeline({}, {});
 }
 
-void QuerySession::BuildPipeline(std::vector<TranscriptEntry> replay_prefix) {
+void QuerySession::BuildPipeline(std::vector<TranscriptEntry> replay_prefix,
+                                 std::vector<TranscriptEntry> user_prefix) {
   OraclePipeline pipeline(user_);
+  if (!user_prefix.empty()) {
+    pipeline.Push<ReplayOracle>(std::move(user_prefix));
+  }
   counting_ = pipeline.Push<CountingOracle>();
   cache_ = options_.cache_questions ? pipeline.Push<CachingOracle>() : nullptr;
   if (!replay_prefix.empty()) {
@@ -24,6 +28,13 @@ void QuerySession::BuildPipeline(std::vector<TranscriptEntry> replay_prefix) {
   transcript_ = pipeline.Push<TranscriptOracle>();
   pipeline_ = std::move(pipeline);
   top_ = pipeline_.top();
+}
+
+void QuerySession::ResetWithUserReplay(
+    std::vector<TranscriptEntry> user_prefix) {
+  continuation_mode_ = true;
+  BuildPipeline({}, std::move(user_prefix));
+  current_.reset();
 }
 
 const Query& QuerySession::Learn() {
@@ -47,12 +58,19 @@ RevisionResult QuerySession::Revise(const Query& candidate) {
 }
 
 const Query& QuerySession::CorrectAndRelearn(size_t index) {
+  // A correction invalidates the suffix of the answered user rounds a
+  // continuation resume replays; the re-run's question stream could never
+  // re-align with the stored prefix and the session would re-suspend on
+  // the same question forever. Fail loudly instead of looping.
+  QHORN_CHECK_MSG(!continuation_mode_,
+                  "CorrectAndRelearn is not supported on pending-round "
+                  "continuation sessions; close the session and re-learn");
   transcript_->Correct(index);
   // Rebuild the chain with the corrected prefix behind a replay stage;
   // fresh questions flow to the user through a fresh cache (the old cache
   // holds the wrong answer) and the new transcript re-records the whole
   // corrected run.
-  BuildPipeline(transcript_->entries());
+  BuildPipeline(transcript_->entries(), {});
   RpLearnerResult result = LearnRolePreserving(n_, top_, options_.learner);
   current_ = std::move(result.query);
   return *current_;

@@ -59,7 +59,28 @@ class QuerySession {
   /// The §5 workflow: the user flips their answer to history entry
   /// `index`; learning restarts from that point, replaying the unchanged
   /// prefix so the user only answers genuinely new questions.
+  ///
+  /// Not supported on pending-round continuation sessions (aborts with a
+  /// diagnostic): a correction invalidates the suffix of the answered
+  /// user rounds the resume protocol replays, so the question stream and
+  /// the stored answer prefix can never re-align — the session would
+  /// re-suspend on the same question forever. Close the session and
+  /// re-learn with the corrected answer instead.
   const Query& CorrectAndRelearn(size_t index);
+
+  /// Pending-round continuation support (SessionRouter): rebuilds the
+  /// whole middleware chain from scratch with `user_prefix` replayed
+  /// *at the user boundary* — a ReplayOracle directly above the user
+  /// backend, below cache and counting — and forgets the current query.
+  ///
+  /// This is the re-entry point of the suspend/resume protocol: jobs are
+  /// deterministic functions of the user's answers, so re-running them
+  /// over fresh decorators with the answered rounds replayed reproduces
+  /// the exact state a synchronous run would have reached — transcript,
+  /// question counts and cache traffic included — without asking the user
+  /// anything twice. (Contrast CorrectAndRelearn, whose replay sits above
+  /// the cache precisely so re-asked questions are *not* re-counted.)
+  void ResetWithUserReplay(std::vector<TranscriptEntry> user_prefix);
 
   /// Questions that actually reached the user (cache misses).
   int64_t questions_asked() const { return counting_->stats().questions; }
@@ -79,14 +100,19 @@ class QuerySession {
 
  private:
   /// (Re)builds the middleware chain over the user backend, outermost
-  /// first: transcript → [replay] → cache → counting → user. A non-empty
-  /// `replay_prefix` inserts a ReplayOracle between the cache and the
-  /// transcript for the §5 correction workflow.
-  void BuildPipeline(std::vector<TranscriptEntry> replay_prefix);
+  /// first: transcript → [replay] → cache → counting → [user replay] →
+  /// user. A non-empty `replay_prefix` inserts a ReplayOracle between the
+  /// cache and the transcript for the §5 correction workflow (served
+  /// questions are not re-counted); a non-empty `user_prefix` inserts one
+  /// directly above the user for continuation re-entry (served questions
+  /// pass through every decorator, exactly as when first asked).
+  void BuildPipeline(std::vector<TranscriptEntry> replay_prefix,
+                     std::vector<TranscriptEntry> user_prefix);
 
   int n_;
   MembershipOracle* user_;
   Options options_;
+  bool continuation_mode_ = false;  // ResetWithUserReplay has been used
   // Owning middleware chain; the typed pointers below alias its stages.
   OraclePipeline pipeline_;
   CountingOracle* counting_ = nullptr;

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "src/util/check.h"
+#include "src/util/suspend.h"
 
 namespace qhorn {
 
@@ -14,6 +15,21 @@ namespace {
 /// thread-locals (owning executor + index) is enough.
 thread_local const Executor* tls_executor = nullptr;
 thread_local int tls_worker_index = -1;
+
+/// Runs a pool task with the suspension contract enforced: JobSuspended is
+/// a round-boundary signal that must be caught at the job runner
+/// (SessionRouter) — if one reaches an executor lane the session it
+/// belongs to would silently leak, so fail loudly instead of terminating
+/// with an opaque unhandled-exception abort.
+void RunTask(const std::function<void()>& task) {
+  try {
+    task();
+  } catch (const JobSuspended&) {
+    QHORN_CHECK_MSG(false,
+                    "JobSuspended escaped onto an executor lane: suspending "
+                    "jobs must be run through a continuation-aware runner");
+  }
+}
 
 }  // namespace
 
@@ -62,7 +78,7 @@ void Executor::Post(std::function<void()> task) {
   QHORN_CHECK(task != nullptr);
   if (workers_.empty()) {
     // Inline fallback: a 1-lane executor is a synchronous one.
-    task();
+    RunTask(task);
     return;
   }
   WorkerQueue* queue = &injection_;
@@ -103,7 +119,7 @@ bool Executor::RunOneHelperTask() {
     task = std::move(helpers_.tasks.front());
     helpers_.tasks.pop_front();
   }
-  task();
+  RunTask(task);
   { std::lock_guard<std::mutex> lock(sleep_mutex_); }
   sleep_cv_.notify_all();
   return true;
@@ -159,7 +175,7 @@ bool Executor::PopTask(int self_index, std::function<void()>* task) {
 bool Executor::RunOneTask(int self_index) {
   std::function<void()> task;
   if (!PopTask(self_index, &task)) return false;
-  task();
+  RunTask(task);
   // Completion may unblock a ParallelFor waiter (they sleep on the same
   // condition variable as idle workers).
   { std::lock_guard<std::mutex> lock(sleep_mutex_); }

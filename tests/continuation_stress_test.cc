@@ -1,0 +1,192 @@
+// The pending-round continuation stress contract: 256 sessions over real
+// (pending) user oracles on a 4-lane router, every session suspending at
+// least twice, answers provided out of order and in partial sweeps — all
+// sessions complete, no thread is ever parked per blocked session (the
+// router's executor is the only thread pool: ≤ 5 threads total), and
+// every per-session observable is bit-identical to a single-threaded
+// synchronous replay of the same jobs over the same answers.
+//
+// Runs under the tsan preset with QHORN_THREADS=8 in CI (the router's
+// lane count is pinned to 4 explicitly; QHORN_THREADS exercises the
+// executor default elsewhere). CTest label: continuation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/normalize.h"
+#include "src/core/random_query.h"
+#include "src/session/router.h"
+#include "src/util/bit_span.h"
+#include "tests/session_fingerprint.h"
+
+namespace qhorn {
+namespace {
+
+struct SessionPlan {
+  Query target;
+  // 0 = learn, 1 = verify(target), 2 = revise(target).
+  std::vector<int> jobs;
+};
+
+SessionPlan MakePlan(int n, uint64_t seed) {
+  Rng rng(seed);
+  RpOptions opts;
+  opts.num_heads = static_cast<int>(rng.Range(0, 1));
+  opts.theta = 2;
+  opts.num_conjunctions = static_cast<int>(rng.Range(1, 2));
+  opts.conj_size_max = std::min(3, n);
+  SessionPlan plan;
+  plan.target = RandomRolePreserving(n, rng, opts);
+  plan.jobs.push_back(0);  // always learn first
+  if (rng.Chance(0.5)) {
+    plan.jobs.push_back(1 + static_cast<int>(rng.Range(0, 1)));
+  }
+  return plan;
+}
+
+void SubmitPlan(SessionRouter& router, SessionRouter::SessionId id,
+                const SessionPlan& plan) {
+  for (int job : plan.jobs) {
+    switch (job) {
+      case 0:
+        ASSERT_TRUE(router.SubmitLearn(id));
+        break;
+      case 1:
+        ASSERT_TRUE(router.SubmitVerify(id, plan.target));
+        break;
+      default:
+        ASSERT_TRUE(router.SubmitRevise(id, plan.target));
+        break;
+    }
+  }
+}
+
+TEST(ContinuationStressTest, TwoHundredFiftySixSessionsOnFourLanes) {
+  constexpr int kSessions = 256;
+  constexpr int kLanes = 4;
+  const int n = 6;
+
+  std::vector<SessionPlan> plans;
+  plans.reserve(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    plans.push_back(MakePlan(n, 5000 + static_cast<uint64_t>(s)));
+  }
+
+  SessionRouter::Options opts;
+  opts.threads = kLanes;
+  SessionRouter router(opts);
+  ASSERT_EQ(router.executor()->concurrency(), kLanes + 1)
+      << "the router's pool is lanes + the draining caller, nothing more";
+
+  // Ground truth per session — also the answer source for the sync arm,
+  // so both arms see the exact same labelling of every question.
+  std::vector<std::unique_ptr<QueryOracle>> truths;
+  std::map<SessionRouter::SessionId, size_t> plan_of;
+  std::vector<SessionRouter::SessionId> ids;
+  // Thread-parking audit: every thread that ever runs a session job. A
+  // raw job is re-run on every resume attempt, so inserting into a set is
+  // naturally idempotent.
+  std::mutex thread_ids_mutex;
+  std::set<std::thread::id> job_threads;
+  for (int s = 0; s < kSessions; ++s) {
+    const SessionPlan& plan = plans[static_cast<size_t>(s)];
+    truths.push_back(std::make_unique<QueryOracle>(plan.target));
+    SessionRouter::SessionId id = router.OpenPending(n);
+    plan_of[id] = static_cast<size_t>(s);
+    ids.push_back(id);
+    router.Submit(id, [&thread_ids_mutex, &job_threads](QuerySession&) {
+      std::lock_guard<std::mutex> lock(thread_ids_mutex);
+      job_threads.insert(std::this_thread::get_id());
+    });
+    SubmitPlan(router, id, plan);
+  }
+
+  // The embedding-server loop, adversarially scheduled: each sweep
+  // shuffles the pending rounds and answers only a random ~2/3 of them
+  // (at least one), so sessions resume out of order and interleave with
+  // sessions that are still blocked.
+  Rng sched(99);
+  int64_t sweeps = 0;
+  for (;;) {
+    router.Drain();
+    std::vector<PendingRound> rounds = router.PendingRounds();
+    if (rounds.empty()) break;
+    for (size_t i = rounds.size(); i > 1; --i) {
+      std::swap(rounds[i - 1],
+                rounds[static_cast<size_t>(sched.Range(
+                    0, static_cast<int>(i) - 1))]);
+    }
+    size_t take = std::max<size_t>(1, (rounds.size() * 2) / 3);
+    for (size_t i = 0; i < take; ++i) {
+      PendingRound& round = rounds[i];
+      QueryOracle* truth = truths[plan_of.at(round.session_id)].get();
+      BitVec bits;
+      BitSpan span = bits.Prepare(round.questions.size());
+      truth->IsAnswerBatch(round.questions, span);
+      ASSERT_EQ(router.ProvideAnswers(round.session_id, round.round_id, span),
+                ProvideOutcome::kResumed);
+    }
+    ++sweeps;
+  }
+  EXPECT_GT(sweeps, 2);
+
+  // Everything completed, nobody is blocked, and no session ever had a
+  // thread parked for it: the only threads that ever ran jobs are the
+  // executor's own lanes (4 workers; the draining test thread makes 5).
+  ServiceStats stats = router.stats();
+  EXPECT_EQ(stats.sessions, kSessions);
+  EXPECT_EQ(stats.awaiting_sessions, 0);
+  EXPECT_GE(stats.suspensions, 2 * kSessions);
+  {
+    std::lock_guard<std::mutex> lock(thread_ids_mutex);
+    EXPECT_LE(job_threads.size(), static_cast<size_t>(kLanes + 1))
+        << "blocked sessions must not spawn or park threads";
+  }
+  for (SessionRouter::SessionId id : ids) {
+    EXPECT_EQ(router.status(id), SessionStatus::kIdle);
+    EXPECT_GE(router.suspensions(id), 2)
+        << "session " << id << " must have yielded its lane at least twice";
+  }
+
+  // Single-threaded synchronous replay: the same jobs over the same
+  // answers, the user answering inline. Bit-identical observables.
+  SessionRouter::Options sync_opts;
+  sync_opts.threads = 1;
+  SessionRouter sync_router(sync_opts);
+  std::vector<std::unique_ptr<QueryOracle>> sync_truths;
+  std::vector<SessionRouter::SessionId> sync_ids;
+  for (int s = 0; s < kSessions; ++s) {
+    const SessionPlan& plan = plans[static_cast<size_t>(s)];
+    sync_truths.push_back(std::make_unique<QueryOracle>(plan.target));
+    SessionRouter::SessionId id =
+        sync_router.Open(n, sync_truths.back().get());
+    sync_ids.push_back(id);
+    sync_router.Submit(id, [](QuerySession&) {});
+    SubmitPlan(sync_router, id, plan);
+  }
+  sync_router.Drain();
+
+  for (int s = 0; s < kSessions; ++s) {
+    QuerySession& pending_session =
+        router.session(ids[static_cast<size_t>(s)]);
+    QuerySession& sync_session =
+        sync_router.session(sync_ids[static_cast<size_t>(s)]);
+    ASSERT_EQ(SessionFingerprint(pending_session),
+              SessionFingerprint(sync_session))
+        << "session " << s << " diverged from its synchronous replay";
+    ASSERT_TRUE(pending_session.current_query().has_value());
+    EXPECT_TRUE(Equivalent(*pending_session.current_query(),
+                           plans[static_cast<size_t>(s)].target));
+  }
+}
+
+}  // namespace
+}  // namespace qhorn

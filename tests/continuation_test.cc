@@ -1,0 +1,393 @@
+// Pending-round session continuations: the PendingOracle backend, the
+// router's kIdle/kRunning/kAwaitingUser state machine, the
+// PendingRounds()/ProvideAnswers embedding-server protocol, and the
+// resumption-by-replay determinism contract.
+//
+// The load-bearing properties:
+//   * a session blocked on a real user holds no lane (another session can
+//     run on a one-lane router while the first waits),
+//   * resumption replays the answered prefix, so after the final resume
+//     every observable is bit-identical to a synchronous run over the
+//     same answers,
+//   * malformed ProvideAnswers calls (stale round id, wrong answer count,
+//     unknown/closed session) are rejected without touching the session.
+//
+// Runs under the tsan preset in CI (ctest label: continuation).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/normalize.h"
+#include "src/core/random_query.h"
+#include "src/learn/pac.h"
+#include "src/oracle/pending.h"
+#include "src/session/router.h"
+#include "src/util/bit_span.h"
+#include "src/util/suspend.h"
+#include "tests/session_fingerprint.h"
+
+namespace qhorn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// PendingOracle unit behaviour.
+
+TEST(PendingOracleTest, NonEmptyRoundRecordsQuestionsAndSuspends) {
+  PendingOracle oracle;
+  oracle.set_session_id(42);
+  oracle.BeginAttempt(/*next_round_id=*/3);
+  Rng rng(1);
+  std::vector<TupleSet> questions = {RandomObject(4, rng, 3),
+                                     RandomObject(4, rng, 3)};
+  BitVec bits;
+  EXPECT_THROW(oracle.IsAnswerBatch(questions, bits.Prepare(2)), JobSuspended);
+  ASSERT_TRUE(oracle.has_pending());
+  PendingRound round = oracle.TakePending();
+  EXPECT_EQ(round.session_id, 42);
+  EXPECT_EQ(round.round_id, 3);
+  ASSERT_EQ(round.questions.size(), 2u);
+  EXPECT_EQ(round.questions[0], questions[0]);
+  EXPECT_EQ(round.questions[1], questions[1]);
+  EXPECT_FALSE(oracle.has_pending());
+  EXPECT_EQ(oracle.suspensions(), 1);
+
+  // The single-question path is a one-question round.
+  oracle.BeginAttempt(4);
+  EXPECT_THROW(oracle.IsAnswer(questions[0]), JobSuspended);
+  round = oracle.TakePending();
+  EXPECT_EQ(round.round_id, 4);
+  ASSERT_EQ(round.questions.size(), 1u);
+}
+
+TEST(PendingOracleTest, EmptyRoundIsANoOpNotASuspension) {
+  PendingOracle oracle;
+  oracle.BeginAttempt(0);
+  BitVec bits;
+  EXPECT_NO_THROW(oracle.IsAnswerBatch({}, bits.Prepare(0)));
+  EXPECT_FALSE(oracle.has_pending());
+  EXPECT_EQ(oracle.suspensions(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Driving a pending session to completion: the embedding-server loop.
+
+/// Answers every pending round from the per-session ground truth until no
+/// session is awaiting; returns the number of rounds answered.
+int64_t AnswerAllPending(
+    SessionRouter& router,
+    const std::map<SessionRouter::SessionId, QueryOracle*>& truths) {
+  int64_t answered = 0;
+  for (;;) {
+    router.Drain();
+    std::vector<PendingRound> rounds = router.PendingRounds();
+    if (rounds.empty()) return answered;
+    for (PendingRound& round : rounds) {
+      QueryOracle* truth = truths.at(round.session_id);
+      BitVec bits;
+      BitSpan span = bits.Prepare(round.questions.size());
+      truth->IsAnswerBatch(round.questions, span);
+      EXPECT_EQ(router.ProvideAnswers(round.session_id, round.round_id, span),
+                ProvideOutcome::kResumed);
+      ++answered;
+    }
+  }
+}
+
+Query SmallTarget(int n, uint64_t seed) {
+  Rng rng(seed);
+  RpOptions opts;
+  opts.num_heads = 1;
+  opts.theta = 2;
+  opts.num_conjunctions = 2;
+  opts.conj_size_max = std::min(3, n);
+  return RandomRolePreserving(n, rng, opts);
+}
+
+TEST(ContinuationTest, PendingLearnMatchesSynchronousRunBitForBit) {
+  Query target = SmallTarget(6, 11);
+  for (int lanes : {1, 4}) {
+    // Pending arm: every user round suspends; the test plays the human.
+    SessionRouter::Options opts;
+    opts.threads = lanes;
+    SessionRouter pending_router(opts);
+    SessionRouter::SessionId pid = pending_router.OpenPending(6);
+    QueryOracle truth(target);
+    EXPECT_TRUE(pending_router.SubmitLearn(pid));
+    int64_t rounds_answered = AnswerAllPending(pending_router, {{pid, &truth}});
+    EXPECT_GT(rounds_answered, 1);
+    EXPECT_EQ(pending_router.status(pid), SessionStatus::kIdle);
+    EXPECT_EQ(pending_router.suspensions(pid), rounds_answered);
+
+    // Synchronous arm: the identical user answering inline, one lane.
+    SessionRouter::Options sync_opts;
+    sync_opts.threads = 1;
+    SessionRouter sync_router(sync_opts);
+    QueryOracle sync_truth(target);
+    SessionRouter::SessionId sid = sync_router.Open(6, &sync_truth);
+    sync_router.SubmitLearn(sid);
+    sync_router.Drain();
+
+    EXPECT_EQ(SessionFingerprint(pending_router.session(pid)),
+              SessionFingerprint(sync_router.session(sid)))
+        << "pending continuation diverged from the synchronous run at "
+        << lanes << " lanes";
+    ASSERT_TRUE(pending_router.session(pid).current_query().has_value());
+    EXPECT_TRUE(
+        Equivalent(*pending_router.session(pid).current_query(), target));
+  }
+}
+
+TEST(ContinuationTest, MultiJobSessionCountsEachJobOnce) {
+  // Learn + verify + revise on one pending session: every resume re-runs
+  // the job log from the start, but completions are counted exactly once.
+  Query target = SmallTarget(5, 3);
+  SessionRouter::Options opts;
+  opts.threads = 2;
+  SessionRouter router(opts);
+  SessionRouter::SessionId id = router.OpenPending(5);
+  QueryOracle truth(target);
+  EXPECT_TRUE(router.SubmitLearn(id));
+  EXPECT_TRUE(router.SubmitVerify(id, target));
+  EXPECT_TRUE(router.SubmitRevise(id, target));
+  AnswerAllPending(router, {{id, &truth}});
+  ServiceStats stats = router.stats();
+  EXPECT_EQ(stats.jobs, 3);
+  EXPECT_EQ(stats.learns, 1);
+  EXPECT_EQ(stats.verifies, 1);
+  EXPECT_EQ(stats.revisions, 1);
+  EXPECT_GE(stats.suspensions, 2);
+  EXPECT_EQ(stats.awaiting_sessions, 0);
+  EXPECT_TRUE(Equivalent(*router.session(id).current_query(), target));
+}
+
+TEST(ContinuationTest, BlockedSessionYieldsItsOnlyLane) {
+  // One lane, two pending sessions. A suspends first and stays blocked;
+  // B must be able to run — and fully complete — on the lane A released.
+  Query target_a = SmallTarget(5, 7);
+  Query target_b = SmallTarget(5, 8);
+  SessionRouter::Options opts;
+  opts.threads = 1;
+  SessionRouter router(opts);
+  SessionRouter::SessionId a = router.OpenPending(5);
+  SessionRouter::SessionId b = router.OpenPending(5);
+  QueryOracle truth_b(target_b);
+  router.SubmitLearn(a);
+  router.SubmitLearn(b);
+  router.Drain();
+  EXPECT_EQ(router.status(a), SessionStatus::kAwaitingUser);
+  EXPECT_EQ(router.status(b), SessionStatus::kAwaitingUser);
+
+  // Answer only B until it completes; A's user never replies.
+  for (;;) {
+    router.Drain();
+    std::vector<PendingRound> rounds = router.PendingRounds();
+    bool b_pending = false;
+    for (PendingRound& round : rounds) {
+      if (round.session_id != b) continue;
+      b_pending = true;
+      BitVec bits;
+      BitSpan span = bits.Prepare(round.questions.size());
+      truth_b.IsAnswerBatch(round.questions, span);
+      ASSERT_EQ(router.ProvideAnswers(b, round.round_id, span),
+                ProvideOutcome::kResumed);
+    }
+    if (!b_pending) break;
+  }
+  EXPECT_EQ(router.status(b), SessionStatus::kIdle);
+  EXPECT_TRUE(Equivalent(*router.session(b).current_query(), target_b));
+  EXPECT_EQ(router.status(a), SessionStatus::kAwaitingUser)
+      << "A must still be parked — without a thread — while B finished";
+  (void)target_a;
+}
+
+TEST(ContinuationTest, StatusReportsIdleThenAwaitingUser) {
+  SessionRouter::Options opts;
+  opts.threads = 1;  // synchronous: transitions are observable deterministically
+  SessionRouter router(opts);
+  SessionRouter::SessionId id = router.OpenPending(4);
+  EXPECT_EQ(router.status(id), SessionStatus::kIdle);
+  router.SubmitLearn(id);  // runs inline at one lane, suspends immediately
+  EXPECT_EQ(router.status(id), SessionStatus::kAwaitingUser);
+  std::vector<PendingRound> rounds = router.PendingRounds();
+  ASSERT_EQ(rounds.size(), 1u);
+  EXPECT_EQ(rounds[0].session_id, id);
+  EXPECT_EQ(rounds[0].round_id, 0);
+  EXPECT_FALSE(rounds[0].questions.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases: malformed submissions and replies must reject, not corrupt.
+
+TEST(ContinuationEdgeTest, SubmitToUnknownOrClosedSessionIsRejected) {
+  SessionRouter::Options opts;
+  opts.threads = 2;
+  SessionRouter router(opts);
+  EXPECT_FALSE(router.Submit(999, [](QuerySession&) {}));
+  EXPECT_FALSE(router.SubmitLearn(999));
+  EXPECT_EQ(router.status(999), std::nullopt)
+      << "dashboard calls tolerate garbage ids like the rest of the protocol";
+  EXPECT_EQ(router.suspensions(999), -1);
+
+  Query target = SmallTarget(4, 1);
+  SessionRouter::SessionId id = router.OpenSimulated(target);
+  EXPECT_TRUE(router.SubmitLearn(id));
+  router.Drain();
+  EXPECT_TRUE(router.Close(id));
+  EXPECT_FALSE(router.Close(id)) << "second close reports failure";
+  EXPECT_FALSE(router.SubmitLearn(id)) << "closed sessions reject jobs";
+  // The session object stays inspectable after Close.
+  EXPECT_TRUE(router.session(id).current_query().has_value());
+}
+
+TEST(ContinuationEdgeTest, MalformedProvideAnswersRejectsWithoutCorruption) {
+  Query target = SmallTarget(5, 21);
+  SessionRouter::Options opts;
+  opts.threads = 1;
+  SessionRouter router(opts);
+  SessionRouter::SessionId id = router.OpenPending(5);
+  QueryOracle truth(target);
+  router.SubmitLearn(id);
+  router.Drain();
+  ASSERT_EQ(router.status(id), SessionStatus::kAwaitingUser);
+  std::vector<PendingRound> rounds = router.PendingRounds();
+  ASSERT_EQ(rounds.size(), 1u);
+  const PendingRound& round = rounds[0];
+
+  BitVec bits;
+  // Unknown session.
+  EXPECT_EQ(router.ProvideAnswers(12345, round.round_id,
+                                  bits.Prepare(round.questions.size())),
+            ProvideOutcome::kUnknownSession);
+  // Stale (future and past) round ids.
+  EXPECT_EQ(router.ProvideAnswers(id, round.round_id + 1,
+                                  bits.Prepare(round.questions.size())),
+            ProvideOutcome::kStaleRound);
+  EXPECT_EQ(router.ProvideAnswers(id, round.round_id - 1,
+                                  bits.Prepare(round.questions.size())),
+            ProvideOutcome::kStaleRound);
+  // Wrong answer count.
+  EXPECT_EQ(router.ProvideAnswers(id, round.round_id,
+                                  bits.Prepare(round.questions.size() + 3)),
+            ProvideOutcome::kAnswerCountMismatch);
+  // Still awaiting, round unchanged: the rejects touched nothing.
+  ASSERT_EQ(router.status(id), SessionStatus::kAwaitingUser);
+  std::vector<PendingRound> after = router.PendingRounds();
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0].round_id, round.round_id);
+  EXPECT_EQ(after[0].questions.size(), round.questions.size());
+
+  // A well-formed reply after the garbage completes the session with the
+  // exact synchronous-run observables — the transcript was not corrupted.
+  AnswerAllPending(router, {{id, &truth}});
+  QueryOracle sync_truth(target);
+  SessionRouter::Options sync_opts;
+  sync_opts.threads = 1;
+  SessionRouter sync_router(sync_opts);
+  SessionRouter::SessionId sid = sync_router.Open(5, &sync_truth);
+  sync_router.SubmitLearn(sid);
+  sync_router.Drain();
+  EXPECT_EQ(SessionFingerprint(router.session(id)),
+            SessionFingerprint(sync_router.session(sid)));
+
+  // Answers for a session that is not awaiting.
+  EXPECT_EQ(router.ProvideAnswers(id, 0, bits.Prepare(1)),
+            ProvideOutcome::kNotAwaiting);
+}
+
+TEST(ContinuationEdgeTest, CloseAbandonsAPendingRound) {
+  SessionRouter::Options opts;
+  opts.threads = 1;
+  SessionRouter router(opts);
+  SessionRouter::SessionId id = router.OpenPending(4);
+  router.SubmitLearn(id);
+  router.Drain();
+  ASSERT_EQ(router.status(id), SessionStatus::kAwaitingUser);
+  ASSERT_EQ(router.PendingRounds().size(), 1u);
+  EXPECT_TRUE(router.Close(id));
+  EXPECT_TRUE(router.PendingRounds().empty());
+  BitVec bits;
+  EXPECT_EQ(router.ProvideAnswers(id, 0, bits.Prepare(1)),
+            ProvideOutcome::kSessionClosed);
+  // Drain returns immediately: the abandoned jobs are not runnable.
+  router.Drain();
+  ServiceStats stats = router.stats();
+  EXPECT_EQ(stats.jobs, 0);
+  EXPECT_EQ(stats.awaiting_sessions, 0);
+}
+
+TEST(ContinuationEdgeTest, SubmitWhileAwaitingQueuesBehindTheAnswer) {
+  Query target = SmallTarget(5, 31);
+  SessionRouter::Options opts;
+  opts.threads = 2;
+  SessionRouter router(opts);
+  SessionRouter::SessionId id = router.OpenPending(5);
+  QueryOracle truth(target);
+  router.SubmitLearn(id);
+  router.Drain();
+  ASSERT_EQ(router.status(id), SessionStatus::kAwaitingUser);
+  // A verify submitted while blocked must wait for the user, then run.
+  EXPECT_TRUE(router.SubmitVerify(id, target));
+  router.Drain();  // still blocked: the verify is not runnable yet
+  EXPECT_EQ(router.status(id), SessionStatus::kAwaitingUser);
+  AnswerAllPending(router, {{id, &truth}});
+  ServiceStats stats = router.stats();
+  EXPECT_EQ(stats.jobs, 2);
+  EXPECT_EQ(stats.learns, 1);
+  EXPECT_EQ(stats.verifies, 1);
+  EXPECT_TRUE(Equivalent(*router.session(id).current_query(), target));
+}
+
+TEST(ContinuationEdgeTest, CorrectAndRelearnIsRefusedInContinuationMode) {
+  // A §5 correction invalidates the suffix of the answered rounds the
+  // resume protocol replays — the session could only re-suspend on the
+  // same question forever. The precondition fails loudly instead.
+  // (Thread-free: a plain QuerySession, no router.)
+  Query target = SmallTarget(4, 51);
+  QueryOracle truth(target);
+  QuerySession session(4, &truth);
+  session.Learn();
+  session.ResetWithUserReplay({});
+  EXPECT_DEATH(session.CorrectAndRelearn(0),
+               "not supported on pending-round");
+}
+
+// ---------------------------------------------------------------------------
+// Open racing Drain: opening and submitting from one thread while another
+// drains must neither crash nor lose jobs (run under the tsan preset).
+
+TEST(ContinuationEdgeTest, OpenRacesDrain) {
+  Query target = SmallTarget(5, 41);
+  SessionRouter::Options opts;
+  opts.threads = 4;
+  SessionRouter router(opts);
+  std::vector<SessionRouter::SessionId> ids;
+  std::atomic<bool> done{false};
+  std::thread opener([&] {
+    for (int i = 0; i < 24; ++i) {
+      SessionRouter::SessionId id = router.OpenSimulated(target);
+      router.SubmitLearn(id);
+      ids.push_back(id);
+    }
+    done.store(true, std::memory_order_release);
+  });
+  while (!done.load(std::memory_order_acquire)) {
+    router.Drain();
+  }
+  opener.join();
+  router.Drain();
+  ServiceStats stats = router.stats();
+  EXPECT_EQ(stats.sessions, 24);
+  EXPECT_EQ(stats.learns, 24);
+  for (SessionRouter::SessionId id : ids) {
+    EXPECT_TRUE(Equivalent(*router.session(id).current_query(), target));
+  }
+}
+
+}  // namespace
+}  // namespace qhorn

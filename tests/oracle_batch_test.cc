@@ -604,6 +604,153 @@ TEST(ReplayBatchTest, BatchSpanningPrefixBoundaryMatchesSequential) {
             "replayed=3 asked=2 fresh=2");
 }
 
+// ---------------------------------------------------------------------------
+// Empty rounds: IsAnswerBatch({}, {}) decomposes into *zero* IsAnswer
+// calls, so sequential equivalence says it is no round at all — every
+// layer must leave its counters, transcript, noise stream and version
+// space untouched, and nothing may reach the layer below.
+
+TEST(EmptyRoundTest, EmptyBatchIsANoOpThroughTheWholeStack) {
+  Query target = Query::Parse("∀x1→x2 ∃x3", 3);
+  QueryOracle truth(target);
+  OraclePipeline pipeline(&truth);
+  NoisyOracle* noisy = pipeline.Push<NoisyOracle>(0.5, /*seed=*/7);
+  CountingOracle* counting = pipeline.Push<CountingOracle>();
+  CachingOracle* caching = pipeline.Push<CachingOracle>();
+  TranscriptOracle* transcript = pipeline.Push<TranscriptOracle>();
+
+  BitVec bits;
+  pipeline.top()->IsAnswerBatch({}, bits.Prepare(0));
+  EXPECT_EQ(transcript->rounds(), 0);
+  EXPECT_TRUE(transcript->entries().empty());
+  EXPECT_EQ(caching->hits(), 0);
+  EXPECT_EQ(caching->misses(), 0);
+  EXPECT_EQ(counting->stats().rounds, 0);
+  EXPECT_EQ(counting->stats().questions, 0);
+  EXPECT_EQ(counting->stats().batched_questions, 0);
+  EXPECT_EQ(noisy->flips(), 0);
+
+  // Interleaved with real rounds, the empty batch consumes no round id
+  // and no noise draw: the round sequence is exactly as if it never
+  // happened.
+  Rng rng(3);
+  std::vector<TupleSet> round = {RandomObject(3, rng, 3)};
+  pipeline.top()->IsAnswerBatch(round, bits.Prepare(1));
+  pipeline.top()->IsAnswerBatch({}, bits.Prepare(0));
+  std::vector<TupleSet> round2 = {RandomObject(3, rng, 3)};
+  pipeline.top()->IsAnswerBatch(round2, bits.Prepare(1));
+  EXPECT_EQ(transcript->rounds(), 2);
+  ASSERT_EQ(transcript->entries().size(), 2u);
+  EXPECT_EQ(transcript->entries()[0].round, 0);
+  EXPECT_EQ(transcript->entries()[1].round, 1);
+  EXPECT_EQ(counting->stats().rounds, 2);
+}
+
+TEST(EmptyRoundTest, AdversaryAndReplayIgnoreEmptyRounds) {
+  std::vector<Query> candidates = {Query::Parse("∀x1→x2", 2),
+                                   Query::Parse("∀x2→x1", 2),
+                                   Query::Parse("∃x1x2", 2)};
+  AdversaryOracle adversary(candidates);
+  BitVec bits;
+  adversary.IsAnswerBatch({}, bits.Prepare(0));
+  EXPECT_EQ(adversary.candidates().size(), candidates.size())
+      << "no questions were asked, so the version space is untouched";
+
+  QueryOracle truth(Query::Parse("∀x1→x2", 2));
+  TranscriptOracle recorder(&truth);
+  Rng rng(5);
+  TupleSet asked = RandomObject(2, rng, 2);
+  recorder.IsAnswer(asked);
+  ReplayOracle replay(recorder.entries(), &truth);
+  replay.IsAnswerBatch({}, bits.Prepare(0));
+  EXPECT_EQ(replay.replayed(), 0);
+  EXPECT_EQ(replay.asked(), 0);
+  // The recorded prefix is still intact for the next real question.
+  EXPECT_EQ(replay.IsAnswer(asked), recorder.entries()[0].response);
+  EXPECT_EQ(replay.replayed(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// CachingOracle forwarding: when a round's misses form one contiguous run,
+// the inner oracle must receive a *view into the caller's span* — the
+// copy-free regression pin for wide cached rounds. An inner probe records
+// the span's data pointer to prove no TupleSet was gathered.
+
+class SpanSpyOracle : public MembershipOracle {
+ public:
+  explicit SpanSpyOracle(Query target) : truth_(std::move(target)) {}
+
+  bool IsAnswer(const TupleSet& question) override {
+    return truth_.IsAnswer(question);
+  }
+
+  void IsAnswerBatch(std::span<const TupleSet> questions,
+                     BitSpan answers) override {
+    last_data_ = questions.data();
+    last_size_ = questions.size();
+    truth_.IsAnswerBatch(questions, answers);
+  }
+
+  const TupleSet* last_data() const { return last_data_; }
+  size_t last_size() const { return last_size_; }
+
+ private:
+  QueryOracle truth_;
+  const TupleSet* last_data_ = nullptr;
+  size_t last_size_ = 0;
+};
+
+TEST(CachingForwardTest, ContiguousMissesForwardTheCallersSpanByView) {
+  Query target = Query::Parse("∀x1x2→x3 ∃x4", 8);
+  SpanSpyOracle spy(target);
+  CachingOracle caching(&spy);
+  // Provably distinct questions: each holds the single tuple whose packed
+  // value is its index (n = 8 leaves room for 256 of them).
+  auto distinct = [](uint64_t from, uint64_t count) {
+    std::vector<TupleSet> questions;
+    for (uint64_t v = from; v < from + count; ++v) {
+      TupleSet q;
+      q.Add(v);
+      questions.push_back(std::move(q));
+    }
+    return questions;
+  };
+  std::vector<TupleSet> fresh = distinct(0, 64);
+
+  // All-miss wide round: the inner span must alias the caller's storage.
+  BitVec bits;
+  caching.IsAnswerBatch(fresh, bits.Prepare(fresh.size()));
+  EXPECT_EQ(spy.last_data(), fresh.data())
+      << "an all-fresh round must forward questions.subspan(...), not a copy";
+  EXPECT_EQ(spy.last_size(), fresh.size());
+  EXPECT_EQ(caching.misses(), 64);
+
+  // Hits at the edges keep the run contiguous: [cached, new…, cached]
+  // forwards the middle of the caller's span, again by view.
+  std::vector<TupleSet> edged;
+  edged.push_back(fresh.front());  // hit
+  for (TupleSet& q : distinct(64, 8)) edged.push_back(std::move(q));
+  edged.push_back(fresh.back());  // hit
+  caching.IsAnswerBatch(edged, bits.Prepare(edged.size()));
+  EXPECT_EQ(spy.last_data(), edged.data() + 1);
+  EXPECT_EQ(spy.last_size(), 8u);
+  EXPECT_EQ(caching.hits(), 2);
+
+  // A hit *between* misses breaks contiguity: the gather fallback fires
+  // (inner sees its own storage) but the answers must still be exact.
+  std::vector<TupleSet> mixed;
+  mixed.push_back(distinct(80, 1)[0]);
+  mixed.push_back(fresh[3]);  // hit in the middle
+  mixed.push_back(distinct(81, 1)[0]);
+  caching.IsAnswerBatch(mixed, bits.Prepare(mixed.size()));
+  EXPECT_NE(spy.last_data(), mixed.data());
+  EXPECT_EQ(spy.last_size(), 2u);
+  QueryOracle reference(target);
+  for (size_t i = 0; i < mixed.size(); ++i) {
+    EXPECT_EQ(bits.Get(i), reference.IsAnswer(mixed[i])) << "question " << i;
+  }
+}
+
 // The session's correct-and-relearn workflow rides the replay path with a
 // batching learner above it; the corrected-prefix guarantee must hold.
 TEST(SessionBatchTest, CorrectAndRelearnReplaysThePrefix) {

@@ -24,6 +24,7 @@
 #include "src/oracle/pipeline.h"
 #include "src/session/router.h"
 #include "src/util/executor.h"
+#include "tests/session_fingerprint.h"
 
 namespace qhorn {
 namespace {
@@ -294,24 +295,6 @@ void SubmitPlan(SessionRouter& router, SessionRouter::SessionId id,
         break;
     }
   }
-}
-
-std::string SessionFingerprint(QuerySession& session) {
-  std::string out;
-  out += "q=" + std::to_string(session.questions_asked());
-  out += " rounds=" + std::to_string(session.rounds());
-  out += " hits=" + std::to_string(session.cache_hits());
-  out += " batched=" + std::to_string(session.oracle_stats().batched_questions);
-  if (session.current_query().has_value()) {
-    out += " current=" + session.current_query()->ToString();
-  }
-  out += "\n";
-  for (const TranscriptEntry& e : session.history()) {
-    out += std::to_string(e.round) + ":" + e.question.ToString(session.n());
-    out += e.response ? "+" : "-";
-    out += "\n";
-  }
-  return out;
 }
 
 class RouterStressTest

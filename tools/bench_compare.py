@@ -44,6 +44,12 @@ HEADLINE_PAIRS = [
     # committed reference machine's ratio.
     ("BM_OracleBatchParallel/4096/real_time", "BM_OracleBatchBatched/4096"),
     ("BM_ServiceThroughput/16/real_time", "BM_ServiceSequential/16/real_time"),
+    # Open-sessions-vs-lanes: 64 pending (suspend/replay) sessions vs the
+    # identical direct fleet on the same 4 lanes. The ratio is *below* 1x
+    # by design — it prices the continuation machinery — and the gate only
+    # guards it against regressing further.
+    ("BM_ServiceOpenSessions/64/real_time",
+     "BM_ServiceOpenSessionsDirect/64/real_time"),
     # Canonical-form dedup: hashed CanonicalForm keys vs ToString() keys.
     ("BM_CanonicalDedup/64", "BM_CanonicalDedupLegacy/64"),
 ]
@@ -68,6 +74,7 @@ ABSOLUTE_HEADLINES = [
 CONCURRENCY_DEPENDENT = {
     "BM_OracleBatchParallel/4096/real_time",
     "BM_ServiceThroughput/16/real_time",
+    "BM_ServiceOpenSessions/64/real_time",
 }
 
 
@@ -142,17 +149,23 @@ def main():
     cand_cpus = cand_doc.get("context", {}).get("num_cpus")
     failures = []
     checked = 0
+    checked_pairs = 0
+    skipped_pairs = []
 
     for fast, slow in HEADLINE_PAIRS:
         if fast in CONCURRENCY_DEPENDENT and (
             ref_cpus != cand_cpus
             or ref_lanes.get(fast) != cand_lanes.get(fast)
         ):
+            reason = (
+                f"reference {ref_cpus} cpus / {ref_lanes.get(fast)} lanes, "
+                f"candidate {cand_cpus} / {cand_lanes.get(fast)}"
+            )
             print(
                 f"{'skipped':>10}  {fast:<34} concurrency-dependent pair "
-                f"(reference {ref_cpus} cpus / {ref_lanes.get(fast)} lanes, "
-                f"candidate {cand_cpus} / {cand_lanes.get(fast)})"
+                f"({reason})"
             )
+            skipped_pairs.append((fast, reason))
             continue
         ref_speedup = pair_speedup(ref, fast, slow)
         cand_speedup = pair_speedup(cand, fast, slow)
@@ -165,6 +178,7 @@ def main():
         # hold them to "the optimized side must not lose to its baseline".
         floor = (ref_speedup / args.threshold) if ref_speedup else 1.0 / args.threshold
         checked += 1
+        checked_pairs += 1
         status = "ok" if cand_speedup >= floor else "REGRESSION"
         print(
             f"{status:>10}  {fast:<34} speedup {cand_speedup:6.2f}x "
@@ -192,9 +206,20 @@ def main():
             if ratio > args.threshold:
                 failures.append(f"{name}: {ratio:.2f}x slower than reference")
 
-    if not checked:
-        print("bench_compare: no comparable benchmarks found", file=sys.stderr)
-        sys.exit(2)
+    # Skips must be loud and can never be total: a gate that skipped every
+    # headline pair would "pass" having gated nothing (exactly what happens
+    # when reference and candidate disagree on num_cpus across the board).
+    if skipped_pairs:
+        print(f"\nbench_compare: {len(skipped_pairs)} pair(s) skipped:")
+        for name, reason in skipped_pairs:
+            print(f"  - {name}: {reason}")
+    if not checked_pairs:
+        failures.append(
+            "every headline pair was skipped — the gate checked nothing "
+            "(re-record the reference on a matching runner class)"
+        )
+    # (There is no separate "nothing comparable" exit path: checked == 0
+    # implies checked_pairs == 0, which is already a failure above.)
     if failures:
         print("\nbench_compare: FAILED")
         for f in failures:
