@@ -1,0 +1,116 @@
+// E17 — the hostile-fleet macro benchmark.
+//
+// Reuses the src/workload FleetDriver as a load generator: a seeded
+// heterogeneous fleet (mixed query classes, schema sizes, noisy users,
+// abandoners) is driven through the pending-round protocol under
+// heavy-tailed simulated user latency and adversarial delivery, swept
+// across lane counts. The headline number is fleet wall-clock and
+// answered-rounds/second per lane count — how much concurrency the
+// service extracts when most sessions are parked on slow users — plus
+// the hostility counters (malformed/duplicate replies rejected, sessions
+// abandoned mid-round). Correctness rides along: the smallest
+// configuration is also run through RunDifferential, so the benchmark
+// fails loudly if the fleet it timed ever diverges from its synchronous
+// replay.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "bench/bench_domain.h"
+#include "src/util/executor.h"
+#include "src/util/table.h"
+#include "src/workload/fleet_driver.h"
+#include "src/workload/workload.h"
+
+using namespace qhorn;
+
+namespace {
+
+/// A macro-sized spec: FromSeed's shape (so the fleet is heterogeneous in
+/// exactly the fuzz sweep's axes) scaled up to benchmark session counts,
+/// with heavy-tailed latency and every hostile delivery mode live.
+WorkloadSpec MacroSpec(uint64_t seed, int sessions) {
+  WorkloadSpec spec = WorkloadSpec::FromSeed(seed);
+  spec.sessions = sessions;
+  spec.noisy_fraction = 0.25;
+  spec.abandon_fraction = 0.15;
+  spec.malformed_rate = 0.2;
+  spec.duplicate_rate = 0.2;
+  spec.answer_fraction = 0.6;   // partial sweeps: rounds resume out of order
+  spec.latency_alpha = 1.2;     // Pareto-ish tail: a few users are very slow
+  spec.latency_cap_ticks = 12;
+  return spec;
+}
+
+double TimePending(FleetDriver& driver, int lanes, FleetResult* out) {
+  auto start = std::chrono::steady_clock::now();
+  FleetResult result = driver.RunPending(lanes);
+  auto stop = std::chrono::steady_clock::now();
+  if (!result.ok) {
+    std::printf("BENCH FAILED: %s\n", result.failure.c_str());
+    std::exit(1);
+  }
+  *out = result;
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("E17 | hostile-fleet workload",
+              "seeded heterogeneous fleet under heavy-tailed user latency "
+              "and adversarial delivery; rounds/s per lane count");
+
+  int default_lanes = Executor::DefaultConcurrency();
+  std::printf("default executor lanes: %d (QHORN_THREADS to override)\n\n",
+              default_lanes);
+
+  TextTable table({"seed", "sessions", "lanes", "wall s", "rounds/s",
+                   "sweeps", "malformed", "dups", "abandoned"});
+  for (uint64_t seed : {11u, 12u}) {
+    if (BenchSmoke() && seed != 11u) continue;
+    for (int sessions : {SmokeScaled(32, 6), SmokeScaled(96, 10)}) {
+      WorkloadSpec spec = MacroSpec(seed, sessions);
+      Fleet fleet = GenerateFleet(spec);
+      FleetDriver driver(fleet);
+      for (int lanes : {1, 2, 4, default_lanes}) {
+        if (BenchSmoke() && lanes > 2 && lanes != default_lanes) continue;
+        FleetResult result;
+        double wall = TimePending(driver, lanes, &result);
+        table.Row()
+            .Cell(static_cast<int64_t>(seed))
+            .Cell(sessions)
+            .Cell(lanes)
+            .Cell(wall, 3)
+            .Cell(static_cast<double>(result.rounds_answered) /
+                      (wall > 0.0 ? wall : 1e-9),
+                  1)
+            .Cell(result.sweeps)
+            .Cell(result.malformed_injected)
+            .Cell(result.duplicates_injected)
+            .Cell(result.abandoned_sessions);
+      }
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nrounds/s counts accepted ProvideAnswers resumes; malformed/dups are\n"
+      "injected garbage the router must reject without touching state.\n");
+
+  // The correctness rider: the smallest timed configuration must still be
+  // bit-identical to its synchronous replay.
+  WorkloadSpec check = MacroSpec(11u, SmokeScaled(32, 6));
+  DifferentialOutcome out = RunDifferential(check);
+  if (!out.ok) {
+    std::printf("BENCH FAILED: differential mismatch — %s\n",
+                out.failure.c_str());
+    return 1;
+  }
+  std::printf("\ndifferential check: fleet seed 11 replay-equivalent (%lld "
+              "rounds, %lld abandoned)\n",
+              static_cast<long long>(out.pending.rounds_answered),
+              static_cast<long long>(out.pending.abandoned_sessions));
+  return 0;
+}

@@ -194,6 +194,7 @@ class NoisyOracle : public MembershipOracle {
                      BitSpan answers) override;
 
   int64_t flips() const { return flips_; }
+  double flip_prob() const { return flip_prob_; }
 
  private:
   bool MaybeFlip(bool answer);

@@ -66,6 +66,13 @@ class QuerySession {
   /// the stored answer prefix can never re-align — the session would
   /// re-suspend on the same question forever. Close the session and
   /// re-learn with the corrected answer instead.
+  ///
+  /// Invariant: the refusal is an always-on QHORN_CHECK evaluated before
+  /// any session state is touched, so it holds in *every* continuation
+  /// state — including a session parked in kAwaitingUser, whose pipeline
+  /// is mid-replay and must not be read or rebuilt. The failure mode is a
+  /// loud abort, never undefined behaviour on the partial transcript.
+  /// (Pinned by ContinuationEdgeTest.CorrectAndRelearnIsRefusedWhileAwaitingUser.)
   const Query& CorrectAndRelearn(size_t index);
 
   /// Pending-round continuation support (SessionRouter): rebuilds the

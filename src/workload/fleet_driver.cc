@@ -1,0 +1,310 @@
+#include "src/workload/fleet_driver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "src/oracle/oracle.h"
+#include "src/util/bit_span.h"
+#include "src/util/check.h"
+#include "src/workload/fingerprint.h"
+
+namespace qhorn {
+namespace {
+
+/// Per-session answer source, identical in both arms: ground truth plus an
+/// optional seeded noise stage. Rounds reach it in round order either way,
+/// so the flip sequence — and therefore the answer stream — is a function
+/// of the session spec alone, never of delivery scheduling.
+struct UserStack {
+  std::unique_ptr<QueryOracle> truth;
+  std::unique_ptr<NoisyOracle> noisy;
+  MembershipOracle* top = nullptr;
+};
+
+UserStack MakeStack(const SessionSpec& s) {
+  UserStack stack;
+  stack.truth = std::make_unique<QueryOracle>(s.target);
+  stack.top = stack.truth.get();
+  if (s.noisy()) {
+    stack.noisy = std::make_unique<NoisyOracle>(stack.truth.get(), s.flip_rate,
+                                                s.noise_seed);
+    stack.top = stack.noisy.get();
+  }
+  return stack;
+}
+
+void SubmitJobs(SessionRouter& router, SessionRouter::SessionId id,
+                const SessionSpec& s) {
+  for (WorkloadJob job : s.jobs) {
+    bool accepted = false;
+    switch (job) {
+      case WorkloadJob::kLearn:
+        accepted = router.SubmitLearn(id);
+        break;
+      case WorkloadJob::kVerifyTarget:
+        accepted = router.SubmitVerify(id, s.target);
+        break;
+      case WorkloadJob::kVerifyMutant:
+        accepted = router.SubmitVerify(id, s.mutant);
+        break;
+      case WorkloadJob::kRevise:
+        accepted = router.SubmitRevise(id, s.mutant);
+        break;
+    }
+    QHORN_CHECK_MSG(accepted, "submit rejected on a live session");
+  }
+}
+
+/// Heavy-tailed simulated user latency in scheduler ticks: Pareto-shaped
+/// (most users answer within a tick, a few take ~the cap), capped so the
+/// sweep loop always terminates.
+int64_t DrawLatency(const WorkloadSpec& spec, Rng& rng) {
+  if (spec.latency_cap_ticks <= 0) return 0;
+  double u = std::max(rng.Uniform(), 1e-9);
+  double t = std::pow(u, -spec.latency_alpha) - 1.0;
+  return std::min<int64_t>(spec.latency_cap_ticks, static_cast<int64_t>(t));
+}
+
+}  // namespace
+
+FleetResult FleetDriver::RunPending(int lanes_override) {
+  const WorkloadSpec& spec = fleet_.spec;
+  const size_t count = fleet_.sessions.size();
+  FleetResult result;
+  result.fingerprints.resize(count);
+  auto fail = [&](const std::string& msg) {
+    if (!result.ok) return;
+    result.ok = false;
+    result.failure = msg + " (" + spec.ReproLine() + ")";
+  };
+
+  SessionRouter::Options ropts;
+  ropts.threads = lanes_override > 0 ? lanes_override : spec.lanes;
+  SessionRouter router(ropts);
+
+  std::vector<UserStack> stacks;
+  std::vector<SessionRouter::SessionId> ids;
+  std::unordered_map<SessionRouter::SessionId, size_t> index_of;
+  stacks.reserve(count);
+  ids.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const SessionSpec& s = fleet_.sessions[i];
+    stacks.push_back(MakeStack(s));
+    SessionRouter::SessionId id = router.OpenPending(s.n);
+    ids.push_back(id);
+    index_of.emplace(id, i);
+    SubmitJobs(router, id, s);
+  }
+
+  // Per-session delivery bookkeeping for the hostile scheduler.
+  struct Delivery {
+    int64_t seen_round_id = -1;  ///< latest round assigned a deadline
+    int64_t due_tick = 0;        ///< simulated user answers at this tick
+    int64_t answered_rounds = 0;
+    bool closed = false;
+  };
+  std::vector<Delivery> delivery(count);
+
+  Rng sched(spec.seed ^ 0xd0d0f00d5eedf00dULL);
+  BitVec answer_bits;
+  BitVec garbage_bits;
+  std::vector<PendingRound*> eligible;
+  int64_t tick = 0;
+  for (;;) {
+    router.Drain();
+    std::vector<PendingRound> rounds = router.PendingRounds();
+    if (rounds.empty()) break;
+    if (!result.ok) break;  // bail once a protocol assertion failed
+    ++result.sweeps;
+    ++tick;
+
+    // Stamp a latency deadline on every newly surfaced round, and close
+    // abandoning sessions whose configured round count has been answered —
+    // the Close lands while a round is pending, and a late reply for the
+    // abandoned round must bounce off kSessionClosed.
+    for (PendingRound& round : rounds) {
+      size_t idx = index_of.at(round.session_id);
+      Delivery& d = delivery[idx];
+      const SessionSpec& s = fleet_.sessions[idx];
+      if (d.seen_round_id != round.round_id) {
+        d.seen_round_id = round.round_id;
+        d.due_tick = tick + DrawLatency(spec, sched);
+      }
+      if (s.abandon && !d.closed &&
+          d.answered_rounds >= s.abandon_after_rounds) {
+        if (!router.Close(round.session_id)) {
+          fail("Close rejected a live awaiting session");
+        }
+        d.closed = true;
+        ++result.abandoned_sessions;
+        if (router.ProvideAnswers(round.session_id, round.round_id,
+                                  garbage_bits.Prepare(
+                                      round.questions.size())) !=
+            ProvideOutcome::kSessionClosed) {
+          fail("reply to a closed session was not rejected as kSessionClosed");
+        }
+      }
+    }
+
+    // The answerable subset this sweep: open sessions whose simulated user
+    // latency has elapsed. Shuffled, and only a fraction answered, so
+    // resume order is adversarial with respect to session order.
+    eligible.clear();
+    for (PendingRound& round : rounds) {
+      Delivery& d = delivery[index_of.at(round.session_id)];
+      if (!d.closed && d.due_tick <= tick) eligible.push_back(&round);
+    }
+    sched.Shuffle(&eligible);
+
+    // Malformed replies: garbage the router must reject without touching
+    // the session. The target round is still live (eligible), so a
+    // non-rejection would corrupt a transcript the differential arm
+    // compares — that is the point.
+    if (!eligible.empty() && sched.Chance(spec.malformed_rate)) {
+      const PendingRound& round = *eligible.front();
+      ProvideOutcome out = ProvideOutcome::kResumed;
+      ProvideOutcome want = ProvideOutcome::kResumed;
+      switch (sched.Range(0, 2)) {
+        case 0:
+          out = router.ProvideAnswers(round.session_id + 1000000,
+                                      round.round_id,
+                                      garbage_bits.Prepare(
+                                          round.questions.size()));
+          want = ProvideOutcome::kUnknownSession;
+          break;
+        case 1:
+          out = router.ProvideAnswers(
+              round.session_id,
+              round.round_id + 1 + static_cast<int64_t>(sched.Range(0, 3)),
+              garbage_bits.Prepare(round.questions.size()));
+          want = ProvideOutcome::kStaleRound;
+          break;
+        default:
+          out = router.ProvideAnswers(round.session_id, round.round_id,
+                                      garbage_bits.Prepare(
+                                          round.questions.size() + 1));
+          want = ProvideOutcome::kAnswerCountMismatch;
+          break;
+      }
+      ++result.malformed_injected;
+      if (out != want) fail("malformed reply was not rejected as expected");
+      if (router.status(round.session_id) != SessionStatus::kAwaitingUser) {
+        fail("malformed reply disturbed an awaiting session");
+      }
+    }
+
+    size_t take = eligible.empty()
+                      ? 0
+                      : std::max<size_t>(
+                            1, static_cast<size_t>(
+                                   static_cast<double>(eligible.size()) *
+                                   spec.answer_fraction));
+    for (size_t i = 0; i < take; ++i) {
+      PendingRound& round = *eligible[i];
+      size_t idx = index_of.at(round.session_id);
+      BitSpan span = answer_bits.Prepare(round.questions.size());
+      stacks[idx].top->IsAnswerBatch(round.questions, span);
+      if (router.ProvideAnswers(round.session_id, round.round_id, span) !=
+          ProvideOutcome::kResumed) {
+        fail("ProvideAnswers rejected a live, well-formed reply");
+        break;
+      }
+      ++delivery[idx].answered_rounds;
+      ++result.rounds_answered;
+      // Duplicate re-delivery of the round just answered: the session is
+      // either running again or already suspended on the *next* round id,
+      // so the duplicate must bounce — and must not re-fold the answers.
+      if (sched.Chance(spec.duplicate_rate)) {
+        ProvideOutcome dup = router.ProvideAnswers(
+            round.session_id, round.round_id,
+            garbage_bits.Prepare(round.questions.size()));
+        ++result.duplicates_injected;
+        if (dup != ProvideOutcome::kNotAwaiting &&
+            dup != ProvideOutcome::kStaleRound) {
+          fail("duplicate round delivery was not rejected");
+        }
+      }
+    }
+  }
+
+  for (size_t i = 0; i < count; ++i) {
+    if (delivery[i].closed) continue;
+    if (router.status(ids[i]) != SessionStatus::kIdle) {
+      fail("session " + std::to_string(i) +
+           " did not reach kIdle after the fleet drained");
+      continue;
+    }
+    result.fingerprints[i] = SessionFingerprint(router.session(ids[i]));
+  }
+  if (result.ok) result.stats = router.stats();
+  return result;
+}
+
+FleetResult FleetDriver::RunSynchronous() {
+  const size_t count = fleet_.sessions.size();
+  FleetResult result;
+  result.fingerprints.resize(count);
+
+  SessionRouter::Options ropts;
+  ropts.threads = 1;  // the differential baseline: inline, in order
+  SessionRouter router(ropts);
+
+  // Fresh stacks: each arm consumes its own noise stream from the seed.
+  std::vector<UserStack> stacks;
+  std::vector<SessionRouter::SessionId> ids;
+  stacks.reserve(count);
+  ids.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const SessionSpec& s = fleet_.sessions[i];
+    stacks.push_back(MakeStack(s));
+    SessionRouter::SessionId id = router.Open(s.n, stacks.back().top);
+    ids.push_back(id);
+    SubmitJobs(router, id, s);
+  }
+  router.Drain();
+  for (size_t i = 0; i < count; ++i) {
+    result.fingerprints[i] = SessionFingerprint(router.session(ids[i]));
+  }
+  result.stats = router.stats();
+  return result;
+}
+
+DifferentialOutcome RunDifferential(const WorkloadSpec& spec) {
+  Fleet fleet = GenerateFleet(spec);
+  FleetDriver driver(fleet);
+  DifferentialOutcome outcome;
+  outcome.pending = driver.RunPending();
+  outcome.synchronous = driver.RunSynchronous();
+  if (!outcome.pending.ok) {
+    outcome.failure = outcome.pending.failure;
+    return outcome;
+  }
+  if (!outcome.synchronous.ok) {
+    outcome.failure = outcome.synchronous.failure;
+    return outcome;
+  }
+  for (size_t i = 0; i < fleet.sessions.size(); ++i) {
+    // Abandoned sessions carry no fingerprint: their contract is
+    // rejection-without-corruption, checked inside RunPending.
+    if (outcome.pending.fingerprints[i].empty()) continue;
+    if (outcome.pending.fingerprints[i] !=
+        outcome.synchronous.fingerprints[i]) {
+      const SessionSpec& s = fleet.sessions[i];
+      outcome.failure =
+          "session " + std::to_string(i) + " (" + ToString(s.query_class) +
+          ", n=" + std::to_string(s.n) +
+          (s.noisy() ? ", noisy" : "") +
+          ") diverged from its synchronous replay (" + spec.ReproLine() +
+          ")\n--- pending arm ---\n" + outcome.pending.fingerprints[i] +
+          "--- synchronous arm ---\n" + outcome.synchronous.fingerprints[i];
+      return outcome;
+    }
+  }
+  outcome.ok = true;
+  return outcome;
+}
+
+}  // namespace qhorn

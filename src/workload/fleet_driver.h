@@ -1,0 +1,91 @@
+// FleetDriver — runs a generated fleet through the session service and
+// turns every scenario into a replay-equivalence test.
+//
+// Two arms, both pure functions of the fleet's seed:
+//
+//   * RunPending: the hostile concurrent arm. Every session is opened
+//     through OpenPending on a K-lane router; the driver plays all of the
+//     fleet's users at once through the embedding-server protocol
+//     (Drain → PendingRounds → ProvideAnswers), with adversarial
+//     delivery — per-round heavy-tailed simulated latency, sweeps that
+//     shuffle the pending rounds and answer only a fraction of them (so
+//     sessions resume out of order and interleave with blocked ones),
+//     duplicate re-delivery of already-answered rounds, malformed replies
+//     (stale round ids, wrong answer counts, unknown sessions) that must
+//     be rejected without touching state, and mid-round Close of
+//     abandoning sessions.
+//
+//   * RunSynchronous: the reference arm. The same sessions (minus the
+//     abandoned ones) over the same per-session user stacks, opened as
+//     plain synchronous sessions on a 1-lane router, answered inline and
+//     in order.
+//
+// Per-session answer streams are identical across the arms by
+// construction: each session's user stack is QueryOracle(target), wrapped
+// in a seeded NoisyOracle for noisy users, and a session's rounds reach
+// its stack in round order in both arms (a pending session has at most
+// one outstanding round; flip draws are consumed in question order within
+// a round). Since the learners are deterministic functions of the answer
+// stream, per-session observables — the SessionFingerprint — must compare
+// equal bit for bit however hostile the delivery was. RunDifferential
+// asserts exactly that; every failure string carries the spec's one-flag
+// seed repro line.
+
+#ifndef QHORN_WORKLOAD_FLEET_DRIVER_H_
+#define QHORN_WORKLOAD_FLEET_DRIVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/session/router.h"
+#include "src/workload/workload.h"
+
+namespace qhorn {
+
+/// One arm's outcome. `fingerprints` is indexed by fleet position;
+/// abandoned sessions carry an empty fingerprint (their observables are
+/// legitimately partial — the contract for them is rejection-without-
+/// corruption, not equality).
+struct FleetResult {
+  bool ok = true;
+  std::string failure;  ///< first protocol violation, with seed repro
+  std::vector<std::string> fingerprints;
+  int64_t rounds_answered = 0;
+  int64_t sweeps = 0;
+  int64_t malformed_injected = 0;  ///< garbage replies, all rejected
+  int64_t duplicates_injected = 0;
+  int64_t abandoned_sessions = 0;
+  ServiceStats stats;
+};
+
+/// Both arms plus the fingerprint comparison.
+struct DifferentialOutcome {
+  bool ok = false;
+  std::string failure;  ///< empty iff ok; contains "--seed=" otherwise
+  FleetResult pending;
+  FleetResult synchronous;
+};
+
+class FleetDriver {
+ public:
+  explicit FleetDriver(const Fleet& fleet) : fleet_(fleet) {}
+
+  /// Hostile concurrent arm on `fleet.spec.lanes` lanes (overridable for
+  /// the benchmarks' lane sweeps; <= 0 uses the spec).
+  FleetResult RunPending(int lanes_override = 0);
+
+  /// Reference arm: synchronous in-order replay on one lane.
+  FleetResult RunSynchronous();
+
+ private:
+  const Fleet& fleet_;
+};
+
+/// The differential harness: generate the fleet, run both arms, compare
+/// per-session fingerprints. This is what the fuzz sweep calls per seed.
+DifferentialOutcome RunDifferential(const WorkloadSpec& spec);
+
+}  // namespace qhorn
+
+#endif  // QHORN_WORKLOAD_FLEET_DRIVER_H_

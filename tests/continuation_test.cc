@@ -19,6 +19,7 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -341,6 +342,170 @@ TEST(ContinuationEdgeTest, SubmitWhileAwaitingQueuesBehindTheAnswer) {
   EXPECT_EQ(stats.learns, 1);
   EXPECT_EQ(stats.verifies, 1);
   EXPECT_TRUE(Equivalent(*router.session(id).current_query(), target));
+}
+
+TEST(ContinuationEdgeTest, OutOfOrderAndDuplicateDeliveryAcrossPendingRounds) {
+  // Three sessions, all suspended concurrently. Answers arrive in reverse
+  // session order (out of order with respect to PendingRounds' ordering),
+  // interleaved with duplicate and stale deliveries — every duplicate or
+  // stale round id must reject without touching any session, and the
+  // final observables must still equal the synchronous replay.
+  SessionRouter::Options opts;
+  opts.threads = 1;  // inline: each resume runs to its next suspension
+  SessionRouter router(opts);
+  std::vector<Query> targets;
+  std::vector<SessionRouter::SessionId> ids;
+  std::vector<std::unique_ptr<QueryOracle>> truths;
+  std::map<SessionRouter::SessionId, QueryOracle*> truth_of;
+  for (uint64_t s = 0; s < 3; ++s) {
+    targets.push_back(SmallTarget(5, 61 + s));
+    ids.push_back(router.OpenPending(5));
+    truths.push_back(std::make_unique<QueryOracle>(targets.back()));
+    truth_of[ids.back()] = truths.back().get();
+    router.SubmitLearn(ids.back());
+  }
+  router.Drain();
+  std::vector<PendingRound> rounds = router.PendingRounds();
+  ASSERT_EQ(rounds.size(), 3u) << "all three sessions must be pending at once";
+
+  // Reverse delivery order; after each accepted answer, re-deliver the
+  // same round (duplicate) and the already-consumed round id (stale).
+  BitVec bits;
+  for (size_t i = rounds.size(); i > 0; --i) {
+    PendingRound& round = rounds[i - 1];
+    BitSpan span = bits.Prepare(round.questions.size());
+    truth_of.at(round.session_id)->IsAnswerBatch(round.questions, span);
+    ASSERT_EQ(router.ProvideAnswers(round.session_id, round.round_id, span),
+              ProvideOutcome::kResumed);
+    // Snapshot the session's state after the resume (at one lane the
+    // resume ran inline: the session is idle or pending its next round).
+    std::optional<SessionStatus> before = router.status(round.session_id);
+    int64_t suspensions_before = router.suspensions(round.session_id);
+    // Duplicate of the just-answered round: the session either finished
+    // (kNotAwaiting) or pends round_id+1 (kStaleRound) — never kResumed.
+    ProvideOutcome dup = router.ProvideAnswers(
+        round.session_id, round.round_id, bits.Prepare(round.questions.size()));
+    EXPECT_TRUE(dup == ProvideOutcome::kNotAwaiting ||
+                dup == ProvideOutcome::kStaleRound)
+        << "duplicate delivery resumed a session twice";
+    // A round id from the future must also bounce.
+    ProvideOutcome future = router.ProvideAnswers(
+        round.session_id, round.round_id + 7,
+        bits.Prepare(round.questions.size()));
+    EXPECT_TRUE(future == ProvideOutcome::kNotAwaiting ||
+                future == ProvideOutcome::kStaleRound);
+    // Neither garbage delivery changed anything observable.
+    EXPECT_EQ(router.status(round.session_id), before);
+    EXPECT_EQ(router.suspensions(round.session_id), suspensions_before);
+  }
+
+  // Drive everything home (answers keep arriving in reverse order).
+  for (;;) {
+    router.Drain();
+    std::vector<PendingRound> live = router.PendingRounds();
+    if (live.empty()) break;
+    for (size_t i = live.size(); i > 0; --i) {
+      PendingRound& round = live[i - 1];
+      BitSpan span = bits.Prepare(round.questions.size());
+      truth_of.at(round.session_id)->IsAnswerBatch(round.questions, span);
+      ASSERT_EQ(router.ProvideAnswers(round.session_id, round.round_id, span),
+                ProvideOutcome::kResumed);
+    }
+  }
+
+  // Bit-identical to the synchronous run despite the hostile delivery.
+  SessionRouter::Options sync_opts;
+  sync_opts.threads = 1;
+  SessionRouter sync_router(sync_opts);
+  for (size_t s = 0; s < 3; ++s) {
+    QueryOracle sync_truth(targets[s]);
+    SessionRouter::SessionId sid = sync_router.Open(5, &sync_truth);
+    sync_router.SubmitLearn(sid);
+    sync_router.Drain();
+    EXPECT_EQ(SessionFingerprint(router.session(ids[s])),
+              SessionFingerprint(sync_router.session(sid)))
+        << "session " << s << " diverged after out-of-order delivery";
+    EXPECT_TRUE(Equivalent(*router.session(ids[s]).current_query(),
+                           targets[s]));
+  }
+}
+
+TEST(ContinuationEdgeTest, CloseRacesProvideAnswersCleanly) {
+  // Close and ProvideAnswers racing on the same suspended session (the
+  // only pinned race so far was Open vs Drain). Whatever the
+  // interleaving, the outcome must be one of exactly two clean states —
+  // the close won (reply rejected, transcript untouched) or the resume
+  // won (answers folded, session then closed) — never a torn transcript,
+  // a hang, or a crash. Runs under the tsan preset in CI.
+  for (int iteration = 0; iteration < 25; ++iteration) {
+    Query target = SmallTarget(5, 71 + static_cast<uint64_t>(iteration));
+    SessionRouter::Options opts;
+    opts.threads = 2;
+    SessionRouter router(opts);
+    QueryOracle truth(target);
+    SessionRouter::SessionId id = router.OpenPending(5);
+    router.SubmitLearn(id);
+    router.Drain();
+    ASSERT_EQ(router.status(id), SessionStatus::kAwaitingUser);
+    std::vector<PendingRound> rounds = router.PendingRounds();
+    ASSERT_EQ(rounds.size(), 1u);
+    const PendingRound& round = rounds[0];
+    std::string fingerprint_before = SessionFingerprint(router.session(id));
+
+    BitVec bits;
+    BitSpan span = bits.Prepare(round.questions.size());
+    truth.IsAnswerBatch(round.questions, span);
+    ProvideOutcome outcome = ProvideOutcome::kResumed;
+    bool closed = false;
+    std::thread closer([&] { closed = router.Close(id); });
+    std::thread answerer(
+        [&] { outcome = router.ProvideAnswers(id, round.round_id, span); });
+    closer.join();
+    answerer.join();
+
+    EXPECT_TRUE(closed) << "the session was open and awaiting: Close wins";
+    EXPECT_TRUE(outcome == ProvideOutcome::kResumed ||
+                outcome == ProvideOutcome::kSessionClosed)
+        << "race produced outcome " << static_cast<int>(outcome);
+    // Whichever side won, the router must settle without external input:
+    // a resumed-then-closed session abandons its next round instead of
+    // re-surfacing it.
+    router.Drain();
+    EXPECT_TRUE(router.PendingRounds().empty())
+        << "a closed session re-surfaced a pending round";
+    EXPECT_EQ(router.ProvideAnswers(id, round.round_id + 1, span),
+              ProvideOutcome::kSessionClosed);
+    if (outcome == ProvideOutcome::kSessionClosed) {
+      // Clean close: the reply bounced, so the transcript is exactly the
+      // suspension-time state — not one answer leaked in.
+      EXPECT_EQ(SessionFingerprint(router.session(id)), fingerprint_before)
+          << "a rejected reply mutated the transcript";
+    }
+  }
+}
+
+TEST(ContinuationEdgeTest, CorrectAndRelearnIsRefusedWhileAwaitingUser) {
+  // The refusal invariant documented in session.h holds in *every*
+  // continuation state, including mid-suspension: a session parked in
+  // kAwaitingUser has replayed answer rounds a correction would
+  // invalidate, so CorrectAndRelearn must die loudly — not read the
+  // partially re-run transcript (UB territory) and not resume. One lane:
+  // the executor runs inline, so the process is single-threaded and the
+  // default (fast) death-test style can fork safely.
+  SessionRouter::Options opts;
+  opts.threads = 1;
+  SessionRouter router(opts);
+  SessionRouter::SessionId id = router.OpenPending(4);
+  router.SubmitLearn(id);  // suspends inline on the first user round
+  ASSERT_EQ(router.status(id), SessionStatus::kAwaitingUser);
+  EXPECT_DEATH(router.session(id).CorrectAndRelearn(0),
+               "not supported on pending-round");
+  // The failed correction attempt ran in a forked child: the parent's
+  // session is still cleanly suspended and can complete normally.
+  EXPECT_EQ(router.status(id), SessionStatus::kAwaitingUser);
+  std::vector<PendingRound> rounds = router.PendingRounds();
+  ASSERT_EQ(rounds.size(), 1u);
+  EXPECT_FALSE(rounds[0].questions.empty());
 }
 
 TEST(ContinuationEdgeTest, CorrectAndRelearnIsRefusedInContinuationMode) {

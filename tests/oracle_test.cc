@@ -4,6 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
+#include "src/util/bit_span.h"
+
 namespace qhorn {
 namespace {
 
@@ -85,6 +90,54 @@ TEST(NoisyOracleTest, AlwaysFlipInverts) {
   NoisyOracle noisy(&inner, 1.0, /*seed=*/3);
   EXPECT_FALSE(noisy.IsAnswer(TupleSet::Parse({"1"})));
   EXPECT_TRUE(noisy.IsAnswer(TupleSet::Parse({"0"})));
+}
+
+TEST(NoisyOracleTest, FlipCountStaysWithinBinomialBounds) {
+  // Flip counts over a large batch are Binomial(N, p); a seeded draw
+  // landing outside ±5σ of the mean indicates a broken noise source
+  // (probability < 1e-6 per rate for a faithful one, so the test is
+  // deterministic in practice yet sensitive to rate bugs like p/2, p²,
+  // or a stuck RNG).
+  QueryOracle inner(Query::Parse("∃x1", 1));
+  const size_t kN = 20000;
+  std::vector<TupleSet> questions(kN, TupleSet::Parse({"1"}));
+  for (double p : {0.05, 0.3, 0.5, 0.75}) {
+    NoisyOracle noisy(&inner, p, /*seed=*/0x5eedULL + std::llround(p * 100));
+    EXPECT_EQ(noisy.flip_prob(), p);
+    BitVec bits;
+    noisy.IsAnswerBatch(questions, bits.Prepare(kN));
+    const double mean = static_cast<double>(kN) * p;
+    const double sigma = std::sqrt(static_cast<double>(kN) * p * (1.0 - p));
+    EXPECT_NEAR(static_cast<double>(noisy.flips()), mean, 5.0 * sigma)
+        << "flip count for p=" << p << " outside Binomial(N,p) ±5σ";
+  }
+}
+
+TEST(NoisyOracleTest, BatchAndSequentialDecompositionsShareTheFlipSequence) {
+  // The documented contract: flip draws happen in question order whether
+  // the round arrives as one batch or question by question, so the same
+  // seed yields bit-identical answers and the same flip count on either
+  // path. (The pending-round replay protocol leans on this — a resumed
+  // session re-runs batched what a synchronous session asked piecemeal.)
+  QueryOracle inner(Query::Parse("∀x1 ∃x2", 2));
+  const size_t kN = 512;
+  std::vector<TupleSet> questions;
+  questions.reserve(kN);
+  const char* shapes[] = {"11", "01", "10", "00"};
+  for (size_t i = 0; i < kN; ++i) {
+    questions.push_back(TupleSet::Parse({shapes[i % 4], shapes[(i / 4) % 4]}));
+  }
+  NoisyOracle batched(&inner, 0.25, /*seed=*/99);
+  NoisyOracle sequential(&inner, 0.25, /*seed=*/99);
+  BitVec bits;
+  BitSpan batch_answers = bits.Prepare(kN);
+  batched.IsAnswerBatch(questions, batch_answers);
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(sequential.IsAnswer(questions[i]), batch_answers.Get(i))
+        << "answer " << i << " differs between batch and sequential delivery";
+  }
+  EXPECT_EQ(batched.flips(), sequential.flips());
+  EXPECT_GT(batched.flips(), 0) << "vacuous: the noise stream never fired";
 }
 
 }  // namespace

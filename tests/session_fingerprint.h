@@ -1,39 +1,15 @@
-// Shared test helper: a session's full observable surface, rendered to a
-// string. This IS the determinism contract the service-layer suites
-// enforce — two runs are "bit-identical" iff their fingerprints compare
-// equal — so it must stay one definition: the router stress tests, the
-// continuation protocol tests and the 256-session continuation stress all
-// compare fingerprints of a concurrent/pending run against a
-// single-threaded synchronous replay. If a new observable is added to
-// QuerySession, extend it here and every suite tightens together.
+// Shared test helper, now promoted to the workload library so the fleet
+// driver, the fuzz harness and the macro benchmark enforce the identical
+// determinism contract as the test suites: a session's full observable
+// surface, rendered to a string — two runs are "bit-identical" iff their
+// fingerprints compare equal. The one definition lives in
+// src/workload/fingerprint.h; extend it there and every consumer (router
+// stress, continuation suites, workload differential, bench_workload)
+// tightens together.
 
 #ifndef QHORN_TESTS_SESSION_FINGERPRINT_H_
 #define QHORN_TESTS_SESSION_FINGERPRINT_H_
 
-#include <string>
-
-#include "src/session/session.h"
-
-namespace qhorn {
-
-inline std::string SessionFingerprint(QuerySession& session) {
-  std::string out;
-  out += "q=" + std::to_string(session.questions_asked());
-  out += " rounds=" + std::to_string(session.rounds());
-  out += " hits=" + std::to_string(session.cache_hits());
-  out += " batched=" + std::to_string(session.oracle_stats().batched_questions);
-  if (session.current_query().has_value()) {
-    out += " current=" + session.current_query()->ToString();
-  }
-  out += "\n";
-  for (const TranscriptEntry& e : session.history()) {
-    out += std::to_string(e.round) + ":" + e.question.ToString(session.n());
-    out += e.response ? "+" : "-";
-    out += "\n";
-  }
-  return out;
-}
-
-}  // namespace qhorn
+#include "src/workload/fingerprint.h"
 
 #endif  // QHORN_TESTS_SESSION_FINGERPRINT_H_

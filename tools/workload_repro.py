@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Reproduce one hostile-fleet fuzz seed from its logged repro line.
+
+Every workload_fuzz_test failure message ends with a line of the form
+
+    repro: tools/workload_repro.py --seed=1337
+
+This tool re-runs exactly that seed: it finds (or is told) a built
+workload_fuzz_test binary and invokes the sweep with QHORN_FUZZ_SEEDS
+pinned to the one seed, so the identical fleet, delivery schedule and
+noise stream replay under a debugger-friendly single-seed run.
+
+    tools/workload_repro.py --seed=1337
+    tools/workload_repro.py --seed=1337 --count=8      # seed..seed+7
+    tools/workload_repro.py --seed=1337 --binary=build/asan/tests/workload_fuzz_test
+
+Exit status: the test binary's (0 green, non-zero reproduces the failure),
+2 on usage/setup errors.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+# Searched relative to the repo root (this file's parent directory) when
+# --binary is not given; first hit wins, sanitizer builds first since a
+# fuzz failure usually came from one.
+DEFAULT_BINARY_CANDIDATES = [
+    "build/asan/tests/workload_fuzz_test",
+    "build/tsan/tests/workload_fuzz_test",
+    "build/release/tests/workload_fuzz_test",
+    "build/debug/tests/workload_fuzz_test",
+]
+
+
+def find_binary(repo_root):
+    for rel in DEFAULT_BINARY_CANDIDATES:
+        path = os.path.join(repo_root, rel)
+        if os.access(path, os.X_OK):
+            return path
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="re-run one workload fuzz seed from its repro line")
+    parser.add_argument("--seed", type=int, required=True,
+                        help="the seed from the failure's repro line")
+    parser.add_argument("--count", type=int, default=1,
+                        help="sweep this many consecutive seeds (default 1)")
+    parser.add_argument("--binary", default=None,
+                        help="path to a built workload_fuzz_test "
+                             "(default: search build/*/tests/)")
+    args = parser.parse_args()
+    if args.seed < 0 or args.count < 1:
+        print("workload_repro: --seed must be >= 0 and --count >= 1",
+              file=sys.stderr)
+        return 2
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    binary = args.binary or find_binary(repo_root)
+    if binary is None or not os.access(binary, os.X_OK):
+        print("workload_repro: no workload_fuzz_test binary found; build one "
+              "(e.g. `cmake --build build/release --target workload_fuzz_test`) "
+              "or pass --binary", file=sys.stderr)
+        return 2
+
+    env = dict(os.environ)
+    env["QHORN_FUZZ_SEEDS"] = f"{args.seed}:{args.count}"
+    cmd = [binary,
+           "--gtest_filter=WorkloadFuzzTest.HostileFleetSweepIsReplayEquivalent"]
+    print(f"workload_repro: QHORN_FUZZ_SEEDS={env['QHORN_FUZZ_SEEDS']} "
+          f"{' '.join(cmd)}")
+    return subprocess.call(cmd, env=env)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
