@@ -26,6 +26,8 @@
 
 #include "bench/bench_domain.h"
 #include "src/core/compiled_query.h"
+#include "src/durable/durable_router.h"
+#include "src/durable/fs.h"
 #include "src/core/enumerate.h"
 #include "src/core/normalize.h"
 #include "src/core/random_query.h"
@@ -38,6 +40,8 @@
 #include "src/session/router.h"
 #include "src/util/executor.h"
 #include "src/verify/verification_set.h"
+#include "src/workload/fleet_driver.h"
+#include "src/workload/workload.h"
 
 namespace qhorn {
 namespace {
@@ -568,6 +572,74 @@ void BM_CanonicalDedupLegacy(benchmark::State& state) {
   state.SetLabel("ToString() keys in an ordered set (the pre-PR scheme)");
 }
 BENCHMARK(BM_CanonicalDedupLegacy)->Arg(16)->Arg(64);
+
+// The durable pair: one clean generated session driven through the
+// pending protocol to completion, with and without the write-ahead log
+// (MemFs, fsync-per-append — the full log-before-ack path minus real disk
+// latency). The delta is the per-round cost of durability: encode, CRC,
+// append, simulated fsync. Not part of the CI bench gate.
+SessionSpec DurableBenchSpec() {
+  for (uint64_t seed = 1;; ++seed) {
+    for (const SessionSpec& s : GenerateFleet(WorkloadSpec::FromSeed(seed)).sessions) {
+      if (!s.noisy() && !s.abandon && !s.jobs.empty()) return s;
+    }
+  }
+}
+
+template <typename Endpoint>
+int64_t DriveDurableBenchSession(Endpoint& endpoint, const SessionSpec& spec,
+                                 int64_t id) {
+  QueryOracle truth(spec.target);
+  BitVec bits;
+  int64_t rounds = 0;
+  for (;;) {
+    endpoint.Drain();
+    std::vector<PendingRound> pending = endpoint.PendingRounds();
+    const PendingRound* mine = nullptr;
+    for (const PendingRound& r : pending) {
+      if (r.session_id == id) mine = &r;
+    }
+    if (mine == nullptr) return rounds;
+    BitSpan span = bits.Prepare(mine->questions.size());
+    truth.IsAnswerBatch(mine->questions, span);
+    endpoint.ProvideAnswers(id, mine->round_id, span);
+    ++rounds;
+  }
+}
+
+void BM_DurableProvideAnswers(benchmark::State& state) {
+  SessionSpec spec = DurableBenchSpec();
+  DurableRouterOptions opts;
+  opts.router.threads = 1;
+  opts.log.fsync_policy = FsyncPolicy::kEveryAppend;
+  int64_t rounds = 0;
+  std::string error;
+  for (auto _ : state) {
+    MemFs mem;
+    auto dr = DurableRouter::Create(&mem, "qlog", opts, &error);
+    int64_t id = dr->OpenPending(spec);
+    rounds += DriveDurableBenchSession(*dr, spec, id);
+  }
+  state.SetItemsProcessed(rounds);
+  state.SetLabel("WAL per round: encode + CRC + append + fsync (MemFs)");
+}
+BENCHMARK(BM_DurableProvideAnswers)->Unit(benchmark::kMillisecond);
+
+void BM_DurableProvideAnswersInMemory(benchmark::State& state) {
+  SessionSpec spec = DurableBenchSpec();
+  SessionRouter::Options opts;
+  opts.threads = 1;
+  int64_t rounds = 0;
+  for (auto _ : state) {
+    SessionRouter router(opts);
+    int64_t id = router.OpenPending(spec.n);
+    SubmitSpecJobs(router, id, spec);
+    rounds += DriveDurableBenchSession(router, spec, id);
+  }
+  state.SetItemsProcessed(rounds);
+  state.SetLabel("identical session, no durability layer");
+}
+BENCHMARK(BM_DurableProvideAnswersInMemory)->Unit(benchmark::kMillisecond);
 
 void BM_BruteForceEquivalence(benchmark::State& state) {
   Query a = Query::Parse("∀x1→x2 ∃x3x4", 4);

@@ -1,0 +1,75 @@
+// Binary codec for the durable session log's record bodies.
+//
+// SessionOpened records must carry everything needed to re-create a
+// session after a crash: the full SessionSpec (schema size, target and
+// mutant queries, noise stream seed, job plan). The encoding is
+// deliberately dumb — fixed-width little-endian fields, length-prefixed
+// vectors, doubles as raw IEEE bit patterns — because the contract the
+// recovery tests pin is *byte identity*: encode → decode → re-encode is
+// the identity on bytes for every seed-derived fleet, so a recovered
+// session is provably the same session, not a floating-point-rounded
+// cousin. No varints, no optional fields, no map iteration: nothing whose
+// byte output could depend on anything but the value.
+
+#ifndef QHORN_DURABLE_CODEC_H_
+#define QHORN_DURABLE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/core/query.h"
+#include "src/workload/workload.h"
+
+namespace qhorn {
+
+/// Appends fixed-width little-endian primitives to a byte string.
+class Encoder {
+ public:
+  explicit Encoder(std::string* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  /// Raw IEEE-754 bit pattern: round trips every value bit for bit,
+  /// NaN payloads included.
+  void PutDouble(double v);
+  void PutBytes(std::string_view bytes);  // length-prefixed (u32)
+
+ private:
+  std::string* out_;
+};
+
+/// Consumes the same encoding. Every Get returns false once the input is
+/// exhausted or malformed; decoding never reads past the view.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  bool GetU8(uint8_t* v);
+  bool GetU32(uint32_t* v);
+  bool GetU64(uint64_t* v);
+  bool GetI64(int64_t* v);
+  bool GetDouble(double* v);
+  bool GetBytes(std::string* out);
+
+  bool empty() const { return data_.empty(); }
+  size_t remaining() const { return data_.size(); }
+
+ private:
+  std::string_view data_;
+};
+
+void EncodeQuery(const Query& query, std::string* out);
+bool DecodeQuery(Decoder& in, Query* out);
+
+void EncodeSessionSpec(const SessionSpec& spec, std::string* out);
+bool DecodeSessionSpec(Decoder& in, SessionSpec* out);
+
+void EncodeWorkloadSpec(const WorkloadSpec& spec, std::string* out);
+bool DecodeWorkloadSpec(Decoder& in, WorkloadSpec* out);
+
+}  // namespace qhorn
+
+#endif  // QHORN_DURABLE_CODEC_H_

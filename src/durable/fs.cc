@@ -1,0 +1,352 @@
+#include "src/durable/fs.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "src/util/check.h"
+
+namespace qhorn {
+
+// ---------------------------------------------------------------------------
+// RealFs
+
+namespace {
+
+class RealFile : public WritableFile {
+ public:
+  explicit RealFile(std::FILE* f) : f_(f) {}
+  ~RealFile() override {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+
+  bool Append(std::string_view data) override {
+    if (f_ == nullptr) return false;
+    return std::fwrite(data.data(), 1, data.size(), f_) == data.size();
+  }
+
+  bool Sync() override {
+    if (f_ == nullptr) return false;
+    if (std::fflush(f_) != 0) return false;
+#ifndef _WIN32
+    return ::fsync(::fileno(f_)) == 0;
+#else
+    return true;
+#endif
+  }
+
+ private:
+  std::FILE* f_;
+};
+
+}  // namespace
+
+std::unique_ptr<WritableFile> RealFs::OpenAppend(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return nullptr;
+  return std::make_unique<RealFile>(f);
+}
+
+bool RealFs::ReadFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    out->append(buf, got);
+  }
+  bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+bool RealFs::FileExists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+bool RealFs::Truncate(const std::string& path, uint64_t size) {
+  std::error_code ec;
+  std::filesystem::resize_file(path, size, ec);
+  return !ec;
+}
+
+bool RealFs::CreateDirs(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return std::filesystem::is_directory(dir, ec);
+}
+
+// ---------------------------------------------------------------------------
+// MemFs
+
+class MemFile : public WritableFile {
+ public:
+  MemFile(MemFs* fs, std::string path) : fs_(fs), path_(std::move(path)) {}
+
+  bool Append(std::string_view data) override;
+  bool Sync() override;
+
+ private:
+  MemFs* fs_;
+  std::string path_;
+};
+
+bool MemFile::Append(std::string_view data) {
+  std::lock_guard<std::mutex> lock(fs_->mutex_);
+  fs_->files_[path_].buffered.append(data);
+  return true;
+}
+
+bool MemFile::Sync() {
+  std::lock_guard<std::mutex> lock(fs_->mutex_);
+  MemFs::FileState& f = fs_->files_[path_];
+  f.durable.append(f.buffered);
+  f.buffered.clear();
+  return true;
+}
+
+std::unique_ptr<WritableFile> MemFs::OpenAppend(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  files_.try_emplace(path);  // creation is immediate, like open(O_CREAT)
+  return std::make_unique<MemFile>(this, path);
+}
+
+bool MemFs::ReadFile(const std::string& path, std::string* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return false;
+  *out = it->second.durable + it->second.buffered;
+  return true;
+}
+
+bool MemFs::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_.count(path) != 0;
+}
+
+bool MemFs::Truncate(const std::string& path, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return false;
+  // Truncation is a metadata operation the recovery path performs before
+  // any new append; model its result as fully durable.
+  std::string all = it->second.durable + it->second.buffered;
+  if (size < all.size()) all.resize(size);
+  it->second.durable = std::move(all);
+  it->second.buffered.clear();
+  return true;
+}
+
+bool MemFs::CreateDirs(const std::string&) { return true; }
+
+void MemFs::CrashAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [path, f] : files_) {
+    f.buffered.clear();
+  }
+}
+
+uint64_t MemFs::DurableSize(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  return it == files_.end() ? 0 : it->second.durable.size();
+}
+
+uint64_t MemFs::TotalSize(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  return it == files_.end()
+             ? 0
+             : it->second.durable.size() + it->second.buffered.size();
+}
+
+void MemFs::FlipDurableBitForTest(const std::string& path, uint64_t bit) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  QHORN_CHECK_MSG(it != files_.end(), "no file " << path);
+  QHORN_CHECK_MSG(bit / 8 < it->second.durable.size(),
+                  "bit " << bit << " beyond durable size of " << path);
+  it->second.durable[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+}
+
+// ---------------------------------------------------------------------------
+// FaultFs
+
+class FaultFile : public WritableFile {
+ public:
+  FaultFile(FaultFs* fs, std::unique_ptr<WritableFile> base)
+      : fs_(fs), base_(std::move(base)) {}
+
+  bool Append(std::string_view data) override {
+    return fs_->OnAppend(base_.get(), data);
+  }
+
+  bool Sync() override { return fs_->OnSync(base_.get()); }
+
+ private:
+  FaultFs* fs_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+std::unique_ptr<WritableFile> FaultFs::OpenAppend(const std::string& path) {
+  auto base = base_->OpenAppend(path);
+  if (base == nullptr) return nullptr;
+  return std::make_unique<FaultFile>(this, std::move(base));
+}
+
+bool FaultFs::ReadFile(const std::string& path, std::string* out) {
+  return base_->ReadFile(path, out);
+}
+
+bool FaultFs::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+bool FaultFs::Truncate(const std::string& path, uint64_t size) {
+  return base_->Truncate(path, size);
+}
+
+bool FaultFs::CreateDirs(const std::string& dir) {
+  return base_->CreateDirs(dir);
+}
+
+void FaultFs::ArmTornAppend(int after) {
+  QHORN_CHECK(after >= 1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  append_fault_ = FaultKind::kTornAppend;
+  append_fault_at_ = appends_ + after;
+}
+
+void FaultFs::ArmShortWrite(int after) {
+  QHORN_CHECK(after >= 1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  append_fault_ = FaultKind::kShortWrite;
+  append_fault_at_ = appends_ + after;
+}
+
+void FaultFs::ArmSyncFailure(int after) {
+  QHORN_CHECK(after >= 1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  sync_fault_at_ = syncs_ + after;
+}
+
+void FaultFs::ArmBitFlip(int after, int64_t bit) {
+  QHORN_CHECK(after >= 1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  append_fault_ = FaultKind::kBitFlip;
+  append_fault_at_ = appends_ + after;
+  append_fault_bit_ = bit;
+}
+
+bool FaultFs::OnAppend(WritableFile* file, std::string_view data) {
+  FaultKind fault = FaultKind::kNone;
+  size_t prefix = 0;
+  int64_t flip_bit = -1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++appends_;
+    if (append_fault_ != FaultKind::kNone && appends_ == append_fault_at_) {
+      fault = append_fault_;
+      append_fault_ = FaultKind::kNone;
+      switch (fault) {
+        case FaultKind::kTornAppend:
+          ++torn_fired_;
+          prefix = data.empty() ? 0 : rng_.Below(data.size());
+          break;
+        case FaultKind::kShortWrite:
+          ++short_fired_;
+          prefix = data.empty() ? 0 : rng_.Below(data.size());
+          break;
+        case FaultKind::kBitFlip:
+          ++flip_fired_;
+          flip_bit = append_fault_bit_ >= 0
+                         ? append_fault_bit_
+                         : static_cast<int64_t>(rng_.Below(data.size() * 8));
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  switch (fault) {
+    case FaultKind::kNone:
+      return file->Append(data);
+    case FaultKind::kTornAppend:
+      // The OS flushed a partial page, then the machine died: the prefix
+      // is durable, the rest never existed, and the writer saw an error.
+      file->Append(data.substr(0, prefix));
+      file->Sync();
+      return false;
+    case FaultKind::kShortWrite:
+      file->Append(data.substr(0, prefix));
+      return false;
+    case FaultKind::kBitFlip: {
+      QHORN_CHECK_MSG(flip_bit >= 0 &&
+                          static_cast<size_t>(flip_bit) < data.size() * 8,
+                      "bit-flip offset " << flip_bit
+                                         << " beyond record of "
+                                         << data.size() << " bytes");
+      std::string corrupted(data);
+      corrupted[static_cast<size_t>(flip_bit) / 8] ^=
+          static_cast<char>(1u << (flip_bit % 8));
+      return file->Append(corrupted);
+    }
+  }
+  return false;
+}
+
+bool FaultFs::OnSync(WritableFile* file) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++syncs_;
+    if (sync_fault_at_ != 0 && syncs_ == sync_fault_at_) {
+      sync_fault_at_ = 0;
+      ++sync_fail_fired_;
+      return false;
+    }
+  }
+  return file->Sync();
+}
+
+int64_t FaultFs::appends() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return appends_;
+}
+
+int64_t FaultFs::syncs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return syncs_;
+}
+
+int64_t FaultFs::torn_appends_fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return torn_fired_;
+}
+
+int64_t FaultFs::short_writes_fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return short_fired_;
+}
+
+int64_t FaultFs::sync_failures_fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sync_fail_fired_;
+}
+
+int64_t FaultFs::bit_flips_fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return flip_fired_;
+}
+
+bool FaultFs::fault_armed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return append_fault_ != FaultKind::kNone || sync_fault_at_ != 0;
+}
+
+}  // namespace qhorn

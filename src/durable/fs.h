@@ -1,0 +1,194 @@
+// File-system abstraction for the durable session log.
+//
+// SessionLog and DurableRouter never touch the OS directly; they write
+// through this narrow seam so the crash-recovery suites can run against an
+// in-memory filesystem with *simulatable power loss* and a fault-injecting
+// decorator, while the real server path uses RealFs.
+//
+// The durability model every implementation shares:
+//
+//   * Append(data) buffers bytes. Buffered bytes are visible to reads
+//     (the OS page cache) but are NOT durable.
+//   * Sync() makes everything appended so far durable (fsync).
+//   * A crash (MemFs::CrashAll, or the real machine losing power) keeps
+//     all durable bytes and an *arbitrary prefix-truncation* of the
+//     buffered tail — which is exactly why the log is CRC-framed.
+//
+// FaultFs decorates any Fs with seeded injected faults, armed one at a
+// time by the crash harness:
+//
+//   * torn append  — a strict prefix of the record reaches durable
+//     storage (the OS flushed a partial page just before power loss) and
+//     the append reports failure;
+//   * short write  — a strict prefix is buffered, the append reports
+//     failure, and nothing was made durable (the crash-free analogue);
+//   * sync failure — bytes stay buffered, Sync reports failure;
+//   * bit flip     — one bit of the appended record is silently inverted
+//     (disk bit-rot; the append reports success).
+
+#ifndef QHORN_DURABLE_FS_H_
+#define QHORN_DURABLE_FS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace qhorn {
+
+/// Append-only file handle. Not thread-safe; callers serialize.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Buffers `data` at the end of the file. False = I/O error; the file's
+  /// tail is indeterminate (a prefix of `data` may have been written) and
+  /// the caller must treat the handle as poisoned.
+  virtual bool Append(std::string_view data) = 0;
+
+  /// Makes every appended byte durable. False = fsync failure; the bytes
+  /// remain buffered (whole) and a later Sync may succeed.
+  virtual bool Sync() = 0;
+};
+
+/// Minimal filesystem surface: append-only writes, whole-file reads, and
+/// the truncate recovery needs to chop a torn tail.
+class Fs {
+ public:
+  virtual ~Fs() = default;
+
+  /// Opens (creating if absent) `path` for appending.
+  virtual std::unique_ptr<WritableFile> OpenAppend(const std::string& path) = 0;
+
+  /// Reads the whole file (durable + buffered bytes — what a live process
+  /// sees). False if the file does not exist or cannot be read.
+  virtual bool ReadFile(const std::string& path, std::string* out) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Truncates `path` to `size` bytes (recovery chopping a torn tail; the
+  /// result is durable). False on error or missing file.
+  virtual bool Truncate(const std::string& path, uint64_t size) = 0;
+
+  /// Creates `dir` (and parents). True if it exists afterwards.
+  virtual bool CreateDirs(const std::string& dir) = 0;
+};
+
+/// POSIX-backed implementation for real deployments and the benchmarks
+/// that want genuine fsync cost.
+class RealFs : public Fs {
+ public:
+  std::unique_ptr<WritableFile> OpenAppend(const std::string& path) override;
+  bool ReadFile(const std::string& path, std::string* out) override;
+  bool FileExists(const std::string& path) override;
+  bool Truncate(const std::string& path, uint64_t size) override;
+  bool CreateDirs(const std::string& dir) override;
+};
+
+/// In-memory filesystem with simulatable power loss. Thread-safe.
+class MemFs : public Fs {
+ public:
+  std::unique_ptr<WritableFile> OpenAppend(const std::string& path) override;
+  bool ReadFile(const std::string& path, std::string* out) override;
+  bool FileExists(const std::string& path) override;
+  bool Truncate(const std::string& path, uint64_t size) override;
+  bool CreateDirs(const std::string& dir) override;
+
+  /// Simulated power loss: every file keeps its durable bytes and loses
+  /// its buffered (unsynced) tail. Open handles keep working (the crash
+  /// harness drops them anyway — a dead process holds no handles).
+  void CrashAll();
+
+  /// Durable byte count (what would survive a crash right now).
+  uint64_t DurableSize(const std::string& path);
+  /// Total byte count (durable + buffered) as ReadFile sees it.
+  uint64_t TotalSize(const std::string& path);
+
+  /// Test support: flips one bit of the durable image of `path` in place
+  /// (simulated at-rest bit-rot, for corruption-detection tests).
+  /// Aborts if `bit` is out of range.
+  void FlipDurableBitForTest(const std::string& path, uint64_t bit);
+
+ private:
+  friend class MemFile;
+  struct FileState {
+    std::string durable;
+    std::string buffered;
+  };
+
+  std::mutex mutex_;
+  std::map<std::string, FileState> files_;
+};
+
+/// Fault-injecting decorator over any Fs. Faults are armed ahead of time
+/// ("the k-th append from now tears") and fire exactly once; counters make
+/// the harnesses assert their faults actually fired. Thread-safe; the
+/// fault schedule is global across every file opened through it.
+class FaultFs : public Fs {
+ public:
+  explicit FaultFs(Fs* base, uint64_t seed) : base_(base), rng_(seed) {}
+
+  std::unique_ptr<WritableFile> OpenAppend(const std::string& path) override;
+  bool ReadFile(const std::string& path, std::string* out) override;
+  bool FileExists(const std::string& path) override;
+  bool Truncate(const std::string& path, uint64_t size) override;
+  bool CreateDirs(const std::string& dir) override;
+
+  /// The `after`-th append from now (1 = the very next) writes only a
+  /// seeded strict prefix, makes it durable, and reports failure — the
+  /// power-loss-mid-append shape recovery must truncate loudly.
+  void ArmTornAppend(int after);
+
+  /// The `after`-th append buffers a seeded strict prefix and reports
+  /// failure without making anything durable.
+  void ArmShortWrite(int after);
+
+  /// The `after`-th Sync from now reports failure; bytes stay buffered.
+  void ArmSyncFailure(int after);
+
+  /// The `after`-th append has one bit inverted and reports success.
+  /// `bit` < 0 picks a seeded bit anywhere in the record; a non-negative
+  /// value pins the flipped bit (tests target the payload region).
+  void ArmBitFlip(int after, int64_t bit = -1);
+
+  int64_t appends() const;
+  int64_t syncs() const;
+  int64_t torn_appends_fired() const;
+  int64_t short_writes_fired() const;
+  int64_t sync_failures_fired() const;
+  int64_t bit_flips_fired() const;
+  /// True iff some armed fault has not fired yet.
+  bool fault_armed() const;
+
+ private:
+  friend class FaultFile;
+  enum class FaultKind { kNone, kTornAppend, kShortWrite, kBitFlip };
+
+  // Called by FaultFile under mutex_-free fast paths; internally locked.
+  bool OnAppend(WritableFile* file, std::string_view data);
+  bool OnSync(WritableFile* file);
+
+  Fs* base_;
+  mutable std::mutex mutex_;
+  Rng rng_;
+  int64_t appends_ = 0;
+  int64_t syncs_ = 0;
+  // Armed faults: fire when the corresponding counter reaches the mark.
+  FaultKind append_fault_ = FaultKind::kNone;
+  int64_t append_fault_at_ = 0;   // fires on the append_fault_at_-th append
+  int64_t append_fault_bit_ = -1;  // ArmBitFlip pin
+  int64_t sync_fault_at_ = 0;     // fires on the sync_fault_at_-th sync
+  int64_t torn_fired_ = 0;
+  int64_t short_fired_ = 0;
+  int64_t sync_fail_fired_ = 0;
+  int64_t flip_fired_ = 0;
+};
+
+}  // namespace qhorn
+
+#endif  // QHORN_DURABLE_FS_H_

@@ -48,6 +48,26 @@ int64_t CompiledQueryCache::misses() const {
   return misses_;
 }
 
+const char* ToString(ProvideOutcome o) {
+  switch (o) {
+    case ProvideOutcome::kResumed:
+      return "resumed";
+    case ProvideOutcome::kUnknownSession:
+      return "unknown-session";
+    case ProvideOutcome::kSessionClosed:
+      return "session-closed";
+    case ProvideOutcome::kNotAwaiting:
+      return "not-awaiting";
+    case ProvideOutcome::kStaleRound:
+      return "stale-round";
+    case ProvideOutcome::kAnswerCountMismatch:
+      return "answer-count-mismatch";
+    case ProvideOutcome::kLogWriteFailed:
+      return "log-write-failed";
+  }
+  return "?";
+}
+
 SessionRouter::SessionRouter() : SessionRouter(Options()) {}
 
 SessionRouter::SessionRouter(Options options) : options_(std::move(options)) {
@@ -341,6 +361,19 @@ std::vector<PendingRound> SessionRouter::PendingRounds() {
 
 ProvideOutcome SessionRouter::ProvideAnswers(SessionId id, int64_t round_id,
                                              BitSpan answers) {
+  return ProvideAnswersInternal(id, round_id, answers, nullptr);
+}
+
+ProvideOutcome SessionRouter::ProvideAnswers(SessionId id, int64_t round_id,
+                                             BitSpan answers,
+                                             CommitHook commit) {
+  return ProvideAnswersInternal(id, round_id, answers, &commit);
+}
+
+ProvideOutcome SessionRouter::ProvideAnswersInternal(SessionId id,
+                                                     int64_t round_id,
+                                                     BitSpan answers,
+                                                     CommitHook* commit) {
   SessionState* state = nullptr;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -353,6 +386,14 @@ ProvideOutcome SessionRouter::ProvideAnswers(SessionId id, int64_t round_id,
     if (round_id != round.round_id) return ProvideOutcome::kStaleRound;
     if (answers.size() != round.questions.size()) {
       return ProvideOutcome::kAnswerCountMismatch;
+    }
+    // Validations passed — the write-ahead barrier runs here, under the
+    // lock, so the logged record and the fold it authorizes are one
+    // atomic step as seen by every other router call. A veto leaves the
+    // session exactly as it was (the round stays pending, the same call
+    // can be retried once the log is healthy).
+    if (commit != nullptr && !(*commit)()) {
+      return ProvideOutcome::kLogWriteFailed;
     }
     // Accepted: fold the answered round into the user-boundary transcript
     // and make the session runnable again.
@@ -369,6 +410,15 @@ ProvideOutcome SessionRouter::ProvideAnswers(SessionId id, int64_t round_id,
   }
   executor_->Post([this, state] { RunPendingSession(state); });
   return ProvideOutcome::kResumed;
+}
+
+std::optional<PendingRound> SessionRouter::pending_round(SessionId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return std::nullopt;
+  const SessionState* state = it->second.get();
+  if (!state->awaiting) return std::nullopt;
+  return state->pending_round;
 }
 
 bool SessionRouter::Close(SessionId id) {

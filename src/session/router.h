@@ -63,6 +63,7 @@
 #include "src/oracle/pipeline.h"
 #include "src/session/session.h"
 #include "src/util/executor.h"
+#include "src/util/function_ref.h"
 
 namespace qhorn {
 
@@ -133,7 +134,10 @@ enum class ProvideOutcome {
   kNotAwaiting,          ///< session has no pending round
   kStaleRound,           ///< round_id is not the currently pending round
   kAnswerCountMismatch,  ///< answers.size() != pending questions
+  kLogWriteFailed,       ///< durable commit hook refused; nothing mutated
 };
+
+const char* ToString(ProvideOutcome o);
 
 /// Multiplexes concurrent QuerySessions over a shared executor.
 class SessionRouter {
@@ -211,6 +215,26 @@ class SessionRouter {
   ProvideOutcome ProvideAnswers(SessionId id, int64_t round_id,
                                 BitSpan answers);
 
+  /// A durable wrapper's write-ahead barrier: invoked once, after every
+  /// validation has passed and before any state mutates, while the call
+  /// still holds the router lock (so no concurrent call can interleave
+  /// between the hook and the fold). Return false to veto: the call
+  /// reports kLogWriteFailed and the session — pending round included —
+  /// is exactly as it was, so the caller may retry the identical call
+  /// once its log is healthy again.
+  using CommitHook = FunctionRef<bool()>;
+
+  /// ProvideAnswers with a durable commit barrier (DurableRouter's path;
+  /// the three-argument form commits unconditionally).
+  ProvideOutcome ProvideAnswers(SessionId id, int64_t round_id,
+                                BitSpan answers, CommitHook commit);
+
+  /// The round the session is blocked on, if any — nullopt for unknown,
+  /// closed, or not-awaiting sessions. A copy, so the recovery replay can
+  /// match surfaced rounds against logged answers without racing the
+  /// runner.
+  std::optional<PendingRound> pending_round(SessionId id);
+
   /// Marks a session closed: subsequent Submit/ProvideAnswers are
   /// rejected. A pending round awaiting answers is abandoned; already
   /// queued jobs of a direct session still drain. Returns false for an
@@ -282,6 +306,10 @@ class SessionRouter {
                          std::unique_ptr<MembershipOracle> owned_backend,
                          PendingOracle* pending_backend);
   bool SubmitInternal(SessionId id, Job job, JobKind kind);
+  /// Shared body of both ProvideAnswers overloads; `commit` null means
+  /// commit unconditionally (FunctionRef itself is non-nullable).
+  ProvideOutcome ProvideAnswersInternal(SessionId id, int64_t round_id,
+                                        BitSpan answers, CommitHook* commit);
   /// Executor task: runs a direct session's queued jobs until the queue is
   /// empty, then releases ownership.
   void RunSession(SessionState* state);

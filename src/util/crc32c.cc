@@ -1,0 +1,62 @@
+#include "src/util/crc32c.h"
+
+#include <array>
+
+namespace qhorn {
+namespace {
+
+// Reflected Castagnoli polynomial.
+constexpr uint32_t kPoly = 0x82f63b78u;
+
+// kTables[0] is the classic byte-at-a-time table; kTables[k][b] extends a
+// CRC by byte b followed by k zero bytes, which is what lets slicing-by-8
+// fold eight input bytes per iteration with no data dependency between
+// table lookups.
+struct Tables {
+  uint32_t t[8][256];
+};
+
+constexpr Tables BuildTables() {
+  Tables tables{};
+  for (uint32_t b = 0; b < 256; ++b) {
+    uint32_t crc = b;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    tables.t[0][b] = crc;
+  }
+  for (int k = 1; k < 8; ++k) {
+    for (uint32_t b = 0; b < 256; ++b) {
+      uint32_t crc = tables.t[k - 1][b];
+      tables.t[k][b] = tables.t[0][crc & 0xff] ^ (crc >> 8);
+    }
+  }
+  return tables;
+}
+
+constexpr Tables kTables = BuildTables();
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t crc) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  while (size >= 8) {
+    uint32_t lo = crc ^ (static_cast<uint32_t>(p[0]) |
+                         static_cast<uint32_t>(p[1]) << 8 |
+                         static_cast<uint32_t>(p[2]) << 16 |
+                         static_cast<uint32_t>(p[3]) << 24);
+    crc = kTables.t[7][lo & 0xff] ^ kTables.t[6][(lo >> 8) & 0xff] ^
+          kTables.t[5][(lo >> 16) & 0xff] ^ kTables.t[4][lo >> 24] ^
+          kTables.t[3][p[4]] ^ kTables.t[2][p[5]] ^ kTables.t[1][p[6]] ^
+          kTables.t[0][p[7]];
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = kTables.t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace qhorn

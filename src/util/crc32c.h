@@ -1,0 +1,45 @@
+// CRC32C (Castagnoli) — the checksum framing the durable session log.
+//
+// Every record in a SessionLog file (src/durable/session_log.h) is
+// length-prefixed and carries the CRC32C of its payload, so recovery can
+// tell a torn tail (truncate loudly) from bit-rot (reject with a typed
+// error) from a clean record. Castagnoli rather than the zlib polynomial
+// because its error-detection properties at short record lengths are
+// strictly better and it is the WAL-framing convention (leveldb, kafka,
+// iSCSI). Software slicing-by-8 tables: ~1 GB/s, far above the fsync-bound
+// append path, with no ISA dependency.
+
+#ifndef QHORN_UTIL_CRC32C_H_
+#define QHORN_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace qhorn {
+
+/// CRC32C of `data`, optionally extending a running checksum: pass the
+/// previous return value as `crc` to checksum a logical stream in chunks.
+/// Crc32c(a+b) == Crc32c(b, Crc32c(a)).
+uint32_t Crc32c(const void* data, size_t size, uint32_t crc = 0);
+
+inline uint32_t Crc32c(std::string_view data, uint32_t crc = 0) {
+  return Crc32c(data.data(), data.size(), crc);
+}
+
+/// The log stores checksums "masked" (rotated and offset, the leveldb
+/// trick): a log file embedded inside another checksummed stream must not
+/// contain the raw CRC of bytes that are themselves nearby, or nested
+/// checksumming degenerates. Mask before writing, unmask after reading.
+inline uint32_t MaskCrc32c(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+inline uint32_t UnmaskCrc32c(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace qhorn
+
+#endif  // QHORN_UTIL_CRC32C_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
@@ -36,28 +37,6 @@ UserStack MakeStack(const SessionSpec& s) {
   return stack;
 }
 
-void SubmitJobs(SessionRouter& router, SessionRouter::SessionId id,
-                const SessionSpec& s) {
-  for (WorkloadJob job : s.jobs) {
-    bool accepted = false;
-    switch (job) {
-      case WorkloadJob::kLearn:
-        accepted = router.SubmitLearn(id);
-        break;
-      case WorkloadJob::kVerifyTarget:
-        accepted = router.SubmitVerify(id, s.target);
-        break;
-      case WorkloadJob::kVerifyMutant:
-        accepted = router.SubmitVerify(id, s.mutant);
-        break;
-      case WorkloadJob::kRevise:
-        accepted = router.SubmitRevise(id, s.mutant);
-        break;
-    }
-    QHORN_CHECK_MSG(accepted, "submit rejected on a live session");
-  }
-}
-
 /// Heavy-tailed simulated user latency in scheduler ticks: Pareto-shaped
 /// (most users answer within a tick, a few take ~the cap), capped so the
 /// sweep loop always terminates.
@@ -70,7 +49,66 @@ int64_t DrawLatency(const WorkloadSpec& spec, Rng& rng) {
 
 }  // namespace
 
-FleetResult FleetDriver::RunPending(int lanes_override) {
+void SubmitSpecJobs(SessionRouter& router, SessionRouter::SessionId id,
+                    const SessionSpec& spec) {
+  for (WorkloadJob job : spec.jobs) {
+    bool accepted = false;
+    switch (job) {
+      case WorkloadJob::kLearn:
+        accepted = router.SubmitLearn(id);
+        break;
+      case WorkloadJob::kVerifyTarget:
+        accepted = router.SubmitVerify(id, spec.target);
+        break;
+      case WorkloadJob::kVerifyMutant:
+        accepted = router.SubmitVerify(id, spec.mutant);
+        break;
+      case WorkloadJob::kRevise:
+        accepted = router.SubmitRevise(id, spec.mutant);
+        break;
+    }
+    QHORN_CHECK_MSG(accepted, "submit rejected on a live session");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RouterEndpoint
+
+ServiceEndpoint::SessionId RouterEndpoint::OpenPending(
+    const SessionSpec& spec) {
+  SessionId id = router_->OpenPending(spec.n);
+  SubmitSpecJobs(*router_, id, spec);
+  return id;
+}
+
+ProvideOutcome RouterEndpoint::ProvideAnswers(SessionId id, int64_t round_id,
+                                              BitSpan answers) {
+  return router_->ProvideAnswers(id, round_id, answers);
+}
+
+bool RouterEndpoint::Close(SessionId id) { return router_->Close(id); }
+
+std::vector<PendingRound> RouterEndpoint::PendingRounds() {
+  return router_->PendingRounds();
+}
+
+void RouterEndpoint::Drain() { router_->Drain(); }
+
+std::optional<SessionStatus> RouterEndpoint::status(SessionId id) {
+  return router_->status(id);
+}
+
+QuerySession& RouterEndpoint::session(SessionId id) {
+  return router_->session(id);
+}
+
+ServiceStats RouterEndpoint::stats() { return router_->stats(); }
+
+// ---------------------------------------------------------------------------
+// The hostile arm
+
+FleetResult FleetDriver::RunHostile(ServiceEndpoint& endpoint,
+                                    CrashController* crash) {
   const WorkloadSpec& spec = fleet_.spec;
   const size_t count = fleet_.sessions.size();
   FleetResult result;
@@ -81,32 +119,39 @@ FleetResult FleetDriver::RunPending(int lanes_override) {
     result.failure = msg + " (" + spec.ReproLine() + ")";
   };
 
-  SessionRouter::Options ropts;
-  ropts.threads = lanes_override > 0 ? lanes_override : spec.lanes;
-  SessionRouter router(ropts);
-
   std::vector<UserStack> stacks;
-  std::vector<SessionRouter::SessionId> ids;
-  std::unordered_map<SessionRouter::SessionId, size_t> index_of;
+  std::vector<ServiceEndpoint::SessionId> ids;
+  std::unordered_map<ServiceEndpoint::SessionId, size_t> index_of;
   stacks.reserve(count);
   ids.reserve(count);
   for (size_t i = 0; i < count; ++i) {
     const SessionSpec& s = fleet_.sessions[i];
     stacks.push_back(MakeStack(s));
-    SessionRouter::SessionId id = router.OpenPending(s.n);
+    ServiceEndpoint::SessionId id = endpoint.OpenPending(s);
+    QHORN_CHECK_MSG(id != 0, "endpoint refused to open session " << i);
     ids.push_back(id);
     index_of.emplace(id, i);
-    SubmitJobs(router, id, s);
   }
 
-  // Per-session delivery bookkeeping for the hostile scheduler.
+  // Per-session delivery bookkeeping for the hostile scheduler. The cached
+  // answer bits make the driver's users idempotent: a retry after a
+  // durable-commit failure (or a crash between computing the answers and
+  // the service accepting them) re-sends the *same* bits instead of
+  // re-consuming a noisy user's flip stream.
   struct Delivery {
     int64_t seen_round_id = -1;  ///< latest round assigned a deadline
     int64_t due_tick = 0;        ///< simulated user answers at this tick
     int64_t answered_rounds = 0;
     bool closed = false;
+    int64_t cached_round_id = -1;
+    std::vector<bool> cached_bits;
   };
   std::vector<Delivery> delivery(count);
+
+  // Bounds the OnLogWriteFailed → retry loop: each armed fault fires once,
+  // so a healthy recovery makes the retry succeed; a service that keeps
+  // refusing past this is broken, not unlucky.
+  constexpr int kMaxCommitRetries = 4;
 
   Rng sched(spec.seed ^ 0xd0d0f00d5eedf00dULL);
   BitVec answer_bits;
@@ -114,8 +159,15 @@ FleetResult FleetDriver::RunPending(int lanes_override) {
   std::vector<PendingRound*> eligible;
   int64_t tick = 0;
   for (;;) {
-    router.Drain();
-    std::vector<PendingRound> rounds = router.PendingRounds();
+    endpoint.Drain();
+    if (crash != nullptr && crash->MaybeCrashAtSweep(result.sweeps)) {
+      // The service died and recovered at a round boundary; whatever was
+      // polled before is stale, so re-drain the recovered service and
+      // re-poll. Observables must not notice — that is the differential.
+      ++result.crash_recoveries;
+      continue;
+    }
+    std::vector<PendingRound> rounds = endpoint.PendingRounds();
     if (rounds.empty()) break;
     if (!result.ok) break;  // bail once a protocol assertion failed
     ++result.sweeps;
@@ -135,14 +187,20 @@ FleetResult FleetDriver::RunPending(int lanes_override) {
       }
       if (s.abandon && !d.closed &&
           d.answered_rounds >= s.abandon_after_rounds) {
-        if (!router.Close(round.session_id)) {
-          fail("Close rejected a live awaiting session");
+        bool closed_ok = endpoint.Close(round.session_id);
+        for (int retry = 0; !closed_ok && crash != nullptr &&
+                            retry < kMaxCommitRetries &&
+                            crash->OnLogWriteFailed();
+             ++retry) {
+          ++result.log_write_retries;
+          closed_ok = endpoint.Close(round.session_id);
         }
+        if (!closed_ok) fail("Close rejected a live awaiting session");
         d.closed = true;
         ++result.abandoned_sessions;
-        if (router.ProvideAnswers(round.session_id, round.round_id,
-                                  garbage_bits.Prepare(
-                                      round.questions.size())) !=
+        if (endpoint.ProvideAnswers(round.session_id, round.round_id,
+                                    garbage_bits.Prepare(
+                                        round.questions.size())) !=
             ProvideOutcome::kSessionClosed) {
           fail("reply to a closed session was not rejected as kSessionClosed");
         }
@@ -159,7 +217,7 @@ FleetResult FleetDriver::RunPending(int lanes_override) {
     }
     sched.Shuffle(&eligible);
 
-    // Malformed replies: garbage the router must reject without touching
+    // Malformed replies: garbage the service must reject without touching
     // the session. The target round is still live (eligible), so a
     // non-rejection would corrupt a transcript the differential arm
     // compares — that is the point.
@@ -169,29 +227,29 @@ FleetResult FleetDriver::RunPending(int lanes_override) {
       ProvideOutcome want = ProvideOutcome::kResumed;
       switch (sched.Range(0, 2)) {
         case 0:
-          out = router.ProvideAnswers(round.session_id + 1000000,
-                                      round.round_id,
-                                      garbage_bits.Prepare(
-                                          round.questions.size()));
+          out = endpoint.ProvideAnswers(round.session_id + 1000000,
+                                        round.round_id,
+                                        garbage_bits.Prepare(
+                                            round.questions.size()));
           want = ProvideOutcome::kUnknownSession;
           break;
         case 1:
-          out = router.ProvideAnswers(
+          out = endpoint.ProvideAnswers(
               round.session_id,
               round.round_id + 1 + static_cast<int64_t>(sched.Range(0, 3)),
               garbage_bits.Prepare(round.questions.size()));
           want = ProvideOutcome::kStaleRound;
           break;
         default:
-          out = router.ProvideAnswers(round.session_id, round.round_id,
-                                      garbage_bits.Prepare(
-                                          round.questions.size() + 1));
+          out = endpoint.ProvideAnswers(round.session_id, round.round_id,
+                                        garbage_bits.Prepare(
+                                            round.questions.size() + 1));
           want = ProvideOutcome::kAnswerCountMismatch;
           break;
       }
       ++result.malformed_injected;
       if (out != want) fail("malformed reply was not rejected as expected");
-      if (router.status(round.session_id) != SessionStatus::kAwaitingUser) {
+      if (endpoint.status(round.session_id) != SessionStatus::kAwaitingUser) {
         fail("malformed reply disturbed an awaiting session");
       }
     }
@@ -205,20 +263,45 @@ FleetResult FleetDriver::RunPending(int lanes_override) {
     for (size_t i = 0; i < take; ++i) {
       PendingRound& round = *eligible[i];
       size_t idx = index_of.at(round.session_id);
+      Delivery& d = delivery[idx];
       BitSpan span = answer_bits.Prepare(round.questions.size());
-      stacks[idx].top->IsAnswerBatch(round.questions, span);
-      if (router.ProvideAnswers(round.session_id, round.round_id, span) !=
-          ProvideOutcome::kResumed) {
-        fail("ProvideAnswers rejected a live, well-formed reply");
+      if (d.cached_round_id == round.round_id) {
+        for (size_t q = 0; q < d.cached_bits.size(); ++q) {
+          span.Set(q, d.cached_bits[q]);
+        }
+      } else {
+        stacks[idx].top->IsAnswerBatch(round.questions, span);
+        d.cached_round_id = round.round_id;
+        d.cached_bits.resize(round.questions.size());
+        for (size_t q = 0; q < round.questions.size(); ++q) {
+          d.cached_bits[q] = span.Get(q);
+        }
+      }
+      ProvideOutcome out =
+          endpoint.ProvideAnswers(round.session_id, round.round_id, span);
+      for (int retry = 0; out == ProvideOutcome::kLogWriteFailed &&
+                          crash != nullptr && retry < kMaxCommitRetries &&
+                          crash->OnLogWriteFailed();
+           ++retry) {
+        // The commit fault may have been a crash in disguise; after
+        // recovery the same round is pending again and the cached bits
+        // make the retry byte-identical.
+        ++result.log_write_retries;
+        out = endpoint.ProvideAnswers(round.session_id, round.round_id, span);
+      }
+      if (out != ProvideOutcome::kResumed) {
+        fail(std::string("ProvideAnswers rejected a live, well-formed "
+                         "reply (") +
+             ToString(out) + ")");
         break;
       }
-      ++delivery[idx].answered_rounds;
+      ++d.answered_rounds;
       ++result.rounds_answered;
       // Duplicate re-delivery of the round just answered: the session is
       // either running again or already suspended on the *next* round id,
       // so the duplicate must bounce — and must not re-fold the answers.
       if (sched.Chance(spec.duplicate_rate)) {
-        ProvideOutcome dup = router.ProvideAnswers(
+        ProvideOutcome dup = endpoint.ProvideAnswers(
             round.session_id, round.round_id,
             garbage_bits.Prepare(round.questions.size()));
         ++result.duplicates_injected;
@@ -232,15 +315,23 @@ FleetResult FleetDriver::RunPending(int lanes_override) {
 
   for (size_t i = 0; i < count; ++i) {
     if (delivery[i].closed) continue;
-    if (router.status(ids[i]) != SessionStatus::kIdle) {
+    if (endpoint.status(ids[i]) != SessionStatus::kIdle) {
       fail("session " + std::to_string(i) +
            " did not reach kIdle after the fleet drained");
       continue;
     }
-    result.fingerprints[i] = SessionFingerprint(router.session(ids[i]));
+    result.fingerprints[i] = SessionFingerprint(endpoint.session(ids[i]));
   }
-  if (result.ok) result.stats = router.stats();
+  if (result.ok) result.stats = endpoint.stats();
   return result;
+}
+
+FleetResult FleetDriver::RunPending(int lanes_override) {
+  SessionRouter::Options ropts;
+  ropts.threads = lanes_override > 0 ? lanes_override : fleet_.spec.lanes;
+  SessionRouter router(ropts);
+  RouterEndpoint endpoint(&router);
+  return RunHostile(endpoint);
 }
 
 FleetResult FleetDriver::RunSynchronous() {
@@ -262,7 +353,7 @@ FleetResult FleetDriver::RunSynchronous() {
     stacks.push_back(MakeStack(s));
     SessionRouter::SessionId id = router.Open(s.n, stacks.back().top);
     ids.push_back(id);
-    SubmitJobs(router, id, s);
+    SubmitSpecJobs(router, id, s);
   }
   router.Drain();
   for (size_t i = 0; i < count; ++i) {
@@ -270,6 +361,27 @@ FleetResult FleetDriver::RunSynchronous() {
   }
   result.stats = router.stats();
   return result;
+}
+
+std::string CompareArmFingerprints(const Fleet& fleet,
+                                   const FleetResult& hostile,
+                                   const FleetResult& synchronous) {
+  for (size_t i = 0; i < fleet.sessions.size(); ++i) {
+    // Abandoned sessions carry no fingerprint: their contract is
+    // rejection-without-corruption, checked inside the hostile arm.
+    if (hostile.fingerprints[i].empty()) continue;
+    if (hostile.fingerprints[i] != synchronous.fingerprints[i]) {
+      const SessionSpec& s = fleet.sessions[i];
+      return "session " + std::to_string(i) + " (" +
+             ToString(s.query_class) + ", n=" + std::to_string(s.n) +
+             (s.noisy() ? ", noisy" : "") +
+             ") diverged from its synchronous replay (" +
+             fleet.spec.ReproLine() + ")\n--- hostile arm ---\n" +
+             hostile.fingerprints[i] + "--- synchronous arm ---\n" +
+             synchronous.fingerprints[i];
+    }
+  }
+  return std::string();
 }
 
 DifferentialOutcome RunDifferential(const WorkloadSpec& spec) {
@@ -286,24 +398,9 @@ DifferentialOutcome RunDifferential(const WorkloadSpec& spec) {
     outcome.failure = outcome.synchronous.failure;
     return outcome;
   }
-  for (size_t i = 0; i < fleet.sessions.size(); ++i) {
-    // Abandoned sessions carry no fingerprint: their contract is
-    // rejection-without-corruption, checked inside RunPending.
-    if (outcome.pending.fingerprints[i].empty()) continue;
-    if (outcome.pending.fingerprints[i] !=
-        outcome.synchronous.fingerprints[i]) {
-      const SessionSpec& s = fleet.sessions[i];
-      outcome.failure =
-          "session " + std::to_string(i) + " (" + ToString(s.query_class) +
-          ", n=" + std::to_string(s.n) +
-          (s.noisy() ? ", noisy" : "") +
-          ") diverged from its synchronous replay (" + spec.ReproLine() +
-          ")\n--- pending arm ---\n" + outcome.pending.fingerprints[i] +
-          "--- synchronous arm ---\n" + outcome.synchronous.fingerprints[i];
-      return outcome;
-    }
-  }
-  outcome.ok = true;
+  outcome.failure =
+      CompareArmFingerprints(fleet, outcome.pending, outcome.synchronous);
+  outcome.ok = outcome.failure.empty();
   return outcome;
 }
 

@@ -3,9 +3,9 @@
 //
 // Two arms, both pure functions of the fleet's seed:
 //
-//   * RunPending: the hostile concurrent arm. Every session is opened
-//     through OpenPending on a K-lane router; the driver plays all of the
-//     fleet's users at once through the embedding-server protocol
+//   * RunHostile: the hostile concurrent arm, driven against any
+//     ServiceEndpoint. Every session is opened through the endpoint's
+//     pending protocol; the driver plays all of the fleet's users at once
 //     (Drain → PendingRounds → ProvideAnswers), with adversarial
 //     delivery — per-round heavy-tailed simulated latency, sweeps that
 //     shuffle the pending rounds and answer only a fraction of them (so
@@ -13,7 +13,14 @@
 //     duplicate re-delivery of already-answered rounds, malformed replies
 //     (stale round ids, wrong answer counts, unknown sessions) that must
 //     be rejected without touching state, and mid-round Close of
-//     abandoning sessions.
+//     abandoning sessions. An optional CrashController additionally
+//     kills and recovers the service at seeded round boundaries and
+//     mid-append (the durable crash harness); the driver, playing users
+//     who outlive server crashes, retries refused calls with *cached*
+//     answer bits — a noisy user consulted twice about one round must
+//     say the same thing twice, because real users do not re-roll their
+//     answers when the server restarts. RunPending is the classic
+//     in-memory instantiation over a fleet-owned SessionRouter.
 //
 //   * RunSynchronous: the reference arm. The same sessions (minus the
 //     abandoned ones) over the same per-session user stacks, opened as
@@ -27,9 +34,9 @@
 // one outstanding round; flip draws are consumed in question order within
 // a round). Since the learners are deterministic functions of the answer
 // stream, per-session observables — the SessionFingerprint — must compare
-// equal bit for bit however hostile the delivery was. RunDifferential
-// asserts exactly that; every failure string carries the spec's one-flag
-// seed repro line.
+// equal bit for bit however hostile the delivery was, and however often
+// the service crashed. RunDifferential asserts exactly that; every
+// failure string carries the spec's one-flag seed repro line.
 
 #ifndef QHORN_WORKLOAD_FLEET_DRIVER_H_
 #define QHORN_WORKLOAD_FLEET_DRIVER_H_
@@ -39,6 +46,7 @@
 #include <vector>
 
 #include "src/session/router.h"
+#include "src/workload/service_endpoint.h"
 #include "src/workload/workload.h"
 
 namespace qhorn {
@@ -56,6 +64,8 @@ struct FleetResult {
   int64_t malformed_injected = 0;  ///< garbage replies, all rejected
   int64_t duplicates_injected = 0;
   int64_t abandoned_sessions = 0;
+  int64_t crash_recoveries = 0;    ///< sweep-boundary crashes performed
+  int64_t log_write_retries = 0;   ///< calls retried after kLogWriteFailed
   ServiceStats stats;
 };
 
@@ -67,12 +77,45 @@ struct DifferentialOutcome {
   FleetResult synchronous;
 };
 
+/// ServiceEndpoint over a plain in-memory SessionRouter — the identity
+/// instantiation the classic differential arm runs against, and the shape
+/// durable endpoints mimic.
+class RouterEndpoint : public ServiceEndpoint {
+ public:
+  explicit RouterEndpoint(SessionRouter* router) : router_(router) {}
+
+  SessionId OpenPending(const SessionSpec& spec) override;
+  ProvideOutcome ProvideAnswers(SessionId id, int64_t round_id,
+                                BitSpan answers) override;
+  bool Close(SessionId id) override;
+  std::vector<PendingRound> PendingRounds() override;
+  void Drain() override;
+  std::optional<SessionStatus> status(SessionId id) override;
+  QuerySession& session(SessionId id) override;
+  ServiceStats stats() override;
+
+ private:
+  SessionRouter* router_;
+};
+
+/// Submits the spec's whole job plan to an already-open session, aborting
+/// if the router refuses (shared by RouterEndpoint and durable recovery,
+/// which must rebuild the identical job log).
+void SubmitSpecJobs(SessionRouter& router, SessionRouter::SessionId id,
+                    const SessionSpec& spec);
+
 class FleetDriver {
  public:
   explicit FleetDriver(const Fleet& fleet) : fleet_(fleet) {}
 
-  /// Hostile concurrent arm on `fleet.spec.lanes` lanes (overridable for
-  /// the benchmarks' lane sweeps; <= 0 uses the spec).
+  /// Hostile concurrent arm against an arbitrary endpoint, optionally
+  /// under a crash controller (see file comment).
+  FleetResult RunHostile(ServiceEndpoint& endpoint,
+                         CrashController* crash = nullptr);
+
+  /// RunHostile over a fleet-owned in-memory router on
+  /// `fleet.spec.lanes` lanes (overridable for the benchmarks' lane
+  /// sweeps; <= 0 uses the spec).
   FleetResult RunPending(int lanes_override = 0);
 
   /// Reference arm: synchronous in-order replay on one lane.
@@ -81,6 +124,14 @@ class FleetDriver {
  private:
   const Fleet& fleet_;
 };
+
+/// Compares a hostile arm against the synchronous reference, per session.
+/// Empty string = identical; otherwise a failure message carrying the
+/// seed repro line and both fingerprints. Shared by RunDifferential and
+/// the crash harness's RunCrashDifferential.
+std::string CompareArmFingerprints(const Fleet& fleet,
+                                   const FleetResult& hostile,
+                                   const FleetResult& synchronous);
 
 /// The differential harness: generate the fleet, run both arms, compare
 /// per-session fingerprints. This is what the fuzz sweep calls per seed.

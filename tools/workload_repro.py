@@ -1,21 +1,25 @@
 #!/usr/bin/env python3
-"""Reproduce one hostile-fleet fuzz seed from its logged repro line.
+"""Reproduce one hostile-fleet or crash-recovery seed from its repro line.
 
-Every workload_fuzz_test failure message ends with a line of the form
+Every workload_fuzz_test and durable_crash_test failure message ends with
+a line of the form
 
     repro: tools/workload_repro.py --seed=1337
 
-This tool re-runs exactly that seed: it finds (or is told) a built
-workload_fuzz_test binary and invokes the sweep with QHORN_FUZZ_SEEDS
-pinned to the one seed, so the identical fleet, delivery schedule and
-noise stream replay under a debugger-friendly single-seed run.
+This tool re-runs exactly that seed: it finds (or is told) a built sweep
+binary and invokes it with the seed-range environment variable pinned to
+the one seed, so the identical fleet, delivery schedule, noise stream —
+and, for the crash suite, crash schedule — replay under a
+debugger-friendly single-seed run.
 
     tools/workload_repro.py --seed=1337
+    tools/workload_repro.py --seed=1337 --suite=crash
     tools/workload_repro.py --seed=1337 --count=8      # seed..seed+7
+    tools/workload_repro.py --seed=1337 --build-dir=build/asan
     tools/workload_repro.py --seed=1337 --binary=build/asan/tests/workload_fuzz_test
 
 Exit status: the test binary's (0 green, non-zero reproduces the failure),
-2 on usage/setup errors.
+2 on usage errors, 3 when no sweep binary could be found.
 """
 
 import argparse
@@ -23,20 +27,42 @@ import os
 import subprocess
 import sys
 
+EXIT_USAGE = 2
+EXIT_NO_BINARY = 3
+
+SUITES = {
+    "workload": {
+        "binary": "workload_fuzz_test",
+        "env": "QHORN_FUZZ_SEEDS",
+        "filter": "WorkloadFuzzTest.HostileFleetSweepIsReplayEquivalent",
+    },
+    "crash": {
+        "binary": "durable_crash_test",
+        "env": "QHORN_CRASH_SEEDS",
+        "filter": "DurableCrashTest.CrashedFleetsRecoverBitIdentical",
+    },
+}
+
 # Searched relative to the repo root (this file's parent directory) when
-# --binary is not given; first hit wins, sanitizer builds first since a
-# fuzz failure usually came from one.
-DEFAULT_BINARY_CANDIDATES = [
-    "build/asan/tests/workload_fuzz_test",
-    "build/tsan/tests/workload_fuzz_test",
-    "build/release/tests/workload_fuzz_test",
-    "build/debug/tests/workload_fuzz_test",
+# neither --binary nor --build-dir is given; first hit wins, sanitizer
+# builds first since a sweep failure usually came from one.
+DEFAULT_BUILD_DIRS = [
+    "build/asan",
+    "build/tsan",
+    "build/release",
+    "build/debug",
+    "build",
 ]
 
 
-def find_binary(repo_root):
-    for rel in DEFAULT_BINARY_CANDIDATES:
-        path = os.path.join(repo_root, rel)
+def find_binary(repo_root, build_dir, binary_name):
+    if build_dir is not None:
+        candidates = [os.path.join(build_dir, "tests", binary_name),
+                      os.path.join(build_dir, binary_name)]
+    else:
+        candidates = [os.path.join(repo_root, d, "tests", binary_name)
+                      for d in DEFAULT_BUILD_DIRS]
+    for path in candidates:
         if os.access(path, os.X_OK):
             return path
     return None
@@ -44,33 +70,41 @@ def find_binary(repo_root):
 
 def main():
     parser = argparse.ArgumentParser(
-        description="re-run one workload fuzz seed from its repro line")
+        description="re-run one workload/crash sweep seed from its repro line")
     parser.add_argument("--seed", type=int, required=True,
                         help="the seed from the failure's repro line")
     parser.add_argument("--count", type=int, default=1,
                         help="sweep this many consecutive seeds (default 1)")
+    parser.add_argument("--suite", choices=sorted(SUITES), default="workload",
+                        help="which sweep to replay the seed through "
+                             "(default: workload)")
+    parser.add_argument("--build-dir", default=None,
+                        help="build tree to take the binary from "
+                             "(its tests/ subdirectory is searched)")
     parser.add_argument("--binary", default=None,
-                        help="path to a built workload_fuzz_test "
-                             "(default: search build/*/tests/)")
+                        help="path to a built sweep binary "
+                             "(default: search build trees)")
     args = parser.parse_args()
     if args.seed < 0 or args.count < 1:
         print("workload_repro: --seed must be >= 0 and --count >= 1",
               file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
+    suite = SUITES[args.suite]
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    binary = args.binary or find_binary(repo_root)
+    binary = args.binary or find_binary(repo_root, args.build_dir,
+                                        suite["binary"])
     if binary is None or not os.access(binary, os.X_OK):
-        print("workload_repro: no workload_fuzz_test binary found; build one "
-              "(e.g. `cmake --build build/release --target workload_fuzz_test`) "
-              "or pass --binary", file=sys.stderr)
-        return 2
+        print(f"workload_repro: no {suite['binary']} binary found; build one "
+              f"(e.g. `cmake --build build/release --target "
+              f"{suite['binary']}`) or pass --binary/--build-dir",
+              file=sys.stderr)
+        return EXIT_NO_BINARY
 
     env = dict(os.environ)
-    env["QHORN_FUZZ_SEEDS"] = f"{args.seed}:{args.count}"
-    cmd = [binary,
-           "--gtest_filter=WorkloadFuzzTest.HostileFleetSweepIsReplayEquivalent"]
-    print(f"workload_repro: QHORN_FUZZ_SEEDS={env['QHORN_FUZZ_SEEDS']} "
+    env[suite["env"]] = f"{args.seed}:{args.count}"
+    cmd = [binary, f"--gtest_filter={suite['filter']}"]
+    print(f"workload_repro: {suite['env']}={env[suite['env']]} "
           f"{' '.join(cmd)}")
     return subprocess.call(cmd, env=env)
 
