@@ -453,17 +453,19 @@ BENCHMARK(BM_ServiceSequential)
 
 // Open-sessions-vs-lanes: the continuation pair. 64 sessions multiplexed
 // over a 4-lane router — 16× more open sessions than lanes. The
-// OpenSessions arm runs them as *pending* sessions: every user round
-// suspends the job (yielding the lane), the benchmark thread plays all 64
-// users through the PendingRounds()/ProvideAnswers protocol, and each
-// resume re-runs the job with the answered prefix replayed. The Direct arm
-// is the identical fleet over synchronous in-process users on the same 4
-// lanes. The ratio prices the whole continuation machinery — suspension
-// unwinds, per-resume pipeline rebuilds, quadratic prefix replay — against
-// the zero threads it parks; it is expected *below* 1× (that is the cost
-// of not pinning a thread per blocked user, paid in µs of compute against
-// the seconds of human latency it hides), and the gate only guards the
-// recorded ratio against regressing further.
+// OpenSessions arm runs them as *pending* sessions in the production
+// configuration: every user round parks the job's call stack on its fiber
+// (yielding the lane), the benchmark thread plays all 64 users through
+// the PendingRounds()/ProvideAnswers protocol, and each resume is one
+// context switch back into the frame that asked — no rebuild, no replay,
+// no re-walk — with the learner's speculative rounds batched wide so a
+// whole probe regime costs one suspension instead of one per probe. The
+// Direct arm is the identical fleet over synchronous in-process users on
+// the same 4 lanes. The ratio prices the remaining continuation machinery
+// — stack switches, round staging, protocol bookkeeping — against the
+// zero threads it parks; the gate guards the recorded ratio against
+// regressing (BM_SessionResume* below prices the three resume protocols
+// head to head).
 void BM_ServiceOpenSessions(benchmark::State& state) {
   int sessions = static_cast<int>(state.range(0));
   std::vector<Query> targets = ServiceTargets(8);
@@ -475,6 +477,9 @@ void BM_ServiceOpenSessions(benchmark::State& state) {
   for (auto _ : state) {
     SessionRouter::Options opts;
     opts.threads = 4;
+    opts.resume_mode = ResumeMode::kFiber;
+    opts.session.learner.existential.speculative_batching = true;
+    opts.session.learner.universal.speculative_batching = true;
     SessionRouter router(opts);
     std::unordered_map<SessionRouter::SessionId, QueryOracle*> truth_of;
     for (int s = 0; s < sessions; ++s) {
@@ -482,11 +487,15 @@ void BM_ServiceOpenSessions(benchmark::State& state) {
       truth_of[id] = truths[static_cast<size_t>(s) % truths.size()].get();
       router.SubmitLearn(id);
     }
-    benchmark::DoNotOptimize(DrivePendingSessions(router, truth_of));
+    int64_t rounds = DrivePendingSessions(router, truth_of);
+    benchmark::DoNotOptimize(rounds);
+    state.counters["rounds"] = static_cast<double>(rounds);
+    state.counters["replayed_questions"] =
+        static_cast<double>(router.stats().replayed_questions);
   }
   state.SetItemsProcessed(state.iterations() * sessions);
   state.counters["lanes"] = 4.0;
-  state.SetLabel("pending sessions: suspend/replay, zero parked threads");
+  state.SetLabel("pending sessions: parked fibers, zero blocked threads");
 }
 // UseRealTime: the resumed jobs run on router lanes while the benchmark
 // thread alternates between Drain() and playing the users.
@@ -522,6 +531,81 @@ void BM_ServiceOpenSessionsDirect(benchmark::State& state) {
   state.SetLabel("identical fleet, synchronous in-process users");
 }
 BENCHMARK(BM_ServiceOpenSessionsDirect)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Session-resume protocol trio: one pending session, R verify jobs against
+// R distinct candidates, every round suspending and resuming on a single
+// lane. Fiber resume (the default) parks the call stack and each resume is
+// one switch back — O(1) compute, zero questions re-served. Snapshot
+// resume restores the suspended decorator state and replays only the newly
+// answered round — O(R) questions re-served in total, but each resume
+// still re-walks the suspended job's prefix against the restored cache.
+// Full-prefix replay (the retired protocol, kept as the differential
+// oracle behind QHORN_RESUME_MODE=replay) rebuilds every resume from job 0
+// and re-serves the whole answered prefix — O(R²) questions. These are the
+// in-tree before/after records for the continuation-resume rework; the
+// gaps widen with R, which is why both depths are headline-gated.
+void SessionResumeRounds(benchmark::State& state, ResumeMode mode) {
+  int rounds = static_cast<int>(state.range(0));
+  const int n = 6;
+  Rng rng(41);
+  RpOptions qopts;
+  qopts.num_heads = 1;
+  qopts.theta = 2;
+  qopts.num_conjunctions = 2;
+  QueryOracle truth(RandomRolePreserving(n, rng, qopts));
+  std::vector<Query> candidates;
+  candidates.reserve(static_cast<size_t>(rounds));
+  for (int r = 0; r < rounds; ++r) {
+    candidates.push_back(RandomRolePreserving(n, rng, qopts));
+  }
+  int64_t replayed = 0;
+  for (auto _ : state) {
+    SessionRouter::Options opts;
+    opts.threads = 1;
+    opts.resume_mode = mode;
+    SessionRouter router(opts);
+    SessionRouter::SessionId id = router.OpenPending(n);
+    for (const Query& c : candidates) router.SubmitVerify(id, c);
+    std::unordered_map<SessionRouter::SessionId, QueryOracle*> truth_of;
+    truth_of[id] = &truth;
+    benchmark::DoNotOptimize(DrivePendingSessions(router, truth_of));
+    replayed = router.stats().replayed_questions;
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+  // The protocol's footprint, not a timing: questions re-served to the
+  // session's own replaying backends across all resumes of one rep.
+  state.counters["replayed_questions"] = static_cast<double>(replayed);
+}
+
+void BM_SessionResumeFiber(benchmark::State& state) {
+  SessionResumeRounds(state, ResumeMode::kFiber);
+  state.SetLabel("parked-stack switch per resume, nothing re-served");
+}
+BENCHMARK(BM_SessionResumeFiber)
+    ->Arg(8)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_SessionResumeSnapshot(benchmark::State& state) {
+  SessionResumeRounds(state, ResumeMode::kSnapshot);
+  state.SetLabel("snapshot restore + single-round replay per resume");
+}
+BENCHMARK(BM_SessionResumeSnapshot)
+    ->Arg(8)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_SessionResumeReplay(benchmark::State& state) {
+  SessionResumeRounds(state, ResumeMode::kReplay);
+  state.SetLabel("full-prefix replay per resume (retired protocol)");
+}
+BENCHMARK(BM_SessionResumeReplay)
+    ->Arg(8)
     ->Arg(64)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();

@@ -71,6 +71,19 @@ CompiledQuery::CompiledQuery(const Query& query, const EvalOptions& opts)
     return pa != pb ? pa > pb : a < b;
   });
   for (uint64_t nd : need_) need_union_ |= nd;
+
+  // Probe-order cost model. The phases reject asymmetrically: a violation
+  // scan exits on the first matching tuple, while certifying a need absent
+  // reads the whole object — and a needs-first order pays that price (plus
+  // the O(m) union pass) on every object that a single violation probe
+  // would have rejected. The needs phase keeps its one redeeming fast path
+  // (an object containing the all-true tuple settles all needs in one
+  // comparison), but on the learners' small deliberately-broken probes —
+  // the BM_EvaluateQuerySingle shape — violation-first wins whenever the
+  // violation masks match or outnumber the needs. Counts are all the
+  // compile step knows about the question distribution, so that is the
+  // decision rule; ties go to violations (the cheaper rejecting phase).
+  violations_first_ = !viol_guard_.empty() && viol_guard_.size() >= need_.size();
 }
 
 std::vector<bool> CompiledQuery::EvaluateAll(

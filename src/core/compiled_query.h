@@ -142,6 +142,11 @@ class CompiledQuery {
   size_t num_violation_masks() const { return viol_guard_.size(); }
   size_t num_need_masks() const { return need_.size(); }
 
+  /// Probe-order cost model: true when evaluation scans the violation
+  /// masks before the needs phase. Chosen at compile time from the pruned
+  /// mask counts — see the constructor.
+  bool violations_first() const { return violations_first_; }
+
   /// The membership map (Def. 2.4): true iff `object` is an answer.
   /// Extensionally equal to Query::Evaluate(object, options()).
   bool Evaluate(const TupleSet& object) const {
@@ -190,21 +195,40 @@ class CompiledQuery {
   }
 
   /// Evaluate over a raw sorted tuple array (the TupleSet invariant: the
-  /// numerically largest tuple is last).
+  /// numerically largest tuple is last). Both phases are pure predicates
+  /// over the same immutable object, so their order is a pure cost choice;
+  /// `violations_first_` picks it per compiled query (see the constructor).
   bool EvaluateTuples(const Tuple* ts, size_t m) const {
     if (m == 0) return need_.empty();
-    if (!need_.empty() && (ts[m - 1] & need_union_) != need_union_) {
-      // Union fast-reject: a need can only be met by a single tuple, so if
-      // even the union of all tuples misses a variable of some need the
-      // object is a non-answer. One O(m) pass spares the per-need scans on
-      // the learners' frequent deliberately-deficient probes.
-      Tuple all_vars = 0;
-      for (size_t j = 0; j < m; ++j) all_vars |= ts[j];
-      if ((all_vars & need_union_) != need_union_) return false;
-      for (uint64_t nd : need_) {
-        if (!internal::AnyTupleMatches(ts, m, nd, nd)) return false;
-      }
+    if (violations_first_) {
+      return NoViolation(ts, m) && NeedsMet(ts, m);
     }
+    return NeedsMet(ts, m) && NoViolation(ts, m);
+  }
+
+ private:
+  /// Needs phase: every compiled need mask is met by some tuple.
+  bool NeedsMet(const Tuple* ts, size_t m) const {
+    // A question containing the all-true tuple (every learner probe does)
+    // settles all needs in one comparison against the largest tuple.
+    if (need_.empty() || (ts[m - 1] & need_union_) == need_union_) {
+      return true;
+    }
+    // Union fast-reject: a need can only be met by a single tuple, so if
+    // even the union of all tuples misses a variable of some need the
+    // object is a non-answer. One O(m) pass spares the per-need scans on
+    // the learners' frequent deliberately-deficient probes.
+    Tuple all_vars = 0;
+    for (size_t j = 0; j < m; ++j) all_vars |= ts[j];
+    if ((all_vars & need_union_) != need_union_) return false;
+    for (uint64_t nd : need_) {
+      if (!internal::AnyTupleMatches(ts, m, nd, nd)) return false;
+    }
+    return true;
+  }
+
+  /// Violation phase: no tuple violates a compiled universal expression.
+  bool NoViolation(const Tuple* ts, size_t m) const {
     const uint64_t* guard = viol_guard_.data();
     const uint64_t* body = viol_body_.data();
     size_t count = viol_guard_.size();
@@ -214,9 +238,9 @@ class CompiledQuery {
     return true;
   }
 
- private:
   int n_ = 0;
   EvalOptions opts_;
+  bool violations_first_ = false;
   // Violation masks, parallel arrays: tuple t violates expression i iff
   // (t & viol_guard_[i]) == viol_body_[i]. R2-pruned, body-popcount order.
   std::vector<uint64_t> viol_guard_;

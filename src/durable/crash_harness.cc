@@ -139,7 +139,7 @@ bool SeededCrashController::OnLogWriteFailed() {
 // ---------------------------------------------------------------------------
 // RunCrashDifferential
 
-CrashOutcome RunCrashDifferential(const WorkloadSpec& spec) {
+CrashOutcome RunCrashDifferential(const WorkloadSpec& spec, ResumeMode mode) {
   CrashOutcome outcome;
   Fleet fleet = GenerateFleet(spec);
   FleetDriver driver(fleet);
@@ -148,6 +148,16 @@ CrashOutcome RunCrashDifferential(const WorkloadSpec& spec) {
   FaultFs faults(&mem, spec.seed ^ 0xfa017f5ULL);
   DurableRouterOptions dopts;
   dopts.router.threads = spec.lanes;
+  dopts.router.session.learner.existential.speculative_batching =
+      spec.speculative_batching;
+  dopts.router.session.learner.universal.speculative_batching =
+      spec.speculative_batching;
+  // Every incarnation of the service — initial, crash-recovered, and the
+  // final from-log-alone replay — runs the same resume protocol.
+  dopts.router.resume_mode = mode != ResumeMode::kDefault
+                                 ? mode
+                                 : (spec.replay_resume ? ResumeMode::kReplay
+                                                       : ResumeMode::kFiber);
   dopts.log.fsync_policy = FsyncPolicy::kEveryAppend;
   dopts.shards = 1 + static_cast<int>(spec.seed % 4);
   const std::string log_dir = "qlog";

@@ -132,4 +132,40 @@ std::vector<Tuple> MinimalSubset(const std::vector<Tuple>& items,
   return kept;
 }
 
+std::vector<Tuple> MinimalSubsetBatched(const std::vector<Tuple>& items,
+                                        const TupleSubsetBatchPred& pred) {
+  std::vector<Tuple> kept;
+  std::vector<Tuple> work = items;
+  std::vector<std::vector<Tuple>> candidates;
+  BitVec answers;
+  for (;;) {
+    // One round labels pred on every prefix kept ∪ work[0..m), m = 0..|work|
+    // (m = 0 is the sequential loop's pred(kept) guard).
+    candidates.clear();
+    for (size_t m = 0; m <= work.size(); ++m) {
+      std::vector<Tuple> c = kept;
+      c.insert(c.end(), work.begin(), work.begin() + static_cast<long>(m));
+      candidates.push_back(std::move(c));
+    }
+    BitSpan span = answers.Prepare(candidates.size());
+    pred(candidates, span);
+    size_t lo = candidates.size();
+    for (size_t m = 0; m < candidates.size(); ++m) {
+      if (span.Get(m)) {
+        lo = m;
+        break;
+      }
+    }
+    if (lo == 0) return kept;
+    if (lo == candidates.size()) {
+      // Even the full set failed although it held on a superset earlier —
+      // the oracle is inconsistent (a mislabelling user, §5). Same degrade
+      // as MinimalSubset: keep everything rather than abort.
+      return items;
+    }
+    kept.push_back(work[lo - 1]);
+    work.resize(lo - 1);
+  }
+}
+
 }  // namespace qhorn

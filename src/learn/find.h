@@ -73,6 +73,22 @@ using TupleSubsetPred = std::function<bool(const std::vector<Tuple>&)>;
 std::vector<Tuple> MinimalSubset(const std::vector<Tuple>& items,
                                  const TupleSubsetPred& pred);
 
+/// Labels every candidate subset in one oracle round: answers.Get(i) must
+/// become pred(candidates[i]).
+using TupleSubsetBatchPred =
+    std::function<void(const std::vector<std::vector<Tuple>>&, BitSpan)>;
+
+/// Round-sparing MinimalSubset for backends that price *rounds*, not
+/// questions (a pending session suspended on a human). Monotonicity makes
+/// the prefix predicate pred(kept ∪ work[0..m)) monotone in m, so the
+/// binary search's threshold is recoverable from one batch that labels
+/// every prefix at once: |K|+1 rounds total instead of (|K|+1)·lg|items|,
+/// paying O((|K|+1)·|items|) questions. Identical result to MinimalSubset
+/// under a consistent oracle — the same smallest-true-prefix is picked
+/// each iteration.
+std::vector<Tuple> MinimalSubsetBatched(const std::vector<Tuple>& items,
+                                        const TupleSubsetBatchPred& pred);
+
 }  // namespace qhorn
 
 #endif  // QHORN_LEARN_FIND_H_

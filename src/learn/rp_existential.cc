@@ -65,16 +65,41 @@ class LatticeSearch {
       std::vector<Tuple> pending = std::move(frontier);
       size_t head = 0;  // tuples before `head` are resolved
       int consecutive_non_answers = 0;
+      // Speculative batching drops the sequential warm-up entirely: with a
+      // pending (human) backend each sequential probe is a full suspended
+      // round trip, so the walk accepts the discarded-probe re-asks in
+      // exchange for one wide round per batch. Threshold 2 is the compiled
+      // -oracle default described above.
+      const int sequential_threshold = opts_.speculative_batching ? 0 : 2;
 
       // Prunes the already-probed-replaceable tuple `t` against `base`
       // (everything in the working object except t) and distributes the
-      // kept children (Algorithm 8).
+      // kept children (Algorithm 8). Under speculative batching the prune's
+      // adaptive binary search collapses to one wide round per kept child
+      // (MinimalSubsetBatched) — same kept set, far fewer suspensions.
       auto substitute = [&](const std::vector<Tuple>& base,
                             const std::vector<Tuple>& children) {
-        std::vector<Tuple> kept =
-            MinimalSubset(children, [&](const std::vector<Tuple>& sub) {
-              return Ask(Join(base, sub), &result.trace);
-            });
+        std::vector<Tuple> kept;
+        if (opts_.speculative_batching) {
+          kept = MinimalSubsetBatched(
+              children,
+              [&](const std::vector<std::vector<Tuple>>& candidates,
+                  BitSpan answers) {
+                std::vector<TupleSet> questions;
+                questions.reserve(candidates.size());
+                for (const std::vector<Tuple>& c : candidates) {
+                  questions.push_back(Join(base, c));
+                }
+                ++result.trace.rounds;
+                result.trace.questions +=
+                    static_cast<int64_t>(questions.size());
+                oracle_->IsAnswerBatch(questions, answers);
+              });
+        } else {
+          kept = MinimalSubset(children, [&](const std::vector<Tuple>& sub) {
+            return Ask(Join(base, sub), &result.trace);
+          });
+        }
         result.trace.pruned_tuples +=
             static_cast<int64_t>(children.size() - kept.size());
         for (Tuple c : kept) {
@@ -88,7 +113,7 @@ class LatticeSearch {
       };
 
       while (head < pending.size()) {
-        if (consecutive_non_answers < 2) {
+        if (consecutive_non_answers < sequential_threshold) {
           // Sequential regime: probe the front tuple alone — bit-for-bit
           // the classic Algorithm 7/8 walk, with base and children built
           // once and shared between the probe and the prune.

@@ -31,6 +31,15 @@ struct RpExistentialOptions {
   /// universal Horn expression, record it without exploring its downset —
   /// everything below is dominated (§3.2.2 footnote and worked example).
   bool skip_guarantee_downsets = true;
+  /// Skip the sequential regime entirely: every level probe goes out in the
+  /// wide speculative round, however recently a substitution happened. The
+  /// walk asks more questions (discarded speculative probes are re-asked)
+  /// but emits far fewer *rounds* — the right trade when each round is a
+  /// suspended pending session waiting seconds for a user instead of
+  /// nanoseconds for a compiled oracle. Answer-stream deterministic: the
+  /// question sequence depends only on this option and the answers, so
+  /// differential arms must agree on it.
+  bool speculative_batching = false;
 };
 
 struct RpExistentialTrace {

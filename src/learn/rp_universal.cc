@@ -22,8 +22,12 @@ class HeadBodyLearner {
         trace_(trace) {}
 
   /// Returns the minimal (dominant) bodies of `head`, or {∅} when bodyless.
-  std::vector<VarSet> Learn() {
-    if (IsBodyless()) return {0};
+  /// `bodyless_hint` carries a precomputed IsBodyless verdict (0/1) when
+  /// the caller already asked it in a cross-head batch round; -1 asks here.
+  std::vector<VarSet> Learn(int bodyless_hint = -1) {
+    const bool bodyless =
+        bodyless_hint >= 0 ? bodyless_hint != 0 : IsBodyless();
+    if (bodyless) return {0};
 
     std::vector<VarSet> bodies;
     VarSet first = ExtractBody(/*excluded=*/0);
@@ -117,14 +121,54 @@ class HeadBodyLearner {
   /// non_heads \ excluded. Caller guarantees one exists there.
   VarSet ExtractBody(VarSet excluded) {
     VarSet x = excluded;  // variables known to be outside the body
-    for (int v : VarsOf(non_heads_ & ~excluded)) {
-      Tuple t = AllTrue(n_) & ~x & ~VarBit(v) & ~VarBit(head_);
-      if (!Ask(TupleSet{AllTrue(n_), t})) {
-        x |= VarBit(v);  // a body survives without v; exclude it
+    if (!opts_.speculative_batching) {
+      for (int v : VarsOf(non_heads_ & ~excluded)) {
+        Tuple t = AllTrue(n_) & ~x & ~VarBit(v) & ~VarBit(head_);
+        if (!Ask(TupleSet{AllTrue(n_), t})) {
+          x |= VarBit(v);  // a body survives without v; exclude it
+        }
       }
+      // Empty means the oracle was inconsistent (said a body exists and
+      // then denied every candidate); callers handle 0 gracefully.
+      return non_heads_ & ~x;
     }
-    // Empty means the oracle was inconsistent (said a body exists and then
-    // denied every candidate); callers handle 0 gracefully.
+    // Speculative sweep: bodies are small, so most probes end in an
+    // exclusion. Each round poses the question for every remaining
+    // variable *as if* all its predecessors in the round got excluded.
+    // Answers are consumed in order while the speculation holds; a kept
+    // variable (answer true — x actually stays unchanged) invalidates the
+    // questions after it, which are re-batched against the real x. Rounds:
+    // |body| + 1 instead of one per variable; the discarded tails are the
+    // question overhead (a caching oracle re-asks them free).
+    const std::vector<int> vars = VarsOf(non_heads_ & ~excluded);
+    size_t i = 0;
+    while (i < vars.size()) {
+      const size_t count = vars.size() - i;
+      if (questions_.size() < count) questions_.resize(count);
+      VarSet speculated = x;
+      for (size_t j = 0; j < count; ++j) {
+        questions_[j].AssignPair(AllTrue(n_),
+                                 AllTrue(n_) & ~speculated &
+                                     ~VarBit(vars[i + j]) & ~VarBit(head_));
+        speculated |= VarBit(vars[i + j]);
+      }
+      trace_->body_questions += static_cast<int64_t>(count);
+      oracle_->IsAnswerBatch(
+          std::span<const TupleSet>(questions_.data(), count),
+          batch_answers_.Prepare(count));
+      size_t consumed = 0;
+      while (consumed < count) {
+        if (batch_answers_.Get(consumed)) {
+          // vars[i + consumed] stays in the body: the speculation was
+          // wrong, so the rest of the round is discarded.
+          ++consumed;
+          break;
+        }
+        x |= VarBit(vars[i + consumed]);
+        ++consumed;
+      }
+      i += consumed;
+    }
     return non_heads_ & ~x;
   }
 
@@ -183,11 +227,33 @@ RpUniversalResult LearnUniversalHorns(int n, MembershipOracle* oracle,
     if (!head_answers.Get(static_cast<size_t>(v))) result.head_vars |= VarBit(v);
   }
 
-  for (int h : VarsOf(result.head_vars)) {
-    HeadBodyLearner learner(n, h, result.head_vars, oracle, opts,
+  // Under speculative batching the per-head bodyless tests are independent
+  // of each other, so one round labels them all before the (sequential,
+  // answer-dependent) body searches begin.
+  const std::vector<int> heads = VarsOf(result.head_vars);
+  std::vector<int> bodyless_hints(heads.size(), -1);
+  if (opts.speculative_batching && !heads.empty()) {
+    std::vector<TupleSet> bodyless_questions;
+    bodyless_questions.reserve(heads.size());
+    for (int h : heads) {
+      // HeadBodyLearner::IsBodyless's tuple: every non-head and h false.
+      bodyless_questions.push_back(
+          TupleSet{all, result.head_vars & ~VarBit(h)});
+    }
+    result.trace.body_questions += static_cast<int64_t>(heads.size());
+    BitVec bodyless_answers;
+    oracle->IsAnswerBatch(bodyless_questions,
+                          bodyless_answers.Prepare(heads.size()));
+    for (size_t i = 0; i < heads.size(); ++i) {
+      bodyless_hints[i] = bodyless_answers.Get(i) ? 0 : 1;
+    }
+  }
+
+  for (size_t i = 0; i < heads.size(); ++i) {
+    HeadBodyLearner learner(n, heads[i], result.head_vars, oracle, opts,
                             &result.trace);
-    for (VarSet body : learner.Learn()) {
-      result.horns.push_back(UniversalHorn{body, h});
+    for (VarSet body : learner.Learn(bodyless_hints[i])) {
+      result.horns.push_back(UniversalHorn{body, heads[i]});
     }
   }
   return result;

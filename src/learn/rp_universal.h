@@ -27,6 +27,17 @@ struct RpUniversalOptions {
   int max_bodies_per_head = 32;
   /// Maximum number of search roots examined per head.
   uint64_t max_roots = 1u << 20;
+  /// Round-sparing speculation for pending (human) backends. The per-head
+  /// bodyless tests ship as one round, and Algorithm 6's extraction sweep
+  /// speculates that every variable it probes will be excluded from the
+  /// body: the whole remaining sweep goes out as one wide round, and only
+  /// a kept variable (whose answer contradicts the speculation) forces a
+  /// re-batch from the next variable on. Identical extracted bodies, a
+  /// discarded-tail question overhead, and O(|body|) rounds per extraction
+  /// instead of O(n). Answer-stream deterministic: the question sequence
+  /// depends only on this option and the answers, so differential arms
+  /// must agree on it.
+  bool speculative_batching = false;
 };
 
 /// Question counts of the universal phase.

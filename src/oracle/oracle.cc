@@ -12,23 +12,30 @@ void CountingOracle::Record(const TupleSet& question) {
 }
 
 bool CountingOracle::IsAnswer(const TupleSet& question) {
+  // Count only after the inner oracle answers: a pending backend suspends
+  // the round by throwing, and the unwound question must leave no trace in
+  // the statistics (snapshot resume captures them at exactly this
+  // boundary). Nothing below can observe stats_, so the reordering is
+  // invisible on the non-throwing path.
+  bool answer = inner_->IsAnswer(question);
   ++stats_.rounds;
   Record(question);
-  bool answer = inner_->IsAnswer(question);
   if (answer) ++stats_.answers;
   return answer;
 }
 
 void CountingOracle::IsAnswerBatch(std::span<const TupleSet> questions,
                                    BitSpan answers) {
-  // Sequential equivalence: an empty batch is zero IsAnswer calls, so it
-  // counts no round — branchless, this function is on the hottest round
-  // path. (The empty forward below is harmless: every layer treats an
-  // empty round as a no-op.)
+  // Count only after the forward returns, so a suspended round (JobSuspended
+  // unwinding from a pending backend) contaminates nothing. Sequential
+  // equivalence: an empty batch is zero IsAnswer calls, so it counts no
+  // round — branchless, this function is on the hottest round path. (The
+  // empty forward is harmless: every layer treats an empty round as a
+  // no-op.)
+  inner_->IsAnswerBatch(questions, answers);
   stats_.rounds += static_cast<int64_t>(!questions.empty());
   stats_.batched_questions += static_cast<int64_t>(questions.size());
   for (const TupleSet& q : questions) Record(q);
-  inner_->IsAnswerBatch(questions, answers);
   for (size_t i = 0; i < questions.size(); ++i) {
     if (answers.Get(i)) ++stats_.answers;
   }
@@ -41,7 +48,16 @@ bool CachingOracle::IsAnswer(const TupleSet& question) {
     return it->second;
   }
   ++misses_;
-  bool answer = inner_->IsAnswer(question);
+  bool answer;
+  try {
+    answer = inner_->IsAnswer(question);
+  } catch (...) {
+    // A pending backend suspends by throwing; the unasked question must
+    // leave the cache state untouched (snapshot resume copies it at this
+    // boundary).
+    --misses_;
+    throw;
+  }
   cache_.emplace(question, answer);
   return answer;
 }
@@ -76,22 +92,36 @@ void CachingOracle::IsAnswerBatch(std::span<const TupleSet> questions,
   }
   if (!miss_indices_.empty()) {
     BitSpan miss_bits = miss_answers_.Prepare(miss_indices_.size());
-    if (contiguous) {
-      // The misses are one run [front, back] of the caller's span: forward
-      // that subspan directly — an index-based view, no TupleSet copies no
-      // matter how wide the round. This is the hot shape: an all-fresh
-      // round is contiguous, and so is any round whose cache hits sit only
-      // at the edges.
-      inner_->IsAnswerBatch(
-          questions.subspan(miss_indices_.front(), miss_indices_.size()),
-          miss_bits);
-    } else {
-      // Hits interleaved between misses: gather the misses. The copies are
-      // confined to this cold shape (reused capacity, but each TupleSet
-      // still copies its tuple storage).
-      miss_questions_.clear();
-      for (size_t idx : miss_indices_) miss_questions_.push_back(questions[idx]);
-      inner_->IsAnswerBatch(miss_questions_, miss_bits);
+    try {
+      if (contiguous) {
+        // The misses are one run [front, back] of the caller's span:
+        // forward that subspan directly — an index-based view, no TupleSet
+        // copies no matter how wide the round. This is the hot shape: an
+        // all-fresh round is contiguous, and so is any round whose cache
+        // hits sit only at the edges.
+        inner_->IsAnswerBatch(
+            questions.subspan(miss_indices_.front(), miss_indices_.size()),
+            miss_bits);
+      } else {
+        // Hits interleaved between misses: gather the misses. The copies
+        // are confined to this cold shape (reused capacity, but each
+        // TupleSet still copies its tuple storage).
+        miss_questions_.clear();
+        for (size_t idx : miss_indices_)
+          miss_questions_.push_back(questions[idx]);
+        inner_->IsAnswerBatch(miss_questions_, miss_bits);
+      }
+    } catch (...) {
+      // Suspended round (pending backend): erase the false placeholders
+      // inserted above and roll the counters back, so the cache holds
+      // exactly the pre-round state that snapshot resume captures.
+      // miss_indices_ records first occurrences only, so each erase removes
+      // one distinct placeholder key.
+      for (size_t idx : miss_indices_) cache_.erase(questions[idx]);
+      misses_ -= static_cast<int64_t>(miss_indices_.size());
+      hits_ -=
+          static_cast<int64_t>(questions.size() - miss_indices_.size());
+      throw;
     }
     for (size_t i = 0; i < miss_indices_.size(); ++i) {
       *miss_slots_[i] = miss_bits.Get(i);

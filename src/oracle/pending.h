@@ -5,20 +5,30 @@
 // the embedding server uses. PendingOracle models exactly that: any round
 // reaching it is by definition "not answerable synchronously", so it
 // records the round's questions as a PendingRound{session_id, round_id,
-// questions} and throws JobSuspended (src/util/suspend.h) — the in-flight
-// job unwinds off its executor lane at the round boundary and the lane is
-// free for other sessions while this one waits for its human.
+// questions} and suspends the in-flight job. How it suspends depends on
+// how the runner entered the job:
 //
-// Re-entry is by replay: once the answers arrive
-// (SessionRouter::ProvideAnswers), the accumulated answered rounds are
-// replayed at the user boundary by the existing ReplayOracle machinery and
-// the job is re-run from its start. Learners are deterministic functions
-// of the transcript, so the re-run asks the identical question sequence,
-// the replay stage serves the answered prefix without bothering the user,
-// and the first genuinely new round reaches this backend again — which
-// suspends again. The learners need zero restructuring, and the final
-// (completing) run's observables are bit-identical to a fully synchronous
-// session over the same answer sequence.
+//   * Unwind (no yield hook installed): throw JobSuspended
+//     (src/util/suspend.h) — the job unwinds off its executor lane at the
+//     round boundary. Re-entry is by replay: once the answers arrive
+//     (SessionRouter::ProvideAnswers) the job is re-run, the answered
+//     rounds are served below the user boundary (snapshot-restored cache
+//     or ReplayOracle), and the first genuinely new round reaches this
+//     backend again. Learners are deterministic functions of the
+//     transcript, so the re-run asks the identical question sequence and
+//     the completing run's observables are bit-identical to a synchronous
+//     session over the same answers.
+//
+//   * Park (yield hook installed — ResumeMode::kFiber): the job runs on a
+//     Fiber (src/util/fiber.h) and the hook switches back to the runner
+//     with the whole call stack kept alive. Once the answers arrive, the
+//     runner stages them (StageResumeAnswers) and resumes the fiber: the
+//     suspended IsAnswerBatch fills its answer span from the staged bits
+//     and simply returns to the learner — no re-run, no replay, O(1)
+//     compute per resume. RequestCancel() makes the *next* resume throw
+//     JobSuspended from the parked wait-site instead, which is how owners
+//     unwind a parked stack they need to abandon (correction, close,
+//     shutdown).
 //
 // Round ids count *user-boundary* rounds (each suspension is one round);
 // they are the resumption protocol's sequence numbers, distinct from the
@@ -30,6 +40,7 @@
 #define QHORN_ORACLE_PENDING_H_
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -58,17 +69,34 @@ class PendingOracle : public MembershipOracle {
   /// carry. Clears any stale pending round from an abandoned attempt.
   void BeginAttempt(int64_t next_round_id);
 
-  /// Single-question round: records it and throws JobSuspended.
+  /// Installs (or clears, with nullptr) the park-instead-of-throw hook.
+  /// The hook must switch back to the runner and return only when answers
+  /// have been staged or a cancel was requested. Installed once per fiber
+  /// attempt by the runner; never changed while a round is in flight.
+  void InstallYieldHook(std::function<void()> yield);
+
+  /// Stages the answers for the parked round before the runner resumes the
+  /// fiber. Size must equal the parked round's question count.
+  void StageResumeAnswers(std::vector<bool> answers);
+
+  /// Makes the parked wait-site throw JobSuspended on its next resume:
+  /// the fiber unwinds through the ordinary exception machinery and
+  /// finishes without touching the learner again.
+  void RequestCancel() { cancel_requested_ = true; }
+
+  /// Single-question round: suspends (parks or throws) and, on a parked
+  /// resume, returns the staged answer.
   bool IsAnswer(const TupleSet& question) override;
 
-  /// Records the round and throws JobSuspended. An empty round returns
-  /// immediately (no round, no suspension — nothing to ask a user).
+  /// Records the round and suspends. An empty round returns immediately
+  /// (no round, no suspension — nothing to ask a user). On a parked
+  /// resume, fills `answers` from the staged bits.
   void IsAnswerBatch(std::span<const TupleSet> questions,
                      BitSpan answers) override;
 
   bool has_pending() const { return has_pending_; }
 
-  /// Harvests the recorded round after catching JobSuspended.
+  /// Harvests the recorded round after a suspension reaches the runner.
   PendingRound TakePending();
 
   /// Rounds that suspended (a per-session statistic; replayed rounds never
@@ -76,13 +104,18 @@ class PendingOracle : public MembershipOracle {
   int64_t suspensions() const { return suspensions_; }
 
  private:
-  [[noreturn]] void Suspend(std::vector<TupleSet> questions);
+  /// Records the round, suspends, and (parked path only) fills `answers`.
+  void SuspendAndAwait(std::vector<TupleSet> questions, BitSpan answers);
 
   int64_t session_id_ = 0;
   int64_t next_round_id_ = 0;
   int64_t suspensions_ = 0;
   bool has_pending_ = false;
   PendingRound pending_;
+  std::function<void()> yield_;
+  std::vector<bool> staged_answers_;
+  bool answers_staged_ = false;
+  bool cancel_requested_ = false;
 };
 
 }  // namespace qhorn

@@ -5,8 +5,12 @@
 namespace qhorn {
 
 bool TranscriptOracle::IsAnswer(const TupleSet& question) {
-  int64_t round = rounds_++;
+  // The round id is consumed only after the inner oracle answers: a pending
+  // backend suspends the round by throwing, and the unanswered round must
+  // not burn an id or leave an entry (snapshot resume re-records the same
+  // rounds with the same ids on the restored attempt's re-walk).
   bool response = inner_->IsAnswer(question);
+  int64_t round = rounds_++;
   entries_.push_back(TranscriptEntry{question, response, round});
   return response;
 }
@@ -14,10 +18,12 @@ bool TranscriptOracle::IsAnswer(const TupleSet& question) {
 void TranscriptOracle::IsAnswerBatch(std::span<const TupleSet> questions,
                                      BitSpan answers) {
   // An empty batch is zero sequential questions: no round id is consumed,
-  // nothing is recorded, and the inner oracle is not called.
+  // nothing is recorded, and the inner oracle is not called. The round id
+  // is consumed after the forward returns, so a suspended round leaves the
+  // history untouched.
   if (questions.empty()) return;
-  int64_t round = rounds_++;
   inner_->IsAnswerBatch(questions, answers);
+  int64_t round = rounds_++;
   for (size_t i = 0; i < questions.size(); ++i) {
     entries_.push_back(TranscriptEntry{questions[i], answers.Get(i), round});
   }
@@ -56,8 +62,11 @@ bool ReplayOracle::TryReplay(const TupleSet& question, bool* response) {
 bool ReplayOracle::IsAnswer(const TupleSet& question) {
   bool response = false;
   if (TryReplay(question, &response)) return response;
+  // Counted after the fallback answers, so a suspended question (pending
+  // backend throwing JobSuspended) is not recorded as asked.
+  bool answer = fallback_->IsAnswer(question);
   ++asked_;
-  return fallback_->IsAnswer(question);
+  return answer;
 }
 
 void ReplayOracle::IsAnswerBatch(std::span<const TupleSet> questions,
@@ -74,8 +83,8 @@ void ReplayOracle::IsAnswerBatch(std::span<const TupleSet> questions,
   }
   if (served == questions.size()) return;
   std::span<const TupleSet> rest = questions.subspan(served);
-  asked_ += static_cast<int64_t>(rest.size());
   fallback_->IsAnswerBatch(rest, answers.Subspan(served));
+  asked_ += static_cast<int64_t>(rest.size());
 }
 
 }  // namespace qhorn

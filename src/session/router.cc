@@ -1,6 +1,8 @@
 #include "src/session/router.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "src/util/check.h"
@@ -68,9 +70,43 @@ const char* ToString(ProvideOutcome o) {
   return "?";
 }
 
+const char* ToString(ResumeMode m) {
+  switch (m) {
+    case ResumeMode::kDefault:
+      return "default";
+    case ResumeMode::kFiber:
+      return "fiber";
+    case ResumeMode::kSnapshot:
+      return "snapshot";
+    case ResumeMode::kReplay:
+      return "replay";
+  }
+  return "?";
+}
+
 SessionRouter::SessionRouter() : SessionRouter(Options()) {}
 
 SessionRouter::SessionRouter(Options options) : options_(std::move(options)) {
+  resume_mode_ = options_.resume_mode;
+  if (resume_mode_ == ResumeMode::kDefault) {
+    const char* env = std::getenv("QHORN_RESUME_MODE");
+    if (env != nullptr && std::strcmp(env, "replay") == 0) {
+      resume_mode_ = ResumeMode::kReplay;
+    } else if (env != nullptr && std::strcmp(env, "snapshot") == 0) {
+      resume_mode_ = ResumeMode::kSnapshot;
+    } else {
+      resume_mode_ = ResumeMode::kFiber;
+    }
+  }
+  // Snapshot resume re-walks the suspended job's question prefix against
+  // the restored cache; without the cache those questions would fall
+  // through to the user boundary again. Fiber resume never re-walks (the
+  // parked frame consumes the answers directly) and replay rebuilds from
+  // the user-boundary transcript, so only kSnapshot has the dependency.
+  if (!options_.session.cache_questions &&
+      resume_mode_ == ResumeMode::kSnapshot) {
+    resume_mode_ = ResumeMode::kReplay;
+  }
   // Options.threads counts *session lanes*. Session jobs are Post()ed and
   // the submitting thread sleeps in Drain(), so only the executor's
   // workers (concurrency - 1 of them) ever run jobs — ask for one more
@@ -89,6 +125,23 @@ SessionRouter::~SessionRouter() {
   // check, touching session state, mutex_ and idle_cv_. ~Executor joins
   // the workers, so after this line no runner code is in flight.
   executor_.reset();
+  // Unwind continuations still parked on abandoned rounds (sessions
+  // awaiting a user who never answered, or closed while parked): the
+  // parked stacks hold live learner frames whose destructors must run.
+  // Safe on this thread — the workers are joined, so no runner owns any
+  // session anymore.
+  for (auto& [id, state] : sessions_) {
+    if (state->fiber != nullptr) UnwindFiber(state.get());
+  }
+}
+
+void SessionRouter::UnwindFiber(SessionState* state) {
+  state->pending_backend->RequestCancel();
+  state->fiber->Resume();
+  QHORN_CHECK_MSG(state->fiber->finished(),
+                  "cancelled fiber parked again instead of unwinding");
+  state->fiber.reset();
+  state->fiber_cancel = false;
 }
 
 SessionRouter::SessionId SessionRouter::OpenInternal(
@@ -233,16 +286,41 @@ void SessionRouter::RunSession(SessionState* state) {
 }
 
 void SessionRouter::RunPendingSession(SessionState* state) {
-  // One iteration = one *attempt*: rebuild the session's pipeline with the
-  // answered rounds replayed at the user boundary, then re-run the job log
-  // from the start. Fresh decorators re-record everything, so the attempt
-  // that finally completes a job leaves observables bit-identical to a
-  // synchronous run; learners ask the identical question sequence, the
-  // replay stage serves the answered prefix, and the first unanswered
-  // round suspends the attempt. The replayed compute is µs-scale against
-  // the human latency that forced the suspension.
+  if (resume_mode_ == ResumeMode::kFiber) {
+    RunPendingSessionFiber(state);
+    return;
+  }
+  // One iteration = one *attempt*. How an attempt re-enters the session is
+  // the resolved ResumeMode:
+  //
+  //   * kReplay: rebuild the pipeline with every answered round replayed
+  //     at the user boundary and re-run the job log from the start. Fresh
+  //     decorators re-record everything, so the attempt that finally
+  //     completes a job leaves observables bit-identical to a synchronous
+  //     run. O(prefix) per attempt — the retired quadratic path, kept as
+  //     the differential oracle.
+  //   * kSnapshot: three re-entry cases. (a) The live pipeline is current
+  //     (the previous attempt *completed* the job log and new jobs arrived
+  //     later): run the new jobs directly, no rebuild at all. (b) A
+  //     suspension snapshot exists: restore it and arm the user boundary
+  //     with only the answered rounds the snapshot hasn't absorbed; the
+  //     suspended job re-runs from its start, its question prefix served
+  //     by the restored cache — no question crosses the user boundary
+  //     twice, and completed jobs are skipped via the job cursor. (c)
+  //     Neither (first run, or a correction invalidated the snapshot):
+  //     fall back to the full-prefix replay attempt.
+  //
+  // Either way the attempt ends by completing the log or suspending on the
+  // first unanswered round; a suspension under kSnapshot captures the next
+  // snapshot on the way out. The resumed compute is µs-scale against the
+  // human latency that forced the suspension.
+  const bool snapshot_mode = resume_mode_ == ResumeMode::kSnapshot;
   for (;;) {
     int64_t next_round = 0;
+    size_t start_job = 0;
+    size_t suffix_begin = 0;
+    bool restore_snapshot = false;
+    bool live = false;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (state->jobs_completed >= state->job_log.size()) {
@@ -250,19 +328,41 @@ void SessionRouter::RunPendingSession(SessionState* state) {
         return;
       }
       next_round = state->answered_rounds;
+      if (snapshot_mode) {
+        live = state->pipeline_live;
+        restore_snapshot = !live && state->snapshot.valid;
+        if (live || restore_snapshot) start_job = state->jobs_completed;
+        suffix_begin = state->entries_cursor;
+      }
     }
     // Copying the answered transcript can be O(session lifetime); do it
     // outside the router-wide mutex. Safe unlocked: answered_entries only
-    // mutates in ProvideAnswers, which requires awaiting == true, and
-    // this runner owns the session (awaiting stays false) until it
-    // suspends — the lock above orders this read after the resume's
-    // writes.
-    std::vector<TranscriptEntry> prefix = state->answered_entries;
-    state->session->ResetWithUserReplay(std::move(prefix));
-    state->pending_backend->BeginAttempt(next_round);
+    // mutates in ProvideAnswers/CorrectAnswer, which require awaiting ==
+    // true, and this runner owns the session (awaiting stays false) until
+    // it suspends — the lock above orders this read after the resume's
+    // writes. The snapshot is likewise only written by the runner that
+    // owns the session and only read here.
+    if (live) {
+      // Case (a): the session's state already reflects every completed
+      // job; just make sure no stale pending state survives.
+      state->pending_backend->BeginAttempt(next_round);
+    } else if (restore_snapshot) {
+      // Case (b): O(1) rounds of user-boundary replay — just the suffix.
+      std::vector<TranscriptEntry> suffix(
+          state->answered_entries.begin() +
+              static_cast<ptrdiff_t>(suffix_begin),
+          state->answered_entries.end());
+      state->session->RestoreSnapshot(state->snapshot, std::move(suffix));
+      state->pending_backend->BeginAttempt(next_round);
+    } else {
+      // Case (c) / kReplay: full-prefix replay from job 0.
+      std::vector<TranscriptEntry> prefix = state->answered_entries;
+      state->session->ResetWithUserReplay(std::move(prefix));
+      state->pending_backend->BeginAttempt(next_round);
+    }
     bool suspended = false;
     try {
-      for (size_t i = 0;; ++i) {
+      for (size_t i = start_job;; ++i) {
         JobRecord job;
         {
           std::lock_guard<std::mutex> lock(mutex_);
@@ -270,6 +370,10 @@ void SessionRouter::RunPendingSession(SessionState* state) {
           job = state->job_log[i];  // copy: re-runs reuse the log
         }
         job.fn(*state->session);
+        // The job ran to completion: the next suspension's snapshot must
+        // rewind the transcript to *this* boundary (the suspended job
+        // re-records its own questions on resume).
+        if (snapshot_mode) state->session->MarkJobBoundary();
         bool idle = false;
         bool finished = false;
         {
@@ -285,6 +389,13 @@ void SessionRouter::RunPendingSession(SessionState* state) {
             if (state->jobs_completed >= state->job_log.size()) {
               state->running = false;
               finished = true;
+              // The pipeline now reflects every completed job; jobs
+              // submitted later may run on it directly, and the parked
+              // snapshot has nothing left to resume.
+              state->pipeline_live = true;
+              state->snapshot = SessionSnapshot();
+              state->snapshot_bytes = 0;
+              state->entries_cursor = state->answered_entries.size();
             }
             idle = --runnable_jobs_ == 0;
           }
@@ -296,6 +407,10 @@ void SessionRouter::RunPendingSession(SessionState* state) {
       suspended = true;
     }
     if (suspended) {
+      // Capture before taking the router lock: the copy is O(session
+      // history) and the runner still owns the session.
+      SessionSnapshot snap;
+      if (snapshot_mode) snap = state->session->CapturePreRound();
       bool idle = false;
       {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -312,12 +427,168 @@ void SessionRouter::RunPendingSession(SessionState* state) {
         } else {
           state->pending_round = state->pending_backend->TakePending();
           state->awaiting = true;
+          if (snapshot_mode) {
+            state->snapshot = std::move(snap);
+            state->snapshot_bytes = state->snapshot.MemoryBytes();
+            // Every answer folded so far is baked into this snapshot
+            // (absorbed by the attempt that just suspended); the next
+            // restore replays only rounds answered beyond this point.
+            state->entries_cursor = state->answered_entries.size();
+          }
         }
+        state->pipeline_live = false;
         state->running = false;
       }
       if (idle) idle_cv_.notify_all();
       return;  // ← the lane is free while the user thinks
     }
+  }
+}
+
+void SessionRouter::RunPendingSessionFiber(SessionState* state) {
+  // The kFiber attempt loop. The job log runs inside a Fiber whose
+  // suspension hook *parks* (switches back here) instead of throwing, so a
+  // resume re-enters the exact frame that asked the question — no rebuild,
+  // no replay, no re-walk. The body only fetches jobs and runs them; every
+  // piece of completion bookkeeping happens on this (host) side of the
+  // switch, after Resume() returns, so counters and the running flag
+  // change under the same locking discipline as the unwind-based runners.
+  for (;;) {
+    bool resume_parked = false;
+    bool cancel_parked = false;
+    bool live = false;
+    int64_t next_round = 0;
+    size_t start_job = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      resume_parked = state->fiber != nullptr;
+      cancel_parked = resume_parked && state->fiber_cancel;
+      if (!resume_parked && state->jobs_completed >= state->job_log.size()) {
+        state->running = false;
+        return;
+      }
+      live = state->pipeline_live;
+      if (live) start_job = state->jobs_completed;
+      next_round = state->answered_rounds;
+    }
+    if (cancel_parked) {
+      // A correction abandoned this parked stack (it was built over the
+      // flipped answer); unwind it and fall through to a fresh attempt
+      // that replays the corrected prefix.
+      UnwindFiber(state);
+      continue;
+    }
+    if (resume_parked) {
+      // O(1) resume: hand the answered round's bits to the parked
+      // wait-site and switch back in. staged_answers was written by
+      // ProvideAnswers under the lock taken above.
+      state->pending_backend->StageResumeAnswers(
+          std::move(state->staged_answers));
+      state->staged_answers.clear();
+      state->fiber->Resume();
+    } else {
+      // Fresh attempt: over the live pipeline when the previous attempt
+      // completed the job log (new jobs run directly), otherwise from a
+      // rebuilt pipeline with the full answered prefix replayed (first
+      // run, or a correction restart — the only quadratic path left, paid
+      // once per correction rather than once per round).
+      if (!live) {
+        std::vector<TranscriptEntry> prefix = state->answered_entries;
+        state->session->ResetWithUserReplay(std::move(prefix));
+        start_job = 0;
+      }
+      state->pending_backend->BeginAttempt(next_round);
+      state->fiber_jobs_run = start_job;
+      auto fiber = std::make_unique<Fiber>([this, state, start_job] {
+        try {
+          for (size_t i = start_job;; ++i) {
+            JobRecord job;
+            {
+              std::lock_guard<std::mutex> lock(mutex_);
+              if (i >= state->job_log.size()) return;
+              job = state->job_log[i];  // copy: the log outlives the run
+            }
+            job.fn(*state->session);
+            // Runner-owned cursor, read by the host after the switch back
+            // (same-thread, or ordered through mutex_ on a lane handoff).
+            state->fiber_jobs_run = i + 1;
+          }
+        } catch (const JobSuspended&) {
+          // Cancel unwind: the learner frames above are gone; the restart
+          // attempt replays the corrected prefix from scratch.
+        }
+      });
+      state->pending_backend->InstallYieldHook(
+          [f = fiber.get()] { f->Yield(); });
+      state->fiber = std::move(fiber);
+      state->fiber->Resume();
+    }
+    const size_t jobs_run = state->fiber_jobs_run;
+    if (state->fiber->finished()) {
+      // The body ran out of jobs (or a racing Submit will re-post). Fold
+      // the completed jobs into the counters; release ownership in the
+      // same critical section that lets Drain return.
+      state->fiber.reset();
+      state->pending_backend->InstallYieldHook(nullptr);
+      bool idle = false;
+      bool done = false;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        while (state->jobs_completed < jobs_run) {
+          CompleteJob(state->job_log[state->jobs_completed].kind);
+          ++state->jobs_completed;
+          --runnable_jobs_;
+        }
+        // The pipeline now reflects every completed job; later jobs run
+        // on it directly.
+        state->pipeline_live = true;
+        if (state->jobs_completed >= state->job_log.size()) {
+          state->running = false;
+          done = true;
+          idle = runnable_jobs_ == 0;
+        }
+      }
+      if (idle) idle_cv_.notify_all();
+      if (done) return;
+      continue;  // jobs arrived while the body was finishing
+    }
+    // Parked on a user round: publish it and free the lane. The parked
+    // stack is the session's resume state; its mapped size is what the
+    // session keeps resident-able while the user thinks.
+    bool idle = false;
+    bool abandoned = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      while (state->jobs_completed < jobs_run) {
+        CompleteJob(state->job_log[state->jobs_completed].kind);
+        ++state->jobs_completed;
+        --runnable_jobs_;
+      }
+      ++state->suspensions;
+      ++suspensions_;
+      // Everything this session still owes can no longer progress
+      // without the user; Drain must not wait for it.
+      runnable_jobs_ -= static_cast<int64_t>(state->job_log.size() -
+                                             state->jobs_completed);
+      idle = runnable_jobs_ == 0;
+      if (state->closed) {
+        // Closed mid-run: abandon the round; the session never resumes.
+        (void)state->pending_backend->TakePending();
+        abandoned = true;
+      } else {
+        state->pending_round = state->pending_backend->TakePending();
+        state->awaiting = true;
+        state->snapshot_bytes = state->fiber->stack_bytes();
+      }
+      state->pipeline_live = false;
+      state->running = false;
+    }
+    if (idle) idle_cv_.notify_all();
+    // A closed session's parked stack unwinds right here — no resume can
+    // ever come. Safe after releasing ownership: closed sessions reject
+    // Submit/ProvideAnswers, so no other runner can be posted.
+    if (abandoned) UnwindFiber(state);
+    return;  // ← the lane is free while the user thinks
   }
 }
 
@@ -397,6 +668,14 @@ ProvideOutcome SessionRouter::ProvideAnswersInternal(SessionId id,
     }
     // Accepted: fold the answered round into the user-boundary transcript
     // and make the session runnable again.
+    if (state->fiber != nullptr) {
+      // Stage the bits for the parked continuation: the runner hands them
+      // to the suspended wait-site before switching back in.
+      state->staged_answers.assign(answers.size(), false);
+      for (size_t i = 0; i < answers.size(); ++i) {
+        state->staged_answers[i] = answers.Get(i);
+      }
+    }
     for (size_t i = 0; i < round.questions.size(); ++i) {
       state->answered_entries.push_back(TranscriptEntry{
           std::move(round.questions[i]), answers.Get(i), round.round_id});
@@ -407,6 +686,54 @@ ProvideOutcome SessionRouter::ProvideAnswersInternal(SessionId id,
     runnable_jobs_ += static_cast<int64_t>(state->job_log.size() -
                                            state->jobs_completed);
     state->running = true;
+  }
+  executor_->Post([this, state] { RunPendingSession(state); });
+  return ProvideOutcome::kResumed;
+}
+
+ProvideOutcome SessionRouter::CorrectAnswer(SessionId id, size_t entry_index) {
+  SessionState* state = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return ProvideOutcome::kUnknownSession;
+    state = it->second.get();
+    if (state->closed) return ProvideOutcome::kSessionClosed;
+    if (!state->awaiting) return ProvideOutcome::kNotAwaiting;
+    if (entry_index >= state->answered_entries.size()) {
+      return ProvideOutcome::kAnswerCountMismatch;
+    }
+    // Flip the recorded answer and discard everything after it: the later
+    // entries answered a question stream computed from the bad answer.
+    // The surviving prefix re-aligns on the restart (questions up to the
+    // flipped entry depend only on the unchanged answers before it), so
+    // the user re-answers nothing they already answered correctly.
+    state->answered_entries[entry_index].response =
+        !state->answered_entries[entry_index].response;
+    state->answered_entries.resize(entry_index + 1);
+    // The parked snapshot and job cursor describe a run over the old
+    // answers; restart the whole job log through the ordinary resume path
+    // (a full-prefix replay attempt, whatever the resume mode). The
+    // abandoned round's id is retired — answered_rounds advances past it —
+    // so the restarted session's next round gets a fresh id and a stale
+    // ProvideAnswers against the abandoned round reports kStaleRound,
+    // never folds old answers into the new question stream.
+    ++state->answered_rounds;
+    state->snapshot = SessionSnapshot();
+    state->snapshot_bytes = 0;
+    state->entries_cursor = 0;
+    state->pipeline_live = false;
+    state->jobs_completed = 0;
+    // A parked continuation was built over the old answer; mark it for the
+    // runner to unwind before the restart attempt (the unwind runs learner
+    // destructors, so it happens on a lane, never under this lock).
+    state->fiber_cancel = state->fiber != nullptr;
+    state->staged_answers.clear();
+    state->pending_round.reset();
+    state->awaiting = false;
+    runnable_jobs_ += static_cast<int64_t>(state->job_log.size());
+    state->running = true;
+    ++corrections_;
   }
   executor_->Post([this, state] { RunPendingSession(state); });
   return ProvideOutcome::kResumed;
@@ -473,13 +800,18 @@ ServiceStats SessionRouter::stats() {
   stats.verifies = verifies_;
   stats.revisions = revisions_;
   stats.suspensions = suspensions_;
+  stats.corrections = corrections_;
   for (const auto& [id, state] : sessions_) {
     const OracleStats& os = state->session->oracle_stats();
     stats.questions += os.questions;
     stats.batched_questions += os.batched_questions;
     stats.rounds += state->session->rounds();
     stats.cache_hits += state->session->cache_hits();
-    if (state->awaiting) ++stats.awaiting_sessions;
+    stats.replayed_questions += state->session->user_questions_replayed();
+    if (state->awaiting) {
+      ++stats.awaiting_sessions;
+      stats.snapshot_bytes += static_cast<int64_t>(state->snapshot_bytes);
+    }
   }
   stats.compiled_hits = compiled_cache_.hits();
   stats.compiled_misses = compiled_cache_.misses();

@@ -24,12 +24,45 @@
 // moment the unwind reaches the runner, so 256 sessions all blocked on
 // users occupy zero threads. The embedding server polls PendingRounds()
 // (or renders them as they appear), collects the user's labels, and calls
-// ProvideAnswers(id, round_id, answers); the router then re-runs the
-// session's jobs with every answered round replayed at the user boundary
-// (ReplayOracle) — learners are deterministic functions of the transcript,
-// so the re-run reaches the next live round without asking anything twice.
-// Re-running the replayed prefix costs microseconds of compute against the
-// seconds of user latency that forced the suspension.
+// ProvideAnswers(id, round_id, answers); the router then resumes the
+// session's jobs. How it resumes is the ResumeMode:
+//
+//   * kFiber (default): the job runs on a Fiber (src/util/fiber.h) and a
+//     suspension *parks* instead of unwinding — the whole call stack stays
+//     alive on its own mmap'd stack and the lane is released by a context
+//     switch. A resume stages the answered round's bits and switches back
+//     into the exact frame that asked: O(1) compute per resume, O(rounds)
+//     per session, nothing re-run and nothing replayed. The memory traded
+//     for that compute is the parked stack (reported as the session's
+//     snapshot_bytes while it awaits). Corrections and crash recovery
+//     cannot resume a parked stack built over the old answers, so they
+//     unwind it (cancel + one last resume) and restart through the
+//     full-prefix replay attempt below.
+//   * kSnapshot: suspension captured a SessionSnapshot — the
+//     copyable decorator state (transcript at the job boundary, cache and
+//     counters at the pre-round boundary) — so the resume restores the
+//     snapshot, arms a ReplayOracle with *only the newly answered round*,
+//     and re-runs just the suspended job; its question prefix is served
+//     entirely by the restored cache, so each answered question crosses
+//     the user boundary exactly once over the session's whole lifetime
+//     (O(rounds) total replay, though the re-walk itself is O(prefix)
+//     compute per resume). Completed jobs are never re-run: the job
+//     cursor skips them, and a snapshot trades bytes for that compute
+//     (ServiceStats.snapshot_bytes; the state is dominated by the
+//     transcript + cache, i.e. by questions actually asked). The
+//     memory-lean fallback when parked stacks are too dear.
+//   * kReplay: the original full-prefix protocol — rebuild fresh
+//     decorators, replay *every* answered round at the user boundary and
+//     re-run the job log from the start, O(prefix) per resume and
+//     O(rounds²) per session. Kept alive as the differential oracle: all
+//     three modes are bit-identical in every observable (the workload fuzz
+//     and durable crash suites assert fingerprint equality across modes),
+//     and replay needs no question cache (snapshot mode requires it — with
+//     cache_questions off a kSnapshot request degrades to kReplay; kFiber
+//     never re-walks, so it has no cache dependency).
+//
+// Learners are deterministic functions of the transcript, so either resume
+// reaches the next live round without asking anything twice.
 //
 // Determinism contract (unchanged by continuations): a session's
 // observable history depends only on its own job sequence and answer
@@ -63,6 +96,7 @@
 #include "src/oracle/pipeline.h"
 #include "src/session/session.h"
 #include "src/util/executor.h"
+#include "src/util/fiber.h"
 #include "src/util/function_ref.h"
 
 namespace qhorn {
@@ -116,7 +150,34 @@ struct ServiceStats {
   int64_t compiled_misses = 0;  ///< … and misses (one compile each)
   int64_t suspensions = 0;     ///< pending rounds that yielded a lane
   int64_t awaiting_sessions = 0;  ///< sessions currently blocked on a user
+  /// Questions served by user-boundary replay stages across all resume
+  /// attempts. Fiber resume replays nothing (answers feed the parked
+  /// frame directly); snapshot resume replays each answered question
+  /// exactly once (== questions answered through the pending protocol);
+  /// full-prefix replay resume re-serves the whole prefix per resume
+  /// (quadratic). The resume-depth stress test gates on this split.
+  int64_t replayed_questions = 0;
+  /// Resident parked-resume bytes across sessions currently awaiting a
+  /// user — the memory resume trades for the retired replay compute. In
+  /// snapshot mode this is SessionSnapshot::MemoryBytes (transcript +
+  /// cache); in fiber mode it is the parked stack's mapped size (lazily
+  /// committed, so resident use is typically far smaller).
+  int64_t snapshot_bytes = 0;
+  int64_t corrections = 0;  ///< CorrectAnswer calls accepted
 };
+
+/// How a suspended pending session resumes after ProvideAnswers. See the
+/// file comment; kDefault resolves to kFiber unless the QHORN_RESUME_MODE
+/// environment variable says "snapshot" or "replay" (the differential
+/// escape hatches).
+enum class ResumeMode {
+  kDefault,   ///< resolve from QHORN_RESUME_MODE, else kFiber
+  kFiber,     ///< park the live call stack; O(1) switch back per resume
+  kSnapshot,  ///< restore the suspension snapshot; replay only new rounds
+  kReplay,    ///< rebuild from scratch; replay the full answered prefix
+};
+
+const char* ToString(ResumeMode m);
 
 /// Where a session is in its lifecycle, as seen between router calls.
 enum class SessionStatus {
@@ -159,6 +220,13 @@ class SessionRouter {
     /// Drain() rather than running them.
     int threads = 0;
     QuerySession::Options session;
+    /// Resume protocol for pending sessions. kDefault resolves from the
+    /// QHORN_RESUME_MODE environment variable at construction ("replay" →
+    /// kReplay, "snapshot" → kSnapshot, anything else → kFiber). Snapshot
+    /// resume requires the question cache, so `session.cache_questions ==
+    /// false` degrades a kSnapshot request to kReplay; fiber resume never
+    /// re-walks a prefix and works either way.
+    ResumeMode resume_mode = ResumeMode::kDefault;
   };
 
   SessionRouter();
@@ -229,6 +297,36 @@ class SessionRouter {
   ProvideOutcome ProvideAnswers(SessionId id, int64_t round_id,
                                 BitSpan answers, CommitHook commit);
 
+  /// The §5 correction workflow for pending sessions: the user flips their
+  /// recorded answer to `entry_index` (an index into the session's answered
+  /// user-boundary transcript, in answer order). Only legal while the
+  /// session is awaiting a round (kNotAwaiting otherwise — a running
+  /// session's runner owns its state; an idle session has nothing to
+  /// correct that Close + re-learn would not do better). The answered
+  /// entries after the flipped one are discarded (they were answered to a
+  /// question stream computed from the bad answer) and the job log restarts
+  /// from job 0 through the ordinary resume path: the surviving prefix is
+  /// replayed — those questions depend only on answers before the flip, so
+  /// they re-align question for question — and the learner diverges exactly
+  /// at the corrected entry, re-asking everything downstream fresh. The
+  /// abandoned pending round's id is never reused (round ids stay
+  /// monotonic), so a stale ProvideAnswers still reports kStaleRound.
+  ///
+  /// Out-of-range `entry_index` reports kAnswerCountMismatch. On kResumed
+  /// the re-run recounts every re-completed job in ServiceStats.jobs (the
+  /// counters count completions, not distinct jobs).
+  ///
+  /// This supersedes the old blanket refusal of mid-suspension corrections
+  /// (QuerySession::CorrectAndRelearn still refuses in continuation mode —
+  /// it relearns synchronously inside the call, which a pending backend
+  /// would immediately suspend out of). Works in both resume modes; the
+  /// restart attempt is a full-prefix replay even under kSnapshot (the
+  /// correction invalidates the captured snapshot).
+  ProvideOutcome CorrectAnswer(SessionId id, size_t entry_index);
+
+  /// The resolved resume protocol this router runs (never kDefault).
+  ResumeMode resume_mode() const { return resume_mode_; }
+
   /// The round the session is blocked on, if any — nullopt for unknown,
   /// closed, or not-awaiting sessions. A copy, so the recovery replay can
   /// match surfaced rounds against logged answers without racing the
@@ -296,6 +394,28 @@ class SessionRouter {
     std::vector<TranscriptEntry> answered_entries;
     int64_t answered_rounds = 0;
     std::optional<PendingRound> pending_round;  // set while awaiting
+    // Snapshot-resume state. `snapshot` is captured at each suspension;
+    // `entries_cursor` marks how much of answered_entries the snapshot has
+    // already absorbed (the restore replays only the suffix beyond it).
+    // `pipeline_live` records that the last attempt exited by *completing*
+    // the job log, so the session's live pipeline is current and jobs
+    // submitted later run directly on it — no restore, no replay.
+    SessionSnapshot snapshot;
+    size_t snapshot_bytes = 0;
+    size_t entries_cursor = 0;
+    bool pipeline_live = false;
+    // Fiber-resume state (kFiber). `fiber` is the parked continuation —
+    // the suspended job's live call stack. `staged_answers` carries the
+    // answered round's bits from ProvideAnswers to the resuming runner.
+    // `fiber_cancel` marks a parked stack a correction abandoned: the
+    // runner unwinds it (cancel + one last resume) before the restart
+    // attempt. `fiber_jobs_run` is the body's progress cursor — jobs fully
+    // run this attempt — read by the host after each switch back, so all
+    // completion bookkeeping stays on the host side of the switch.
+    std::unique_ptr<Fiber> fiber;
+    std::vector<bool> staged_answers;
+    bool fiber_cancel = false;
+    size_t fiber_jobs_run = 0;
     int64_t suspensions = 0;
     bool awaiting = false;  // suspended; ProvideAnswers will resume
     bool running = false;   // a runner task currently owns this session
@@ -316,13 +436,23 @@ class SessionRouter {
   /// Executor task: one *attempt* loop for a pending session — rebuild the
   /// pipeline with the answered prefix replayed, re-run the job log, and
   /// either finish (queue empty) or catch the suspension, publish the
-  /// pending round and release the lane.
+  /// pending round and release the lane. Dispatches to the fiber runner
+  /// under ResumeMode::kFiber.
   void RunPendingSession(SessionState* state);
+  /// The kFiber runner: resumes the parked continuation (or starts a fresh
+  /// attempt on a new fiber), then either publishes the round it parked on
+  /// or folds the completed jobs into the service counters.
+  void RunPendingSessionFiber(SessionState* state);
+  /// Cancels and unwinds a parked fiber (correction restart, closed
+  /// session teardown): the parked wait-site throws, the stack unwinds to
+  /// the fiber body's boundary, and the fiber is destroyed.
+  void UnwindFiber(SessionState* state);
   /// Bumps jobs_done_ and the per-kind counter. Caller holds mutex_.
   void CompleteJob(JobKind kind);
   SessionState* FindSession(SessionId id);
 
   Options options_;
+  ResumeMode resume_mode_ = ResumeMode::kSnapshot;  // resolved, never kDefault
   std::unique_ptr<Executor> executor_;
   CompiledQueryCache compiled_cache_;
 
@@ -341,6 +471,7 @@ class SessionRouter {
   int64_t verifies_ = 0;
   int64_t revisions_ = 0;
   int64_t suspensions_ = 0;
+  int64_t corrections_ = 0;
 };
 
 }  // namespace qhorn

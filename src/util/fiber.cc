@@ -1,0 +1,155 @@
+#include "src/util/fiber.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "src/util/check.h"
+
+// Sanitizer fiber annotations. Declared here (not via the sanitizer
+// headers) so the file compiles identically whether or not the interface
+// headers are installed; the symbols resolve from the sanitizer runtime,
+// which is linked exactly when the macro is defined.
+#if defined(__SANITIZE_ADDRESS__)
+#define QHORN_FIBER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define QHORN_FIBER_ASAN 1
+#endif
+#endif
+
+#if defined(__SANITIZE_THREAD__)
+#define QHORN_FIBER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define QHORN_FIBER_TSAN 1
+#endif
+#endif
+
+#if defined(QHORN_FIBER_ASAN)
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom,
+                                    size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old,
+                                     size_t* size_old);
+}
+#endif
+
+#if defined(QHORN_FIBER_TSAN)
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+
+namespace qhorn {
+
+Fiber::Fiber(std::function<void()> body, size_t stack_bytes)
+    : body_(std::move(body)) {
+  QHORN_CHECK(body_ != nullptr);
+  const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  // Round the usable stack up to whole pages and add one guard page at the
+  // low end (stacks grow down): an overflow hits PROT_NONE and faults
+  // loudly instead of corrupting whatever mmap placed next door.
+  stack_size_ = (stack_bytes + page - 1) / page * page;
+  alloc_bytes_ = stack_size_ + page;
+  void* mem = mmap(nullptr, alloc_bytes_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  QHORN_CHECK_MSG(mem != MAP_FAILED, "fiber stack mmap failed");
+  alloc_ = static_cast<char*>(mem);
+  QHORN_CHECK_MSG(mprotect(alloc_, page, PROT_NONE) == 0,
+                  "fiber guard page mprotect failed");
+  stack_base_ = alloc_ + page;
+#if defined(QHORN_FIBER_TSAN)
+  tsan_fiber_ = __tsan_create_fiber(0);
+#endif
+}
+
+Fiber::~Fiber() {
+  QHORN_CHECK_MSG(!started_ || finished_,
+                  "destroying a parked fiber would skip live destructors; "
+                  "cancel and resume it to unwind first");
+#if defined(QHORN_FIBER_TSAN)
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+#endif
+  if (alloc_ != nullptr) munmap(alloc_, alloc_bytes_);
+}
+
+void Fiber::Trampoline(unsigned hi, unsigned lo) {
+  auto ptr = (static_cast<uintptr_t>(hi) << 32) | static_cast<uintptr_t>(lo);
+  reinterpret_cast<Fiber*>(ptr)->Run();
+  // Unreachable: Run() ends in a final switch out and is never re-entered.
+}
+
+void Fiber::Run() {
+#if defined(QHORN_FIBER_ASAN)
+  // First arrival on this stack: no fake stack to restore (nullptr), but
+  // record where we came from — the host stack Yield() must switch back to.
+  __sanitizer_finish_switch_fiber(nullptr, &asan_host_bottom_,
+                                  &asan_host_size_);
+#endif
+  body_();
+  finished_ = true;
+  // Final switch out: the fiber's stack holds no live frames below this
+  // one, so its sanitizer fake stack can be released (nullptr save slot).
+#if defined(QHORN_FIBER_ASAN)
+  __sanitizer_start_switch_fiber(nullptr, asan_host_bottom_, asan_host_size_);
+#endif
+#if defined(QHORN_FIBER_TSAN)
+  __tsan_switch_to_fiber(tsan_host_, 0);
+#endif
+  swapcontext(&fiber_ctx_, &host_ctx_);
+  QHORN_CHECK_MSG(false, "finished fiber resumed");
+}
+
+void Fiber::Resume() {
+  QHORN_CHECK_MSG(!finished_, "Resume() on a finished fiber");
+  if (!started_) {
+    started_ = true;
+    QHORN_CHECK_MSG(getcontext(&fiber_ctx_) == 0, "getcontext failed");
+    fiber_ctx_.uc_stack.ss_sp = stack_base_;
+    fiber_ctx_.uc_stack.ss_size = stack_size_;
+    fiber_ctx_.uc_link = nullptr;
+    auto ptr = reinterpret_cast<uintptr_t>(this);
+    makecontext(&fiber_ctx_, reinterpret_cast<void (*)()>(&Trampoline), 2,
+                static_cast<unsigned>(ptr >> 32),
+                static_cast<unsigned>(ptr & 0xffffffffu));
+  }
+#if defined(QHORN_FIBER_TSAN)
+  tsan_host_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
+#if defined(QHORN_FIBER_ASAN)
+  __sanitizer_start_switch_fiber(&asan_host_fake_, stack_base_, stack_size_);
+#endif
+  swapcontext(&host_ctx_, &fiber_ctx_);
+  // Back on the host stack — either the fiber yielded or it finished (the
+  // finished path already released its fake stack via the nullptr save).
+#if defined(QHORN_FIBER_ASAN)
+  __sanitizer_finish_switch_fiber(asan_host_fake_, nullptr, nullptr);
+#endif
+}
+
+void Fiber::Yield() {
+#if defined(QHORN_FIBER_ASAN)
+  __sanitizer_start_switch_fiber(&asan_fiber_fake_, asan_host_bottom_,
+                                 asan_host_size_);
+#endif
+#if defined(QHORN_FIBER_TSAN)
+  __tsan_switch_to_fiber(tsan_host_, 0);
+#endif
+  swapcontext(&fiber_ctx_, &host_ctx_);
+  // Resumed — possibly on a different OS thread, whose host-stack bounds
+  // the finish call below records for the next Yield().
+#if defined(QHORN_FIBER_ASAN)
+  __sanitizer_finish_switch_fiber(asan_fiber_fake_, &asan_host_bottom_,
+                                  &asan_host_size_);
+#endif
+}
+
+}  // namespace qhorn

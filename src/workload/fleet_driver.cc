@@ -326,9 +326,17 @@ FleetResult FleetDriver::RunHostile(ServiceEndpoint& endpoint,
   return result;
 }
 
-FleetResult FleetDriver::RunPending(int lanes_override) {
+FleetResult FleetDriver::RunPending(int lanes_override, ResumeMode mode) {
   SessionRouter::Options ropts;
   ropts.threads = lanes_override > 0 ? lanes_override : fleet_.spec.lanes;
+  ropts.session.learner.existential.speculative_batching =
+      fleet_.spec.speculative_batching;
+  ropts.session.learner.universal.speculative_batching =
+      fleet_.spec.speculative_batching;
+  ropts.resume_mode = mode != ResumeMode::kDefault
+                          ? mode
+                          : (fleet_.spec.replay_resume ? ResumeMode::kReplay
+                                                       : ResumeMode::kFiber);
   SessionRouter router(ropts);
   RouterEndpoint endpoint(&router);
   return RunHostile(endpoint);
@@ -341,6 +349,12 @@ FleetResult FleetDriver::RunSynchronous() {
 
   SessionRouter::Options ropts;
   ropts.threads = 1;  // the differential baseline: inline, in order
+  // The question stream depends on these knobs, so the reference arm must
+  // match the hostile arm's learner configuration exactly.
+  ropts.session.learner.existential.speculative_batching =
+      fleet_.spec.speculative_batching;
+  ropts.session.learner.universal.speculative_batching =
+      fleet_.spec.speculative_batching;
   SessionRouter router(ropts);
 
   // Fresh stacks: each arm consumes its own noise stream from the seed.

@@ -115,8 +115,11 @@ class FleetDriver {
 
   /// RunHostile over a fleet-owned in-memory router on
   /// `fleet.spec.lanes` lanes (overridable for the benchmarks' lane
-  /// sweeps; <= 0 uses the spec).
-  FleetResult RunPending(int lanes_override = 0);
+  /// sweeps; <= 0 uses the spec). `mode` picks the resume protocol;
+  /// kDefault derives it from the spec (`replay_resume` → kReplay,
+  /// otherwise kFiber) so a fuzz seed pins the protocol too.
+  FleetResult RunPending(int lanes_override = 0,
+                         ResumeMode mode = ResumeMode::kDefault);
 
   /// Reference arm: synchronous in-order replay on one lane.
   FleetResult RunSynchronous();

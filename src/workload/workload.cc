@@ -137,6 +137,10 @@ WorkloadSpec WorkloadSpec::FromSeed(uint64_t seed) {
   spec.duplicate_rate = rng.Uniform() * 0.6;
   spec.latency_alpha = 0.5 + rng.Uniform();
   spec.latency_cap_ticks = static_cast<int>(rng.Range(0, 8));
+  // PR 8 knobs, drawn last so every earlier field (and hence every fleet
+  // generated from the same seed before these existed) is unchanged.
+  spec.speculative_batching = rng.Chance(0.5);
+  spec.replay_resume = rng.Chance(0.25);
   return spec;
 }
 

@@ -109,6 +109,61 @@ TEST(CompiledQueryTest, DifferentialAtN16AndN64) {
   }
 }
 
+TEST(CompiledQueryTest, ProbeOrderFollowsTheMaskCountCostModel) {
+  // The compile-time probe-order cost model: evaluation scans violations
+  // first whenever the pruned violation masks match or outnumber the need
+  // masks (a violation scan exits on its first hit; certifying a need
+  // absent reads the whole object), and needs first otherwise. The order
+  // is a pure cost choice — both orders must agree with the interpreter
+  // on every object, whichever one the model picks.
+  // Violation-heavy: three Horn expressions, one existential conjunction.
+  Query viol_heavy(4);
+  viol_heavy.AddUniversal(VarBit(0), 1);
+  viol_heavy.AddUniversal(VarBit(1), 2);
+  viol_heavy.AddUniversal(VarBit(2), 3);
+  viol_heavy.AddExistential(VarBit(0) | VarBit(3));
+  EvalOptions no_guarantees;
+  no_guarantees.require_guarantees = false;
+  CompiledQuery compiled_viol(viol_heavy, no_guarantees);
+  EXPECT_EQ(compiled_viol.num_violation_masks(), 3u);
+  EXPECT_EQ(compiled_viol.num_need_masks(), 1u);
+  EXPECT_TRUE(compiled_viol.violations_first());
+
+  // Needs-heavy: one Horn expression, three dominant conjunctions. With
+  // require_guarantees the guarantee clause adds a need; either way needs
+  // outnumber violations and the needs phase goes first.
+  Query needs_heavy(4);
+  needs_heavy.AddUniversal(VarBit(0), 1);
+  needs_heavy.AddExistential(VarBit(0) | VarBit(2));
+  needs_heavy.AddExistential(VarBit(1) | VarBit(3));
+  needs_heavy.AddExistential(VarBit(2) | VarBit(3));
+  CompiledQuery compiled_needs(needs_heavy, no_guarantees);
+  EXPECT_GT(compiled_needs.num_need_masks(),
+            compiled_needs.num_violation_masks());
+  EXPECT_FALSE(compiled_needs.violations_first());
+
+  // A query with no universal expressions can never probe violations
+  // first, and one with no needs always does.
+  Query pure_existential(4);
+  pure_existential.AddExistential(VarBit(1));
+  EXPECT_FALSE(
+      CompiledQuery(pure_existential, no_guarantees).violations_first());
+  Query pure_universal(4);
+  pure_universal.AddUniversal(VarBit(0), 1);
+  EXPECT_TRUE(CompiledQuery(pure_universal, no_guarantees).violations_first());
+
+  // Semantics are order-independent: both compiled forms above agree with
+  // the interpreter on every object at n=4.
+  for (const TupleSet& object : AllObjects(4)) {
+    ASSERT_EQ(compiled_viol.Evaluate(object),
+              viol_heavy.Evaluate(object, no_guarantees))
+        << "violation-first order broke on " << object.ToString(4);
+    ASSERT_EQ(compiled_needs.Evaluate(object),
+              needs_heavy.Evaluate(object, no_guarantees))
+        << "needs-first order broke on " << object.ToString(4);
+  }
+}
+
 TEST(CompiledQueryTest, ViolatesUniversalMatchesInterpreter) {
   Rng rng(77);
   for (int trial = 0; trial < 100; ++trial) {

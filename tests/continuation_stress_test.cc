@@ -188,5 +188,131 @@ TEST(ContinuationStressTest, TwoHundredFiftySixSessionsOnFourLanes) {
   }
 }
 
+TEST(ContinuationStressTest, ResumeDepthIsLinearInRoundsUnderSnapshotResume) {
+  // The O(rounds) gate of the snapshot-resume protocol. 256 pending learn
+  // sessions on 4 lanes, every answered round a separate suspension: under
+  // snapshot resume each answered question must cross the user-boundary
+  // replay stage *exactly once* over the session's whole lifetime —
+  // replayed == answered, per session, with zero slack. The retired
+  // full-prefix protocol re-serves the whole prefix on every resume; a
+  // small replay-mode control group certifies the quadratic blowup is real
+  // (so this test would actually catch a silent fallback to it).
+  constexpr int kSessions = 256;
+  constexpr int kLanes = 4;
+  const int n = 8;
+
+  std::vector<Query> targets;
+  targets.reserve(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    Rng rng(7000 + static_cast<uint64_t>(s));
+    RpOptions qopts;
+    qopts.num_heads = 1;
+    qopts.theta = 2;
+    qopts.num_conjunctions = 3;
+    qopts.conj_size_max = 4;
+    targets.push_back(RandomRolePreserving(n, rng, qopts));
+  }
+
+  // Drives `count` pending learn sessions to completion, answering every
+  // pending round each sweep, and returns {answered questions, replayed
+  // questions, suspensions} summed per session.
+  struct DepthResult {
+    std::vector<int64_t> answered;
+    std::vector<int64_t> replayed;
+    std::vector<int64_t> suspensions;
+  };
+  auto run_fleet = [&](int count, ResumeMode mode) {
+    SessionRouter::Options opts;
+    opts.threads = kLanes;
+    opts.resume_mode = mode;
+    SessionRouter router(opts);
+    std::vector<std::unique_ptr<QueryOracle>> truths;
+    std::vector<SessionRouter::SessionId> ids;
+    std::map<SessionRouter::SessionId, size_t> index_of;
+    DepthResult result;
+    result.answered.assign(static_cast<size_t>(count), 0);
+    result.replayed.assign(static_cast<size_t>(count), 0);
+    result.suspensions.assign(static_cast<size_t>(count), 0);
+    for (int s = 0; s < count; ++s) {
+      truths.push_back(
+          std::make_unique<QueryOracle>(targets[static_cast<size_t>(s)]));
+      SessionRouter::SessionId id = router.OpenPending(n);
+      index_of[id] = static_cast<size_t>(s);
+      ids.push_back(id);
+      EXPECT_TRUE(router.SubmitLearn(id));
+    }
+    for (;;) {
+      router.Drain();
+      std::vector<PendingRound> rounds = router.PendingRounds();
+      if (rounds.empty()) break;
+      for (PendingRound& round : rounds) {
+        size_t idx = index_of.at(round.session_id);
+        BitVec bits;
+        BitSpan span = bits.Prepare(round.questions.size());
+        truths[idx]->IsAnswerBatch(round.questions, span);
+        result.answered[idx] += static_cast<int64_t>(round.questions.size());
+        EXPECT_EQ(router.ProvideAnswers(round.session_id, round.round_id, span),
+                  ProvideOutcome::kResumed);
+      }
+    }
+    for (int s = 0; s < count; ++s) {
+      size_t idx = static_cast<size_t>(s);
+      result.replayed[idx] =
+          router.session(ids[idx]).user_questions_replayed();
+      result.suspensions[idx] = router.suspensions(ids[idx]);
+      EXPECT_EQ(router.status(ids[idx]), SessionStatus::kIdle);
+      EXPECT_TRUE(Equivalent(*router.session(ids[idx]).current_query(),
+                             targets[idx]));
+    }
+    return result;
+  };
+
+  DepthResult snapshot = run_fleet(kSessions, ResumeMode::kSnapshot);
+  int64_t total_suspensions = 0;
+  for (int s = 0; s < kSessions; ++s) {
+    size_t idx = static_cast<size_t>(s);
+    // The linearity contract, exact: every answered question crossed the
+    // user-boundary replay stage once — no quadratic prefix re-serving,
+    // and nothing ever asked the user twice.
+    ASSERT_EQ(snapshot.replayed[idx], snapshot.answered[idx])
+        << "session " << s << " re-served its answered prefix";
+    EXPECT_GE(snapshot.suspensions[idx], 8)
+        << "session " << s << " must suspend per user round, many times";
+    total_suspensions += snapshot.suspensions[idx];
+  }
+  // Deep sessions on average: the fleet's resume depth is what makes the
+  // linear bound interesting (≥ 64 rounds mean, so the quadratic protocol
+  // would replay ≥ ~32× more than the linear one did).
+  EXPECT_GE(total_suspensions, 64 * kSessions);
+
+  // The default protocol beats the linear bound outright: fiber resume
+  // feeds answers into the parked frame, so *nothing* is replayed at the
+  // user boundary — while the user-visible question stream (and thus the
+  // suspension count) stays identical question for question.
+  DepthResult fiber = run_fleet(kSessions, ResumeMode::kFiber);
+  for (int s = 0; s < kSessions; ++s) {
+    size_t idx = static_cast<size_t>(s);
+    ASSERT_EQ(fiber.answered[idx], snapshot.answered[idx])
+        << "fiber resume changed the user-visible question stream";
+    ASSERT_EQ(fiber.suspensions[idx], snapshot.suspensions[idx])
+        << "fiber resume changed the round structure";
+    ASSERT_EQ(fiber.replayed[idx], 0)
+        << "session " << s << " replayed questions despite a parked stack";
+  }
+
+  // Control group: the same first sessions under the retired full-prefix
+  // protocol really do replay quadratically (identical observables — the
+  // differential suites pin that — but a prefix re-serve per resume).
+  constexpr int kControlSessions = 8;
+  DepthResult replay = run_fleet(kControlSessions, ResumeMode::kReplay);
+  for (int s = 0; s < kControlSessions; ++s) {
+    size_t idx = static_cast<size_t>(s);
+    EXPECT_EQ(replay.answered[idx], snapshot.answered[idx])
+        << "both modes must ask the user the exact same questions";
+    EXPECT_GE(replay.replayed[idx], 5 * replay.answered[idx])
+        << "full-prefix resume should dwarf the linear bound at this depth";
+  }
+}
+
 }  // namespace
 }  // namespace qhorn
