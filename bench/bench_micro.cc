@@ -18,8 +18,10 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -38,6 +40,8 @@
 #include "src/oracle/pipeline.h"
 #include "src/relation/chocolate.h"
 #include "src/session/router.h"
+#include "src/session/sharded_router.h"
+#include "src/util/bit_span.h"
 #include "src/util/executor.h"
 #include "src/verify/verification_set.h"
 #include "src/workload/fleet_driver.h"
@@ -532,6 +536,98 @@ void BM_ServiceOpenSessionsDirect(benchmark::State& state) {
 }
 BENCHMARK(BM_ServiceOpenSessionsDirect)
     ->Arg(64)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Multi-core router contention: the PR 9 headline. Four driver threads
+// hammer one router facade with a mixed open/submit/provide/poll workload
+// over disjoint session ranges — 3/4 pending sessions (every round
+// crosses the announcement queue and a provide), 1/4 simulated sessions
+// (pure open/drain traffic through the shared striped compiled-query
+// cache). Every session verifies the same tiny target, so per-session
+// compute is a few microseconds and the time is dominated by router
+// bookkeeping: shard mutexes, cache stripes, announcement drains. The
+// shards argument is the contended-vs-striped knob — at 1 shard this is
+// the old global-mutex SessionRouter reached through the identity facade;
+// the gate pair (4096 sessions, 8 shards vs 1 shard) records what the
+// sharding bought on the reference box.
+void BM_RouterContention(benchmark::State& state) {
+  const int sessions = static_cast<int>(state.range(0));
+  const int shards = static_cast<int>(state.range(1));
+  constexpr int kDrivers = 4;
+  Rng rng(47);
+  RpOptions qopts;
+  qopts.num_heads = 1;
+  qopts.theta = 1;
+  qopts.num_conjunctions = 1;
+  qopts.conj_size_max = 2;
+  const Query target = RandomRolePreserving(4, rng, qopts);
+  for (auto _ : state) {
+    ShardedRouter::Options opts;
+    opts.shards = shards;
+    opts.threads = 4;
+    ShardedRouter router(opts);
+    std::vector<std::thread> drivers;
+    drivers.reserve(kDrivers);
+    for (int d = 0; d < kDrivers; ++d) {
+      drivers.emplace_back([&router, &target, sessions, d] {
+        const int begin = d * sessions / kDrivers;
+        const int end = (d + 1) * sessions / kDrivers;
+        std::vector<ShardedRouter::SessionId> pending;
+        for (int s = begin; s < end; ++s) {
+          if (s % 4 == 0) {
+            // Simulated: answers itself on a lane; open + cache traffic.
+            router.SubmitVerify(router.OpenSimulated(target), target);
+          } else {
+            ShardedRouter::SessionId id = router.OpenPending(4);
+            router.SubmitVerify(id, target);
+            pending.push_back(id);
+          }
+        }
+        // Play this driver's users: per-id polls (four pollers hitting
+        // the per-shard announcement state concurrently), all-no answers
+        // (verification's question set is fixed, so arbitrary labels
+        // terminate deterministically).
+        BitVec bits;
+        bool done = false;
+        while (!done) {
+          done = true;
+          for (ShardedRouter::SessionId id : pending) {
+            std::optional<PendingRound> round = router.pending_round(id);
+            if (round.has_value()) {
+              BitSpan span = bits.Prepare(round->questions.size());
+              for (size_t i = 0; i < span.size(); ++i) span.Set(i, false);
+              router.ProvideAnswers(id, round->round_id, span);
+              done = false;
+            } else if (router.status(id) != SessionStatus::kIdle) {
+              done = false;
+            }
+          }
+          if (!done) std::this_thread::yield();
+        }
+      });
+    }
+    for (std::thread& t : drivers) t.join();
+    router.Drain();
+  }
+  state.SetItemsProcessed(state.iterations() * sessions);
+  state.counters["lanes"] = 4.0;
+  state.counters["shards"] = static_cast<double>(shards);
+  state.SetLabel("4 drivers, mixed open/provide/poll, " +
+                 std::to_string(shards) + "-shard facade");
+}
+// UseRealTime: the drivers and the router lanes all run off-thread; the
+// contention cost is a wall-clock number.
+BENCHMARK(BM_RouterContention)
+    ->Args({64, 1})
+    ->Args({64, 4})
+    ->Args({64, 8})
+    ->Args({1024, 1})
+    ->Args({1024, 4})
+    ->Args({1024, 8})
+    ->Args({4096, 1})
+    ->Args({4096, 4})
+    ->Args({4096, 8})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -14,7 +14,15 @@ DurableRouter::DurableRouter(Fs* fs, std::string log_dir,
                              DurableRouterOptions options)
     : fs_(fs), log_dir_(std::move(log_dir)), options_(options) {
   QHORN_CHECK(options_.shards >= 1);
-  router_ = std::make_unique<SessionRouter>(options_.router);
+  // One router shard per WAL shard (see DurableRouterOptions::shards);
+  // lanes, session options and resume mode come from the wrapped router
+  // options unchanged.
+  ShardedRouter::Options sharded;
+  sharded.shards = options_.shards;
+  sharded.threads = options_.router.threads;
+  sharded.session = options_.router.session;
+  sharded.resume_mode = options_.router.resume_mode;
+  router_ = std::make_unique<ShardedRouter>(sharded);
 }
 
 DurableRouter::~DurableRouter() = default;
@@ -65,7 +73,12 @@ DurableRouter::SessionId DurableRouter::OpenPending(const SessionSpec& spec) {
   // an abandoned session, not a correctness hole: nothing was
   // acknowledged, so nothing is owed.
   if (!ShardFor(external)->AppendSessionOpened(external, spec)) return 0;
-  SessionId internal = router_->OpenPending(spec.n);
+  // Pin the session to the router shard matching its WAL shard: this
+  // session's commit hooks will append to WAL `external % shards` while
+  // holding router shard `external % shards`'s mutex — a 1:1 mapping, so
+  // two sessions contend on a router lock iff they share a WAL anyway.
+  SessionId internal = router_->OpenPendingOnShard(
+      static_cast<int>(external % options_.shards), spec.n);
   SubmitSpecJobs(*router_, internal, spec);
   std::lock_guard<std::mutex> lock(mutex_);
   to_internal_.emplace(external, internal);
@@ -269,7 +282,8 @@ std::unique_ptr<DurableRouter> DurableRouter::Recover(
       new DurableRouter(fs, log_dir, options));
   if (!durable->OpenLogs(error)) return nullptr;
   for (const auto& [external, image] : images) {
-    SessionId internal = durable->router_->OpenPending(image.spec.n);
+    SessionId internal = durable->router_->OpenPendingOnShard(
+        static_cast<int>(external % options.shards), image.spec.n);
     SubmitSpecJobs(*durable->router_, internal, image.spec);
     durable->to_internal_.emplace(external, internal);
     durable->to_external_.emplace(internal, external);

@@ -48,7 +48,7 @@
 
 #include "src/durable/fs.h"
 #include "src/durable/session_log.h"
-#include "src/session/router.h"
+#include "src/session/sharded_router.h"
 #include "src/workload/workload.h"
 
 namespace qhorn {
@@ -56,6 +56,10 @@ namespace qhorn {
 struct DurableRouterOptions {
   SessionRouter::Options router;
   SessionLogOptions log;  ///< kEveryAppend = full log-before-ack durability
+  /// WAL shards *and* router shards: the in-memory service is a
+  /// ShardedRouter with the same count, each session pinned to the router
+  /// shard matching its WAL shard (id mod shards), so a commit hook on
+  /// one WAL only ever holds that one router shard's mutex.
   int shards = 4;
 };
 
@@ -126,7 +130,7 @@ class DurableRouter {
   /// Records appended across all shards (tests assert log growth).
   int64_t records_logged() const;
 
-  SessionRouter& router() { return *router_; }
+  ShardedRouter& router() { return *router_; }
 
   static std::string ShardPath(const std::string& log_dir, int shard);
 
@@ -139,7 +143,7 @@ class DurableRouter {
   Fs* fs_;
   std::string log_dir_;
   DurableRouterOptions options_;
-  std::unique_ptr<SessionRouter> router_;
+  std::unique_ptr<ShardedRouter> router_;
   std::vector<std::unique_ptr<SessionLog>> shards_;
 
   mutable std::mutex mutex_;  // guards the id maps and next_external_

@@ -20,34 +20,42 @@ std::shared_ptr<const CompiledQuery> CompiledQueryCache::Get(
   key.form = CanonicalizeForEvaluation(query, opts);
   key.form.Hash();  // fill the cached hash before sharing the key
 
+  Stripe& stripe = StripeFor(KeyHash{}(key));
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      ++hits_;
+    std::shared_lock<std::shared_mutex> lock(stripe.mutex);
+    auto it = stripe.map.find(key);
+    if (it != stripe.map.end()) {
+      stripe.hits.fetch_add(1, std::memory_order_relaxed);
       return it->second;
     }
-    ++misses_;
   }
-  // Compile outside the lock so concurrent opens compile distinct queries
+  stripe.misses.fetch_add(1, std::memory_order_relaxed);
+  // Compile outside any lock so concurrent opens compile distinct queries
   // in parallel and cache hits never stall behind a compile. Two threads
   // racing on the same new key both compile (both counted as misses); the
   // first insert wins and the loser's copy is dropped — compiles are
   // idempotent µs-scale work, not worth a per-key latch.
   auto compiled = std::make_shared<const CompiledQuery>(query, opts);
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto [it, inserted] = cache_.try_emplace(std::move(key), std::move(compiled));
+  std::unique_lock<std::shared_mutex> lock(stripe.mutex);
+  auto [it, inserted] =
+      stripe.map.try_emplace(std::move(key), std::move(compiled));
   return it->second;
 }
 
 int64_t CompiledQueryCache::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return hits_;
+  int64_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    total += stripe.hits.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 int64_t CompiledQueryCache::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return misses_;
+  int64_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    total += stripe.misses.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 const char* ToString(ProvideOutcome o) {
@@ -112,9 +120,20 @@ SessionRouter::SessionRouter(Options options) : options_(std::move(options)) {
   // workers (concurrency - 1 of them) ever run jobs — ask for one more
   // lane so `threads` sessions really do run concurrently. threads == 1
   // stays the synchronous inline executor (the differential baseline).
-  int lanes = options_.threads <= 0 ? Executor::DefaultConcurrency()
-                                    : options_.threads;
-  executor_ = std::make_unique<Executor>(lanes == 1 ? 1 : lanes + 1);
+  if (options_.executor != nullptr) {
+    exec_ = options_.executor;
+  } else {
+    int lanes = options_.threads <= 0 ? Executor::DefaultConcurrency()
+                                      : options_.threads;
+    owned_executor_ = std::make_unique<Executor>(lanes == 1 ? 1 : lanes + 1);
+    exec_ = owned_executor_.get();
+  }
+  if (options_.compiled_cache != nullptr) {
+    cache_ = options_.compiled_cache;
+  } else {
+    owned_cache_ = std::make_unique<CompiledQueryCache>();
+    cache_ = owned_cache_.get();
+  }
 }
 
 SessionRouter::~SessionRouter() {
@@ -123,8 +142,11 @@ SessionRouter::~SessionRouter() {
   // only proves the last runnable job *completed* — its runner task may
   // still be between the completion bookkeeping and its final empty-queue
   // check, touching session state, mutex_ and idle_cv_. ~Executor joins
-  // the workers, so after this line no runner code is in flight.
-  executor_.reset();
+  // the workers, so after this line no runner code is in flight. With a
+  // *borrowed* executor this reset is a no-op and the owner is responsible
+  // for the same guarantee: it must have destroyed (joined) the shared
+  // pool before destroying this router (ShardedRouter's teardown order).
+  owned_executor_.reset();
   // Unwind continuations still parked on abandoned rounds (sessions
   // awaiting a user who never answered, or closed while parked): the
   // parked stacks hold live learner frames whose destructors must run.
@@ -133,6 +155,15 @@ SessionRouter::~SessionRouter() {
   for (auto& [id, state] : sessions_) {
     if (state->fiber != nullptr) UnwindFiber(state.get());
   }
+  // Free announcement nodes for rounds still pending at teardown — both
+  // the batch never popped and the retained poll set. No producer is live
+  // (workers joined above), so the pop is race-free.
+  for (AnnouncementNode* node = announced_rounds_.PopAll(); node != nullptr;) {
+    AnnouncementNode* next = node->next;
+    delete node;
+    node = next;
+  }
+  live_announcements_.clear();
 }
 
 void SessionRouter::UnwindFiber(SessionState* state) {
@@ -166,7 +197,7 @@ SessionRouter::SessionId SessionRouter::Open(int n, MembershipOracle* user) {
 SessionRouter::SessionId SessionRouter::OpenSimulated(const Query& intended,
                                                       EvalOptions opts) {
   auto backend = std::make_unique<AsyncOracle>(
-      compiled_cache_.Get(intended, opts), executor_.get());
+      cache_->Get(intended, opts), exec_);
   MembershipOracle* user = backend.get();
   return OpenInternal(intended.n(), user, std::move(backend), nullptr);
 }
@@ -244,9 +275,9 @@ bool SessionRouter::SubmitInternal(SessionId id, Job job, JobKind kind) {
   // inline, and the runner re-acquires the mutex.
   if (start_runner) {
     if (pending) {
-      executor_->Post([this, state] { RunPendingSession(state); });
+      exec_->Post([this, state] { RunPendingSession(state); });
     } else {
-      executor_->Post([this, state] { RunSession(state); });
+      exec_->Post([this, state] { RunSession(state); });
     }
   }
   return true;
@@ -427,6 +458,13 @@ void SessionRouter::RunPendingSession(SessionState* state) {
         } else {
           state->pending_round = state->pending_backend->TakePending();
           state->awaiting = true;
+          // Publish for the lock-free poll: the atomic id and the pushed
+          // node go out in the same critical section as runnable_jobs_'s
+          // decrement, so Drain-then-poll observes every parked round.
+          state->awaiting_round.store(state->pending_round->round_id,
+                                      std::memory_order_release);
+          announced_rounds_.Push(new AnnouncementNode(
+              RoundAnnouncement{*state->pending_round, state}));
           if (snapshot_mode) {
             state->snapshot = std::move(snap);
             state->snapshot_bytes = state->snapshot.MemoryBytes();
@@ -553,8 +591,12 @@ void SessionRouter::RunPendingSessionFiber(SessionState* state) {
       continue;  // jobs arrived while the body was finishing
     }
     // Parked on a user round: publish it and free the lane. The parked
-    // stack is the session's resume state; its mapped size is what the
-    // session keeps resident-able while the user thinks.
+    // stack is the session's resume state; trim the cold region below the
+    // parked frame back to the kernel (madvise) and report what actually
+    // stays resident-able while the user thinks. Safe before the lock:
+    // this runner still owns the session and nothing else touches a
+    // parked fiber.
+    const size_t resident = state->fiber->TrimColdStack();
     bool idle = false;
     bool abandoned = false;
     {
@@ -578,7 +620,12 @@ void SessionRouter::RunPendingSessionFiber(SessionState* state) {
       } else {
         state->pending_round = state->pending_backend->TakePending();
         state->awaiting = true;
-        state->snapshot_bytes = state->fiber->stack_bytes();
+        state->snapshot_bytes = resident;
+        // Publish for the lock-free poll (see the unwind runner).
+        state->awaiting_round.store(state->pending_round->round_id,
+                                    std::memory_order_release);
+        announced_rounds_.Push(new AnnouncementNode(
+            RoundAnnouncement{*state->pending_round, state}));
       }
       state->pipeline_live = false;
       state->running = false;
@@ -617,12 +664,33 @@ bool SessionRouter::SubmitRevise(SessionId id, Query candidate) {
 
 std::vector<PendingRound> SessionRouter::PendingRounds() {
   std::vector<PendingRound> rounds;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto& [id, state] : sessions_) {
-      if (state->awaiting) rounds.push_back(*state->pending_round);
-    }
+  std::lock_guard<std::mutex> poll_lock(poll_mutex_);
+  // Fold the freshly announced batch into the retained set. Never takes
+  // mutex_: the batch pop is one atomic exchange and the filter below
+  // reads only per-session atomics.
+  for (AnnouncementNode* node = announced_rounds_.PopAll(); node != nullptr;) {
+    AnnouncementNode* next = node->next;
+    live_announcements_.emplace_back(node);
+    node = next;
   }
+  // A node is reported while its id is the awaited one, freed once its id
+  // retires (answered / corrected away / abandoned by Close), and kept
+  // silently in the transient window a racy poll can see between a
+  // resume's two atomic stores. Round ids are monotonic per session, so
+  // the lower-bound test can never free a live round.
+  size_t kept = 0;
+  for (auto& node : live_announcements_) {
+    const SessionState* state = node->value.state;
+    const int64_t id = node->value.round.round_id;
+    if (id <= state->retired_round.load(std::memory_order_acquire)) {
+      continue;  // dead — drop the node
+    }
+    if (state->awaiting_round.load(std::memory_order_acquire) == id) {
+      rounds.push_back(node->value.round);
+    }
+    live_announcements_[kept++] = std::move(node);
+  }
+  live_announcements_.resize(kept);
   std::sort(rounds.begin(), rounds.end(),
             [](const PendingRound& a, const PendingRound& b) {
               return a.session_id < b.session_id;
@@ -681,13 +749,19 @@ ProvideOutcome SessionRouter::ProvideAnswersInternal(SessionId id,
           std::move(round.questions[i]), answers.Get(i), round.round_id});
     }
     ++state->answered_rounds;
+    // Retire the round for the lock-free poll: its announcement node is
+    // dead (freed on the next PendingRounds), and no round is awaited
+    // until the next suspension. Order matters for racy readers — retire
+    // first, then clear, so a node is never both unreported and unfreed.
+    state->retired_round.store(round_id, std::memory_order_release);
+    state->awaiting_round.store(-1, std::memory_order_release);
     state->pending_round.reset();
     state->awaiting = false;
     runnable_jobs_ += static_cast<int64_t>(state->job_log.size() -
                                            state->jobs_completed);
     state->running = true;
   }
-  executor_->Post([this, state] { RunPendingSession(state); });
+  exec_->Post([this, state] { RunPendingSession(state); });
   return ProvideOutcome::kResumed;
 }
 
@@ -729,13 +803,18 @@ ProvideOutcome SessionRouter::CorrectAnswer(SessionId id, size_t entry_index) {
     // destructors, so it happens on a lane, never under this lock).
     state->fiber_cancel = state->fiber != nullptr;
     state->staged_answers.clear();
+    // Retire the abandoned round for the lock-free poll (ids stay
+    // monotonic, so the restarted session's next round compares higher).
+    state->retired_round.store(state->pending_round->round_id,
+                               std::memory_order_release);
+    state->awaiting_round.store(-1, std::memory_order_release);
     state->pending_round.reset();
     state->awaiting = false;
     runnable_jobs_ += static_cast<int64_t>(state->job_log.size());
     state->running = true;
     ++corrections_;
   }
-  executor_->Post([this, state] { RunPendingSession(state); });
+  exec_->Post([this, state] { RunPendingSession(state); });
   return ProvideOutcome::kResumed;
 }
 
@@ -758,6 +837,9 @@ bool SessionRouter::Close(SessionId id) {
   if (state->awaiting) {
     // The user will never answer; abandon the round. The session's
     // uncompleted jobs were uncounted at suspension, so nothing waits.
+    state->retired_round.store(state->pending_round->round_id,
+                               std::memory_order_release);
+    state->awaiting_round.store(-1, std::memory_order_release);
     state->pending_round.reset();
     state->awaiting = false;
   }
@@ -813,8 +895,8 @@ ServiceStats SessionRouter::stats() {
       stats.snapshot_bytes += static_cast<int64_t>(state->snapshot_bytes);
     }
   }
-  stats.compiled_hits = compiled_cache_.hits();
-  stats.compiled_misses = compiled_cache_.misses();
+  stats.compiled_hits = cache_->hits();
+  stats.compiled_misses = cache_->misses();
   return stats;
 }
 

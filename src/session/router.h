@@ -81,6 +81,8 @@
 #ifndef QHORN_SESSION_ROUTER_H_
 #define QHORN_SESSION_ROUTER_H_
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -88,6 +90,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -98,6 +101,7 @@
 #include "src/util/executor.h"
 #include "src/util/fiber.h"
 #include "src/util/function_ref.h"
+#include "src/util/mpsc.h"
 
 namespace qhorn {
 
@@ -105,6 +109,15 @@ namespace qhorn {
 /// equal keys evaluate identically object for object, so sessions sharing
 /// an entry are indistinguishable from sessions compiling their own.
 /// Thread-safe; the returned compiled forms are immutable.
+///
+/// Striped read-mostly layout: the key hash picks one of kStripes
+/// independent (shared_mutex, map) pairs, so a hit takes only a shared
+/// lock on 1/kStripes of the keyspace — concurrent hits on different
+/// stripes never touch the same cache line, concurrent hits on the same
+/// stripe share the reader lock, and only a first-time compile of a key
+/// briefly writes its own stripe. Sessions across every router shard
+/// share one instance (a query compiled once is compiled once service-
+/// wide); the hit/miss counters are relaxed atomics folded on read.
 class CompiledQueryCache {
  public:
   std::shared_ptr<const CompiledQuery> Get(const Query& query,
@@ -128,11 +141,24 @@ class CompiledQueryCache {
     }
   };
 
-  mutable std::mutex mutex_;
-  std::unordered_map<Key, std::shared_ptr<const CompiledQuery>, KeyHash>
-      cache_;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
+  static constexpr size_t kStripes = 16;  // power of two; see StripeFor
+
+  struct alignas(64) Stripe {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<Key, std::shared_ptr<const CompiledQuery>, KeyHash> map;
+    std::atomic<int64_t> hits{0};
+    std::atomic<int64_t> misses{0};
+  };
+
+  /// Remix the (already cached) key hash and take the top bits: the map
+  /// inside the stripe consumes the low bits, so stripe choice and bucket
+  /// choice stay independent.
+  Stripe& StripeFor(size_t hash) {
+    static_assert(kStripes == 16, "the >> 60 below selects log2(16) bits");
+    return stripes_[(hash * 0x9e3779b97f4a7c15ULL) >> 60];
+  }
+
+  std::array<Stripe, kStripes> stripes_;
 };
 
 /// Aggregate service counters across every session the router has hosted.
@@ -217,7 +243,7 @@ class SessionRouter {
     /// QHORN_THREADS). 1 degrades to synchronous in-caller execution —
     /// the differential baseline. The router sizes its executor one lane
     /// wider than this, since the thread that submits jobs sleeps in
-    /// Drain() rather than running them.
+    /// Drain() rather than running them. Ignored when `executor` is set.
     int threads = 0;
     QuerySession::Options session;
     /// Resume protocol for pending sessions. kDefault resolves from the
@@ -227,6 +253,17 @@ class SessionRouter {
     /// false` degrades a kSnapshot request to kReplay; fiber resume never
     /// re-walks a prefix and works either way.
     ResumeMode resume_mode = ResumeMode::kDefault;
+    /// Borrowed executor (how ShardedRouter shares one pool across its
+    /// shards). Non-null: the router posts to it instead of owning a pool,
+    /// `threads` is ignored, and the *owner* must keep the executor alive
+    /// — and joined — past this router's destruction (drain every sharing
+    /// router, destroy the executor, then the routers; see
+    /// ShardedRouter::~ShardedRouter for the canonical order).
+    Executor* executor = nullptr;
+    /// Borrowed compiled-query cache (shared across router shards so a
+    /// query compiles once service-wide). Non-null: used instead of the
+    /// router-owned cache; must outlive the router.
+    CompiledQueryCache* compiled_cache = nullptr;
   };
 
   SessionRouter();
@@ -271,6 +308,15 @@ class SessionRouter {
   /// All rounds currently awaiting user answers, ordered by session id.
   /// The embedding server's poll: render each round's questions to its
   /// user, then call ProvideAnswers with the labels.
+  ///
+  /// Drained through a lock-free MPSC announcement queue: suspending
+  /// runners publish their round with one atomic push, and the poll pops
+  /// the batch and filters it against per-session atomics — it never takes
+  /// the router mutex, so polling cannot stall (or be stalled by) opens,
+  /// submits or resumes. After Drain() the result is exact; a poll racing
+  /// live runners may transiently omit a round that is suspending or
+  /// include one being answered right now (a stale reply then bounces off
+  /// kStaleRound/kNotAwaiting, exactly like any hostile duplicate).
   std::vector<PendingRound> PendingRounds();
 
   /// Feeds a user's labels back into a suspended session. `round_id` must
@@ -369,8 +415,8 @@ class SessionRouter {
   /// sessions awaiting user answers are fine).
   ServiceStats stats();
 
-  Executor* executor() { return executor_.get(); }
-  CompiledQueryCache& compiled_cache() { return compiled_cache_; }
+  Executor* executor() { return exec_; }
+  CompiledQueryCache& compiled_cache() { return *cache_; }
 
  private:
   enum class JobKind { kOther, kLearn, kVerify, kRevise };
@@ -420,6 +466,16 @@ class SessionRouter {
     bool awaiting = false;  // suspended; ProvideAnswers will resume
     bool running = false;   // a runner task currently owns this session
     bool closed = false;
+    // Lock-free pending-round publication (see PendingRounds). Both are
+    // written under mutex_ alongside the fields they mirror and read
+    // without it by the poll path: `awaiting_round` is the round id the
+    // session currently awaits (-1 while not awaiting); `retired_round`
+    // is the highest round id that is dead — answered, corrected away,
+    // or abandoned by Close. Round ids are monotonic per session (never
+    // reused), which is what makes the exact-match / lower-bound filter
+    // in PendingRounds sound.
+    std::atomic<int64_t> awaiting_round{-1};
+    std::atomic<int64_t> retired_round{-1};
   };
 
   SessionId OpenInternal(int n, MembershipOracle* user,
@@ -451,13 +507,35 @@ class SessionRouter {
   void CompleteJob(JobKind kind);
   SessionState* FindSession(SessionId id);
 
+  /// A parked round as the poll path sees it: the round payload copied at
+  /// suspension plus the owning session, pushed onto announced_rounds_ by
+  /// the suspending runner. Nodes are interpreted against the session's
+  /// awaiting_round/retired_round atomics — a node is *reported* while its
+  /// id is the one awaited, *freed* once its id is retired, and retained
+  /// silently in the (transient, racy-poll-only) window between.
+  struct RoundAnnouncement {
+    PendingRound round;
+    SessionState* state = nullptr;
+  };
+  using AnnouncementNode = MpscStack<RoundAnnouncement>::Node;
+
   Options options_;
   ResumeMode resume_mode_ = ResumeMode::kSnapshot;  // resolved, never kDefault
-  std::unique_ptr<Executor> executor_;
-  CompiledQueryCache compiled_cache_;
+  std::unique_ptr<Executor> owned_executor_;  // null when Options.executor set
+  Executor* exec_ = nullptr;                  // owned or borrowed, never null
+  std::unique_ptr<CompiledQueryCache> owned_cache_;  // null when borrowed
+  CompiledQueryCache* cache_ = nullptr;
 
   std::mutex mutex_;  // guards sessions_ map shape and per-session queues
   std::condition_variable idle_cv_;
+  // The pending-round drain: suspending runners publish here (one push per
+  // suspension, lock-free as seen by the consumer), PendingRounds pops the
+  // batch and folds it into live_announcements_ under poll_mutex_ — so the
+  // poll path never takes mutex_ and suspension/resume on this router never
+  // contends with another shard's opens through the facade.
+  MpscStack<RoundAnnouncement> announced_rounds_;
+  std::mutex poll_mutex_;  // serializes PendingRounds consumers
+  std::vector<std::unique_ptr<AnnouncementNode>> live_announcements_;
   std::unordered_map<SessionId, std::unique_ptr<SessionState>> sessions_;
   SessionId next_id_ = 1;
   // Jobs that can make progress right now: queued + running jobs of

@@ -107,8 +107,34 @@ void Fiber::Run() {
   QHORN_CHECK_MSG(false, "finished fiber resumed");
 }
 
+size_t Fiber::TrimColdStack() {
+  trimmed_bytes_ = 0;
+#if defined(__linux__) && defined(__x86_64__)
+  if (!started_ || finished_) return alloc_bytes_;
+  // swapcontext saved the parked frame's stack pointer into fiber_ctx_.
+  // Everything in [stack_base_, sp) is dead — frames the continuation
+  // popped before parking, reusable only by deeper future calls. Round
+  // the boundary down to a page and keep one slack page below the parked
+  // frame (x86-64 red zone plus resume spill room stay untouched).
+  const auto page = static_cast<uintptr_t>(sysconf(_SC_PAGESIZE));
+  const auto sp =
+      static_cast<uintptr_t>(fiber_ctx_.uc_mcontext.gregs[REG_RSP]);
+  const auto base = reinterpret_cast<uintptr_t>(stack_base_);
+  uintptr_t cold_end = sp & ~(page - 1);
+  if (cold_end < page) return alloc_bytes_;
+  cold_end -= page;  // slack page
+  if (sp < base || sp >= base + stack_size_ || cold_end <= base) {
+    return alloc_bytes_;
+  }
+  const size_t cold = static_cast<size_t>(cold_end - base);
+  if (madvise(stack_base_, cold, MADV_DONTNEED) == 0) trimmed_bytes_ = cold;
+#endif
+  return alloc_bytes_ - trimmed_bytes_;
+}
+
 void Fiber::Resume() {
   QHORN_CHECK_MSG(!finished_, "Resume() on a finished fiber");
+  trimmed_bytes_ = 0;  // resumed frames refault trimmed pages on touch
   if (!started_) {
     started_ = true;
     QHORN_CHECK_MSG(getcontext(&fiber_ctx_) == 0, "getcontext failed");

@@ -80,6 +80,21 @@ class Fiber {
   /// parked-state footprint.
   size_t stack_bytes() const { return alloc_bytes_; }
 
+  /// Returns the dead region of a *parked* stack to the kernel. Stacks
+  /// grow down, so everything below the parked frame's stack pointer is
+  /// space only deeper future calls would reuse; madvise(MADV_DONTNEED)
+  /// releases those pages (minus one slack page of red-zone headroom)
+  /// while keeping the mapping — they refault zero-filled if the resumed
+  /// continuation ever recurses that deep again. Returns the mapped bytes
+  /// still backing the fiber afterwards (alloc minus trimmed); on a fiber
+  /// that never started, already finished, or a platform without the
+  /// trim, returns stack_bytes() untrimmed. Owner-only, like Resume().
+  size_t TrimColdStack();
+
+  /// Bytes the last TrimColdStack() released (0 after a Resume(): the
+  /// pages fault back in as the continuation touches them).
+  size_t trimmed_bytes() const { return trimmed_bytes_; }
+
  private:
   static void Trampoline(unsigned hi, unsigned lo);
   void Run();
@@ -93,6 +108,7 @@ class Fiber {
   ucontext_t host_ctx_;
   bool started_ = false;
   bool finished_ = false;
+  size_t trimmed_bytes_ = 0;
 
   // Sanitizer bookkeeping (unused members cost nothing when the build has
   // no sanitizer; keeping them unconditional keeps the ABI stable across

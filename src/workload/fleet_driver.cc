@@ -49,61 +49,6 @@ int64_t DrawLatency(const WorkloadSpec& spec, Rng& rng) {
 
 }  // namespace
 
-void SubmitSpecJobs(SessionRouter& router, SessionRouter::SessionId id,
-                    const SessionSpec& spec) {
-  for (WorkloadJob job : spec.jobs) {
-    bool accepted = false;
-    switch (job) {
-      case WorkloadJob::kLearn:
-        accepted = router.SubmitLearn(id);
-        break;
-      case WorkloadJob::kVerifyTarget:
-        accepted = router.SubmitVerify(id, spec.target);
-        break;
-      case WorkloadJob::kVerifyMutant:
-        accepted = router.SubmitVerify(id, spec.mutant);
-        break;
-      case WorkloadJob::kRevise:
-        accepted = router.SubmitRevise(id, spec.mutant);
-        break;
-    }
-    QHORN_CHECK_MSG(accepted, "submit rejected on a live session");
-  }
-}
-
-// ---------------------------------------------------------------------------
-// RouterEndpoint
-
-ServiceEndpoint::SessionId RouterEndpoint::OpenPending(
-    const SessionSpec& spec) {
-  SessionId id = router_->OpenPending(spec.n);
-  SubmitSpecJobs(*router_, id, spec);
-  return id;
-}
-
-ProvideOutcome RouterEndpoint::ProvideAnswers(SessionId id, int64_t round_id,
-                                              BitSpan answers) {
-  return router_->ProvideAnswers(id, round_id, answers);
-}
-
-bool RouterEndpoint::Close(SessionId id) { return router_->Close(id); }
-
-std::vector<PendingRound> RouterEndpoint::PendingRounds() {
-  return router_->PendingRounds();
-}
-
-void RouterEndpoint::Drain() { router_->Drain(); }
-
-std::optional<SessionStatus> RouterEndpoint::status(SessionId id) {
-  return router_->status(id);
-}
-
-QuerySession& RouterEndpoint::session(SessionId id) {
-  return router_->session(id);
-}
-
-ServiceStats RouterEndpoint::stats() { return router_->stats(); }
-
 // ---------------------------------------------------------------------------
 // The hostile arm
 
@@ -326,19 +271,39 @@ FleetResult FleetDriver::RunHostile(ServiceEndpoint& endpoint,
   return result;
 }
 
-FleetResult FleetDriver::RunPending(int lanes_override, ResumeMode mode) {
-  SessionRouter::Options ropts;
-  ropts.threads = lanes_override > 0 ? lanes_override : fleet_.spec.lanes;
-  ropts.session.learner.existential.speculative_batching =
+FleetResult FleetDriver::RunPending(int lanes_override, ResumeMode mode,
+                                    int shards_override) {
+  const int threads =
+      lanes_override > 0 ? lanes_override : fleet_.spec.lanes;
+  const ResumeMode resume =
+      mode != ResumeMode::kDefault
+          ? mode
+          : (fleet_.spec.replay_resume ? ResumeMode::kReplay
+                                       : ResumeMode::kFiber);
+  QuerySession::Options sopts;
+  sopts.learner.existential.speculative_batching =
       fleet_.spec.speculative_batching;
-  ropts.session.learner.universal.speculative_batching =
+  sopts.learner.universal.speculative_batching =
       fleet_.spec.speculative_batching;
-  ropts.resume_mode = mode != ResumeMode::kDefault
-                          ? mode
-                          : (fleet_.spec.replay_resume ? ResumeMode::kReplay
-                                                       : ResumeMode::kFiber);
-  SessionRouter router(ropts);
-  RouterEndpoint endpoint(&router);
+  const int shards =
+      shards_override > 0 ? shards_override : fleet_.spec.router_shards;
+  if (shards <= 1) {
+    // The classic arm: a bare SessionRouter, exactly as before sharding.
+    SessionRouter::Options ropts;
+    ropts.threads = threads;
+    ropts.session = sopts;
+    ropts.resume_mode = resume;
+    SessionRouter router(ropts);
+    RouterEndpoint endpoint(&router);
+    return RunHostile(endpoint);
+  }
+  ShardedRouter::Options ropts;
+  ropts.shards = shards;
+  ropts.threads = threads;
+  ropts.session = sopts;
+  ropts.resume_mode = resume;
+  ShardedRouter router(ropts);
+  ShardedRouterEndpoint endpoint(&router);
   return RunHostile(endpoint);
 }
 

@@ -45,7 +45,8 @@
 #include <string>
 #include <vector>
 
-#include "src/session/router.h"
+#include "src/session/sharded_router.h"
+#include "src/util/check.h"
 #include "src/workload/service_endpoint.h"
 #include "src/workload/workload.h"
 
@@ -77,32 +78,71 @@ struct DifferentialOutcome {
   FleetResult synchronous;
 };
 
-/// ServiceEndpoint over a plain in-memory SessionRouter — the identity
-/// instantiation the classic differential arm runs against, and the shape
-/// durable endpoints mimic.
-class RouterEndpoint : public ServiceEndpoint {
- public:
-  explicit RouterEndpoint(SessionRouter* router) : router_(router) {}
+/// Submits the spec's whole job plan to an already-open session, aborting
+/// if the router refuses. Shared by the endpoints and durable recovery
+/// (which must rebuild the identical job log); templated so it drives a
+/// bare SessionRouter and the ShardedRouter facade identically.
+template <typename RouterT>
+void SubmitSpecJobs(RouterT& router, typename RouterT::SessionId id,
+                    const SessionSpec& spec) {
+  for (WorkloadJob job : spec.jobs) {
+    bool accepted = false;
+    switch (job) {
+      case WorkloadJob::kLearn:
+        accepted = router.SubmitLearn(id);
+        break;
+      case WorkloadJob::kVerifyTarget:
+        accepted = router.SubmitVerify(id, spec.target);
+        break;
+      case WorkloadJob::kVerifyMutant:
+        accepted = router.SubmitVerify(id, spec.mutant);
+        break;
+      case WorkloadJob::kRevise:
+        accepted = router.SubmitRevise(id, spec.mutant);
+        break;
+    }
+    QHORN_CHECK_MSG(accepted, "submit rejected on a live session");
+  }
+}
 
-  SessionId OpenPending(const SessionSpec& spec) override;
+/// ServiceEndpoint over an in-memory router — the identity instantiation
+/// the classic differential arm runs against, and the shape durable
+/// endpoints mimic. RouterT is SessionRouter (the 1-shard classic) or
+/// ShardedRouter (the facade the sharded differentials drive); both speak
+/// the identical protocol surface.
+template <typename RouterT>
+class BasicRouterEndpoint : public ServiceEndpoint {
+ public:
+  explicit BasicRouterEndpoint(RouterT* router) : router_(router) {}
+
+  SessionId OpenPending(const SessionSpec& spec) override {
+    SessionId id = router_->OpenPending(spec.n);
+    SubmitSpecJobs(*router_, id, spec);
+    return id;
+  }
   ProvideOutcome ProvideAnswers(SessionId id, int64_t round_id,
-                                BitSpan answers) override;
-  bool Close(SessionId id) override;
-  std::vector<PendingRound> PendingRounds() override;
-  void Drain() override;
-  std::optional<SessionStatus> status(SessionId id) override;
-  QuerySession& session(SessionId id) override;
-  ServiceStats stats() override;
+                                BitSpan answers) override {
+    return router_->ProvideAnswers(id, round_id, answers);
+  }
+  bool Close(SessionId id) override { return router_->Close(id); }
+  std::vector<PendingRound> PendingRounds() override {
+    return router_->PendingRounds();
+  }
+  void Drain() override { router_->Drain(); }
+  std::optional<SessionStatus> status(SessionId id) override {
+    return router_->status(id);
+  }
+  QuerySession& session(SessionId id) override {
+    return router_->session(id);
+  }
+  ServiceStats stats() override { return router_->stats(); }
 
  private:
-  SessionRouter* router_;
+  RouterT* router_;
 };
 
-/// Submits the spec's whole job plan to an already-open session, aborting
-/// if the router refuses (shared by RouterEndpoint and durable recovery,
-/// which must rebuild the identical job log).
-void SubmitSpecJobs(SessionRouter& router, SessionRouter::SessionId id,
-                    const SessionSpec& spec);
+using RouterEndpoint = BasicRouterEndpoint<SessionRouter>;
+using ShardedRouterEndpoint = BasicRouterEndpoint<ShardedRouter>;
 
 class FleetDriver {
  public:
@@ -118,8 +158,13 @@ class FleetDriver {
   /// sweeps; <= 0 uses the spec). `mode` picks the resume protocol;
   /// kDefault derives it from the spec (`replay_resume` → kReplay,
   /// otherwise kFiber) so a fuzz seed pins the protocol too.
+  /// `shards_override` picks the router shard count (<= 0 uses the
+  /// spec's `router_shards`); 1 runs the classic bare SessionRouter,
+  /// anything higher runs the ShardedRouter facade — observables must
+  /// not notice, which is exactly what the sharded differentials pin.
   FleetResult RunPending(int lanes_override = 0,
-                         ResumeMode mode = ResumeMode::kDefault);
+                         ResumeMode mode = ResumeMode::kDefault,
+                         int shards_override = 0);
 
   /// Reference arm: synchronous in-order replay on one lane.
   FleetResult RunSynchronous();

@@ -141,6 +141,8 @@ WorkloadSpec WorkloadSpec::FromSeed(uint64_t seed) {
   // generated from the same seed before these existed) is unchanged.
   spec.speculative_batching = rng.Chance(0.5);
   spec.replay_resume = rng.Chance(0.25);
+  // PR 9 knob, drawn after the PR 8 pair for the same stability reason.
+  spec.router_shards = 1 << static_cast<int>(rng.Range(0, 3));
   return spec;
 }
 

@@ -119,6 +119,13 @@ struct WorkloadSpec {
   /// explicit arms in the differential tests).
   bool replay_resume = false;
 
+  /// Router shards the hostile arm runs behind (PR 9): 1 is the classic
+  /// bare SessionRouter, anything higher drives the ShardedRouter facade.
+  /// Drawn from {1, 2, 4, 8} so the fuzz sweep exercises the id encoding
+  /// and per-shard announcement queues on every seed mix; observables
+  /// must not depend on it (that is the differential).
+  int router_shards = 1;
+
   /// Derives a heterogeneous spec from one seed (the fuzz entry point).
   static WorkloadSpec FromSeed(uint64_t seed);
 

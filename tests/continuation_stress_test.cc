@@ -4,7 +4,9 @@
 // sessions complete, no thread is ever parked per blocked session (the
 // router's executor is the only thread pool: ≤ 5 threads total), and
 // every per-session observable is bit-identical to a single-threaded
-// synchronous replay of the same jobs over the same answers.
+// synchronous replay of the same jobs over the same answers. The sharded
+// variant drives the same fleet through the ShardedRouter facade at 1, 2
+// and 8 shards and pins its fingerprints to the synchronous arm too.
 //
 // Runs under the tsan preset with QHORN_THREADS=8 in CI (the router's
 // lane count is pinned to 4 explicitly; QHORN_THREADS exercises the
@@ -24,6 +26,7 @@
 #include "src/core/normalize.h"
 #include "src/core/random_query.h"
 #include "src/session/router.h"
+#include "src/session/sharded_router.h"
 #include "src/util/bit_span.h"
 #include "tests/session_fingerprint.h"
 
@@ -52,7 +55,8 @@ SessionPlan MakePlan(int n, uint64_t seed) {
   return plan;
 }
 
-void SubmitPlan(SessionRouter& router, SessionRouter::SessionId id,
+template <typename RouterT>
+void SubmitPlan(RouterT& router, typename RouterT::SessionId id,
                 const SessionPlan& plan) {
   for (int job : plan.jobs) {
     switch (job) {
@@ -185,6 +189,94 @@ TEST(ContinuationStressTest, TwoHundredFiftySixSessionsOnFourLanes) {
     ASSERT_TRUE(pending_session.current_query().has_value());
     EXPECT_TRUE(Equivalent(*pending_session.current_query(),
                            plans[static_cast<size_t>(s)].target));
+  }
+}
+
+TEST(ContinuationStressTest, ShardedRouterMatchesSynchronousAcrossShardCounts) {
+  // The same 256-session plan fleet, adversarially scheduled, driven
+  // through the ShardedRouter facade at 1, 2 and 8 shards — external ids
+  // and round merges cross the id encoding, the per-shard announcement
+  // queues, and the shared compiled-query cache. Every arm's per-session
+  // fingerprints must be bit-identical to a single-threaded synchronous
+  // replay: shard count is a throughput knob, never an observable.
+  constexpr int kSessions = 256;
+  constexpr int kLanes = 4;
+  const int n = 6;
+
+  std::vector<SessionPlan> plans;
+  plans.reserve(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    plans.push_back(MakePlan(n, 6000 + static_cast<uint64_t>(s)));
+  }
+
+  // Synchronous reference arm: inline answers, one thread, bare router.
+  SessionRouter::Options sync_opts;
+  sync_opts.threads = 1;
+  SessionRouter sync_router(sync_opts);
+  std::vector<std::unique_ptr<QueryOracle>> sync_truths;
+  std::vector<std::string> reference;
+  for (int s = 0; s < kSessions; ++s) {
+    const SessionPlan& plan = plans[static_cast<size_t>(s)];
+    sync_truths.push_back(std::make_unique<QueryOracle>(plan.target));
+    SessionRouter::SessionId id =
+        sync_router.Open(n, sync_truths.back().get());
+    SubmitPlan(sync_router, id, plan);
+    sync_router.Drain();
+    reference.push_back(SessionFingerprint(sync_router.session(id)));
+  }
+
+  for (int shards : {1, 2, 8}) {
+    ShardedRouter::Options opts;
+    opts.shards = shards;
+    opts.threads = kLanes;
+    ShardedRouter router(opts);
+
+    std::vector<std::unique_ptr<QueryOracle>> truths;
+    std::map<ShardedRouter::SessionId, size_t> plan_of;
+    std::vector<ShardedRouter::SessionId> ids;
+    for (int s = 0; s < kSessions; ++s) {
+      const SessionPlan& plan = plans[static_cast<size_t>(s)];
+      truths.push_back(std::make_unique<QueryOracle>(plan.target));
+      ShardedRouter::SessionId id = router.OpenPending(n);
+      plan_of[id] = static_cast<size_t>(s);
+      ids.push_back(id);
+      SubmitPlan(router, id, plan);
+    }
+
+    // Same adversarial sweep as the bare-router stress: shuffled rounds,
+    // only ~2/3 answered per sweep, resumes racing still-parked sessions.
+    Rng sched(131 + static_cast<uint64_t>(shards));
+    for (;;) {
+      router.Drain();
+      std::vector<PendingRound> rounds = router.PendingRounds();
+      if (rounds.empty()) break;
+      for (size_t i = rounds.size(); i > 1; --i) {
+        std::swap(rounds[i - 1],
+                  rounds[static_cast<size_t>(sched.Range(
+                      0, static_cast<int>(i) - 1))]);
+      }
+      size_t take = std::max<size_t>(1, (rounds.size() * 2) / 3);
+      for (size_t i = 0; i < take; ++i) {
+        PendingRound& round = rounds[i];
+        QueryOracle* truth = truths[plan_of.at(round.session_id)].get();
+        BitVec bits;
+        BitSpan span = bits.Prepare(round.questions.size());
+        truth->IsAnswerBatch(round.questions, span);
+        ASSERT_EQ(
+            router.ProvideAnswers(round.session_id, round.round_id, span),
+            ProvideOutcome::kResumed);
+      }
+    }
+
+    ServiceStats stats = router.stats();
+    EXPECT_EQ(stats.sessions, kSessions);
+    EXPECT_EQ(stats.awaiting_sessions, 0);
+    for (int s = 0; s < kSessions; ++s) {
+      ASSERT_EQ(SessionFingerprint(router.session(ids[static_cast<size_t>(s)])),
+                reference[static_cast<size_t>(s)])
+          << "session " << s << " diverged from the synchronous arm at "
+          << shards << " shards";
+    }
   }
 }
 

@@ -111,6 +111,32 @@ TEST(WorkloadFuzzTest, SnapshotAndReplayResumeArmsAreBitIdentical) {
          "resume across the sample fleets";
 }
 
+TEST(WorkloadFuzzTest, ShardedHostileArmsAreBitIdenticalAcrossShardCounts) {
+  // The sharding differential, run explicitly at pinned shard counts (the
+  // big sweep below draws router_shards per seed; this pins seed-for-seed
+  // that the hostile arm behind a 1-, 2- and 8-shard ShardedRouter
+  // produces fingerprints bit-identical to the synchronous reference —
+  // the shard count changes which mutexes exist, never what a session
+  // observes).
+  for (uint64_t seed : {5u, 17u, 33u, 49u}) {
+    WorkloadSpec spec = WorkloadSpec::FromSeed(seed);
+    Fleet fleet = GenerateFleet(spec);
+    FleetDriver driver(fleet);
+    FleetResult synchronous = driver.RunSynchronous();
+    ASSERT_TRUE(synchronous.ok) << synchronous.failure;
+    for (int shards : {1, 2, 8}) {
+      FleetResult hostile =
+          driver.RunPending(0, ResumeMode::kDefault, shards);
+      ASSERT_TRUE(hostile.ok)
+          << hostile.failure << " (shards=" << shards << ")";
+      ASSERT_EQ(CompareArmFingerprints(fleet, hostile, synchronous),
+                std::string())
+          << "sharded arm diverged at " << shards << " shards ("
+          << spec.ReproLine() << ")";
+    }
+  }
+}
+
 TEST(WorkloadFuzzTest, HostileFleetSweepIsReplayEquivalent) {
   SeedRange range = ParseSeedRange(std::getenv("QHORN_FUZZ_SEEDS"));
   const int64_t budget_ms = BudgetMs();

@@ -12,6 +12,21 @@ speedup; this tool fails when a candidate run's speedup falls more than
 
     tools/bench_compare.py BENCH_micro.json BENCH_micro.ci.json
 
+The reference argument may instead be a *manifest* — a JSON file with a
+"references" list, each entry naming the runner class it was recorded on:
+
+    {"references": [
+        {"num_cpus": 1, "simd": "avx512", "path": "BENCH_micro.json"},
+        {"num_cpus": 4, "simd": "avx512", "path": "BENCH_micro.4cpu.json"}
+    ]}
+
+    tools/bench_compare.py BENCH_refs.json BENCH_micro.ci.json
+
+The entry matching the candidate's (num_cpus, qhorn_simd) context is used;
+recording paths resolve relative to the manifest. No matching entry is a
+hard failure — falling back to a mismatched recording would skip every
+concurrency-dependent pair and gate nothing while pretending to.
+
 For same-machine comparisons (e.g. regenerating the committed baseline)
 --absolute additionally diffs raw cpu_time of identically named benchmarks.
 
@@ -20,6 +35,7 @@ Exit status: 0 clean, 1 regression, 2 usage/IO error.
 
 import argparse
 import json
+import os
 import statistics
 import sys
 
@@ -68,6 +84,13 @@ HEADLINE_PAIRS = [
      "BM_SessionResumeReplay/64/real_time"),
     # Canonical-form dedup: hashed CanonicalForm keys vs ToString() keys.
     ("BM_CanonicalDedup/64", "BM_CanonicalDedupLegacy/64"),
+    # Router sharding: four driver threads hammering a mixed
+    # open/provide/poll workload over 4096 sessions behind an 8-shard
+    # facade vs the identical workload behind the 1-shard (global-mutex)
+    # facade. The upside needs real cores — on a 1-cpu runner the ratio
+    # sits near 1.0× and the gate only pins it there.
+    ("BM_RouterContention/4096/8/real_time",
+     "BM_RouterContention/4096/1/real_time"),
 ]
 
 # Benchmarks whose absolute time is also checked under --absolute (the
@@ -91,6 +114,7 @@ CONCURRENCY_DEPENDENT = {
     "BM_OracleBatchParallel/4096/real_time",
     "BM_ServiceThroughput/16/real_time",
     "BM_ServiceOpenSessions/64/real_time",
+    "BM_RouterContention/4096/8/real_time",
 }
 
 
@@ -101,6 +125,52 @@ def load_doc(path):
     except (OSError, json.JSONDecodeError) as e:
         print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+
+
+def load_reference(path, cand_doc):
+    """Resolves the reference document for this candidate.
+
+    Returns (reference_doc, declared_num_cpus). `path` is either a plain
+    bench_micro JSON (declared_num_cpus is None — its own context is
+    authoritative) or a manifest with a "references" list, in which case
+    the entry matching the candidate's (num_cpus, qhorn_simd) context is
+    loaded, relative to the manifest's directory. The declared num_cpus is
+    returned alongside because a recording can legitimately stand in for a
+    runner class it was not measured on (a conservative floor recorded
+    elsewhere); the manifest's declaration, not the recording's context,
+    says which candidates it gates.
+    """
+    doc = load_doc(path)
+    if "references" not in doc:
+        return doc, None
+    ctx = cand_doc.get("context", {})
+    cand_cpus = ctx.get("num_cpus")
+    cand_simd = ctx.get("qhorn_simd")
+    for entry in doc["references"]:
+        if (
+            entry.get("num_cpus") == cand_cpus
+            and entry.get("simd") == cand_simd
+        ):
+            ref_path = os.path.join(
+                os.path.dirname(os.path.abspath(path)), entry["path"]
+            )
+            print(
+                f"bench_compare: manifest matched {entry['path']} "
+                f"(num_cpus={cand_cpus}, simd={cand_simd})"
+            )
+            return load_doc(ref_path), entry.get("num_cpus")
+    available = ", ".join(
+        f"(num_cpus={e.get('num_cpus')}, simd={e.get('simd')})"
+        for e in doc["references"]
+    )
+    print(
+        f"bench_compare: FAILED — no manifest entry matches the candidate "
+        f"(num_cpus={cand_cpus}, simd={cand_simd}); recorded classes: "
+        f"{available}. Record a reference for this runner class instead of "
+        f"gating against a mismatched one.",
+        file=sys.stderr,
+    )
+    sys.exit(1)
 
 
 def load_times(doc):
@@ -155,13 +225,17 @@ def main():
     )
     args = parser.parse_args()
 
-    ref_doc = load_doc(args.reference)
     cand_doc = load_doc(args.candidate)
+    ref_doc, declared_cpus = load_reference(args.reference, cand_doc)
     ref = load_times(ref_doc)
     cand = load_times(cand_doc)
     ref_lanes = load_lanes(ref_doc)
     cand_lanes = load_lanes(cand_doc)
-    ref_cpus = ref_doc.get("context", {}).get("num_cpus")
+    ref_cpus = (
+        declared_cpus
+        if declared_cpus is not None
+        else ref_doc.get("context", {}).get("num_cpus")
+    )
     cand_cpus = cand_doc.get("context", {}).get("num_cpus")
     failures = []
     checked = 0
