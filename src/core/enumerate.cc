@@ -1,12 +1,12 @@
 #include "src/core/enumerate.h"
 
 #include <map>
-#include <mutex>
 #include <unordered_set>
 #include <utility>
 
 #include "src/core/normalize.h"
 #include "src/util/check.h"
+#include "src/util/checked_mutex.h"
 
 namespace qhorn {
 
@@ -62,9 +62,14 @@ namespace {
 // per head set, and the exhaustive test suites re-enumerate whole worlds)
 // effectively free.
 const std::vector<std::vector<VarSet>>& CompactAntichainsOfWidth(int width) {
-  static std::mutex mutex;
-  static std::map<int, std::vector<std::vector<VarSet>>> cache;
-  std::lock_guard<std::mutex> lock(mutex);
+  // Highest rank in the tree (kMemo): a leaf-of-leaves reachable from any
+  // layer — learner jobs hit it while their router shard is held.
+  static Mutex mutex("antichain-memo", LockRank::kMemo);
+  // Entries are inserted once and never mutated, so the returned reference
+  // stays valid (and safely readable) after the lock is dropped.
+  static std::map<int, std::vector<std::vector<VarSet>>> cache
+      QHORN_GUARDED_BY(mutex);
+  MutexLock lock(&mutex);
   auto it = cache.find(width);
   if (it != cache.end()) return it->second;
 

@@ -64,7 +64,7 @@ SessionLog* DurableRouter::ShardFor(SessionId external_id) {
 DurableRouter::SessionId DurableRouter::OpenPending(const SessionSpec& spec) {
   SessionId external;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     external = next_external_;
   }
   // Log before ack. A crash after this append but before OpenPending
@@ -80,7 +80,7 @@ DurableRouter::SessionId DurableRouter::OpenPending(const SessionSpec& spec) {
   SessionId internal = router_->OpenPendingOnShard(
       static_cast<int>(external % options_.shards), spec.n);
   SubmitSpecJobs(*router_, internal, spec);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   to_internal_.emplace(external, internal);
   to_external_.emplace(internal, external);
   ++next_external_;
@@ -92,7 +92,7 @@ ProvideOutcome DurableRouter::ProvideAnswers(SessionId id, int64_t round_id,
   SessionId internal;
   SessionLog* shard;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = to_internal_.find(id);
     if (it == to_internal_.end()) return ProvideOutcome::kUnknownSession;
     internal = it->second;
@@ -111,7 +111,7 @@ ProvideOutcome DurableRouter::ProvideAnswers(SessionId id, int64_t round_id,
 bool DurableRouter::Close(SessionId id) {
   SessionId internal;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = to_internal_.find(id);
     if (it == to_internal_.end()) return false;
     internal = it->second;
@@ -126,7 +126,7 @@ bool DurableRouter::Close(SessionId id) {
 std::vector<PendingRound> DurableRouter::PendingRounds() {
   std::vector<PendingRound> rounds = router_->PendingRounds();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     for (PendingRound& round : rounds) {
       auto it = to_external_.find(round.session_id);
       QHORN_CHECK_MSG(it != to_external_.end(),
@@ -147,7 +147,7 @@ void DurableRouter::Drain() { router_->Drain(); }
 std::optional<SessionStatus> DurableRouter::status(SessionId id) {
   SessionId internal;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = to_internal_.find(id);
     if (it == to_internal_.end()) return std::nullopt;
     internal = it->second;
@@ -158,7 +158,7 @@ std::optional<SessionStatus> DurableRouter::status(SessionId id) {
 QuerySession& DurableRouter::session(SessionId id) {
   SessionId internal;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = to_internal_.find(id);
     QHORN_CHECK_MSG(it != to_internal_.end(), "no durable session " << id);
     internal = it->second;
@@ -285,6 +285,9 @@ std::unique_ptr<DurableRouter> DurableRouter::Recover(
     SessionId internal = durable->router_->OpenPendingOnShard(
         static_cast<int>(external % options.shards), image.spec.n);
     SubmitSpecJobs(*durable->router_, internal, image.spec);
+    // Recovery is single-threaded, but the id maps are guarded members:
+    // take the (uncontended) lock so the annotations stay honest.
+    MutexLock lock(&durable->mutex_);
     durable->to_internal_.emplace(external, internal);
     durable->to_external_.emplace(internal, external);
     durable->next_external_ = std::max(durable->next_external_, external + 1);
@@ -304,7 +307,11 @@ std::unique_ptr<DurableRouter> DurableRouter::Recover(
     for (const auto& [external, image] : images) {
       size_t& next = fed[external];
       if (next >= image.rounds.size()) continue;
-      SessionId internal = durable->to_internal_.at(external);
+      SessionId internal;
+      {
+        MutexLock lock(&durable->mutex_);
+        internal = durable->to_internal_.at(external);
+      }
       std::optional<PendingRound> round =
           durable->router_->pending_round(internal);
       if (!round.has_value()) continue;  // checked after the fixpoint
@@ -357,7 +364,12 @@ std::unique_ptr<DurableRouter> DurableRouter::Recover(
   // session closed mid-round abandons the same round it abandoned then).
   for (const auto& [external, image] : images) {
     if (!image.closed) continue;
-    durable->router_->Close(durable->to_internal_.at(external));
+    SessionId internal;
+    {
+      MutexLock lock(&durable->mutex_);
+      internal = durable->to_internal_.at(external);
+    }
+    durable->router_->Close(internal);
     ++report->sessions_closed;
   }
   durable->router_->Drain();

@@ -40,7 +40,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -49,6 +48,7 @@
 #include "src/durable/fs.h"
 #include "src/durable/session_log.h"
 #include "src/session/sharded_router.h"
+#include "src/util/checked_mutex.h"
 #include "src/workload/workload.h"
 
 namespace qhorn {
@@ -146,10 +146,15 @@ class DurableRouter {
   std::unique_ptr<ShardedRouter> router_;
   std::vector<std::unique_ptr<SessionLog>> shards_;
 
-  mutable std::mutex mutex_;  // guards the id maps and next_external_
-  std::unordered_map<SessionId, SessionId> to_internal_;
-  std::unordered_map<SessionId, SessionId> to_external_;
-  SessionId next_external_ = 1;
+  // Guards the id maps and next_external_. Always released before calling
+  // into router_ — but its rank (kDurableRouter) sits below kRouterShard,
+  // so even holding it across such a call would respect the lock order.
+  mutable Mutex mutex_{"durable-router", LockRank::kDurableRouter};
+  std::unordered_map<SessionId, SessionId> to_internal_
+      QHORN_GUARDED_BY(mutex_);
+  std::unordered_map<SessionId, SessionId> to_external_
+      QHORN_GUARDED_BY(mutex_);
+  SessionId next_external_ QHORN_GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace qhorn

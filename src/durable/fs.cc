@@ -98,13 +98,13 @@ class MemFile : public WritableFile {
 };
 
 bool MemFile::Append(std::string_view data) {
-  std::lock_guard<std::mutex> lock(fs_->mutex_);
+  MutexLock lock(&fs_->mutex_);
   fs_->files_[path_].buffered.append(data);
   return true;
 }
 
 bool MemFile::Sync() {
-  std::lock_guard<std::mutex> lock(fs_->mutex_);
+  MutexLock lock(&fs_->mutex_);
   MemFs::FileState& f = fs_->files_[path_];
   f.durable.append(f.buffered);
   f.buffered.clear();
@@ -112,13 +112,13 @@ bool MemFile::Sync() {
 }
 
 std::unique_ptr<WritableFile> MemFs::OpenAppend(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   files_.try_emplace(path);  // creation is immediate, like open(O_CREAT)
   return std::make_unique<MemFile>(this, path);
 }
 
 bool MemFs::ReadFile(const std::string& path, std::string* out) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = files_.find(path);
   if (it == files_.end()) return false;
   *out = it->second.durable + it->second.buffered;
@@ -126,12 +126,12 @@ bool MemFs::ReadFile(const std::string& path, std::string* out) {
 }
 
 bool MemFs::FileExists(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return files_.count(path) != 0;
 }
 
 bool MemFs::Truncate(const std::string& path, uint64_t size) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = files_.find(path);
   if (it == files_.end()) return false;
   // Truncation is a metadata operation the recovery path performs before
@@ -146,20 +146,20 @@ bool MemFs::Truncate(const std::string& path, uint64_t size) {
 bool MemFs::CreateDirs(const std::string&) { return true; }
 
 void MemFs::CrashAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   for (auto& [path, f] : files_) {
     f.buffered.clear();
   }
 }
 
 uint64_t MemFs::DurableSize(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = files_.find(path);
   return it == files_.end() ? 0 : it->second.durable.size();
 }
 
 uint64_t MemFs::TotalSize(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = files_.find(path);
   return it == files_.end()
              ? 0
@@ -167,7 +167,7 @@ uint64_t MemFs::TotalSize(const std::string& path) {
 }
 
 void MemFs::FlipDurableBitForTest(const std::string& path, uint64_t bit) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = files_.find(path);
   QHORN_CHECK_MSG(it != files_.end(), "no file " << path);
   QHORN_CHECK_MSG(bit / 8 < it->second.durable.size(),
@@ -218,27 +218,27 @@ bool FaultFs::CreateDirs(const std::string& dir) {
 
 void FaultFs::ArmTornAppend(int after) {
   QHORN_CHECK(after >= 1);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   append_fault_ = FaultKind::kTornAppend;
   append_fault_at_ = appends_ + after;
 }
 
 void FaultFs::ArmShortWrite(int after) {
   QHORN_CHECK(after >= 1);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   append_fault_ = FaultKind::kShortWrite;
   append_fault_at_ = appends_ + after;
 }
 
 void FaultFs::ArmSyncFailure(int after) {
   QHORN_CHECK(after >= 1);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   sync_fault_at_ = syncs_ + after;
 }
 
 void FaultFs::ArmBitFlip(int after, int64_t bit) {
   QHORN_CHECK(after >= 1);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   append_fault_ = FaultKind::kBitFlip;
   append_fault_at_ = appends_ + after;
   append_fault_bit_ = bit;
@@ -249,7 +249,7 @@ bool FaultFs::OnAppend(WritableFile* file, std::string_view data) {
   size_t prefix = 0;
   int64_t flip_bit = -1;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     ++appends_;
     if (append_fault_ != FaultKind::kNone && appends_ == append_fault_at_) {
       fault = append_fault_;
@@ -303,7 +303,7 @@ bool FaultFs::OnAppend(WritableFile* file, std::string_view data) {
 
 bool FaultFs::OnSync(WritableFile* file) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     ++syncs_;
     if (sync_fault_at_ != 0 && syncs_ == sync_fault_at_) {
       sync_fault_at_ = 0;
@@ -315,37 +315,37 @@ bool FaultFs::OnSync(WritableFile* file) {
 }
 
 int64_t FaultFs::appends() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return appends_;
 }
 
 int64_t FaultFs::syncs() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return syncs_;
 }
 
 int64_t FaultFs::torn_appends_fired() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return torn_fired_;
 }
 
 int64_t FaultFs::short_writes_fired() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return short_fired_;
 }
 
 int64_t FaultFs::sync_failures_fired() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return sync_fail_fired_;
 }
 
 int64_t FaultFs::bit_flips_fired() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return flip_fired_;
 }
 
 bool FaultFs::fault_armed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return append_fault_ != FaultKind::kNone || sync_fault_at_ != 0;
 }
 

@@ -32,11 +32,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "src/util/checked_mutex.h"
 #include "src/util/rng.h"
 
 namespace qhorn {
@@ -121,8 +121,10 @@ class MemFs : public Fs {
     std::string buffered;
   };
 
-  std::mutex mutex_;
-  std::map<std::string, FileState> files_;
+  // Leaf lock of the durability stack (LockRank::kFs): WAL appends hold
+  // the kWalShard mutex above, and MemFs never calls out under it.
+  Mutex mutex_{"mem-fs", LockRank::kFs};
+  std::map<std::string, FileState> files_ QHORN_GUARDED_BY(mutex_);
 };
 
 /// Fault-injecting decorator over any Fs. Faults are armed ahead of time
@@ -174,19 +176,24 @@ class FaultFs : public Fs {
   bool OnSync(WritableFile* file);
 
   Fs* base_;
-  mutable std::mutex mutex_;
-  Rng rng_;
-  int64_t appends_ = 0;
-  int64_t syncs_ = 0;
+  // Ranked just below the base filesystem's lock (kFaultFs < kFs):
+  // OnAppend/OnSync release this mutex before delegating to the base
+  // file, but the rank keeps even a held-across-delegation path legal.
+  mutable Mutex mutex_{"fault-fs", LockRank::kFaultFs};
+  Rng rng_ QHORN_GUARDED_BY(mutex_);
+  int64_t appends_ QHORN_GUARDED_BY(mutex_) = 0;
+  int64_t syncs_ QHORN_GUARDED_BY(mutex_) = 0;
   // Armed faults: fire when the corresponding counter reaches the mark.
-  FaultKind append_fault_ = FaultKind::kNone;
-  int64_t append_fault_at_ = 0;   // fires on the append_fault_at_-th append
-  int64_t append_fault_bit_ = -1;  // ArmBitFlip pin
-  int64_t sync_fault_at_ = 0;     // fires on the sync_fault_at_-th sync
-  int64_t torn_fired_ = 0;
-  int64_t short_fired_ = 0;
-  int64_t sync_fail_fired_ = 0;
-  int64_t flip_fired_ = 0;
+  FaultKind append_fault_ QHORN_GUARDED_BY(mutex_) = FaultKind::kNone;
+  // fires on the append_fault_at_-th append
+  int64_t append_fault_at_ QHORN_GUARDED_BY(mutex_) = 0;
+  int64_t append_fault_bit_ QHORN_GUARDED_BY(mutex_) = -1;  // ArmBitFlip pin
+  // fires on the sync_fault_at_-th sync
+  int64_t sync_fault_at_ QHORN_GUARDED_BY(mutex_) = 0;
+  int64_t torn_fired_ QHORN_GUARDED_BY(mutex_) = 0;
+  int64_t short_fired_ QHORN_GUARDED_BY(mutex_) = 0;
+  int64_t sync_fail_fired_ QHORN_GUARDED_BY(mutex_) = 0;
+  int64_t flip_fired_ QHORN_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace qhorn

@@ -153,7 +153,7 @@ std::unique_ptr<SessionLog> SessionLog::Open(Fs* fs, const std::string& path,
 }
 
 bool SessionLog::AppendRecord(std::string_view payload) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (poisoned_) return false;
   std::string frame;
   Encoder e(&frame);
@@ -227,7 +227,7 @@ bool SessionLog::AppendSessionClosed(int64_t session_id) {
 }
 
 bool SessionLog::SyncNow() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (poisoned_) return false;
   if (!file_->Sync()) return false;
   ++syncs_;
@@ -236,17 +236,17 @@ bool SessionLog::SyncNow() {
 }
 
 bool SessionLog::poisoned() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return poisoned_;
 }
 
 int64_t SessionLog::records_appended() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return records_;
 }
 
 int64_t SessionLog::syncs() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return syncs_;
 }
 

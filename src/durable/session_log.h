@@ -46,6 +46,7 @@
 
 #include "src/durable/fs.h"
 #include "src/util/bit_span.h"
+#include "src/util/checked_mutex.h"
 #include "src/workload/workload.h"
 
 namespace qhorn {
@@ -131,11 +132,14 @@ class SessionLog {
   std::string path_;
   SessionLogOptions options_;
 
-  mutable std::mutex mutex_;
-  bool poisoned_ = false;
-  int64_t records_ = 0;
-  int64_t records_since_sync_ = 0;
-  int64_t syncs_ = 0;
+  // Held across the file Append/Sync (LockRank::kWalShard < kFaultFs/kFs:
+  // the filesystem locks nest inside). Acquired from DurableRouter commit
+  // hooks, which hold exactly one router-shard mutex (kRouterShard) above.
+  mutable Mutex mutex_{"wal-shard", LockRank::kWalShard};
+  bool poisoned_ QHORN_GUARDED_BY(mutex_) = false;
+  int64_t records_ QHORN_GUARDED_BY(mutex_) = 0;
+  int64_t records_since_sync_ QHORN_GUARDED_BY(mutex_) = 0;
+  int64_t syncs_ QHORN_GUARDED_BY(mutex_) = 0;
 };
 
 enum class LogReadStatus {

@@ -4,6 +4,7 @@
 
 #include "src/util/bit_span.h"
 #include "src/util/check.h"
+#include "src/util/checked_mutex.h"
 #include "src/util/suspend.h"
 
 namespace qhorn {
@@ -34,6 +35,12 @@ void PendingOracle::SuspendAndAwait(std::vector<TupleSet> questions,
   pending_.questions = std::move(questions);
   has_pending_ = true;
   ++suspensions_;
+  // Both suspension paths leave this thread: the throw unwinds to the job
+  // runner, the yield parks the whole stack until some (possibly other)
+  // thread resumes it. A checked lock held here would either unlock on
+  // the wrong thread or stay "held" forever — catch it before parking
+  // (defense in depth; Fiber::Yield asserts the same).
+  LockRankChecker::AssertNoneHeld("a suspending session job");
   if (yield_ == nullptr) throw JobSuspended();
   // Parked path: switch back to the runner with the stack alive. The
   // runner either stages this round's answers and resumes, or requests a

@@ -22,7 +22,7 @@ std::shared_ptr<const CompiledQuery> CompiledQueryCache::Get(
 
   Stripe& stripe = StripeFor(KeyHash{}(key));
   {
-    std::shared_lock<std::shared_mutex> lock(stripe.mutex);
+    ReaderLock lock(&stripe.mutex);
     auto it = stripe.map.find(key);
     if (it != stripe.map.end()) {
       stripe.hits.fetch_add(1, std::memory_order_relaxed);
@@ -36,7 +36,7 @@ std::shared_ptr<const CompiledQuery> CompiledQueryCache::Get(
   // first insert wins and the loser's copy is dropped — compiles are
   // idempotent µs-scale work, not worth a per-key latch.
   auto compiled = std::make_shared<const CompiledQuery>(query, opts);
-  std::unique_lock<std::shared_mutex> lock(stripe.mutex);
+  WriterLock lock(&stripe.mutex);
   auto [it, inserted] =
       stripe.map.try_emplace(std::move(key), std::move(compiled));
   return it->second;
@@ -151,10 +151,18 @@ SessionRouter::~SessionRouter() {
   // awaiting a user who never answered, or closed while parked): the
   // parked stacks hold live learner frames whose destructors must run.
   // Safe on this thread — the workers are joined, so no runner owns any
-  // session anymore.
-  for (auto& [id, state] : sessions_) {
-    if (state->fiber != nullptr) UnwindFiber(state.get());
+  // session anymore. Collect under the lock (the locks are uncontended
+  // now, but they keep the guarded-field discipline uniform), unwind
+  // outside it: UnwindFiber switches into the parked stack, and the rank
+  // checker forbids holding a lock across that.
+  std::vector<SessionState*> parked;
+  {
+    MutexLock lock(&mutex_);
+    for (auto& [id, state] : sessions_) {
+      if (state->fiber != nullptr) parked.push_back(state.get());
+    }
   }
+  for (SessionState* state : parked) UnwindFiber(state);
   // Free announcement nodes for rounds still pending at teardown — both
   // the batch never popped and the retained poll set. No producer is live
   // (workers joined above), so the pop is race-free.
@@ -163,7 +171,10 @@ SessionRouter::~SessionRouter() {
     delete node;
     node = next;
   }
-  live_announcements_.clear();
+  {
+    MutexLock poll_lock(&poll_mutex_);
+    live_announcements_.clear();
+  }
 }
 
 void SessionRouter::UnwindFiber(SessionState* state) {
@@ -183,7 +194,7 @@ SessionRouter::SessionId SessionRouter::OpenInternal(
   state->session = std::make_unique<QuerySession>(n, user, options_.session);
   state->owned_backend = std::move(owned_backend);
   state->pending_backend = pending_backend;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   SessionId id = next_id_++;
   sessions_.emplace(id, std::move(state));
   return id;
@@ -245,7 +256,7 @@ bool SessionRouter::SubmitInternal(SessionId id, Job job, JobKind kind) {
   bool start_runner = false;
   bool pending = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = sessions_.find(id);
     if (it == sessions_.end()) return false;
     state = it->second.get();
@@ -289,7 +300,7 @@ void SessionRouter::RunSession(SessionState* state) {
   for (;;) {
     JobRecord job;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       if (state->queue.empty()) {
         state->running = false;
         return;
@@ -301,7 +312,7 @@ void SessionRouter::RunSession(SessionState* state) {
     bool idle = false;
     bool finished = false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       CompleteJob(job.kind);
       // Release ownership in the same critical section that lets Drain
       // return: a drained router must already report every session idle.
@@ -311,7 +322,7 @@ void SessionRouter::RunSession(SessionState* state) {
       }
       idle = --runnable_jobs_ == 0;
     }
-    if (idle) idle_cv_.notify_all();
+    if (idle) idle_cv_.NotifyAll();
     if (finished) return;
   }
 }
@@ -353,7 +364,7 @@ void SessionRouter::RunPendingSession(SessionState* state) {
     bool restore_snapshot = false;
     bool live = false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       if (state->jobs_completed >= state->job_log.size()) {
         state->running = false;
         return;
@@ -396,7 +407,7 @@ void SessionRouter::RunPendingSession(SessionState* state) {
       for (size_t i = start_job;; ++i) {
         JobRecord job;
         {
-          std::lock_guard<std::mutex> lock(mutex_);
+          MutexLock lock(&mutex_);
           if (i >= state->job_log.size()) break;
           job = state->job_log[i];  // copy: re-runs reuse the log
         }
@@ -408,7 +419,7 @@ void SessionRouter::RunPendingSession(SessionState* state) {
         bool idle = false;
         bool finished = false;
         {
-          std::lock_guard<std::mutex> lock(mutex_);
+          MutexLock lock(&mutex_);
           // Jobs below jobs_completed are replays of already-counted
           // completions; only the frontier job completes for the first
           // time here.
@@ -431,7 +442,7 @@ void SessionRouter::RunPendingSession(SessionState* state) {
             idle = --runnable_jobs_ == 0;
           }
         }
-        if (idle) idle_cv_.notify_all();
+        if (idle) idle_cv_.NotifyAll();
         if (finished) return;
       }
     } catch (const JobSuspended&) {
@@ -444,7 +455,7 @@ void SessionRouter::RunPendingSession(SessionState* state) {
       if (snapshot_mode) snap = state->session->CapturePreRound();
       bool idle = false;
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(&mutex_);
         ++state->suspensions;
         ++suspensions_;
         // Everything this session still owes can no longer progress
@@ -477,7 +488,7 @@ void SessionRouter::RunPendingSession(SessionState* state) {
         state->pipeline_live = false;
         state->running = false;
       }
-      if (idle) idle_cv_.notify_all();
+      if (idle) idle_cv_.NotifyAll();
       return;  // ← the lane is free while the user thinks
     }
   }
@@ -498,7 +509,7 @@ void SessionRouter::RunPendingSessionFiber(SessionState* state) {
     int64_t next_round = 0;
     size_t start_job = 0;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       resume_parked = state->fiber != nullptr;
       cancel_parked = resume_parked && state->fiber_cancel;
       if (!resume_parked && state->jobs_completed >= state->job_log.size()) {
@@ -542,7 +553,7 @@ void SessionRouter::RunPendingSessionFiber(SessionState* state) {
           for (size_t i = start_job;; ++i) {
             JobRecord job;
             {
-              std::lock_guard<std::mutex> lock(mutex_);
+              MutexLock lock(&mutex_);
               if (i >= state->job_log.size()) return;
               job = state->job_log[i];  // copy: the log outlives the run
             }
@@ -571,7 +582,7 @@ void SessionRouter::RunPendingSessionFiber(SessionState* state) {
       bool idle = false;
       bool done = false;
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(&mutex_);
         while (state->jobs_completed < jobs_run) {
           CompleteJob(state->job_log[state->jobs_completed].kind);
           ++state->jobs_completed;
@@ -586,7 +597,7 @@ void SessionRouter::RunPendingSessionFiber(SessionState* state) {
           idle = runnable_jobs_ == 0;
         }
       }
-      if (idle) idle_cv_.notify_all();
+      if (idle) idle_cv_.NotifyAll();
       if (done) return;
       continue;  // jobs arrived while the body was finishing
     }
@@ -600,7 +611,7 @@ void SessionRouter::RunPendingSessionFiber(SessionState* state) {
     bool idle = false;
     bool abandoned = false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       while (state->jobs_completed < jobs_run) {
         CompleteJob(state->job_log[state->jobs_completed].kind);
         ++state->jobs_completed;
@@ -630,7 +641,7 @@ void SessionRouter::RunPendingSessionFiber(SessionState* state) {
       state->pipeline_live = false;
       state->running = false;
     }
-    if (idle) idle_cv_.notify_all();
+    if (idle) idle_cv_.NotifyAll();
     // A closed session's parked stack unwinds right here — no resume can
     // ever come. Safe after releasing ownership: closed sessions reject
     // Submit/ProvideAnswers, so no other runner can be posted.
@@ -664,7 +675,7 @@ bool SessionRouter::SubmitRevise(SessionId id, Query candidate) {
 
 std::vector<PendingRound> SessionRouter::PendingRounds() {
   std::vector<PendingRound> rounds;
-  std::lock_guard<std::mutex> poll_lock(poll_mutex_);
+  MutexLock poll_lock(&poll_mutex_);
   // Fold the freshly announced batch into the retained set. Never takes
   // mutex_: the batch pop is one atomic exchange and the filter below
   // reads only per-session atomics.
@@ -715,7 +726,7 @@ ProvideOutcome SessionRouter::ProvideAnswersInternal(SessionId id,
                                                      CommitHook* commit) {
   SessionState* state = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = sessions_.find(id);
     if (it == sessions_.end()) return ProvideOutcome::kUnknownSession;
     state = it->second.get();
@@ -730,9 +741,17 @@ ProvideOutcome SessionRouter::ProvideAnswersInternal(SessionId id,
     // lock, so the logged record and the fold it authorizes are one
     // atomic step as seen by every other router call. A veto leaves the
     // session exactly as it was (the round stays pending, the same call
-    // can be retried once the log is healthy).
-    if (commit != nullptr && !(*commit)()) {
-      return ProvideOutcome::kLogWriteFailed;
+    // can be retried once the log is healthy). The PR 9 sharding
+    // invariant — a DurableRouter commit hook runs under exactly one
+    // shard's mutex — is what lets the hook append to this shard's WAL
+    // without cross-shard ordering concerns; the rank checker enforces it
+    // (a hook reaching into a second shard dies on the same-rank check).
+    if (commit != nullptr) {
+      LockRankChecker::AssertHeldCountAtRank(LockRank::kRouterShard, 1,
+                                             "a DurableRouter commit hook");
+      if (!(*commit)()) {
+        return ProvideOutcome::kLogWriteFailed;
+      }
     }
     // Accepted: fold the answered round into the user-boundary transcript
     // and make the session runnable again.
@@ -768,7 +787,7 @@ ProvideOutcome SessionRouter::ProvideAnswersInternal(SessionId id,
 ProvideOutcome SessionRouter::CorrectAnswer(SessionId id, size_t entry_index) {
   SessionState* state = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = sessions_.find(id);
     if (it == sessions_.end()) return ProvideOutcome::kUnknownSession;
     state = it->second.get();
@@ -819,7 +838,7 @@ ProvideOutcome SessionRouter::CorrectAnswer(SessionId id, size_t entry_index) {
 }
 
 std::optional<PendingRound> SessionRouter::pending_round(SessionId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return std::nullopt;
   const SessionState* state = it->second.get();
@@ -828,7 +847,7 @@ std::optional<PendingRound> SessionRouter::pending_round(SessionId id) {
 }
 
 bool SessionRouter::Close(SessionId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return false;
   SessionState* state = it->second.get();
@@ -847,7 +866,7 @@ bool SessionRouter::Close(SessionId id) {
 }
 
 std::optional<SessionStatus> SessionRouter::status(SessionId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return std::nullopt;
   const SessionState* state = it->second.get();
@@ -857,23 +876,28 @@ std::optional<SessionStatus> SessionRouter::status(SessionId id) {
 }
 
 int64_t SessionRouter::suspensions(SessionId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = sessions_.find(id);
   return it == sessions_.end() ? -1 : it->second->suspensions;
 }
 
 void SessionRouter::Drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return runnable_jobs_ == 0; });
+  MutexLock lock(&mutex_);
+  // Explicit predicate loop (not a wait(pred) lambda) so the guarded read
+  // of runnable_jobs_ happens in a scope thread-safety analysis can see
+  // holds mutex_.
+  while (runnable_jobs_ != 0) {
+    idle_cv_.Wait(&mutex_);
+  }
 }
 
 QuerySession& SessionRouter::session(SessionId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return *FindSession(id)->session;
 }
 
 ServiceStats SessionRouter::stats() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   QHORN_CHECK_MSG(runnable_jobs_ == 0, "stats() requires an idle router");
   ServiceStats stats;
   stats.sessions = static_cast<int64_t>(sessions_.size());

@@ -83,14 +83,11 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -98,6 +95,7 @@
 #include "src/oracle/pending.h"
 #include "src/oracle/pipeline.h"
 #include "src/session/session.h"
+#include "src/util/checked_mutex.h"
 #include "src/util/executor.h"
 #include "src/util/fiber.h"
 #include "src/util/function_ref.h"
@@ -144,8 +142,11 @@ class CompiledQueryCache {
   static constexpr size_t kStripes = 16;  // power of two; see StripeFor
 
   struct alignas(64) Stripe {
-    mutable std::shared_mutex mutex;
-    std::unordered_map<Key, std::shared_ptr<const CompiledQuery>, KeyHash> map;
+    // A stripe is a leaf lock (LockRank::kCacheStripe): compiles happen
+    // outside it, so nothing is ever acquired while it is held.
+    mutable SharedMutex mutex{"cache-stripe", LockRank::kCacheStripe};
+    std::unordered_map<Key, std::shared_ptr<const CompiledQuery>, KeyHash> map
+        QHORN_GUARDED_BY(mutex);
     std::atomic<int64_t> hits{0};
     std::atomic<int64_t> misses{0};
   };
@@ -425,6 +426,17 @@ class SessionRouter {
     JobKind kind = JobKind::kOther;
   };
 
+  // Locking protocol: the map shape, queue, job log, counters and the
+  // awaiting/running/closed flags are guarded by the router's mutex_.
+  // The resume-state fields (answered_entries, snapshot, staged_answers,
+  // fiber*) follow an ownership handoff instead: while `running` is true
+  // they belong exclusively to the runner task and are read/written
+  // without the lock — a protocol thread-safety analysis cannot express
+  // (TSA has no "guarded by mutex_ OR owned by the runner"), and a
+  // nested struct cannot name the enclosing router's mutex_ in a
+  // QHORN_GUARDED_BY anyway. The per-field comments say which regime
+  // each field is under; the cross-thread edges are TSan-covered by the
+  // continuation stress suites.
   struct SessionState {
     std::unique_ptr<QuerySession> session;
     std::unique_ptr<MembershipOracle> owned_backend;  // OpenSimulated/Pending
@@ -501,11 +513,13 @@ class SessionRouter {
   void RunPendingSessionFiber(SessionState* state);
   /// Cancels and unwinds a parked fiber (correction restart, closed
   /// session teardown): the parked wait-site throws, the stack unwinds to
-  /// the fiber body's boundary, and the fiber is destroyed.
+  /// the fiber body's boundary, and the fiber is destroyed. Must be
+  /// called with no checked lock held: the resume switches into the
+  /// parked stack, and the unwind may run arbitrary destructor code.
   void UnwindFiber(SessionState* state);
-  /// Bumps jobs_done_ and the per-kind counter. Caller holds mutex_.
-  void CompleteJob(JobKind kind);
-  SessionState* FindSession(SessionId id);
+  /// Bumps jobs_done_ and the per-kind counter.
+  void CompleteJob(JobKind kind) QHORN_REQUIRES(mutex_);
+  SessionState* FindSession(SessionId id) QHORN_REQUIRES(mutex_);
 
   /// A parked round as the poll path sees it: the round payload copied at
   /// suspension plus the owning session, pushed onto announced_rounds_ by
@@ -526,30 +540,41 @@ class SessionRouter {
   std::unique_ptr<CompiledQueryCache> owned_cache_;  // null when borrowed
   CompiledQueryCache* cache_ = nullptr;
 
-  std::mutex mutex_;  // guards sessions_ map shape and per-session queues
-  std::condition_variable idle_cv_;
+  // Guards the sessions_ map shape, the per-session queues/bookkeeping
+  // (SessionState fields — see the struct comments for the runner-owned
+  // exceptions) and the service counters. One per shard; a DurableRouter
+  // commit hook runs while exactly one of these is held
+  // (LockRank::kRouterShard — the rank checker asserts the invariant in
+  // ProvideAnswersInternal).
+  Mutex mutex_{"router-shard", LockRank::kRouterShard};
+  CondVar idle_cv_;
   // The pending-round drain: suspending runners publish here (one push per
   // suspension, lock-free as seen by the consumer), PendingRounds pops the
   // batch and folds it into live_announcements_ under poll_mutex_ — so the
   // poll path never takes mutex_ and suspension/resume on this router never
   // contends with another shard's opens through the facade.
   MpscStack<RoundAnnouncement> announced_rounds_;
-  std::mutex poll_mutex_;  // serializes PendingRounds consumers
-  std::vector<std::unique_ptr<AnnouncementNode>> live_announcements_;
-  std::unordered_map<SessionId, std::unique_ptr<SessionState>> sessions_;
-  SessionId next_id_ = 1;
+  // Serializes PendingRounds consumers. A leaf (LockRank::kRouterPoll):
+  // only the announcement stack and per-session atomics are touched under
+  // it, never mutex_.
+  Mutex poll_mutex_{"router-poll", LockRank::kRouterPoll};
+  std::vector<std::unique_ptr<AnnouncementNode>> live_announcements_
+      QHORN_GUARDED_BY(poll_mutex_);
+  std::unordered_map<SessionId, std::unique_ptr<SessionState>> sessions_
+      QHORN_GUARDED_BY(mutex_);
+  SessionId next_id_ QHORN_GUARDED_BY(mutex_) = 1;
   // Jobs that can make progress right now: queued + running jobs of
   // direct sessions, plus uncompleted jobs of pending sessions that are
   // not blocked on a user. A suspension subtracts its session's
   // uncompleted jobs; ProvideAnswers adds them back. Drain waits for 0.
-  int64_t runnable_jobs_ = 0;
+  int64_t runnable_jobs_ QHORN_GUARDED_BY(mutex_) = 0;
   // Counters bumped at job completion (stats() folds in session counters).
-  int64_t jobs_done_ = 0;
-  int64_t learns_ = 0;
-  int64_t verifies_ = 0;
-  int64_t revisions_ = 0;
-  int64_t suspensions_ = 0;
-  int64_t corrections_ = 0;
+  int64_t jobs_done_ QHORN_GUARDED_BY(mutex_) = 0;
+  int64_t learns_ QHORN_GUARDED_BY(mutex_) = 0;
+  int64_t verifies_ QHORN_GUARDED_BY(mutex_) = 0;
+  int64_t revisions_ QHORN_GUARDED_BY(mutex_) = 0;
+  int64_t suspensions_ QHORN_GUARDED_BY(mutex_) = 0;
+  int64_t corrections_ QHORN_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace qhorn

@@ -36,6 +36,16 @@
 // Shards bound protocol-call parallelism (mutex acquisitions spread
 // across N locks); lanes bound compute parallelism; pending sessions are
 // bounded by memory alone (a parked session holds no lane on any shard).
+//
+// Lock order (enforced at runtime by the rank checker, src/util/
+// lock_ranks.h): the facade itself holds no mutex — placement is one
+// atomic counter — so the order through this layer is exactly one
+// shard's: DurableRouter (kDurableRouter) → that shard's SessionRouter
+// (kRouterShard) → its WAL shard (kWalShard) → the filesystem (kFaultFs/
+// kFs). Same-rank nesting is forbidden, so no call path may hold two
+// shard mutexes at once — cross-shard deadlock is structurally
+// impossible, and a DurableRouter commit hook runs under exactly one
+// shard mutex (asserted in SessionRouter::ProvideAnswersInternal).
 
 #ifndef QHORN_SESSION_SHARDED_ROUTER_H_
 #define QHORN_SESSION_SHARDED_ROUTER_H_

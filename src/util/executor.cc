@@ -22,6 +22,12 @@ thread_local int tls_worker_index = -1;
 /// belongs to would silently leak, so fail loudly instead of terminating
 /// with an opaque unhandled-exception abort.
 void RunTask(const std::function<void()>& task) {
+  // Tasks must start with no checked locks held: Post() under a lock
+  // deadlocks at concurrency 1 (where tasks run inline in the caller),
+  // and on a worker lane a held lock could only be a leak from a previous
+  // task. Rank ordering alone cannot catch the inline case — no executor
+  // mutex is touched on that path — so assert it here.
+  LockRankChecker::AssertNoneHeld("an executor task");
   try {
     task();
   } catch (const JobSuspended&) {
@@ -62,10 +68,10 @@ Executor::~Executor() {
   {
     // stop_ flips under sleep_mutex_ so a worker checking the wait
     // predicate cannot miss it.
-    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    MutexLock lock(&sleep_mutex_);
     stop_.store(true, std::memory_order_release);
   }
-  sleep_cv_.notify_all();
+  sleep_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
   // The destructor contract is quiescence, not draining: owners (e.g.
   // SessionRouter::Drain) must retire their work first. Losing a queued
@@ -86,42 +92,47 @@ void Executor::Post(std::function<void()> task) {
     queue = queues_[static_cast<size_t>(tls_worker_index)].get();
   }
   {
-    std::lock_guard<std::mutex> lock(queue->mutex);
+    MutexLock lock(&queue->mutex);
     queue->tasks.push_back(std::move(task));
   }
   // The empty lock pairs the enqueue with any waiter that checked the
   // queues just before it; the notify then cannot be lost.
-  { std::lock_guard<std::mutex> lock(sleep_mutex_); }
-  sleep_cv_.notify_all();
+  { MutexLock lock(&sleep_mutex_); }
+  sleep_cv_.NotifyAll();
 }
 
 bool Executor::HasPendingTask() {
   {
-    std::lock_guard<std::mutex> lock(helpers_.mutex);
+    MutexLock lock(&helpers_.mutex);
     if (!helpers_.tasks.empty()) return true;
   }
   {
-    std::lock_guard<std::mutex> lock(injection_.mutex);
+    MutexLock lock(&injection_.mutex);
     if (!injection_.tasks.empty()) return true;
   }
   for (const auto& q : queues_) {
-    std::lock_guard<std::mutex> lock(q->mutex);
+    MutexLock lock(&q->mutex);
     if (!q->tasks.empty()) return true;
   }
   return false;
 }
 
+bool Executor::HasHelperTask() {
+  MutexLock lock(&helpers_.mutex);
+  return !helpers_.tasks.empty();
+}
+
 bool Executor::RunOneHelperTask() {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(helpers_.mutex);
+    MutexLock lock(&helpers_.mutex);
     if (helpers_.tasks.empty()) return false;
     task = std::move(helpers_.tasks.front());
     helpers_.tasks.pop_front();
   }
   RunTask(task);
-  { std::lock_guard<std::mutex> lock(sleep_mutex_); }
-  sleep_cv_.notify_all();
+  { MutexLock lock(&sleep_mutex_); }
+  sleep_cv_.NotifyAll();
   return true;
 }
 
@@ -130,7 +141,7 @@ bool Executor::PopTask(int self_index, std::function<void()>* task) {
   // Shard helpers first: some lane is blocked in a ParallelFor until they
   // retire, so they gate the pool's tail latency.
   {
-    std::lock_guard<std::mutex> lock(helpers_.mutex);
+    MutexLock lock(&helpers_.mutex);
     if (!helpers_.tasks.empty()) {
       *task = std::move(helpers_.tasks.front());
       helpers_.tasks.pop_front();
@@ -140,7 +151,7 @@ bool Executor::PopTask(int self_index, std::function<void()>* task) {
   // …then the own deque (LIFO: the task most likely still in cache)…
   if (self_index >= 0) {
     WorkerQueue* own = queues_[static_cast<size_t>(self_index)].get();
-    std::lock_guard<std::mutex> lock(own->mutex);
+    MutexLock lock(&own->mutex);
     if (!own->tasks.empty()) {
       *task = std::move(own->tasks.back());
       own->tasks.pop_back();
@@ -149,7 +160,7 @@ bool Executor::PopTask(int self_index, std::function<void()>* task) {
   }
   // …then the injection queue, then steal FIFO from the other workers.
   {
-    std::lock_guard<std::mutex> lock(injection_.mutex);
+    MutexLock lock(&injection_.mutex);
     if (!injection_.tasks.empty()) {
       *task = std::move(injection_.tasks.front());
       injection_.tasks.pop_front();
@@ -161,7 +172,7 @@ bool Executor::PopTask(int self_index, std::function<void()>* task) {
     size_t victim = (base + off) % queues_.size();
     if (static_cast<int>(victim) == self_index) continue;
     WorkerQueue* q = queues_[victim].get();
-    std::lock_guard<std::mutex> lock(q->mutex);
+    MutexLock lock(&q->mutex);
     if (!q->tasks.empty()) {
       *task = std::move(q->tasks.front());
       q->tasks.pop_front();
@@ -178,8 +189,8 @@ bool Executor::RunOneTask(int self_index) {
   RunTask(task);
   // Completion may unblock a ParallelFor waiter (they sleep on the same
   // condition variable as idle workers).
-  { std::lock_guard<std::mutex> lock(sleep_mutex_); }
-  sleep_cv_.notify_all();
+  { MutexLock lock(&sleep_mutex_); }
+  sleep_cv_.NotifyAll();
   return true;
 }
 
@@ -188,12 +199,15 @@ void Executor::WorkerLoop(int index) {
   tls_worker_index = index;
   while (true) {
     if (RunOneTask(index)) continue;
-    std::unique_lock<std::mutex> lock(sleep_mutex_);
-    if (stop_.load(std::memory_order_acquire)) break;
-    sleep_cv_.wait(lock, [&] {
-      return stop_.load(std::memory_order_acquire) || HasPendingTask();
-    });
-    if (stop_.load(std::memory_order_acquire)) break;
+    bool stopping;
+    {
+      MutexLock lock(&sleep_mutex_);
+      while (!stop_.load(std::memory_order_acquire) && !HasPendingTask()) {
+        sleep_cv_.Wait(&sleep_mutex_);
+      }
+      stopping = stop_.load(std::memory_order_acquire);
+    }
+    if (stopping) break;
   }
   tls_executor = nullptr;
   tls_worker_index = -1;
@@ -235,14 +249,14 @@ void Executor::ParallelFor(size_t n, size_t grain,
   };
   for (size_t h = 0; h < helper_count; ++h) {
     {
-      std::lock_guard<std::mutex> lock(helpers_.mutex);
+      MutexLock lock(&helpers_.mutex);
       helpers_.tasks.push_back([state, run_chunks] {
         run_chunks();
         state->helpers_done.fetch_add(1, std::memory_order_release);
       });
     }
-    { std::lock_guard<std::mutex> lock(sleep_mutex_); }
-    sleep_cv_.notify_all();
+    { MutexLock lock(&sleep_mutex_); }
+    sleep_cv_.NotifyAll();
   }
   run_chunks();
   // All chunks are claimed (possibly all by this thread). Wait for the
@@ -253,15 +267,12 @@ void Executor::ParallelFor(size_t n, size_t grain,
   // itself a consumer of the queue its progress depends on.
   while (state->helpers_done.load(std::memory_order_acquire) < helper_count) {
     if (RunOneHelperTask()) continue;
-    std::unique_lock<std::mutex> lock(sleep_mutex_);
-    sleep_cv_.wait(lock, [&] {
-      return state->helpers_done.load(std::memory_order_acquire) >=
-                 helper_count ||
-             [this] {
-               std::lock_guard<std::mutex> hl(helpers_.mutex);
-               return !helpers_.tasks.empty();
-             }();
-    });
+    MutexLock lock(&sleep_mutex_);
+    while (state->helpers_done.load(std::memory_order_acquire) <
+               helper_count &&
+           !HasHelperTask()) {
+      sleep_cv_.Wait(&sleep_mutex_);
+    }
   }
 }
 

@@ -33,15 +33,14 @@
 #define QHORN_UTIL_EXECUTOR_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "src/util/checked_mutex.h"
 #include "src/util/function_ref.h"
 
 namespace qhorn {
@@ -83,9 +82,13 @@ class Executor {
   int64_t steals() const { return steals_.load(std::memory_order_relaxed); }
 
  private:
+  // Lock order (src/util/lock_ranks.h): sleep_mutex_ (kExecutorSleep) is
+  // taken first — the wait predicates call HasPendingTask(), which walks
+  // the queue mutexes (kExecutorQueue), while holding it. Tasks always
+  // run with no executor lock held.
   struct WorkerQueue {
-    std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+    Mutex mutex{"executor-queue", LockRank::kExecutorQueue};
+    std::deque<std::function<void()>> tasks QHORN_GUARDED_BY(mutex);
   };
 
   void WorkerLoop(int index);
@@ -99,14 +102,15 @@ class Executor {
   bool RunOneHelperTask();
   bool PopTask(int self_index, std::function<void()>* task);
   bool HasPendingTask();
+  bool HasHelperTask();
 
   int concurrency_ = 1;
   std::vector<std::unique_ptr<WorkerQueue>> queues_;  // one per worker
   WorkerQueue injection_;  // tasks posted from outside the pool
   WorkerQueue helpers_;    // ParallelFor shard helpers (drained first)
   std::vector<std::thread> workers_;
-  std::mutex sleep_mutex_;
-  std::condition_variable sleep_cv_;
+  Mutex sleep_mutex_{"executor-sleep", LockRank::kExecutorSleep};
+  CondVar sleep_cv_;
   std::atomic<bool> stop_{false};
   std::atomic<int64_t> steals_{0};
 };

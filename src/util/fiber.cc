@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/util/check.h"
+#include "src/util/checked_mutex.h"
 
 // Sanitizer fiber annotations. Declared here (not via the sanitizer
 // headers) so the file compiles identically whether or not the interface
@@ -162,6 +163,11 @@ void Fiber::Resume() {
 }
 
 void Fiber::Yield() {
+  // A parked continuation holds no checked mutex: the held-lock stack is
+  // thread-local, and the fiber may be resumed on a *different* OS thread
+  // — a lock acquired here would be "held" by a thread that no longer
+  // runs this stack and unlocked by one that never locked it.
+  LockRankChecker::AssertNoneHeld("a parking fiber");
 #if defined(QHORN_FIBER_ASAN)
   __sanitizer_start_switch_fiber(&asan_fiber_fake_, asan_host_bottom_,
                                  asan_host_size_);

@@ -1,0 +1,91 @@
+// The single total order over every mutex in the tree.
+//
+// Clang thread-safety analysis (src/util/thread_annotations.h) proves
+// *which* lock guards each field; it cannot prove locks are acquired in a
+// deadlock-free *order*. That is the rank checker's job: every
+// qhorn::Mutex / qhorn::SharedMutex is constructed with a name and a rank
+// from this enum, and in debug/sanitizer builds a thread-local held-lock
+// stack CHECK-fails on any same-or-lower-rank acquisition
+// (src/util/checked_mutex.h). The rule is strict: a thread may only
+// acquire a lock of strictly greater rank than every lock it already
+// holds.
+//
+// The order below is derived from the real nesting paths in the code, not
+// aspiration. Verified chains (each inner acquisition happens while the
+// outer lock is held):
+//
+//   kExecutorSleep < kExecutorQueue
+//     Executor::WorkerLoop / ParallelFor wait predicates call
+//     HasPendingTask() — which takes each queue mutex in turn — while
+//     holding sleep_mutex_.
+//
+//   kDurableRouter < kRouterShard < kWalShard < kFaultFs / kFs
+//     The PR 9 durability chain: DurableRouter releases its id-map mutex
+//     before calling into the router (so holding it across the call would
+//     still be legal), SessionRouter::ProvideAnswersInternal invokes the
+//     commit hook while holding exactly one shard mutex, the hook appends
+//     to that shard's WAL (SessionLog::AppendRecord holds the log mutex
+//     across WritableFile::Append/Sync), and MemFs/FaultFs lock their own
+//     mutex inside the file operations. FaultFs releases its mutex before
+//     delegating to the base file, but it ranks below kFs so holding it
+//     across the call would also be legal.
+//
+// Everything else is a leaf — nothing is acquired while holding it:
+//
+//   kRouterPoll    SessionRouter::PendingRounds serialization; only the
+//                  lock-free announcement stack and per-session atomics
+//                  are touched under it.
+//   kCacheStripe   CompiledQueryCache stripes; compiles happen *outside*
+//                  all locks, the stripe lock covers only map probes.
+//   kMemo          the CompactAntichainsOfWidth memo cache in
+//                  src/core/enumerate.cc.
+//
+// The executor ranks sit at the very bottom deliberately: no legitimate
+// path takes an executor lock while holding a service lock, and ranking
+// them lowest turns "Post() while holding a router mutex" — which would
+// deadlock outright at concurrency 1, where Post runs the task inline —
+// into a loud rank violation in every checked build.
+//
+// Adding a mutex: pick the lowest rank consistent with every path that
+// holds your lock while acquiring another (gaps in the numbering are left
+// for exactly this), name it after the subsystem, and document the chain
+// here. See README "Static analysis & lock discipline".
+
+#ifndef QHORN_UTIL_LOCK_RANKS_H_
+#define QHORN_UTIL_LOCK_RANKS_H_
+
+namespace qhorn {
+
+enum class LockRank : int {
+  kExecutorSleep = 10,  // Executor::sleep_mutex_
+  kExecutorQueue = 20,  // Executor worker/injection/helpers queues
+  kDurableRouter = 30,  // DurableRouter id maps
+  kRouterShard = 40,    // SessionRouter::mutex_ (one per shard)
+  kRouterPoll = 45,     // SessionRouter::poll_mutex_ (leaf)
+  kWalShard = 50,       // SessionLog::mutex_ (one per WAL shard)
+  kFaultFs = 55,        // FaultFs fault-schedule mutex
+  kFs = 60,             // MemFs file-table mutex
+  kCacheStripe = 70,    // CompiledQueryCache per-stripe shared_mutex (leaf)
+  kMemo = 90,           // enumerate.cc antichain memo cache (leaf)
+};
+
+/// Human-readable rank for rank-violation diagnostics.
+constexpr const char* LockRankName(LockRank rank) {
+  switch (rank) {
+    case LockRank::kExecutorSleep: return "executor-sleep";
+    case LockRank::kExecutorQueue: return "executor-queue";
+    case LockRank::kDurableRouter: return "durable-router";
+    case LockRank::kRouterShard: return "router-shard";
+    case LockRank::kRouterPoll: return "router-poll";
+    case LockRank::kWalShard: return "wal-shard";
+    case LockRank::kFaultFs: return "fault-fs";
+    case LockRank::kFs: return "fs";
+    case LockRank::kCacheStripe: return "cache-stripe";
+    case LockRank::kMemo: return "memo";
+  }
+  return "unknown";
+}
+
+}  // namespace qhorn
+
+#endif  // QHORN_UTIL_LOCK_RANKS_H_

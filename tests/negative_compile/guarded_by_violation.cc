@@ -1,0 +1,39 @@
+// Negative-compile fixture: writing a QHORN_GUARDED_BY(mutex_) field
+// without holding the mutex. Under clang with -Wthread-safety
+// -Werror=thread-safety this file MUST FAIL to compile (ctest runs it
+// with WILL_FAIL). Under gcc the attributes expand to nothing and the
+// file is valid C++ (the non-clang lane compiles it -fsyntax-only as a
+// syntax control).
+//
+// Expected clang diagnostic:
+//   writing variable 'value_' requires holding mutex 'mutex_' exclusively
+//   [-Werror,-Wthread-safety-analysis]
+
+#include "src/util/checked_mutex.h"
+
+namespace qhorn_negative_compile {
+
+class Counter {
+ public:
+  void GuardedIncrement() {
+    qhorn::MutexLock lock(&mutex_);
+    ++value_;  // fine: mutex_ is held
+  }
+
+  void UnguardedIncrement() {
+    ++value_;  // BAD: mutex_ is not held
+  }
+
+ private:
+  qhorn::Mutex mutex_{"negative-compile-counter", qhorn::LockRank::kMemo};
+  int value_ QHORN_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace qhorn_negative_compile
+
+int main() {
+  qhorn_negative_compile::Counter counter;
+  counter.GuardedIncrement();
+  counter.UnguardedIncrement();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Positive control for the negative-compile pair: the same shapes as
+// requires_violation.cc and guarded_by_violation.cc with the locking
+// done right. This file MUST COMPILE under clang with -Wthread-safety
+// -Werror=thread-safety — if it ever fails, the negative tests are
+// failing for the wrong reason (broken include path, miswired flags)
+// rather than proving the analysis works.
+
+#include "src/util/checked_mutex.h"
+
+namespace qhorn_negative_compile {
+
+qhorn::Mutex fixture_mu("positive-control-fixture", qhorn::LockRank::kMemo);
+int counter QHORN_GUARDED_BY(fixture_mu) = 0;
+
+void MustHoldMu() QHORN_REQUIRES(fixture_mu) { ++counter; }
+
+void CallsWhileHolding() {
+  qhorn::MutexLock lock(&fixture_mu);
+  MustHoldMu();  // OK: fixture_mu is held
+}
+
+class Counter {
+ public:
+  void GuardedIncrement() {
+    qhorn::MutexLock lock(&mutex_);
+    ++value_;
+  }
+
+  int Get() {
+    qhorn::MutexLock lock(&mutex_);
+    return value_;
+  }
+
+ private:
+  qhorn::Mutex mutex_{"positive-control-counter", qhorn::LockRank::kMemo};
+  int value_ QHORN_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace qhorn_negative_compile
+
+int main() {
+  qhorn_negative_compile::CallsWhileHolding();
+  qhorn_negative_compile::Counter counter;
+  counter.GuardedIncrement();
+  return counter.Get();
+}

@@ -1,0 +1,30 @@
+// Negative-compile fixture: calling a QHORN_REQUIRES(mu) function without
+// holding mu. Under clang with -Wthread-safety -Werror=thread-safety this
+// file MUST FAIL to compile (ctest runs it with WILL_FAIL) — that failure
+// is the proof the annotations are load-bearing, not decorative. Under
+// gcc the attributes expand to nothing and the file is valid C++ (the
+// non-clang lane compiles it -fsyntax-only as a syntax control).
+//
+// Expected clang diagnostic:
+//   calling function 'MustHoldMu' requires holding mutex 'fixture_mu'
+//   [-Werror,-Wthread-safety-analysis]
+
+#include "src/util/checked_mutex.h"
+
+namespace qhorn_negative_compile {
+
+qhorn::Mutex fixture_mu("negative-compile-fixture", qhorn::LockRank::kMemo);
+int counter = 0;
+
+void MustHoldMu() QHORN_REQUIRES(fixture_mu) { ++counter; }
+
+void CallsWithoutHolding() {
+  MustHoldMu();  // BAD: fixture_mu is not held here
+}
+
+}  // namespace qhorn_negative_compile
+
+int main() {
+  qhorn_negative_compile::CallsWithoutHolding();
+  return 0;
+}
